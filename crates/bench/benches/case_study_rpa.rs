@@ -1,0 +1,65 @@
+//! Criterion bench behind the Section 3 study: RPA script compile + run,
+//! and one simulated deployment month.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eclair_rpa::drift::{DeploymentConfig, DeploymentSim};
+use eclair_rpa::script::{compile, AuthoringConfig};
+use eclair_rpa::RpaBot;
+use eclair_sites::all_tasks;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rpa(c: &mut Criterion) {
+    let task = all_tasks().remove(0);
+    c.bench_function("case_study/compile_script", |b| {
+        b.iter(|| {
+            let mut session = task.launch();
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(
+                compile(
+                    &task.id,
+                    &mut session,
+                    &task.gold_trace.actions,
+                    AuthoringConfig::careful(),
+                    &mut rng,
+                )
+                .steps
+                .len(),
+            )
+        })
+    });
+    let script = {
+        let mut session = task.launch();
+        let mut rng = StdRng::seed_from_u64(1);
+        compile(
+            &task.id,
+            &mut session,
+            &task.gold_trace.actions,
+            AuthoringConfig::careful(),
+            &mut rng,
+        )
+    };
+    c.bench_function("case_study/bot_run", |b| {
+        b.iter(|| {
+            let mut session = task.launch();
+            black_box(RpaBot.run(&mut session, &script).completed())
+        })
+    });
+    c.bench_function("case_study/deployment_month", |b| {
+        let tasks: Vec<_> = all_tasks().into_iter().take(4).collect();
+        b.iter(|| {
+            let sim = DeploymentSim::new(
+                tasks.clone(),
+                DeploymentConfig {
+                    months: 1,
+                    ..Default::default()
+                },
+            );
+            black_box(sim.run().months.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_rpa);
+criterion_main!(benches);

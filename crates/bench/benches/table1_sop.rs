@@ -1,0 +1,30 @@
+//! Criterion bench behind Table 1: cost of generating one SOP under each
+//! evidence level (WD prior recall vs key-frame vision vs log transcription).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eclair_core::demonstrate::{generate_sop, record_gold_demo, EvidenceLevel};
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_sites::all_tasks;
+use std::hint::black_box;
+
+fn bench_sop_generation(c: &mut Criterion) {
+    let task = all_tasks().remove(0);
+    let rec = record_gold_demo(&task);
+    for level in EvidenceLevel::all() {
+        c.bench_function(&format!("table1/generate_sop_{}", level.label()), |b| {
+            let mut model = FmModel::new(ModelProfile::gpt4v(), 7);
+            b.iter(|| black_box(generate_sop(&mut model, &task.intent, Some(&rec), level)))
+        });
+    }
+    c.bench_function("table1/record_gold_demo", |b| {
+        b.iter(|| black_box(record_gold_demo(&task).num_actions()))
+    });
+    c.bench_function("table1/score_sop", |b| {
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 7);
+        let sop = generate_sop(&mut model, &task.intent, Some(&rec), EvidenceLevel::WdKfAct);
+        b.iter(|| black_box(eclair_workflow::score::score_sop(&sop, &task.gold_sop)))
+    });
+}
+
+criterion_group!(benches, bench_sop_generation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind Table 2: one autonomous workflow run, with and
+//! without SOP guidance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eclair_core::execute::executor::{run_task, ExecConfig};
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_sites::all_tasks;
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let task = all_tasks()
+        .into_iter()
+        .find(|t| t.id == "gitlab-03")
+        .unwrap();
+    c.bench_function("table2/run_with_sop", |b| {
+        b.iter(|| {
+            let mut model = FmModel::new(ModelProfile::gpt4v(), 11);
+            let cfg = ExecConfig::with_sop(task.gold_sop.clone()).budgeted(task.gold_trace.len());
+            black_box(run_task(&mut model, &task, &cfg).success)
+        })
+    });
+    c.bench_function("table2/run_without_sop", |b| {
+        b.iter(|| {
+            let mut model = FmModel::new(ModelProfile::gpt4v(), 11);
+            let cfg = ExecConfig::without_sop().budgeted(task.gold_trace.len());
+            black_box(run_task(&mut model, &task, &cfg).success)
+        })
+    });
+    c.bench_function("table2/oracle_replay_gold", |b| {
+        b.iter(|| {
+            let mut session = task.launch();
+            black_box(
+                eclair_workflow::replay::execute_trace(&mut session, &task.gold_trace.actions)
+                    .is_ok(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

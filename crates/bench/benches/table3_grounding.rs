@@ -1,0 +1,34 @@
+//! Criterion bench behind Table 3: one grounding call per strategy/model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eclair_core::execute::ground::{ground_click, GroundView, GroundingStrategy};
+use eclair_core::experiments::grounding_corpus::{generate, Corpus};
+use eclair_fm::{FmModel, ModelProfile};
+use std::hint::black_box;
+
+fn bench_grounding(c: &mut Criterion) {
+    let sample = generate(Corpus::WebUiSim, 1, 5).remove(0);
+    let shot = sample.page.screenshot_at(0);
+    let plans: &[(&str, ModelProfile, GroundingStrategy)] = &[
+        ("gpt4_native", ModelProfile::gpt4v(), GroundingStrategy::Native),
+        ("gpt4_som_yolo", ModelProfile::gpt4v(), GroundingStrategy::SomYolo),
+        ("gpt4_som_html", ModelProfile::gpt4v(), GroundingStrategy::SomHtml),
+        ("cogagent_native", ModelProfile::cogagent_18b(), GroundingStrategy::Native),
+    ];
+    for (name, profile, strategy) in plans {
+        c.bench_function(&format!("table3/{name}"), |b| {
+            let mut model = FmModel::new(profile.clone(), 3);
+            b.iter(|| {
+                let view = GroundView {
+                    shot: &shot,
+                    page: Some(&sample.page),
+                    scroll_y: 0,
+                };
+                black_box(ground_click(&mut model, *strategy, &view, &sample.description))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_grounding);
+criterion_main!(benches);

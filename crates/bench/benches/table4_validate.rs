@@ -1,0 +1,40 @@
+//! Criterion bench behind Table 4: one call of each validator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eclair_core::demonstrate::record_gold_demo;
+use eclair_core::validate::{check_actuation, check_completion, check_integrity, check_trajectory};
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_sites::all_tasks;
+use eclair_workflow::{Action, IntegrityConstraint, TargetRef};
+use std::hint::black_box;
+
+fn bench_validation(c: &mut Criterion) {
+    let task = all_tasks().remove(2);
+    let rec = record_gold_demo(&task);
+    let (s, a, s2) = {
+        let (x, y, z) = rec.transition(0).unwrap();
+        (x.clone(), y.describe(), z.clone())
+    };
+    c.bench_function("table4/actuation", |b| {
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 1);
+        b.iter(|| black_box(check_actuation(&mut model, &s, &a, &s2).verdict))
+    });
+    c.bench_function("table4/integrity", |b| {
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 2);
+        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label(
+            "Close issue".into(),
+        )));
+        b.iter(|| black_box(check_integrity(&mut model, &ic, &s).verdict))
+    });
+    c.bench_function("table4/completion", |b| {
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 3);
+        b.iter(|| black_box(check_completion(&mut model, &rec, &task.intent).verdict))
+    });
+    c.bench_function("table4/trajectory", |b| {
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 4);
+        b.iter(|| black_box(check_trajectory(&mut model, &rec, &task.gold_sop).verdict))
+    });
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

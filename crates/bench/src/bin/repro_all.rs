@@ -1,0 +1,95 @@
+//! Run every experiment and print a combined paper-vs-measured summary —
+//! the artifact EXPERIMENTS.md records.
+
+use eclair_bench::*;
+use eclair_core::experiments::{case_study, fig2, table1, table2, table3, table4};
+use eclair_workflow::category::figure2_examples;
+
+fn main() {
+    let fast = fast_mode();
+    let mut passed = 0usize;
+    let mut total = 0usize;
+    let mut shapes: Vec<(String, Result<(), String>)> = Vec::new();
+
+    println!("=== Table 1 ===\n");
+    let t1 = table1::run(table1::Table1Config {
+        tasks: if fast { 8 } else { 30 },
+        ..Default::default()
+    });
+    println!("{}", render_table1(&t1));
+    let c = t1.paper_comparison();
+    println!("{}", c.render());
+    passed += c.passed();
+    total += c.rows.len();
+    shapes.push(("Table 1".into(), t1.shape_holds()));
+
+    println!("=== Table 2 ===\n");
+    let t2 = table2::run(table2::Table2Config {
+        tasks: if fast { 8 } else { 30 },
+        reps: if fast { 1 } else { 3 },
+        ..Default::default()
+    });
+    println!("{}", render_table2(&t2));
+    let c = t2.paper_comparison();
+    println!("{}", c.render());
+    passed += c.passed();
+    total += c.rows.len();
+    shapes.push(("Table 2".into(), t2.shape_holds()));
+
+    println!("=== Table 3 ===\n");
+    let t3 = table3::run(table3::Table3Config {
+        pages: if fast { Some(40) } else { None },
+        ..Default::default()
+    });
+    println!("{}", render_table3(&t3));
+    let c = t3.paper_comparison();
+    println!("{}", c.render());
+    passed += c.passed();
+    total += c.rows.len();
+    shapes.push(("Table 3".into(), t3.shape_holds()));
+
+    println!("=== Table 4 ===\n");
+    let t4 = table4::run(table4::Table4Config {
+        tasks: if fast { 8 } else { 30 },
+        ..Default::default()
+    });
+    println!("{}", render_table4(&t4));
+    let c = t4.paper_comparison();
+    println!("{}", c.render());
+    passed += c.passed();
+    total += c.rows.len();
+    shapes.push(("Table 4".into(), t4.shape_holds()));
+
+    println!("=== Figure 2 ===\n");
+    let f2 = fig2::run();
+    println!("{}", f2.render());
+    let (rpa_cov, eclair_cov) = fig2::coverage(&figure2_examples());
+    println!("\ncoverage: RPA {:.0}% → ECLAIR {:.0}%", rpa_cov * 100.0, eclair_cov * 100.0);
+    shapes.push(("Figure 2".into(), f2.shape_holds()));
+
+    println!("\n=== Section 3 case study ===\n");
+    let cs = case_study::run(case_study::CaseStudyConfig {
+        months: if fast { 6 } else { 12 },
+        eclair_reps: if fast { 1 } else { 3 },
+        ..Default::default()
+    });
+    println!(
+        "RPA ramp: {:.2} → {:.2}; ECLAIR day-one completion: {:.2}",
+        cs.rpa.initial_accuracy(),
+        cs.rpa.peak_accuracy(),
+        cs.eclair_completion
+    );
+    shapes.push(("Case study".into(), cs.shape_holds()));
+
+    println!("\n=== Summary ===");
+    println!("paper-vs-measured cells within band: {passed}/{total}");
+    for (name, r) in &shapes {
+        match r {
+            Ok(()) => println!("{name}: shape PASS"),
+            Err(e) => println!("{name}: shape FAIL — {e}"),
+        }
+    }
+    if shapes.iter().any(|(_, r)| r.is_err()) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerate the paper's Table 1 (Demonstrate: SOP generation).
+
+use eclair_bench::{fast_mode, render_table1};
+use eclair_core::experiments::table1;
+
+fn main() {
+    let cfg = table1::Table1Config {
+        tasks: if fast_mode() { 8 } else { 30 },
+        ..Default::default()
+    };
+    let result = table1::run(cfg);
+    println!("Table 1: (Demonstrate) SOP generation, averaged over {} workflows\n", cfg.tasks);
+    println!("{}", render_table1(&result));
+    println!();
+    println!("{}", result.paper_comparison().render());
+    match result.shape_holds() {
+        Ok(()) => println!("shape check: PASS (evidence monotonicity holds)"),
+        Err(e) => println!("shape check: FAIL — {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerate the paper's Table 2 (Execute: suggestion & completion).
+
+use eclair_bench::{fast_mode, render_table2};
+use eclair_core::experiments::table2;
+
+fn main() {
+    let cfg = table2::Table2Config {
+        tasks: if fast_mode() { 8 } else { 30 },
+        reps: if fast_mode() { 1 } else { 3 },
+        ..Default::default()
+    };
+    let result = table2::run(cfg);
+    println!(
+        "Table 2: (Execute) GPT-4 average accuracy on next action suggestion\nwith and without SOP guidance ({} workflows, {} reps)\n",
+        cfg.tasks, cfg.reps
+    );
+    println!("{}", render_table2(&result));
+    println!();
+    println!("{}", result.paper_comparison().render());
+    match result.shape_holds() {
+        Ok(()) => println!("shape check: PASS (SOPs roughly double completion; grounding gap persists)"),
+        Err(e) => println!("shape check: FAIL — {e}"),
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerate the paper's Table 4 (Validate: self-monitoring).
+
+use eclair_bench::{fast_mode, render_table4};
+use eclair_core::experiments::table4;
+
+fn main() {
+    let cfg = table4::Table4Config {
+        tasks: if fast_mode() { 8 } else { 30 },
+        ..Default::default()
+    };
+    let result = table4::run(cfg);
+    println!("Table 4: (Validate) performance of the FM on self-validation tasks\n");
+    println!("{}", render_table4(&result));
+    println!();
+    println!("{}", result.paper_comparison().render());
+    match result.shape_holds() {
+        Ok(()) => println!("shape check: PASS (workflow-level checks strong; integrity recall collapses)"),
+        Err(e) => println!("shape check: FAIL — {e}"),
+    }
+}

@@ -1,0 +1,18 @@
+use eclair_core::demonstrate::evidence::{record_gold_demo, EvidenceLevel};
+use eclair_core::demonstrate::generate_sop;
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_sites::all_tasks;
+use eclair_workflow::score::score_sop;
+
+fn main() {
+    for (ti, t) in all_tasks().into_iter().enumerate().take(30) {
+        let rec = record_gold_demo(&t);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 7 + ti as u64);
+        let sop = generate_sop(&mut model, &t.intent, Some(&rec), EvidenceLevel::WdKf);
+        let s = score_sop(&sop, &t.gold_sop);
+        println!("== {} P={:.2} R={:.2} miss={} inc={}", t.id, s.precision, s.recall, s.missing, s.incorrect);
+        if s.precision < 0.6 || s.recall < 0.6 {
+            println!("GOLD:\n{}GEN:\n{}", t.gold_sop.format(), sop.format());
+        }
+    }
+}

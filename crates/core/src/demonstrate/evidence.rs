@@ -1,0 +1,112 @@
+//! Demonstration evidence: recordings of gold traces and the degradations
+//! the evidence pipeline applies to them.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use eclair_sites::TaskSpec;
+use eclair_vision::frame::{record, Recording};
+use eclair_workflow::replay::realize_events;
+
+use crate::calibration;
+
+/// The three Table 1 evidence conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvidenceLevel {
+    /// Workflow description only.
+    Wd,
+    /// Description + key frames.
+    WdKf,
+    /// Description + key frames + action log.
+    WdKfAct,
+}
+
+impl EvidenceLevel {
+    /// Paper row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvidenceLevel::Wd => "WD",
+            EvidenceLevel::WdKf => "WD+KF",
+            EvidenceLevel::WdKfAct => "WD+KF+ACT",
+        }
+    }
+
+    /// All levels in Table 1 order.
+    pub fn all() -> [EvidenceLevel; 3] {
+        [EvidenceLevel::Wd, EvidenceLevel::WdKf, EvidenceLevel::WdKfAct]
+    }
+}
+
+/// Record a human demonstration of a task: realize the gold semantic trace
+/// into raw events on a scratch session, then replay them on a fresh one
+/// under the recorder (frames before/after every event).
+pub fn record_gold_demo(task: &TaskSpec) -> Recording {
+    let mut scratch = task.launch();
+    let events = realize_events(&mut scratch, &task.gold_trace.actions)
+        .expect("gold traces are verified executable");
+    let mut session = task.launch();
+    record(&mut session, &task.intent, events)
+}
+
+/// Degrade an action log the way real OS-level recorders do: with
+/// probability [`calibration::ACT_LOG_DROPOUT_P`] an entry loses its
+/// accessibility target text (the raw click survives, its semantics do
+/// not).
+pub fn degrade_log<R: Rng>(recording: &Recording, rng: &mut R) -> Recording {
+    let mut out = recording.clone();
+    for entry in &mut out.log {
+        if entry.target_text.is_some() && rng.gen_bool(calibration::ACT_LOG_DROPOUT_P) {
+            entry.target_text = None;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_sites::all_tasks;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gold_demo_records_full_trace() {
+        let task = &all_tasks()[0];
+        let rec = record_gold_demo(task);
+        assert!(rec.num_actions() >= task.gold_trace.len());
+        assert_eq!(rec.workflow_description, task.intent);
+        assert_eq!(rec.frames.len(), rec.log.len() + 1);
+        // The demo ends in the success state.
+        let mut check = task.launch();
+        for entry in &rec.log {
+            check.dispatch(entry.event.clone());
+        }
+        assert!(task.success.evaluate(&check), "replaying the log succeeds");
+    }
+
+    #[test]
+    fn degrade_drops_some_targets() {
+        let task = &all_tasks()[1];
+        let rec = record_gold_demo(task);
+        let with_targets = rec.log.iter().filter(|e| e.target_text.is_some()).count();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dropped_any = false;
+        for seed in 0..20 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let deg = degrade_log(&rec, &mut r);
+            let after = deg.log.iter().filter(|e| e.target_text.is_some()).count();
+            assert!(after <= with_targets);
+            if after < with_targets {
+                dropped_any = true;
+            }
+        }
+        let _ = rng;
+        assert!(dropped_any, "dropout fires across seeds");
+    }
+
+    #[test]
+    fn levels_enumerate_in_table_order() {
+        let labels: Vec<_> = EvidenceLevel::all().iter().map(|l| l.label()).collect();
+        assert_eq!(labels, vec!["WD", "WD+KF", "WD+KF+ACT"]);
+    }
+}

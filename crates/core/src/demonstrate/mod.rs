@@ -1,0 +1,18 @@
+//! Stage 1 — **Demonstrate** (paper §4.1).
+//!
+//! ECLAIR "learns from passively collected human demonstrations, with no
+//! updates to the underlying FM's weights": a human records themselves
+//! doing the workflow once; the system turns the video + action log into a
+//! written SOP. The three evidence levels ablated in Table 1 are:
+//!
+//! * **WD** — workflow description only (the model writes the SOP from its
+//!   prior knowledge of similar applications);
+//! * **WD+KF** — plus key frames extracted from the recording;
+//! * **WD+KF+ACT** — plus the textual action log of clicks and keystrokes.
+
+pub mod evidence;
+pub mod prior;
+pub mod sop_gen;
+
+pub use evidence::{record_gold_demo, EvidenceLevel};
+pub use sop_gen::generate_sop;

@@ -1,0 +1,518 @@
+//! The WD-only procedure prior: what a frontier FM "knows" about standard
+//! enterprise web applications from pretraining.
+//!
+//! Table 1's WD row shows GPT-4 writing usable-but-flawed SOPs from the
+//! one-line workflow description alone (precision 0.75 / recall 0.81,
+//! ~3.6 hallucinated steps, inflated length). This module reproduces that
+//! behaviour: it parses the intent into facts, routes it to an idiomatic
+//! procedure template (GitLab-style tracker, Magento-style admin, generic
+//! form app), and pads the result with the boilerplate a model recites
+//! when it is guessing (log-in steps, dropdown selections, verification
+//! steps).
+
+use rand::Rng;
+
+use crate::calibration;
+
+/// Facts extractable from a workflow description.
+#[derive(Debug, Clone, Default)]
+pub struct IntentFacts {
+    /// Single-quoted strings, in order of appearance.
+    pub quoted: Vec<String>,
+    /// "... in the X project" / "the X project".
+    pub project: Option<String>,
+    /// "with label X" / "the label 'X'".
+    pub label: Option<String>,
+    /// "assigned to X".
+    pub assignee: Option<String>,
+    /// "#1234" / "order number 1234".
+    pub order_id: Option<String>,
+    /// "SKU X" / "(SKU X)".
+    pub sku: Option<String>,
+    /// "$X".
+    pub amount: Option<String>,
+    /// "quantity X" (or "to zero" → "0").
+    pub quantity: Option<String>,
+    /// The word "confidential" appears.
+    pub confidential: bool,
+    /// Lower-cased description for keyword routing.
+    pub lower: String,
+}
+
+/// Extract facts from a workflow description.
+pub fn parse_intent(intent: &str) -> IntentFacts {
+    let mut facts = IntentFacts {
+        lower: intent.to_lowercase(),
+        ..Default::default()
+    };
+    // Single-quoted strings.
+    let mut rest = intent;
+    while let Some(start) = rest.find('\'') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('\'') else { break };
+        facts.quoted.push(tail[..end].to_string());
+        rest = &tail[end + 1..];
+    }
+    facts.confidential = facts.lower.contains("confidential");
+    facts.project = capture_after(intent, "in the ", " project")
+        .or_else(|| capture_after(intent, "of the ", " project"))
+        .or_else(|| capture_before_word(intent, " project"));
+    facts.label = capture_word_after(intent, "with label ")
+        .or_else(|| capture_after(intent, "the label '", "'"));
+    facts.assignee = capture_word_after(intent, "assigned to ");
+    facts.order_id = capture_word_after(intent, "order #")
+        .or_else(|| capture_word_after(intent, "order number "))
+        .map(|s| s.trim_start_matches('#').to_string());
+    facts.sku = capture_word_after(intent, "SKU ").map(|s| {
+        s.trim_end_matches([')', ',', '.'])
+            .to_string()
+    });
+    facts.amount = capture_word_after(intent, "$");
+    facts.quantity = capture_word_after(intent, "quantity ").or_else(|| {
+        if facts.lower.contains("to zero") {
+            Some("0".into())
+        } else {
+            None
+        }
+    });
+    facts
+}
+
+fn capture_after(text: &str, prefix: &str, suffix: &str) -> Option<String> {
+    let start = text.find(prefix)? + prefix.len();
+    let rest = &text[start..];
+    let end = rest.find(suffix)?;
+    let got = rest[..end].trim();
+    (!got.is_empty()).then(|| got.to_string())
+}
+
+fn capture_word_after(text: &str, prefix: &str) -> Option<String> {
+    let start = text.find(prefix)? + prefix.len();
+    let word: String = text[start..]
+        .chars()
+        .take_while(|c| !c.is_whitespace())
+        .collect();
+    let word = word.trim_end_matches(|c: char| ",.;)".contains(c)).to_string();
+    (!word.is_empty()).then_some(word)
+}
+
+fn capture_before_word(text: &str, marker: &str) -> Option<String> {
+    let pos = text.find(marker)?;
+    let head = &text[..pos];
+    head.split_whitespace().last().map(|w| w.to_string())
+}
+
+/// The boilerplate a model recites when guessing blind. Drawn with
+/// probability [`calibration::WD_PRIOR_BOILERPLATE_P`] each.
+pub const BOILERPLATE: [&str; calibration::WD_PRIOR_BOILERPLATE_POOL] = [
+    "Log in with your administrator credentials",
+    "Select the correct workspace from the dropdown at the top",
+    "Review the permissions settings before continuing",
+    "Refresh the page to make sure the latest data is loaded",
+    "Verify that a confirmation email was sent",
+    "Click the notifications icon to check for alerts",
+];
+
+/// Substantive step guesses for an intent (before boilerplate padding).
+pub fn substantive_steps(intent: &str) -> Vec<String> {
+    let f = parse_intent(intent);
+    let l = &f.lower;
+    if l.contains("issue") {
+        gitlab_issue_steps(&f)
+    } else if l.contains("merge request") {
+        gitlab_mr_steps(&f)
+    } else if l.contains("invite") || l.contains("member") {
+        gitlab_member_steps(&f)
+    } else if l.contains("profile") {
+        vec![
+            "Click the 'Profile' link in the navigation bar".into(),
+            format!(
+                "Type \"{}\" into the Status message field",
+                f.quoted.first().cloned().unwrap_or_else(|| "your status".into())
+            ),
+            "Click the 'Update profile' button".into(),
+        ]
+    } else if l.contains("archive") {
+        vec![
+            format!(
+                "Click the '{}' project link",
+                f.project.clone().unwrap_or_else(|| "target".into())
+            ),
+            "Click the 'Settings' tab".into(),
+            "Click the 'Archive project' button".into(),
+            "Click the 'Archive' button in the confirmation dialog".into(),
+        ]
+    } else if l.contains("visibility") || (l.contains("rename") && l.contains("project")) {
+        gitlab_settings_steps(&f)
+    } else if l.contains("order") {
+        magento_order_steps(&f)
+    } else if l.contains("product") || l.contains("catalog") || l.contains("stock") {
+        magento_product_steps(&f)
+    } else if l.contains("eligibility") {
+        vec![
+            "Type the member ID into the Member ID field".into(),
+            "Type the date of birth into the Date of birth field".into(),
+            "Select the payer from the Payer dropdown".into(),
+            "Click the 'Check eligibility' button".into(),
+        ]
+    } else if l.contains("invoice") || l.contains("contract") {
+        vec![
+            "Open the document from the contract inbox".into(),
+            "Click the 'Enter invoice' button".into(),
+            "Select the customer from the Customer dropdown".into(),
+            "Type the contract amount into the Amount field".into(),
+            "Type the PO number into the PO number field".into(),
+            "Click the 'Save invoice' button".into(),
+        ]
+    } else {
+        vec![
+            "Navigate to the relevant page of the application".into(),
+            "Locate the record mentioned in the task".into(),
+            "Fill in the required fields with the requested values".into(),
+            "Click the 'Save' button".into(),
+            "Verify the confirmation message".into(),
+        ]
+    }
+}
+
+fn project_step(f: &IntentFacts) -> String {
+    format!(
+        "Click the '{}' project link",
+        f.project.clone().unwrap_or_else(|| "target".into())
+    )
+}
+
+fn gitlab_issue_steps(f: &IntentFacts) -> Vec<String> {
+    let l = &f.lower;
+    let mut steps = vec![project_step(f), "Click the 'Issues' tab".into()];
+    if l.contains("create an issue") || l.contains("create a confidential issue") {
+        steps.push("Click the 'New issue' button".into());
+        let title = f.quoted.first().cloned().unwrap_or_else(|| "the title".into());
+        steps.push(format!("Type \"{title}\" into the Title field"));
+        // The prior cannot know the body text — a generic step that will
+        // not match the gold description step.
+        steps.push("Type a short summary of the problem into the Description field".into());
+        if let Some(label) = &f.label {
+            steps.push(format!("Select '{label}' from the Label dropdown"));
+        }
+        if let Some(a) = &f.assignee {
+            steps.push(format!("Select '{a}' from the Assignee dropdown"));
+        }
+        if f.confidential {
+            steps.push("Check the 'This issue is confidential' checkbox".into());
+        }
+        steps.push("Click the 'Create issue' button".into());
+    } else {
+        let issue = f.quoted.first().cloned().unwrap_or_else(|| "the issue".into());
+        steps.push(format!("Click the '{issue}' issue link"));
+        if l.contains("close") {
+            steps.push("Click the 'Close issue' button".into());
+        } else if l.contains("label") {
+            let label = f
+                .label
+                .clone()
+                .or_else(|| f.quoted.first().cloned())
+                .unwrap_or_else(|| "the label".into());
+            steps.push(format!("Select '{label}' from the label dropdown"));
+            steps.push("Click the 'Add label' button".into());
+        } else if l.contains("rename") {
+            let new = f.quoted.get(1).cloned().unwrap_or_else(|| "the new title".into());
+            steps.push(format!("Type \"{new}\" into the New title field"));
+            steps.push("Click the 'Save title' button".into());
+        } else if l.contains("comment") {
+            let c = f.quoted.first().cloned().unwrap_or_else(|| "the comment".into());
+            // The first quoted string in comment intents is the comment;
+            // the issue title is the second — the prior can confuse them.
+            let issue2 = f.quoted.get(1).cloned().unwrap_or(issue);
+            steps[2] = format!("Click the '{issue2}' issue link");
+            steps.push(format!("Type \"{c}\" into the Comment field"));
+            steps.push("Click the 'Comment' button".into());
+        }
+    }
+    steps
+}
+
+fn gitlab_mr_steps(f: &IntentFacts) -> Vec<String> {
+    let mr = f.quoted.first().cloned().unwrap_or_else(|| "the merge request".into());
+    let mut steps = vec![
+        project_step(f),
+        "Click the 'Merge requests' tab".into(),
+        format!("Click the '{mr}' merge request link"),
+    ];
+    if f.lower.contains("merge the") {
+        steps.push("Click the 'Merge' button".into());
+    } else {
+        steps.push("Click the 'Close merge request' button".into());
+    }
+    steps
+}
+
+fn gitlab_member_steps(f: &IntentFacts) -> Vec<String> {
+    let mut steps = vec![project_step(f), "Click the 'Members' tab".into()];
+    if f.lower.contains("remove") {
+        let user = f
+            .lower
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or("the user")
+            .to_string();
+        steps.push(format!("Click the 'Remove' link in {user}'s row"));
+    } else {
+        let user = capture_word_after(&f.lower, "invite ").unwrap_or_else(|| "the user".into());
+        steps.push(format!("Type \"{user}\" into the Username field"));
+        let role = capture_word_after(&f.lower, "as a ")
+            .map(|r| {
+                let mut c = r.chars();
+                c.next()
+                    .map(|f| f.to_uppercase().collect::<String>() + c.as_str())
+                    .unwrap_or(r)
+            })
+            .unwrap_or_else(|| "Developer".into());
+        steps.push(format!("Select '{role}' from the role dropdown"));
+        steps.push("Click the 'Invite member' button".into());
+    }
+    steps
+}
+
+fn gitlab_settings_steps(f: &IntentFacts) -> Vec<String> {
+    let mut steps = vec![project_step(f), "Click the 'Settings' tab".into()];
+    if f.lower.contains("rename") {
+        let new = f.quoted.get(1).cloned().unwrap_or_else(|| "the new name".into());
+        // Intent names the project in quotes; project_step above may have
+        // guessed wrong — fix it up when the first quote looks like a name.
+        if let Some(old) = f.quoted.first() {
+            steps[0] = format!("Click the '{old}' project link");
+        }
+        steps.push(format!("Set the Project name field to \"{new}\""));
+    } else if let Some(vis) = capture_word_after(&f.lower, "to ") {
+        steps.push(format!("Select '{vis}' from the Visibility dropdown"));
+    }
+    steps.push("Click the 'Save changes' button".into());
+    steps
+}
+
+fn magento_order_steps(f: &IntentFacts) -> Vec<String> {
+    let order = f.order_id.clone().unwrap_or_else(|| "the order".into());
+    let mut steps = vec![
+        "Click the 'Orders' link in the navigation bar".into(),
+        format!("Click the '#{order}' order link"),
+    ];
+    let l = &f.lower;
+    if l.contains("comment") {
+        let c = f.quoted.first().cloned().unwrap_or_else(|| "the note".into());
+        steps.push(format!("Type \"{c}\" into the Comment field"));
+        steps.push("Click the 'Submit comment' button".into());
+    }
+    if l.contains("ship") {
+        steps.push("Click the 'Ship' button".into());
+    }
+    if l.contains("cancel") {
+        steps.push("Click the 'Cancel order' button".into());
+        steps.push("Click the 'OK' button in the confirmation dialog".into());
+    }
+    steps
+}
+
+fn magento_product_steps(f: &IntentFacts) -> Vec<String> {
+    let l = &f.lower;
+    let mut steps = vec!["Click the 'Catalog' link in the navigation bar".into()];
+    if l.contains("add a ") && l.contains("product") {
+        steps.push("Click the 'Add product' button".into());
+        let name = f.quoted.first().cloned().unwrap_or_else(|| "the product".into());
+        steps.push(format!("Type \"{name}\" into the Product name field"));
+        if let Some(sku) = &f.sku {
+            steps.push(format!("Type \"{sku}\" into the SKU field"));
+        }
+        if let Some(p) = &f.amount {
+            steps.push(format!("Type \"{p}\" into the Price field"));
+        }
+        if let Some(q) = &f.quantity {
+            steps.push(format!("Type \"{q}\" into the Quantity field"));
+        }
+        if l.contains("disabled") {
+            steps.push("Select 'Disabled' from the Enable product dropdown".into());
+        }
+        steps.push("Click the 'Save' button".into());
+        return steps;
+    }
+    if l.contains("search the catalog") {
+        let q = f.quoted.first().cloned().unwrap_or_default();
+        steps.push(format!("Type \"{q}\" into the search field"));
+        steps.push("Click the 'Search' button".into());
+        steps.push("Click the matching product link".into());
+        return steps;
+    }
+    // Edit an existing product.
+    let product = f
+        .quoted
+        .first()
+        .cloned()
+        .or_else(|| guess_product_name(l))
+        .unwrap_or_else(|| "the product".into());
+    steps.push(format!("Click the '{product}' product link"));
+    if l.contains("price") {
+        let p = f.amount.clone().unwrap_or_else(|| "the new price".into());
+        steps.push(format!("Set the Price field to \"{p}\""));
+    }
+    if l.contains("quantity") || l.contains("stock") {
+        let q = f.quantity.clone().unwrap_or_else(|| "0".into());
+        steps.push(format!("Set the Quantity field to \"{q}\""));
+    }
+    if l.contains("rename") {
+        let new = f.quoted.get(1).cloned().unwrap_or_else(|| "the new name".into());
+        steps.push(format!("Set the Product name field to \"{new}\""));
+    }
+    if l.contains("disable") {
+        steps.push("Select 'Disabled' from the Enable product dropdown".into());
+    }
+    steps.push("Click the 'Save' button".into());
+    steps
+}
+
+fn guess_product_name(lower: &str) -> Option<String> {
+    // "update the price of the quest lumaflex band (sku pg004)" — take the
+    // words between "the ... (" and title-case them crudely.
+    let start = lower.find("of the ").map(|i| i + 7).or_else(|| {
+        lower
+            .find("disable the ")
+            .map(|i| i + "disable the ".len())
+    })?;
+    let rest = &lower[start..];
+    let end = rest.find(" (")?;
+    let name = &rest[..end];
+    Some(
+        name.split_whitespace()
+            .map(|w| {
+                let mut c = w.chars();
+                match c.next() {
+                    Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+    )
+}
+
+/// Pad substantive steps with boilerplate and verification chatter, the way
+/// a model padding out an answer does. Returns the full WD-only step list.
+pub fn padded_steps<R: Rng>(intent: &str, hallucination_rate: f64, rng: &mut R) -> Vec<String> {
+    let core = substantive_steps(intent);
+    let mut out: Vec<String> = Vec::with_capacity(core.len() * 2);
+    // Leading boilerplate.
+    for b in BOILERPLATE.iter().take(3) {
+        if rng.gen_bool(calibration::WD_PRIOR_BOILERPLATE_P * hallucination_rate.max(0.2) * 2.0)
+        {
+            out.push(b.to_string());
+        }
+    }
+    for (i, step) in core.iter().enumerate() {
+        // The prior guesses button captions; final submit controls often
+        // get a generic name that does not exist on the real page.
+        let is_final_submit = i + 1 == core.len() && step.starts_with("Click");
+        if is_final_submit && rng.gen_bool(calibration::WD_PRIOR_GENERIC_SUBMIT_P) {
+            out.push("Click the 'Submit' button".into());
+        } else {
+            out.push(step.clone());
+        }
+        // Interleaved boilerplate.
+        if i + 1 < core.len()
+            && rng.gen_bool(calibration::WD_PRIOR_BOILERPLATE_P * hallucination_rate)
+        {
+            let b = BOILERPLATE[rng.gen_range(0..BOILERPLATE.len())];
+            if !out.iter().any(|s| s == b) {
+                out.push(b.to_string());
+            }
+        }
+        if rng.gen_bool(calibration::WD_PRIOR_VERIFY_P) {
+            out.push(verification_step(step));
+        }
+    }
+    out
+}
+
+fn verification_step(after: &str) -> String {
+    if after.starts_with("Type") || after.starts_with("Set") {
+        "Double-check the value you entered is correct".into()
+    } else {
+        "Wait for the page to finish loading".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_extracts_facts() {
+        let f = parse_intent(
+            "Create a confidential issue titled 'Rotate leaked API key' with label urgent assigned to frank.ops in the WebApp project",
+        );
+        assert_eq!(f.quoted, vec!["Rotate leaked API key"]);
+        assert_eq!(f.project.as_deref(), Some("WebApp"));
+        assert_eq!(f.label.as_deref(), Some("urgent"));
+        assert_eq!(f.assignee.as_deref(), Some("frank.ops"));
+        assert!(f.confidential);
+    }
+
+    #[test]
+    fn parse_magento_facts() {
+        let f = parse_intent("Update the price of the Quest Lumaflex Band (SKU PG004) to $17.25");
+        assert_eq!(f.sku.as_deref(), Some("PG004"));
+        assert_eq!(f.amount.as_deref(), Some("17.25"));
+        let f2 =
+            parse_intent("Add a product named 'Foam Roller' with SKU 24-FR02 priced at $15.00 with quantity 25");
+        assert_eq!(f2.quantity.as_deref(), Some("25"));
+        assert_eq!(f2.sku.as_deref(), Some("24-FR02"));
+    }
+
+    #[test]
+    fn issue_template_covers_gold_shape() {
+        let steps = substantive_steps(
+            "Create an issue titled 'Login page broken on Safari' with label bug in the WebApp project",
+        );
+        assert!(steps.iter().any(|s| s.contains("'WebApp' project")));
+        assert!(steps.iter().any(|s| s.contains("New issue")));
+        assert!(steps
+            .iter()
+            .any(|s| s.contains("Login page broken on Safari")));
+        assert!(steps.iter().any(|s| s.contains("'bug'")));
+        assert!(steps.last().unwrap().contains("Create issue"));
+    }
+
+    #[test]
+    fn order_template_handles_ship_and_cancel() {
+        let steps = substantive_steps("Ship order #1003 and leave the comment 'Expedited per support ticket'");
+        assert!(steps.iter().any(|s| s.contains("#1003")));
+        assert!(steps.iter().any(|s| s.contains("Ship")));
+        assert!(steps.iter().any(|s| s.contains("Expedited per support ticket")));
+        let cancel = substantive_steps("Cancel the pending order number 1004");
+        assert!(cancel.iter().any(|s| s.contains("Cancel order")));
+        assert!(cancel.iter().any(|s| s.contains("confirmation dialog")));
+    }
+
+    #[test]
+    fn padding_inflates_length_with_boilerplate() {
+        let intent = "Create an issue titled 'X problem' with label bug in the WebApp project";
+        let core_len = substantive_steps(intent).len();
+        let mut total = 0usize;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total += padded_steps(intent, 0.26, &mut rng).len();
+        }
+        let avg = total as f64 / 20.0;
+        assert!(
+            avg > core_len as f64 + 1.0,
+            "padding should inflate: core {core_len}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn generic_fallback_for_unknown_intents() {
+        let steps = substantive_steps("Reticulate the splines in the frobnicator");
+        assert!(steps.len() >= 4);
+        assert!(steps.iter().any(|s| s.contains("Save")));
+    }
+}

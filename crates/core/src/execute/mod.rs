@@ -1,0 +1,25 @@
+//! Stage 2 — **Execute** (paper §4.2).
+//!
+//! Each step of execution has two phases the paper measures separately:
+//! **action suggestion** — deciding *what* to do next from the current
+//! screen, the history, and (optionally) an SOP — and **action grounding**
+//! — translating the suggestion into actual clicks and keystrokes at pixel
+//! coordinates.
+//!
+//! * [`parse`] — turn an SOP step's text into a structured intent;
+//! * [`suggest`] — next-action suggestion, with and without SOP guidance
+//!   (Table 2's ablation);
+//! * [`ground`] — the grounding strategies of Table 3 (raw bbox emission,
+//!   set-of-marks over detector or HTML boxes, GUI-tuned native);
+//! * [`executor`] — the autonomous loop: observe → suggest → ground →
+//!   actuate → (optionally) validate and recover.
+
+pub mod executor;
+pub mod ground;
+pub mod parse;
+pub mod suggest;
+
+pub use executor::{run_task, ExecConfig, RunResult};
+pub use ground::GroundingStrategy;
+pub use parse::{parse_step, StepIntent};
+pub use suggest::{suggest_next, Suggestion};

@@ -1,0 +1,321 @@
+//! Synthetic grounding corpora standing in for the Mind2Web and WebUI page
+//! samples of Table 3 (302 and 120 pages respectively).
+//!
+//! The generators control what actually drives grounding difficulty:
+//! element-size distribution (Mind2Web-style content pages are dense with
+//! small links; WebUI-style app pages mix forms, buttons and cards),
+//! label duplication (list rows repeating "View"/"Edit"/"Delete" — the
+//! dominant ambiguity on real sites), and unlabeled icon targets.
+
+use eclair_gui::{Page, PageBuilder, Rect, WidgetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which corpus a sample came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Corpus {
+    /// Content-heavy pages (many small links, some buttons).
+    Mind2WebSim,
+    /// Application UI pages (forms, toolbars, cards).
+    WebUiSim,
+}
+
+impl Corpus {
+    /// Paper column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Corpus::Mind2WebSim => "Mind2Web",
+            Corpus::WebUiSim => "WebUI",
+        }
+    }
+
+    /// Corpus size used in the paper.
+    pub fn paper_size(&self) -> usize {
+        match self {
+            Corpus::Mind2WebSim => 302,
+            Corpus::WebUiSim => 120,
+        }
+    }
+}
+
+/// One grounding example: a page, a target element, and the description
+/// handed to the model.
+#[derive(Debug, Clone)]
+pub struct GroundingSample {
+    /// The page (already laid out).
+    pub page: Page,
+    /// The target widget.
+    pub target: WidgetId,
+    /// Its true viewport-space box.
+    pub truth: Rect,
+    /// The natural-language element description.
+    pub description: String,
+}
+
+const NOUNS: &[&str] = &[
+    "Report", "Invoice", "Account", "Ticket", "Campaign", "Document", "Policy", "Contract",
+    "Order", "Shipment", "Budget", "Meeting", "Payroll", "Audit", "Claim", "Customer",
+];
+const VERBS: &[&str] = &["View", "Edit", "Delete", "Share", "Export", "Archive"];
+const BUTTONS: &[&str] = &[
+    "Save changes", "Submit request", "Create new", "Send message", "Download report",
+    "Approve", "Reject", "Continue",
+];
+const FIELDS: &[(&str, &str)] = &[
+    ("Full name", "Jane Doe"),
+    ("Email address", "you@example.com"),
+    ("Phone number", "+1 555 0100"),
+    ("Company", "Acme Corp"),
+    ("Subject", "Brief summary"),
+    ("Amount", "0.00"),
+];
+const ICONS: &[&str] = &["Settings", "Notifications", "Help", "User menu", "Search"];
+
+fn describe(page: &Page, id: WidgetId) -> String {
+    let w = page.get(id);
+    use eclair_gui::WidgetKind as K;
+    match w.kind {
+        K::Button => format!("the '{}' button", w.label),
+        K::Link => format!("the '{}' link", w.label),
+        K::Tab => format!("the '{}' tab", w.label),
+        K::MenuItem => format!("the '{}' menu item", w.label),
+        K::TextInput | K::TextArea | K::Select | K::PasswordInput => {
+            format!("the {} field", w.label)
+        }
+        K::Checkbox | K::Radio => format!("the '{}' checkbox", w.label),
+        K::Icon => format!("the {} icon", w.label.to_lowercase()),
+        _ => format!("the '{}' element", w.label),
+    }
+}
+
+/// A content page: heading, paragraphs, a dense list of rows each with
+/// duplicated action links, a couple of buttons.
+fn mind2web_page(rng: &mut StdRng, idx: usize) -> Page {
+    let mut b = PageBuilder::new(
+        format!("Article {idx}"),
+        format!("/content/{idx}"),
+    );
+    b.row(|b| {
+        b.link("home", "Home");
+        b.link("browse", "Browse");
+        b.link("pricing", "Pricing");
+        b.icon_button("search-icon", ICONS[idx % ICONS.len()]);
+    });
+    b.heading(1, format!("{} center", NOUNS[idx % NOUNS.len()]));
+    b.text("Find, compare and manage everything from one place. The list below shows the most recent items in your workspace.");
+    let rows = rng.gen_range(4..8);
+    for r in 0..rows {
+        let noun = NOUNS[(idx + r) % NOUNS.len()];
+        b.row(|b| {
+            b.link(format!("item-{r}"), format!("{noun} #{}", 100 + r));
+            for v in VERBS.iter().take(3) {
+                b.link(format!("{}-{r}", v.to_lowercase()), *v);
+            }
+        });
+    }
+    if rng.gen_bool(0.9) {
+        b.button("cta", BUTTONS[idx % BUTTONS.len()]);
+        if rng.gen_bool(0.75) {
+            // Real content sites repeat their call-to-action.
+            b.button("cta-2", BUTTONS[idx % BUTTONS.len()]);
+        }
+    }
+    if rng.gen_bool(0.7) {
+        // Hero banner call-to-action (the corpus' large-element band).
+        let mut hero = eclair_gui::Widget::new(eclair_gui::WidgetKind::Button);
+        hero.name = "hero-cta".into();
+        hero.label = format!("Explore all {}s today", NOUNS[(idx * 11) % NOUNS.len()]);
+        hero.fixed_w = Some(460);
+        hero.fixed_h = Some(60);
+        b.push(hero);
+    }
+    b.row(|b| {
+        b.link("terms", "Terms of service");
+        b.link("privacy", "Privacy");
+        b.link("contact", "Contact us");
+    });
+    b.finish()
+}
+
+/// An app page: toolbar with tabs and icons, a form, a card with a large
+/// primary button.
+fn webui_page(rng: &mut StdRng, idx: usize) -> Page {
+    let mut b = PageBuilder::new(format!("App {idx}"), format!("/app/{idx}"));
+    b.row(|b| {
+        b.tab("tab-overview", "Overview");
+        b.tab("tab-activity", "Activity");
+        b.tab("tab-settings", "Settings");
+        b.icon_button("gear", ICONS[idx % ICONS.len()]);
+        b.icon_button("bell", ICONS[(idx + 1) % ICONS.len()]);
+    });
+    b.heading(1, format!("{} workspace", NOUNS[(idx * 3) % NOUNS.len()]));
+    b.form("form", |b| {
+        let nf = rng.gen_range(2..4);
+        for f in 0..nf {
+            let (label, ph) = FIELDS[(idx + f) % FIELDS.len()];
+            b.text_input(format!("f{f}"), label, ph);
+        }
+        if rng.gen_bool(0.5) {
+            b.select(
+                "priority",
+                "Priority",
+                &["Low", "Medium", "High"],
+                Some("Medium"),
+            );
+        }
+        if rng.gen_bool(0.5) {
+            b.checkbox("notify", "Notify watchers", false);
+        }
+        b.row(|b| {
+            b.button("primary", BUTTONS[(idx * 7) % BUTTONS.len()]);
+            b.link("cancel", "Cancel");
+        });
+    });
+    if rng.gen_bool(0.8) {
+        // The duplicated submit button real app pages put below the fold
+        // header (top toolbar + form footer).
+        b.button("primary-2", BUTTONS[(idx * 7) % BUTTONS.len()]);
+    }
+    // A hero card with a large button.
+    if rng.gen_bool(0.6) {
+        let mut big = eclair_gui::Widget::new(eclair_gui::WidgetKind::Button);
+        big.name = "hero".into();
+        big.label = format!("Get started with {}", NOUNS[(idx * 5) % NOUNS.len()]);
+        big.fixed_w = Some(420);
+        big.fixed_h = Some(64);
+        b.push(big);
+    }
+    b.finish()
+}
+
+/// Generate a corpus of grounding samples. Targets are drawn only from
+/// elements inside the initial viewport; target-kind proportions follow
+/// the corpus style.
+pub fn generate(corpus: Corpus, n: usize, seed: u64) -> Vec<GroundingSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut idx = 0usize;
+    while out.len() < n {
+        let page = match corpus {
+            Corpus::Mind2WebSim => mind2web_page(&mut rng, idx),
+            Corpus::WebUiSim => webui_page(&mut rng, idx),
+        };
+        idx += 1;
+        let candidates: Vec<WidgetId> = page
+            .interactive_widgets()
+            .into_iter()
+            .filter(|&id| {
+                let b = page.get(id).bounds;
+                b.bottom() <= 720 && b.w > 0 && !page.get(id).label.is_empty()
+            })
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        // Weighted target choice: most benchmark descriptions point at
+        // uniquely-labeled elements; ambiguous repeated-action links and
+        // unlabeled icons appear, but not at their raw page frequency.
+        let is_dup = |id: WidgetId| page.find_all_by_label(&page.get(id).label).len() > 1;
+        let is_icon = |id: WidgetId| page.get(id).kind == eclair_gui::WidgetKind::Icon;
+        let pick_class: f64 = rng.gen();
+        let pool: Vec<WidgetId> = if pick_class < 0.15 {
+            candidates.iter().copied().filter(|&id| is_icon(id)).collect()
+        } else if pick_class < 0.45 {
+            candidates
+                .iter()
+                .copied()
+                .filter(|&id| is_dup(id) && !is_icon(id))
+                .collect()
+        } else {
+            candidates
+                .iter()
+                .copied()
+                .filter(|&id| !is_dup(id) && !is_icon(id))
+                .collect()
+        };
+        let pool = if pool.is_empty() { candidates } else { pool };
+        let target = pool[rng.gen_range(0..pool.len())];
+        let truth = page.get(target).bounds;
+        let description = describe(&page, target);
+        out.push(GroundingSample {
+            page,
+            target,
+            truth,
+            description,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::SizeBucket;
+
+    #[test]
+    fn corpora_have_paper_sizes_and_are_deterministic() {
+        let a = generate(Corpus::Mind2WebSim, 20, 1);
+        let b = generate(Corpus::Mind2WebSim, 20, 1);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.description, y.description);
+            assert_eq!(x.truth, y.truth);
+        }
+        assert_eq!(Corpus::Mind2WebSim.paper_size(), 302);
+        assert_eq!(Corpus::WebUiSim.paper_size(), 120);
+    }
+
+    #[test]
+    fn all_size_buckets_are_represented() {
+        for corpus in [Corpus::Mind2WebSim, Corpus::WebUiSim] {
+            let samples = generate(corpus, 120, 3);
+            let mut counts = [0usize; 3];
+            for s in &samples {
+                match s.truth.size_bucket() {
+                    SizeBucket::Small => counts[0] += 1,
+                    SizeBucket::Medium => counts[1] += 1,
+                    SizeBucket::Large => counts[2] += 1,
+                }
+            }
+            assert!(
+                counts.iter().all(|&c| c >= 2),
+                "{corpus:?}: every bucket populated: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mind2web_skews_smaller_than_webui() {
+        let m2w = generate(Corpus::Mind2WebSim, 150, 5);
+        let webui = generate(Corpus::WebUiSim, 150, 5);
+        let small_frac = |s: &[GroundingSample]| {
+            s.iter()
+                .filter(|x| x.truth.size_bucket() == SizeBucket::Small)
+                .count() as f64
+                / s.len() as f64
+        };
+        assert!(
+            small_frac(&m2w) > small_frac(&webui),
+            "content pages are denser with small links"
+        );
+    }
+
+    #[test]
+    fn descriptions_are_well_formed() {
+        for s in generate(Corpus::WebUiSim, 40, 9) {
+            assert!(s.description.starts_with("the "), "{}", s.description);
+            assert!(s.truth.contains(s.truth.center()));
+        }
+    }
+
+    #[test]
+    fn duplicate_labels_exist_in_mind2web() {
+        let samples = generate(Corpus::Mind2WebSim, 30, 11);
+        let dup = samples.iter().any(|s| {
+            let label = &s.page.get(s.target).label;
+            s.page.find_all_by_label(label).len() > 1
+        });
+        assert!(dup, "list rows must create duplicate-label targets");
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harnesses: one module per paper artifact, each returning a
+//! structured result the bench binaries print and EXPERIMENTS.md records.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`table1`] | Table 1 — SOP generation under WD / WD+KF / WD+KF+ACT |
+//! | [`table2`] | Table 2 — next-action suggestion & end-to-end completion ± SOP |
+//! | [`table3`] | Table 3 — grounding accuracy by model × bbox source × size |
+//! | [`table4`] | Table 4 — the four Validate tasks (P/R/F1) |
+//! | [`fig2`]   | Figure 2 — the workflow-automatability taxonomy |
+//! | [`case_study`] | Section 3 — RPA deployment dynamics vs ECLAIR |
+//! | [`grounding_corpus`] | the synthetic Mind2Web-sim / WebUI-sim page sets |
+
+pub mod case_study;
+pub mod fig2;
+pub mod grounding_corpus;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

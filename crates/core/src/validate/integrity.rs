@@ -1,0 +1,221 @@
+//! Visual integrity-constraint checking (paper §4.3.1, Table 4 row
+//! "Integrity Constraint" — the weak spot: P 0.67 / R 0.36).
+//!
+//! The constraint language itself is in `eclair-workflow::constraints`;
+//! here the model evaluates each predicate *from a static screenshot*,
+//! which is exactly what the paper did and exactly why it fails: focus has
+//! no pixels unless the caret's blink phase cooperates, enabledness beyond
+//! gray-out is invisible, and off-screen elements cannot be confirmed.
+//! Evidence combines as the weakest predicate (an action is viable only if
+//! every precondition holds).
+
+use eclair_fm::sampling::Judgment;
+use eclair_fm::FmModel;
+use eclair_gui::Screenshot;
+use eclair_workflow::{Constraint, IntegrityConstraint};
+
+use crate::calibration;
+
+/// Judge whether the constraint holds in the state shown by `shot`.
+pub fn check_integrity(
+    model: &mut FmModel,
+    constraint: &IntegrityConstraint,
+    shot: &Screenshot,
+) -> Judgment {
+    let percept = model.perceive(shot);
+    let mut evidence: f64 = 0.8; // vacuous constraint: viable
+    for pred in &constraint.preds {
+        let e = match pred {
+            Constraint::Visible(t) | Constraint::InViewport(t) => {
+                match percept.best_match(t, 0.5) {
+                    Some(_) => 0.75,
+                    None => -0.7,
+                }
+            }
+            Constraint::Enabled(t) => match percept.best_match(t, 0.5) {
+                Some((i, _)) if percept.elements[i].grayed => -0.85,
+                // Looks enabled — but gray-out is the only visual cue, so
+                // confidence is moderate.
+                Some(_) => 0.55,
+                None => -0.7,
+            },
+            Constraint::Focused(t) => {
+                if !percept.caret_seen {
+                    // Focus leaves no static trace: the model cannot
+                    // confirm it (the paper's "blinking cursor" remark).
+                    calibration::INTEGRITY_NO_CARET_EVIDENCE
+                } else if t.is_empty() {
+                    0.6 // "something is focused" — the caret shows that
+                } else {
+                    // Is the caret inside the element matching t?
+                    match percept.best_match(t, 0.5) {
+                        Some(_) => 0.5,
+                        None => -0.5,
+                    }
+                }
+            }
+            Constraint::NoModal => {
+                if percept.modal_seen {
+                    -0.85
+                } else {
+                    0.7
+                }
+            }
+            Constraint::UrlContains(u) => {
+                if percept.url.contains(u.as_str()) {
+                    0.9
+                } else {
+                    -0.9
+                }
+            }
+        };
+        evidence = evidence.min(e);
+    }
+    // Conservatism: the model declares an action viable only when every
+    // precondition is *strongly* visually confirmed; anything it cannot
+    // verify from a static frame (enabledness beyond gray-out, focus,
+    // overlay state) pulls the verdict toward "not viable". This is the
+    // paper's observed behaviour — recall collapses to 0.36.
+    model.judge((evidence - calibration::INTEGRITY_VIABILITY_BAR).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_fm::ModelProfile;
+    use eclair_gui::{GuiApp, Page, PageBuilder, SemanticEvent, Session, UserEvent};
+    use eclair_workflow::{Action, TargetRef};
+
+    struct FormApp;
+    impl GuiApp for FormApp {
+        fn name(&self) -> &str {
+            "f"
+        }
+        fn url(&self) -> String {
+            "/form".into()
+        }
+        fn build(&self) -> Page {
+            let mut b = PageBuilder::new("f", "/form");
+            b.form("f", |b| {
+                b.text_input("email", "Email", "you@example.com");
+                b.button("save", "Save");
+            });
+            b.finish()
+        }
+        fn on_event(&mut self, _: SemanticEvent) -> bool {
+            false
+        }
+    }
+
+    fn click_constraint() -> IntegrityConstraint {
+        IntegrityConstraint::for_action(&Action::Click(TargetRef::Label("Save".into())))
+    }
+
+    #[test]
+    fn visible_enabled_button_is_borderline_viable() {
+        // Even a plainly clickable button only *borderline* clears the
+        // model's conservatism bar (it cannot prove enabledness from a
+        // static frame) — the mechanism behind the paper's 0.36 recall.
+        let s = Session::new(Box::new(FormApp));
+        let shot = s.screenshot_at_phase(false);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 1);
+        let mut yes = 0;
+        for _ in 0..100 {
+            if check_integrity(&mut model, &click_constraint(), &shot).verdict {
+                yes += 1;
+            }
+        }
+        assert!(
+            (25..=75).contains(&yes),
+            "clickable button should be borderline, not certain: {yes}"
+        );
+    }
+
+    #[test]
+    fn focus_constraint_fails_without_caret() {
+        // The field IS focused (oracle truth) but the frame caught the
+        // blink-off phase: the model cannot confirm and says not-viable.
+        let mut s = Session::new(Box::new(FormApp));
+        let id = s.page().find_by_name("email").unwrap();
+        let pt = s.page().get(id).bounds.center();
+        s.dispatch(UserEvent::Click(pt));
+        let ic = IntegrityConstraint::for_action(&Action::Type {
+            target: None,
+            text: "x".into(),
+        });
+        assert!(ic.holds_oracle(&s), "oracle: focused, constraint holds");
+        let shot_off = s.screenshot_at_phase(false);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 2);
+        let mut yes = 0;
+        for _ in 0..100 {
+            if check_integrity(&mut model, &ic, &shot_off).verdict {
+                yes += 1;
+            }
+        }
+        assert!(
+            yes < 50,
+            "without a visible caret the model mostly denies focus: {yes}"
+        );
+        // With the caret visible, the verdict flips.
+        let shot_on = s.screenshot_at_phase(true);
+        let mut yes_on = 0;
+        for _ in 0..100 {
+            if check_integrity(&mut model, &ic, &shot_on).verdict {
+                yes_on += 1;
+            }
+        }
+        assert!(yes_on > yes, "caret visibility helps: {yes_on} vs {yes}");
+    }
+
+    #[test]
+    fn missing_target_reads_not_viable() {
+        let s = Session::new(Box::new(FormApp));
+        let shot = s.screenshot_at_phase(false);
+        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label(
+            "Delete everything".into(),
+        )));
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 3);
+        let mut yes = 0;
+        for _ in 0..100 {
+            if check_integrity(&mut model, &ic, &shot).verdict {
+                yes += 1;
+            }
+        }
+        assert!(yes < 25, "absent target: {yes}");
+    }
+
+    #[test]
+    fn modal_blocks_viability() {
+        struct ModalApp;
+        impl GuiApp for ModalApp {
+            fn name(&self) -> &str {
+                "m"
+            }
+            fn url(&self) -> String {
+                "/m".into()
+            }
+            fn build(&self) -> Page {
+                let mut b = PageBuilder::new("m", "/m");
+                b.button("save", "Save");
+                b.modal("warn", |b| {
+                    b.text("Unsaved changes will be lost");
+                    b.button("ok", "OK");
+                });
+                b.finish()
+            }
+            fn on_event(&mut self, _: SemanticEvent) -> bool {
+                false
+            }
+        }
+        let s = Session::new(Box::new(ModalApp));
+        let shot = s.screenshot_at_phase(false);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 4);
+        let mut yes = 0;
+        for _ in 0..100 {
+            if check_integrity(&mut model, &click_constraint(), &shot).verdict {
+                yes += 1;
+            }
+        }
+        assert!(yes < 30, "open modal should read not-viable: {yes}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Stage 3 — **Validate** (paper §4.3).
+//!
+//! Four self-monitoring capabilities, all judged purely from pixels plus
+//! the model's (noisy) judgment head:
+//!
+//! * [`actuation`] — did the last action actually execute? ((s, a, s′) vs
+//!   s′ = s negatives; Table 4 row "Actuation");
+//! * [`integrity`] — is an action viable in this state? (the §4.3.1
+//!   integrity constraints; low recall because focus is invisible in a
+//!   static frame);
+//! * [`completion`] — did the workflow finish? (full vs truncated traces;
+//!   Table 4 row "Workflow Completion");
+//! * [`trajectory`] — did the steps taken follow the SOP? (shuffled /
+//!   deleted-frame negatives; Table 4 row "Workflow Trajectory").
+
+pub mod actuation;
+pub mod completion;
+pub mod integrity;
+pub mod trajectory;
+
+pub use actuation::check_actuation;
+pub use completion::check_completion;
+pub use integrity::check_integrity;
+pub use trajectory::check_trajectory;

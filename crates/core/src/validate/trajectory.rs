@@ -1,0 +1,142 @@
+//! Trajectory checking (paper §4.3.2): "it is not sufficient to merely
+//! complete the workflow — the steps taken to complete it must align with
+//! its SOP."
+//!
+//! Mechanism: transcribe the recorded action log into step texts (the same
+//! transcription the ACT SOP generator uses), then compute an *in-order*
+//! alignment against the SOP with the semantic step matcher. Shuffled
+//! traces break the ordering; deleted frames leave SOP steps uncovered.
+
+use eclair_fm::sampling::Judgment;
+use eclair_fm::FmModel;
+use eclair_vision::frame::Recording;
+use eclair_workflow::matcher::step_similarity;
+use eclair_workflow::Sop;
+
+use crate::calibration;
+use crate::demonstrate::sop_gen::steps_from_action_log;
+
+/// Longest in-order alignment between observed steps and SOP steps, as a
+/// fraction of the longer sequence (1.0 = perfect correspondence).
+pub fn alignment_score(observed: &[String], sop: &Sop) -> f64 {
+    if observed.is_empty() || sop.is_empty() {
+        return 0.0;
+    }
+    // LCS over a semantic-match relation.
+    let n = observed.len();
+    let m = sop.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            let matched = steps_compatible(&observed[i - 1], &sop.steps[j - 1].text);
+            dp[i][j] = if matched {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[n][m] as f64 / n.max(m) as f64
+}
+
+/// Semantic step match, relaxed for coordinate-only steps: an SOP step
+/// like "Click at (40, 173)" carries no verifiable target, so any observed
+/// click of the same kind is compatible with it (and vice versa).
+fn steps_compatible(a: &str, b: &str) -> bool {
+    // Trajectory auditing is lenient about phrasing (a transcribed step
+    // drops the annotator's qualifiers) and strict about order/coverage,
+    // so the per-pair threshold sits below the SOP-scoring one.
+    if step_similarity(a, b) >= 0.6 {
+        return true;
+    }
+    let coordish = |s: &str| s.contains(" at (") || s.contains("@ (");
+    if coordish(a) || coordish(b) {
+        use eclair_workflow::matcher::verb_class;
+        let (va, vb) = (verb_class(a), verb_class(b));
+        // Type-ish classes interchange when coordinates hide the target.
+        use eclair_workflow::matcher::VerbClass as V;
+        let typeish = |v: V| matches!(v, V::Type | V::Select);
+        return va == vb || (typeish(va) && typeish(vb));
+    }
+    false
+}
+
+/// Judge whether the recording's actions followed the SOP.
+pub fn check_trajectory(model: &mut FmModel, rec: &Recording, sop: &Sop) -> Judgment {
+    let observed = steps_from_action_log(rec);
+    let score = alignment_score(&observed, sop);
+    // Map alignment around the faithfulness threshold into evidence.
+    let evidence =
+        ((score - calibration::TRAJECTORY_ALIGN_THRESHOLD) * 5.0).clamp(-1.0, 1.0);
+    model.judge(evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demonstrate::evidence::record_gold_demo;
+    use eclair_fm::ModelProfile;
+    use eclair_sites::all_tasks;
+
+    #[test]
+    fn faithful_traces_align_with_their_sop() {
+        let tasks: Vec<_> = all_tasks().into_iter().take(8).collect();
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 1);
+        let mut yes = 0;
+        for t in &tasks {
+            let rec = record_gold_demo(t);
+            if check_trajectory(&mut model, &rec, &t.gold_sop).verdict {
+                yes += 1;
+            }
+        }
+        assert!(yes >= 6, "faithful traces accepted: {yes}/8");
+    }
+
+    #[test]
+    fn shuffled_traces_are_rejected() {
+        let tasks: Vec<_> = all_tasks().into_iter().take(8).collect();
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 2);
+        let mut accepted = 0;
+        for t in &tasks {
+            let rec = record_gold_demo(t);
+            let n = rec.num_actions();
+            // Swap a far-apart pair to clearly violate order.
+            let shuffled = rec.with_swapped(0, n - 1);
+            if check_trajectory(&mut model, &shuffled, &t.gold_sop).verdict {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 3, "shuffles mostly rejected: {accepted}/8");
+    }
+
+    #[test]
+    fn deleted_steps_are_rejected() {
+        let tasks: Vec<_> = all_tasks().into_iter().take(8).collect();
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 3);
+        let mut accepted = 0;
+        for t in &tasks {
+            let rec = record_gold_demo(t);
+            let mut cut = rec.with_deleted(0);
+            if cut.num_actions() > 2 {
+                cut = cut.with_deleted(cut.num_actions() / 2);
+            }
+            if check_trajectory(&mut model, &cut, &t.gold_sop).verdict {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 3, "deletions mostly rejected: {accepted}/8");
+    }
+
+    #[test]
+    fn alignment_score_properties() {
+        let sop = Sop::from_texts(
+            "t",
+            &["Click the 'A' button", "Type \"x\" into the B field", "Click the 'C' button"],
+        );
+        let perfect: Vec<String> = sop.steps.iter().map(|s| s.text.clone()).collect();
+        assert!((alignment_score(&perfect, &sop) - 1.0).abs() < 1e-9);
+        let reversed: Vec<String> = perfect.iter().rev().cloned().collect();
+        assert!(alignment_score(&reversed, &sop) < 0.5);
+        assert_eq!(alignment_score(&[], &sop), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The model handle: a profile + seeded RNG + token meter.
+//!
+//! Everything ECLAIR asks of a foundation model flows through [`FmModel`],
+//! so experiments can (a) swap profiles (GPT-4 vs CogAgent vs oracle),
+//! (b) reproduce runs exactly from a seed, and (c) read off token costs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use eclair_gui::Screenshot;
+use eclair_vision::marks::{Mark, MarkedScreenshot};
+
+use crate::ground::{native_ground, select_mark, GroundingOutcome};
+use crate::percept::{perceive, ScenePercept};
+use crate::profile::ModelProfile;
+use crate::prompt::Prompt;
+use crate::sampling::{judge_ensemble, Judgment, Sampling};
+use crate::tokens::TokenMeter;
+
+/// A live (simulated) foundation model.
+///
+/// ```
+/// use eclair_fm::{FmModel, ModelProfile};
+/// use eclair_gui::PageBuilder;
+///
+/// let mut b = PageBuilder::new("page", "/page");
+/// b.button("ok", "Confirm order");
+/// let shot = b.finish().screenshot_at(0);
+///
+/// let mut model = FmModel::new(ModelProfile::oracle(), 7);
+/// let percept = model.perceive(&shot);
+/// assert!(percept.full_text().contains("Confirm order"));
+/// ```
+#[derive(Debug)]
+pub struct FmModel {
+    profile: ModelProfile,
+    rng: StdRng,
+    meter: TokenMeter,
+    sampling: Sampling,
+}
+
+impl FmModel {
+    /// Instantiate a model from a profile and a seed.
+    pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            meter: TokenMeter::default(),
+            sampling: Sampling::greedy(),
+        }
+    }
+
+    /// The model's capability profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Cumulative token usage.
+    pub fn meter(&self) -> &TokenMeter {
+        &self.meter
+    }
+
+    /// Set the sampling configuration for subsequent judgments.
+    pub fn set_sampling(&mut self, sampling: Sampling) {
+        self.sampling = sampling;
+    }
+
+    /// Current sampling configuration.
+    pub fn sampling(&self) -> Sampling {
+        self.sampling
+    }
+
+    /// Account for a prompt being sent and a completion of `completion_tokens`.
+    pub fn charge(&mut self, prompt: &Prompt, completion_tokens: u64) {
+        self.meter.record(prompt.tokens(), completion_tokens);
+    }
+
+    /// Direct RNG access for capability modules layered on top (the agent
+    /// pipeline in `eclair-core` threads all its noise through the model's
+    /// RNG so a run is reproducible from one seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Parse a screenshot into the model's internal scene representation.
+    pub fn perceive(&mut self, shot: &Screenshot) -> ScenePercept {
+        perceive(shot, &self.profile, &mut self.rng)
+    }
+
+    /// Native grounding: emit a bounding box for a description.
+    pub fn ground_native(&mut self, shot: &Screenshot, description: &str) -> GroundingOutcome {
+        let percept = self.perceive(shot);
+        native_ground(&self.profile, &percept, description, &mut self.rng)
+    }
+
+    /// Set-of-marks grounding: choose a candidate label.
+    pub fn ground_marks(&mut self, marked: &MarkedScreenshot, description: &str) -> GroundingOutcome {
+        select_mark(&self.profile, &marked.marks, description, &mut self.rng)
+    }
+
+    /// As [`Self::ground_marks`] but with an explicit mark slice.
+    pub fn ground_mark_slice(&mut self, marks: &[Mark], description: &str) -> GroundingOutcome {
+        select_mark(&self.profile, marks, description, &mut self.rng)
+    }
+
+    /// Binary judgment from signed evidence strength, under the current
+    /// sampling configuration.
+    pub fn judge(&mut self, evidence: f64) -> Judgment {
+        judge_ensemble(
+            evidence,
+            self.profile.judgment_noise,
+            self.sampling,
+            &mut self.rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::PageBuilder;
+
+    fn shot() -> Screenshot {
+        let mut b = PageBuilder::new("m", "/m");
+        b.button("ok", "Confirm order");
+        b.finish().screenshot_at(0)
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let run = || {
+            let mut m = FmModel::new(ModelProfile::gpt4v(), 99);
+            let p = m.perceive(&shot());
+            let g = m.ground_native(&shot(), "Confirm order");
+            let j = m.judge(0.2);
+            (p, g, j.verdict)
+        };
+        assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut m = FmModel::new(ModelProfile::gpt4v(), 1);
+        let p = Prompt::new("sys").text("hello world");
+        m.charge(&p, 50);
+        m.charge(&p, 10);
+        assert_eq!(m.meter().calls, 2);
+        assert!(m.meter().prompt_tokens > 0);
+        assert_eq!(m.meter().completion_tokens, 60);
+    }
+
+    #[test]
+    fn sampling_is_configurable() {
+        let mut m = FmModel::new(ModelProfile::gpt4v(), 1);
+        m.set_sampling(Sampling::vote(5, 0.3));
+        assert_eq!(m.sampling().self_consistency, 5);
+        let _ = m.judge(0.5);
+    }
+
+    #[test]
+    fn oracle_model_grounds_perfectly() {
+        let mut m = FmModel::new(ModelProfile::oracle(), 7);
+        let s = shot();
+        match m.ground_native(&s, "Confirm order") {
+            GroundingOutcome::Box(r) => {
+                let target = s
+                    .items
+                    .iter()
+                    .find(|i| i.text == "Confirm order")
+                    .unwrap()
+                    .rect;
+                assert!(target.contains(r.center()));
+            }
+            other => panic!("expected box, got {other:?}"),
+        }
+    }
+}

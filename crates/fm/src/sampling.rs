@@ -1,0 +1,213 @@
+//! Sampling-layer reliability techniques from the paper's Discussion (§5):
+//! temperature-0 determinism, repeated-query self-consistency ensembling
+//! ("repeatedly querying and ensembling predictions"), and confidence
+//! elicitation "to surface cases where intervention is necessary".
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Sampling configuration for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sampling {
+    /// 0.0 = greedy; higher adds decision noise on borderline choices.
+    pub temperature: f64,
+    /// Number of samples to ensemble (1 = single shot).
+    pub self_consistency: usize,
+}
+
+impl Default for Sampling {
+    fn default() -> Self {
+        Self {
+            temperature: 0.0,
+            self_consistency: 1,
+        }
+    }
+}
+
+impl Sampling {
+    /// Greedy single sample.
+    pub fn greedy() -> Self {
+        Self::default()
+    }
+
+    /// Majority vote over `n` samples at `temperature`.
+    pub fn vote(n: usize, temperature: f64) -> Self {
+        Self {
+            temperature,
+            self_consistency: n.max(1),
+        }
+    }
+}
+
+/// A binary judgment with elicited confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Judgment {
+    /// The verdict.
+    pub verdict: bool,
+    /// Elicited confidence in [0.5, 1.0] (how sure the model claims to be).
+    pub confidence: f64,
+}
+
+/// Turn continuous evidence into a noisy binary verdict.
+///
+/// `evidence` ∈ [-1, 1]: the signed strength of support the model's
+/// percepts give the proposition (+1 = clearly true, −1 = clearly false,
+/// 0 = unobservable). `noise` is the profile's judgment noise;
+/// `temperature` adds further flip probability on borderline evidence.
+pub fn judge<R: Rng>(evidence: f64, noise: f64, temperature: f64, rng: &mut R) -> Judgment {
+    let evidence = evidence.clamp(-1.0, 1.0);
+    // Borderline evidence flips easily; strong evidence rarely. At zero
+    // evidence the verdict approaches a genuine coin flip — a model with
+    // nothing to go on is guessing, not defaulting.
+    let borderline = 1.0 - evidence.abs();
+    let flip_p = (0.5 * borderline.powi(4) + noise * borderline + 0.5 * temperature * borderline)
+        .min(0.49);
+    let mut verdict = evidence >= 0.0;
+    if rng.gen_bool(flip_p) {
+        verdict = !verdict;
+    }
+    // Confidence tracks evidence strength, deliberately over-confident on
+    // weak evidence (models are poorly calibrated out of the box).
+    let confidence = 0.55 + 0.45 * evidence.abs().powf(0.5);
+    Judgment {
+        verdict,
+        confidence,
+    }
+}
+
+/// Self-consistency: sample a judgment `n` times and majority-vote,
+/// averaging confidence. With `n = 1` this is a single call.
+pub fn judge_ensemble<R: Rng>(
+    evidence: f64,
+    noise: f64,
+    sampling: Sampling,
+    rng: &mut R,
+) -> Judgment {
+    let n = sampling.self_consistency.max(1);
+    let mut yes = 0usize;
+    let mut conf_sum = 0.0;
+    for _ in 0..n {
+        let j = judge(evidence, noise, sampling.temperature, rng);
+        if j.verdict {
+            yes += 1;
+        }
+        conf_sum += j.confidence;
+    }
+    Judgment {
+        verdict: yes * 2 > n || (yes * 2 == n && evidence >= 0.0),
+        confidence: conf_sum / n as f64,
+    }
+}
+
+/// Softmax-with-temperature choice among scored options; temperature 0 is
+/// argmax (deterministic, ties to the lowest index).
+pub fn choose<R: Rng>(scores: &[f64], temperature: f64, rng: &mut R) -> Option<usize> {
+    if scores.is_empty() {
+        return None;
+    }
+    if temperature <= 0.0 {
+        let mut best = 0usize;
+        for (i, s) in scores.iter().enumerate() {
+            if *s > scores[best] {
+                best = i;
+            }
+        }
+        return Some(best);
+    }
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores.iter().map(|s| ((s - max) / temperature).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            return Some(i);
+        }
+        pick -= w;
+    }
+    Some(scores.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strong_evidence_is_stable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut wrong = 0;
+        for _ in 0..300 {
+            if !judge(0.95, 0.1, 0.0, &mut rng).verdict {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 6, "strong evidence rarely flips: {wrong}");
+    }
+
+    #[test]
+    fn zero_evidence_is_a_coin_flip() {
+        // With nothing to go on the model guesses: verdicts approach 50/50.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut falses = 0;
+        for _ in 0..1000 {
+            if !judge(0.0, 0.3, 0.0, &mut rng).verdict {
+                falses += 1;
+            }
+        }
+        assert!(
+            (380..=620).contains(&falses),
+            "zero evidence ≈ coin flip: {falses}/1000"
+        );
+    }
+
+    #[test]
+    fn ensemble_reduces_variance() {
+        let count_wrong = |sampling: Sampling| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut wrong = 0;
+            for _ in 0..400 {
+                if !judge_ensemble(0.4, 0.3, sampling, &mut rng).verdict {
+                    wrong += 1;
+                }
+            }
+            wrong
+        };
+        let single = count_wrong(Sampling::greedy());
+        let voted = count_wrong(Sampling::vote(7, 0.0));
+        assert!(
+            voted < single,
+            "7-vote ensemble must reduce errors: {voted} vs {single}"
+        );
+    }
+
+    #[test]
+    fn confidence_tracks_evidence() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strong = judge(0.9, 0.1, 0.0, &mut rng).confidence;
+        let weak = judge(0.1, 0.1, 0.0, &mut rng).confidence;
+        assert!(strong > weak);
+        assert!((0.5..=1.0).contains(&strong));
+        assert!((0.5..=1.0).contains(&weak));
+    }
+
+    #[test]
+    fn choose_greedy_is_argmax() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(choose(&[0.1, 0.9, 0.5], 0.0, &mut rng), Some(1));
+        assert_eq!(choose(&[], 0.0, &mut rng), None);
+    }
+
+    #[test]
+    fn choose_hot_explores() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut picked_other = false;
+        for _ in 0..100 {
+            if choose(&[0.5, 0.6], 2.0, &mut rng) == Some(0) {
+                picked_other = true;
+                break;
+            }
+        }
+        assert!(picked_other, "high temperature explores the runner-up");
+    }
+}

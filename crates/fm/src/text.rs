@@ -1,0 +1,146 @@
+//! Lexical similarity for the simulated language head.
+//!
+//! The simulated FM "understands" a description like *"the Invite member
+//! button"* by comparing its tokens with the text it perceives on screen.
+//! This is deliberately shallow — token overlap with light normalization —
+//! because the failure modes the paper documents (two buttons with the same
+//! label, an icon with no label at all) survive any amount of lexical
+//! cleverness.
+
+/// Lowercase alphanumeric tokens.
+pub fn tokens(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Dice-style overlap between token bags in [0, 1].
+pub fn overlap(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut remaining: Vec<&String> = tb.iter().collect();
+    let mut hits = 0usize;
+    for t in &ta {
+        if let Some(pos) = remaining.iter().position(|r| *r == t) {
+            remaining.swap_remove(pos);
+            hits += 1;
+        }
+    }
+    2.0 * hits as f64 / (ta.len() + tb.len()) as f64
+}
+
+/// Crude suffix-stripping stem ("saved"/"saving"/"saves" → "sav"), enough
+/// for confirmation-text ↔ button-label agreement.
+pub fn stem(token: &str) -> String {
+    let t = token.to_lowercase();
+    for suffix in ["ing", "ed", "es", "s", "e"] {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            if stripped.len() >= 3 {
+                return stripped.to_string();
+            }
+        }
+    }
+    t
+}
+
+/// Dice overlap over stemmed tokens ("You saved the product" ↔ "Save").
+pub fn stem_overlap(a: &str, b: &str) -> f64 {
+    let ta: Vec<String> = tokens(a).iter().map(|t| stem(t)).collect();
+    let tb: Vec<String> = tokens(b).iter().map(|t| stem(t)).collect();
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut remaining: Vec<&String> = tb.iter().collect();
+    let mut hits = 0usize;
+    for t in &ta {
+        if let Some(pos) = remaining.iter().position(|r| *r == t) {
+            remaining.swap_remove(pos);
+            hits += 1;
+        }
+    }
+    2.0 * hits as f64 / (ta.len() + tb.len()) as f64
+}
+
+/// Whether `needle`'s tokens all appear in `hay`.
+pub fn contains_all(hay: &str, needle: &str) -> bool {
+    let hay_tokens = tokens(hay);
+    tokens(needle).iter().all(|t| hay_tokens.contains(t))
+}
+
+/// Levenshtein distance (for OCR-noise-tolerant comparisons).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Similarity robust to a few corrupted characters: max of token overlap
+/// and normalized edit similarity.
+pub fn fuzzy_similarity(a: &str, b: &str) -> f64 {
+    let o = overlap(a, b);
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let e = 1.0 - edit_distance(&a.to_lowercase(), &b.to_lowercase()) as f64 / max_len as f64;
+    o.max(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_basics() {
+        assert_eq!(overlap("Invite member", "Invite member"), 1.0);
+        assert!(overlap("Invite member", "the Invite member button") > 0.5);
+        assert_eq!(overlap("", "x"), 0.0);
+        assert!(overlap("Delete project", "New issue") < 0.1);
+    }
+
+    #[test]
+    fn contains_all_tokens() {
+        assert!(contains_all("Click the 'Save changes' button", "save changes"));
+        assert!(!contains_all("Click Save", "save changes"));
+    }
+
+    #[test]
+    fn edit_distance_known_values() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn fuzzy_tolerates_ocr_noise() {
+        // 'Settings' OCR'd as 'Setting5'.
+        assert!(fuzzy_similarity("Settings", "Setting5") > 0.8);
+        assert!(fuzzy_similarity("Settings", "Dashboard") < 0.5);
+    }
+
+    #[test]
+    fn fuzzy_of_empty_is_one() {
+        assert_eq!(fuzzy_similarity("", ""), 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Token and dollar accounting for FM calls.
+//!
+//! The case studies (§3) argue economics: RPA costs $150k + consultants +
+//! FTEs; an FM agent costs API calls. The meter lets the case-study bench
+//! put real numbers on ECLAIR's side of the comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative usage across a model's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TokenMeter {
+    /// Prompt (input) tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completion (output) tokens produced.
+    pub completion_tokens: u64,
+    /// Number of model calls.
+    pub calls: u64,
+}
+
+/// Pricing per million tokens, in USD (GPT-4-Turbo-era list prices, which
+/// is what the paper's experiments would have paid).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pricing {
+    /// $ per 1M prompt tokens.
+    pub prompt_per_m: f64,
+    /// $ per 1M completion tokens.
+    pub completion_per_m: f64,
+}
+
+impl Pricing {
+    /// GPT-4 Turbo with vision list pricing ($10 / $30 per 1M).
+    pub fn gpt4_turbo() -> Self {
+        Self {
+            prompt_per_m: 10.0,
+            completion_per_m: 30.0,
+        }
+    }
+
+    /// A small self-hosted GUI model (amortized serving cost estimate).
+    pub fn self_hosted_18b() -> Self {
+        Self {
+            prompt_per_m: 0.6,
+            completion_per_m: 0.6,
+        }
+    }
+}
+
+impl TokenMeter {
+    /// Record one call.
+    pub fn record(&mut self, prompt_tokens: u64, completion_tokens: u64) {
+        self.prompt_tokens += prompt_tokens;
+        self.completion_tokens += completion_tokens;
+        self.calls += 1;
+    }
+
+    /// Merge another meter (e.g. across agents in an ensemble).
+    pub fn merge(&mut self, other: &TokenMeter) {
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.calls += other.calls;
+    }
+
+    /// Total tokens either direction.
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Dollar cost under a pricing schedule.
+    pub fn cost_usd(&self, pricing: Pricing) -> f64 {
+        self.prompt_tokens as f64 / 1e6 * pricing.prompt_per_m
+            + self.completion_tokens as f64 / 1e6 * pricing.completion_per_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_cost() {
+        let mut m = TokenMeter::default();
+        m.record(1_000_000, 100_000);
+        m.record(500_000, 0);
+        assert_eq!(m.calls, 2);
+        assert_eq!(m.total_tokens(), 1_600_000);
+        let c = m.cost_usd(Pricing::gpt4_turbo());
+        assert!((c - (15.0 + 3.0)).abs() < 1e-9, "got {c}");
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = TokenMeter::default();
+        a.record(10, 20);
+        let mut b = TokenMeter::default();
+        b.record(1, 2);
+        a.merge(&b);
+        assert_eq!(a.prompt_tokens, 11);
+        assert_eq!(a.completion_tokens, 22);
+        assert_eq!(a.calls, 2);
+    }
+
+    #[test]
+    fn self_hosted_is_cheaper() {
+        let mut m = TokenMeter::default();
+        m.record(1_000_000, 1_000_000);
+        assert!(m.cost_usd(Pricing::self_hosted_18b()) < m.cost_usd(Pricing::gpt4_turbo()));
+    }
+}

@@ -1,0 +1,275 @@
+//! Pixel geometry: points, rectangles, and the small/medium/large element
+//! buckets the paper's Table 3 reports grounding accuracy over.
+
+use serde::{Deserialize, Serialize};
+
+/// A pixel coordinate. The origin is the top-left of the page (layout space)
+/// or of the viewport (screenshot space); y grows downward.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Point {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Point {
+    pub fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Translate by (dx, dy).
+    pub fn offset(self, dx: i32, dy: i32) -> Self {
+        Self {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = (self.x - other.x) as f64;
+        let dy = (self.y - other.y) as f64;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Width/height pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Size {
+    pub w: u32,
+    pub h: u32,
+}
+
+impl Size {
+    pub fn new(w: u32, h: u32) -> Self {
+        Self { w, h }
+    }
+
+    pub fn area(self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+}
+
+/// An axis-aligned rectangle in pixel space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    pub x: i32,
+    pub y: i32,
+    pub w: u32,
+    pub h: u32,
+}
+
+impl Rect {
+    pub fn new(x: i32, y: i32, w: u32, h: u32) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// The rectangle spanning from `origin` with `size`.
+    pub fn at(origin: Point, size: Size) -> Self {
+        Self {
+            x: origin.x,
+            y: origin.y,
+            w: size.w,
+            h: size.h,
+        }
+    }
+
+    pub fn right(&self) -> i32 {
+        self.x + self.w as i32
+    }
+
+    pub fn bottom(&self) -> i32 {
+        self.y + self.h as i32
+    }
+
+    pub fn size(&self) -> Size {
+        Size {
+            w: self.w,
+            h: self.h,
+        }
+    }
+
+    pub fn area(&self) -> u64 {
+        self.size().area()
+    }
+
+    pub fn center(&self) -> Point {
+        Point {
+            x: self.x + (self.w / 2) as i32,
+            y: self.y + (self.h / 2) as i32,
+        }
+    }
+
+    /// Whether `p` lies inside (inclusive of the top/left edge, exclusive of
+    /// bottom/right — half-open like pixel grids).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// Intersection rectangle, if the two rectangles overlap.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let r = self.right().min(other.right());
+        let b = self.bottom().min(other.bottom());
+        if r > x && b > y {
+            Some(Rect::new(x, y, (r - x) as u32, (b - y) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the rectangles overlap at all.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Intersection-over-union; 0.0 for disjoint rectangles.
+    pub fn iou(&self, other: &Rect) -> f64 {
+        match self.intersect(other) {
+            None => 0.0,
+            Some(i) => {
+                let inter = i.area() as f64;
+                let union = (self.area() + other.area()) as f64 - inter;
+                if union == 0.0 {
+                    0.0
+                } else {
+                    inter / union
+                }
+            }
+        }
+    }
+
+    /// Translate by (dx, dy).
+    pub fn offset(&self, dx: i32, dy: i32) -> Rect {
+        Rect {
+            x: self.x + dx,
+            y: self.y + dy,
+            ..*self
+        }
+    }
+
+    /// Grow (or shrink with negative `d`) by `d` pixels on every side,
+    /// clamping width/height at zero.
+    pub fn inflate(&self, d: i32) -> Rect {
+        let w = (self.w as i64 + 2 * d as i64).max(0) as u32;
+        let h = (self.h as i64 + 2 * d as i64).max(0) as u32;
+        Rect {
+            x: self.x - d,
+            y: self.y - d,
+            w,
+            h,
+        }
+    }
+
+    /// The paper's element-size bucket for this rectangle.
+    pub fn size_bucket(&self) -> SizeBucket {
+        SizeBucket::of_area(self.area())
+    }
+}
+
+/// Element-size buckets used in Table 3 ("S | M | L").
+///
+/// The paper does not publish its thresholds; we follow the WebUI dataset's
+/// convention of bucketing by on-screen area, with cutoffs chosen so icons
+/// and small links land in `Small`, ordinary buttons/inputs in `Medium`, and
+/// hero buttons, cards, and banners in `Large`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SizeBucket {
+    /// area < 1,600 px² (e.g. a 24×24 icon, a short link).
+    Small,
+    /// 1,600 px² ≤ area < 12,000 px² (typical buttons and inputs).
+    Medium,
+    /// area ≥ 12,000 px².
+    Large,
+}
+
+impl SizeBucket {
+    /// Bucket an area in square pixels.
+    pub fn of_area(area: u64) -> Self {
+        if area < 1_600 {
+            SizeBucket::Small
+        } else if area < 12_000 {
+            SizeBucket::Medium
+        } else {
+            SizeBucket::Large
+        }
+    }
+
+    /// Display label matching the paper's column headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeBucket::Small => "S",
+            SizeBucket::Medium => "M",
+            SizeBucket::Large => "L",
+        }
+    }
+
+    /// All buckets in display order.
+    pub fn all() -> [SizeBucket; 3] {
+        [SizeBucket::Small, SizeBucket::Medium, SizeBucket::Large]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = Rect::new(10, 10, 5, 5);
+        assert!(r.contains(Point::new(10, 10)));
+        assert!(r.contains(Point::new(14, 14)));
+        assert!(!r.contains(Point::new(15, 14)));
+        assert!(!r.contains(Point::new(14, 15)));
+        assert!(!r.contains(Point::new(9, 10)));
+    }
+
+    #[test]
+    fn center_inside_nonempty_rect() {
+        let r = Rect::new(3, 4, 7, 9);
+        assert!(r.contains(r.center()));
+    }
+
+    #[test]
+    fn intersect_and_iou() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Rect::new(5, 5, 5, 5));
+        // IoU = 25 / (100 + 100 - 25)
+        assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-12);
+        let c = Rect::new(100, 100, 5, 5);
+        assert_eq!(a.intersect(&c), None);
+        assert_eq!(a.iou(&c), 0.0);
+    }
+
+    #[test]
+    fn iou_of_identical_rects_is_one() {
+        let a = Rect::new(2, 3, 40, 20);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflate_clamps_at_zero() {
+        let r = Rect::new(10, 10, 4, 4);
+        let shrunk = r.inflate(-3);
+        assert_eq!(shrunk.w, 0);
+        assert_eq!(shrunk.h, 0);
+        let grown = r.inflate(2);
+        assert_eq!(grown, Rect::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn size_buckets_match_thresholds() {
+        assert_eq!(Rect::new(0, 0, 24, 24).size_bucket(), SizeBucket::Small);
+        assert_eq!(Rect::new(0, 0, 120, 32).size_bucket(), SizeBucket::Medium);
+        assert_eq!(Rect::new(0, 0, 400, 60).size_bucket(), SizeBucket::Large);
+        assert_eq!(SizeBucket::of_area(1_600), SizeBucket::Medium);
+        assert_eq!(SizeBucket::of_area(12_000), SizeBucket::Large);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        assert!((Point::new(0, 0).distance(Point::new(3, 4)) - 5.0).abs() < 1e-12);
+    }
+}

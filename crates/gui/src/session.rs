@@ -1,0 +1,694 @@
+//! The session: owns a running application, a live page, focus, scroll, and
+//! the dispatch loop translating raw pixel-level events into application
+//! semantics.
+
+use crate::event::{Dispatch, EffectKind, Key, SemanticEvent, UserEvent};
+use crate::geometry::{Point, Rect};
+use crate::screenshot::Screenshot;
+use crate::theme::Theme;
+use crate::tree::Page;
+use crate::widget::{WidgetId, WidgetKind};
+use crate::VIEWPORT;
+
+/// A simulated application. Implementations hold their domain state (issues,
+/// products, invoices, ...) and rebuild their current screen on demand.
+///
+/// The contract mirrors an Elm-style loop: `build` is a pure render of the
+/// current state; `on_event` is the state transition, returning `true` when
+/// the state changed in a way that requires re-rendering (navigation,
+/// mutation, modal open/close).
+pub trait GuiApp {
+    /// A short identifier ("gitlab", "magento", ...).
+    fn name(&self) -> &str;
+
+    /// The current route.
+    fn url(&self) -> String;
+
+    /// Render the current state into a page.
+    fn build(&self) -> Page;
+
+    /// Apply a semantic event. Return `true` to have the session rebuild
+    /// the page from `build()`.
+    fn on_event(&mut self, ev: SemanticEvent) -> bool;
+
+    /// Advance app-side timers (spontaneous popups, toast expiry). Returns
+    /// `true` if the screen must be rebuilt. Default: nothing happens.
+    fn tick(&mut self) -> bool {
+        false
+    }
+
+    /// Inspect application state for auditing. Task success predicates and
+    /// test oracles query domain facts through string keys (e.g.
+    /// `"issue_state:webapp:Login broken"`); agents never call this.
+    fn probe(&self, _key: &str) -> Option<String> {
+        None
+    }
+}
+
+/// The accessible name an OS-level recorder resolves for a widget: its
+/// label, else (for fields) its placeholder — the same fallback chain
+/// screen readers use.
+fn accessible_name(w: &crate::widget::Widget) -> String {
+    if !w.label.is_empty() {
+        w.label.clone()
+    } else if w.kind.is_editable() && !w.placeholder.is_empty() {
+        w.placeholder.clone()
+    } else {
+        w.label.clone()
+    }
+}
+
+/// A live browsing session over a [`GuiApp`].
+///
+/// The session is the boundary between the pixel world and the application
+/// world: it hit-tests clicks, maintains focus and uncommitted form state,
+/// applies the [`Theme`] (and its drift) after each rebuild, clamps
+/// scrolling, and renders screenshots whose caret blinks as a pure function
+/// of the event counter.
+pub struct Session {
+    app: Box<dyn GuiApp>,
+    theme: Theme,
+    page: Page,
+    scroll_y: i32,
+    focus: Option<WidgetId>,
+    /// Monotonic event counter; drives caret blink phase.
+    frame: u64,
+    nav_count: u32,
+}
+
+impl Session {
+    /// Start a session on `app` with the default (un-drifted) theme.
+    pub fn new(app: Box<dyn GuiApp>) -> Self {
+        Self::with_theme(app, Theme::default())
+    }
+
+    /// Start a session with an explicit theme (used by the drift studies).
+    pub fn with_theme(app: Box<dyn GuiApp>, theme: Theme) -> Self {
+        let mut page = app.build();
+        theme.apply(&mut page);
+        Self {
+            app,
+            theme,
+            page,
+            scroll_y: 0,
+            focus: None,
+            frame: 0,
+            nav_count: 0,
+        }
+    }
+
+    /// The live page (tests and oracles may inspect it; agents must not).
+    pub fn page(&self) -> &Page {
+        &self.page
+    }
+
+    /// The application's current URL.
+    pub fn url(&self) -> String {
+        self.app.url()
+    }
+
+    /// Direct access to the app for success-predicate evaluation.
+    pub fn app(&self) -> &dyn GuiApp {
+        self.app.as_ref()
+    }
+
+    /// Current scroll offset.
+    pub fn scroll_y(&self) -> i32 {
+        self.scroll_y
+    }
+
+    /// How many navigations (URL changes) happened so far.
+    pub fn nav_count(&self) -> u32 {
+        self.nav_count
+    }
+
+    /// The focused widget, if any (oracle-only knowledge: screenshots do
+    /// not expose this except through the caret).
+    pub fn focus(&self) -> Option<WidgetId> {
+        self.focus
+    }
+
+    /// Swap in a new theme (e.g. a quarterly UI update) and rebuild.
+    pub fn set_theme(&mut self, theme: Theme) {
+        self.theme = theme;
+        self.rebuild(true);
+    }
+
+    fn max_scroll(&self) -> i32 {
+        (self.page.content_height as i32 - VIEWPORT.h as i32).max(0)
+    }
+
+    fn rebuild(&mut self, url_changed: bool) {
+        let old = std::mem::replace(&mut self.page, self.app.build());
+        self.theme.apply(&mut self.page);
+        self.focus = None;
+        if url_changed {
+            self.scroll_y = 0;
+        } else {
+            // Same screen re-rendered: keep scroll position and transplant
+            // uncommitted form values the rebuild would otherwise wipe.
+            self.scroll_y = self.scroll_y.clamp(0, self.max_scroll());
+            let names: Vec<(String, String)> = old
+                .iter()
+                .filter(|w| {
+                    !w.name.is_empty() && (w.kind.is_editable() || w.kind.is_toggleable())
+                })
+                .map(|w| (w.name.clone(), w.value.clone()))
+                .collect();
+            for (name, value) in names {
+                if let Some(id) = self.page.find_by_name(&name) {
+                    let w = self.page.get_mut(id);
+                    if w.value.is_empty() && !value.is_empty() {
+                        w.value = value;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Let app-side time pass (popups may appear).
+    pub fn tick(&mut self) {
+        self.frame += 1;
+        if self.app.tick() {
+            let url_changed = self.app.url() != self.page.url;
+            self.rebuild(url_changed);
+        }
+    }
+
+    /// Dispatch one raw event and return what it did.
+    pub fn dispatch(&mut self, event: UserEvent) -> Dispatch {
+        self.frame += 1;
+        let url_before = self.app.url();
+        let (hit, effect) = match &event {
+            UserEvent::Click(p) => self.handle_click(*p),
+            UserEvent::Type(text) => (self.focus_hit(), self.handle_type(text)),
+            UserEvent::Press(key) => self.handle_key(*key),
+            UserEvent::Scroll(dy) => {
+                let before = self.scroll_y;
+                self.scroll_y = (self.scroll_y + dy).clamp(0, self.max_scroll());
+                let eff = if self.scroll_y != before {
+                    EffectKind::Scrolled
+                } else {
+                    EffectKind::NoOp
+                };
+                (None, eff)
+            }
+        };
+        let url_after = self.app.url();
+        if url_after != url_before {
+            self.nav_count += 1;
+        }
+        Dispatch {
+            event,
+            hit,
+            effect,
+            url_after,
+        }
+    }
+
+    fn focus_hit(&self) -> Option<(String, String)> {
+        self.focus.map(|id| {
+            let w = self.page.get(id);
+            (w.name.clone(), accessible_name(w))
+        })
+    }
+
+    fn handle_click(&mut self, viewport_pt: Point) -> (Option<(String, String)>, EffectKind) {
+        let page_pt = viewport_pt.offset(0, self.scroll_y);
+        let Some(id) = self.page.hit_test(page_pt) else {
+            self.focus = None;
+            return (None, EffectKind::NoOp);
+        };
+        let w = self.page.get(id);
+        let hit = Some((w.name.clone(), accessible_name(w)));
+        let kind = w.kind;
+        if kind.is_editable() {
+            self.focus = Some(id);
+            return (hit, EffectKind::Focused);
+        }
+        if kind.is_toggleable() {
+            self.focus = None;
+            let (name, label, checked) = {
+                let w = self.page.get_mut(id);
+                let now = w.value != "true";
+                w.value = if now { "true" } else { "false" }.into();
+                (w.name.clone(), w.label.clone(), now)
+            };
+            if kind == WidgetKind::Radio && checked {
+                // Uncheck sibling radios sharing the group name.
+                let others: Vec<WidgetId> = self
+                    .page
+                    .iter()
+                    .filter(|o| o.kind == WidgetKind::Radio && o.name == name && o.id != id)
+                    .map(|o| o.id)
+                    .collect();
+                for o in others {
+                    self.page.get_mut(o).value = "false".into();
+                }
+            }
+            let rebuild = self.app.on_event(SemanticEvent::Toggled {
+                name,
+                label,
+                checked,
+            });
+            if rebuild {
+                self.after_app_event();
+            }
+            return (hit, EffectKind::Toggled);
+        }
+        if kind.is_activatable() {
+            self.focus = None;
+            let fields_root = self.page.enclosing_form(id).unwrap_or(self.page.root());
+            let fields = self.page.field_values(fields_root);
+            let (name, label) = {
+                let w = self.page.get(id);
+                (w.name.clone(), w.label.clone())
+            };
+            let rebuild = self.app.on_event(SemanticEvent::Activated {
+                name,
+                label,
+                fields,
+            });
+            if rebuild {
+                self.after_app_event();
+            }
+            return (hit, EffectKind::Activated);
+        }
+        (hit, EffectKind::NoOp)
+    }
+
+    fn after_app_event(&mut self) {
+        let url_changed = self.app.url() != self.page.url;
+        self.rebuild(url_changed);
+    }
+
+    fn handle_type(&mut self, text: &str) -> EffectKind {
+        let Some(id) = self.focus else {
+            // Typing with nothing focused: keystrokes vanish. This is the
+            // exact actuation failure the Validate experiments detect.
+            return EffectKind::NoOp;
+        };
+        let w = self.page.get_mut(id);
+        if !w.enabled || !w.kind.is_editable() {
+            return EffectKind::NoOp;
+        }
+        if w.kind == WidgetKind::Select {
+            // Combo-box behaviour: snap to the best-matching option. Try
+            // the accumulated text first; if the field already held a full
+            // option (prefilled select), the fresh keystrokes alone are the
+            // query — typing "Disabled" over "Enabled" switches options.
+            let accumulated = format!("{}{}", w.value, text);
+            let find = |query: &str| {
+                let lower = query.to_lowercase();
+                w.options
+                    .iter()
+                    .find(|o| o.to_lowercase() == lower)
+                    .or_else(|| w.options.iter().find(|o| o.to_lowercase().starts_with(&lower)))
+                    .or_else(|| w.options.iter().find(|o| o.to_lowercase().contains(&lower)))
+                    .cloned()
+            };
+            w.value = find(&accumulated)
+                .or_else(|| find(text))
+                .unwrap_or(accumulated);
+        } else {
+            w.value.push_str(text);
+        }
+        EffectKind::Typed
+    }
+
+    fn handle_key(&mut self, key: Key) -> (Option<(String, String)>, EffectKind) {
+        match key {
+            Key::Backspace => {
+                if let Some(id) = self.focus {
+                    let w = self.page.get_mut(id);
+                    if w.kind.is_editable() && w.value.pop().is_some() {
+                        return (self.focus_hit(), EffectKind::Typed);
+                    }
+                }
+                (None, EffectKind::NoOp)
+            }
+            Key::Tab => {
+                let editables: Vec<WidgetId> = self
+                    .page
+                    .paint_order()
+                    .into_iter()
+                    .filter(|&id| {
+                        let w = self.page.get(id);
+                        w.kind.is_editable() && w.enabled
+                    })
+                    .collect();
+                if editables.is_empty() {
+                    return (None, EffectKind::NoOp);
+                }
+                let next = match self.focus.and_then(|f| editables.iter().position(|&e| e == f)) {
+                    Some(pos) => editables[(pos + 1) % editables.len()],
+                    None => editables[0],
+                };
+                self.focus = Some(next);
+                (self.focus_hit(), EffectKind::FocusMoved)
+            }
+            Key::Escape => {
+                // Dismiss the topmost modal, else the first visible toast.
+                let target = self.page.active_modal().or_else(|| {
+                    self.page
+                        .iter()
+                        .find(|w| w.kind == WidgetKind::Toast && w.visible)
+                        .map(|w| w.id)
+                });
+                let Some(id) = target else {
+                    return (None, EffectKind::NoOp);
+                };
+                let name = self.page.get(id).name.clone();
+                let label = self.page.get(id).label.clone();
+                let rebuild = self.app.on_event(SemanticEvent::Dismissed { name: name.clone() });
+                if rebuild {
+                    self.after_app_event();
+                } else {
+                    // App does not track it; hide locally.
+                    self.page.get_mut(id).visible = false;
+                    self.page.relayout();
+                }
+                (Some((name, label)), EffectKind::Dismissed)
+            }
+            Key::Enter => {
+                let Some(focused) = self.focus else {
+                    return (None, EffectKind::NoOp);
+                };
+                if self.page.get(focused).kind == WidgetKind::TextArea {
+                    self.page.get_mut(focused).value.push('\n');
+                    return (self.focus_hit(), EffectKind::Typed);
+                }
+                // Submit: activate the enclosing form's first enabled button.
+                let Some(form) = self.page.enclosing_form(focused) else {
+                    return (None, EffectKind::NoOp);
+                };
+                let submit = self.find_submit_button(form);
+                let Some(btn) = submit else {
+                    return (None, EffectKind::NoOp);
+                };
+                let center = self.page.get(btn).bounds.center();
+                let viewport_pt = center.offset(0, -self.scroll_y);
+                self.handle_click(viewport_pt)
+            }
+        }
+    }
+
+    fn find_submit_button(&self, form: WidgetId) -> Option<WidgetId> {
+        self.page
+            .paint_order()
+            .into_iter()
+            .find(|&id| {
+                let w = self.page.get(id);
+                w.kind == WidgetKind::Button && w.enabled && self.page.is_within(id, form)
+            })
+    }
+
+    /// Page-space caret rect for the focused widget, when blink phase is on.
+    fn caret(&self, phase_on: bool) -> Option<Rect> {
+        if !phase_on {
+            return None;
+        }
+        let id = self.focus?;
+        let w = self.page.get(id);
+        if !w.kind.is_editable() {
+            return None;
+        }
+        let text_w = (w.value.chars().count() as i32) * crate::layout::CHAR_W as i32;
+        Some(Rect::new(
+            w.bounds.x + 6 + text_w.min(w.bounds.w as i32 - 10),
+            w.bounds.y + 6,
+            2,
+            w.bounds.h.saturating_sub(12).max(4),
+        ))
+    }
+
+    /// Capture a screenshot at the current blink phase (alternates with
+    /// every dispatched event, like a ~2 Hz caret under a steady action
+    /// rate). A *static* screenshot therefore may or may not show the caret
+    /// — the paper's stated reason step-level integrity checking is hard.
+    pub fn screenshot(&self) -> Screenshot {
+        self.screenshot_at_phase(self.frame.is_multiple_of(2))
+    }
+
+    /// Capture with an explicit caret phase (tests and the oracle use this).
+    pub fn screenshot_at_phase(&self, caret_on: bool) -> Screenshot {
+        Screenshot::render(
+            &self.page.url,
+            &self.page.title,
+            self.page.widgets(),
+            &self.page.paint_order(),
+            self.scroll_y,
+            self.caret(caret_on),
+        )
+    }
+
+    /// Convenience for oracles/replayers: click the center of the widget
+    /// with `name`, scrolling it into view first. Returns `false` when no
+    /// such widget exists or it is not interactive.
+    pub fn click_by_name(&mut self, name: &str) -> bool {
+        let Some(id) = self.page.find_by_name(name) else {
+            return false;
+        };
+        if !self.page.get(id).kind.is_interactive() {
+            return false;
+        }
+        self.scroll_into_view(id);
+        let center = self.page.get(id).bounds.center().offset(0, -self.scroll_y);
+        let d = self.dispatch(UserEvent::Click(center));
+        d.effect != EffectKind::NoOp
+    }
+
+    /// Scroll so the widget is inside the viewport.
+    pub fn scroll_into_view(&mut self, id: WidgetId) {
+        let b = self.page.get(id).bounds;
+        let view_top = self.scroll_y;
+        let view_bottom = self.scroll_y + VIEWPORT.h as i32;
+        if b.y < view_top {
+            self.scroll_y = (b.y - 20).clamp(0, self.max_scroll());
+        } else if b.bottom() > view_bottom {
+            self.scroll_y = (b.bottom() - VIEWPORT.h as i32 + 20).clamp(0, self.max_scroll());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Page, PageBuilder};
+
+    /// A miniature two-screen app used by the session tests: a form that,
+    /// on submit, stores the value and navigates to a confirmation screen.
+    struct MiniApp {
+        route: String,
+        saved_title: Option<String>,
+        modal_open: bool,
+        ticks: u32,
+    }
+
+    impl MiniApp {
+        fn new() -> Self {
+            Self {
+                route: "/form".into(),
+                saved_title: None,
+                modal_open: false,
+                ticks: 0,
+            }
+        }
+    }
+
+    impl GuiApp for MiniApp {
+        fn name(&self) -> &str {
+            "mini"
+        }
+        fn url(&self) -> String {
+            self.route.clone()
+        }
+        fn build(&self) -> Page {
+            match self.route.as_str() {
+                "/done" => {
+                    let mut b = PageBuilder::new("Done", "/done");
+                    b.heading(1, "Saved");
+                    b.text(format!(
+                        "Created: {}",
+                        self.saved_title.clone().unwrap_or_default()
+                    ));
+                    b.link("back", "Back");
+                    b.finish()
+                }
+                _ => {
+                    let mut b = PageBuilder::new("Form", "/form");
+                    b.heading(1, "New item");
+                    b.form("item-form", |b| {
+                        b.text_input("title", "Title", "enter title");
+                        b.button("save", "Save");
+                    });
+                    b.button("help", "Help");
+                    if self.modal_open {
+                        b.modal("promo", |b| {
+                            b.text("Subscribe to our newsletter!");
+                            b.button("promo-close", "No thanks");
+                        });
+                    }
+                    b.finish()
+                }
+            }
+        }
+        fn on_event(&mut self, ev: SemanticEvent) -> bool {
+            match ev {
+                SemanticEvent::Activated { name, fields, .. } => match name.as_str() {
+                    "save" => {
+                        let title = fields
+                            .iter()
+                            .find(|(n, _)| n == "title")
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or_default();
+                        self.saved_title = Some(title);
+                        self.route = "/done".into();
+                        true
+                    }
+                    "back" => {
+                        self.route = "/form".into();
+                        true
+                    }
+                    "promo-close" => {
+                        self.modal_open = false;
+                        true
+                    }
+                    _ => false,
+                },
+                SemanticEvent::Dismissed { name } if name == "promo" => {
+                    self.modal_open = false;
+                    true
+                }
+                _ => false,
+            }
+        }
+        fn tick(&mut self) -> bool {
+            self.ticks += 1;
+            if self.ticks == 3 && self.route == "/form" {
+                self.modal_open = true;
+                return true;
+            }
+            false
+        }
+    }
+
+    fn click_widget(s: &mut Session, name: &str) -> Dispatch {
+        let id = s.page().find_by_name(name).unwrap();
+        let pt = s.page().get(id).bounds.center().offset(0, -s.scroll_y());
+        s.dispatch(UserEvent::Click(pt))
+    }
+
+    #[test]
+    fn full_form_flow() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        // Click the input, type, submit.
+        let d = click_widget(&mut s, "title");
+        assert_eq!(d.effect, EffectKind::Focused);
+        let d = s.dispatch(UserEvent::Type("Quarterly report".into()));
+        assert_eq!(d.effect, EffectKind::Typed);
+        let d = click_widget(&mut s, "save");
+        assert_eq!(d.effect, EffectKind::Activated);
+        assert_eq!(s.url(), "/done");
+        assert_eq!(s.nav_count(), 1);
+        assert!(s.screenshot().contains_text("Created: Quarterly report"));
+    }
+
+    #[test]
+    fn typing_without_focus_is_noop() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        let before = s.screenshot_at_phase(false);
+        let d = s.dispatch(UserEvent::Type("lost keystrokes".into()));
+        assert_eq!(d.effect, EffectKind::NoOp);
+        let after = s.screenshot_at_phase(false);
+        assert_eq!(before.diff_fraction(&after), 0.0, "screen unchanged");
+    }
+
+    #[test]
+    fn enter_submits_enclosing_form() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        click_widget(&mut s, "title");
+        s.dispatch(UserEvent::Type("via enter".into()));
+        let d = s.dispatch(UserEvent::Press(Key::Enter));
+        assert_eq!(d.effect, EffectKind::Activated);
+        assert_eq!(s.url(), "/done");
+    }
+
+    #[test]
+    fn spontaneous_modal_blocks_then_escape_recovers() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        s.tick();
+        s.tick();
+        s.tick(); // modal appears
+        assert!(s.page().active_modal().is_some());
+        // Clicking "save" through the modal does nothing useful.
+        let d = click_widget(&mut s, "save");
+        assert_ne!(d.effect, EffectKind::Activated);
+        // Escape dismisses it (the paper's "common sense to error correct").
+        let d = s.dispatch(UserEvent::Press(Key::Escape));
+        assert_eq!(d.effect, EffectKind::Dismissed);
+        assert!(s.page().active_modal().is_none());
+        // And now the form is usable again.
+        let d = click_widget(&mut s, "title");
+        assert_eq!(d.effect, EffectKind::Focused);
+    }
+
+    #[test]
+    fn caret_blinks_with_event_parity() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        click_widget(&mut s, "title");
+        let on = s.screenshot_at_phase(true);
+        let off = s.screenshot_at_phase(false);
+        use crate::screenshot::VisualClass;
+        assert!(on.items.iter().any(|i| i.visual == VisualClass::CaretBar));
+        assert!(!off.items.iter().any(|i| i.visual == VisualClass::CaretBar));
+    }
+
+    #[test]
+    fn tab_cycles_focus() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        let d = s.dispatch(UserEvent::Press(Key::Tab));
+        assert_eq!(d.effect, EffectKind::FocusMoved);
+        assert!(s.focus().is_some());
+        s.dispatch(UserEvent::Type("tabbed text".into()));
+        let title = s.page().find_by_name("title").unwrap();
+        assert_eq!(s.page().get(title).value, "tabbed text");
+    }
+
+    #[test]
+    fn backspace_edits_focused_value() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        click_widget(&mut s, "title");
+        s.dispatch(UserEvent::Type("abc".into()));
+        s.dispatch(UserEvent::Press(Key::Backspace));
+        let title = s.page().find_by_name("title").unwrap();
+        assert_eq!(s.page().get(title).value, "ab");
+    }
+
+    #[test]
+    fn click_by_name_scrolls_into_view() {
+        struct TallApp;
+        impl GuiApp for TallApp {
+            fn name(&self) -> &str {
+                "tall"
+            }
+            fn url(&self) -> String {
+                "/tall".into()
+            }
+            fn build(&self) -> Page {
+                let mut b = PageBuilder::new("Tall", "/tall");
+                for i in 0..80 {
+                    b.text(format!("filler {i}"));
+                }
+                b.button("bottom", "Bottom button");
+                b.finish()
+            }
+            fn on_event(&mut self, _: SemanticEvent) -> bool {
+                false
+            }
+        }
+        let mut s = Session::new(Box::new(TallApp));
+        assert!(s.click_by_name("bottom"));
+        assert!(s.scroll_y() > 0, "session scrolled to reach the button");
+    }
+}

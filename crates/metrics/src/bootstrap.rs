@@ -1,0 +1,170 @@
+//! Deterministic nonparametric bootstrap confidence intervals.
+//!
+//! The paper reports point estimates over 30 workflows with no error bars;
+//! the reproduction attaches percentile-bootstrap CIs so the bench output can
+//! show whether a measured value is statistically compatible with the paper's
+//! operating point.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The statistic computed on the full sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap of an arbitrary statistic.
+///
+/// Resamples `values` with replacement `resamples` times using a seeded RNG
+/// so the same seed always yields the same interval. Degenerate inputs
+/// (empty, or a single point) collapse to a zero-width interval at the point
+/// estimate.
+pub fn bootstrap_ci<F>(
+    values: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let point = statistic(values);
+    if values.len() < 2 || resamples == 0 {
+        return ConfidenceInterval {
+            point,
+            lo: point,
+            hi: point,
+            level,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; values.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = values[rng.gen_range(0..values.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 * alpha).floor() as usize).min(stats.len() - 1);
+    let hi_idx = ((stats.len() as f64 * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    ConfidenceInterval {
+        point,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+    }
+}
+
+/// Bootstrap CI for a mean of real values.
+pub fn mean_ci(values: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(
+        values,
+        |v| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        },
+        resamples,
+        level,
+        seed,
+    )
+}
+
+/// Bootstrap CI for a proportion of boolean outcomes (success rates).
+pub fn proportion_ci(
+    outcomes: &[bool],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    let values: Vec<f64> = outcomes.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    mean_ci(&values, resamples, level, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let values: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let a = mean_ci(&values, 500, 0.95, 42);
+        let b = mean_ci(&values, 500, 0.95, 42);
+        assert_eq!(a, b);
+        let c = mean_ci(&values, 500, 0.95, 43);
+        // Different seed virtually always gives a (slightly) different interval.
+        assert!(a.lo != c.lo || a.hi != c.hi);
+    }
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let values: Vec<f64> = (0..60).map(|i| ((i * 31) % 17) as f64).collect();
+        let ci = mean_ci(&values, 1000, 0.95, 7);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.width() > 0.0);
+        assert!(ci.contains(ci.point));
+    }
+
+    #[test]
+    fn degenerate_inputs_collapse() {
+        let ci = mean_ci(&[], 100, 0.95, 1);
+        assert_eq!(ci.point, 0.0);
+        assert_eq!(ci.width(), 0.0);
+        let ci = mean_ci(&[5.0], 100, 0.95, 1);
+        assert_eq!(ci.point, 5.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn constant_data_has_zero_width() {
+        let values = vec![0.4; 30];
+        let ci = mean_ci(&values, 200, 0.95, 9);
+        assert!((ci.point - 0.4).abs() < 1e-12);
+        assert!(ci.width() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_ci_matches_manual_encoding() {
+        let outcomes: Vec<bool> = (0..50).map(|i| i % 5 != 0).collect();
+        let ci = proportion_ci(&outcomes, 300, 0.9, 11);
+        assert!((ci.point - 0.8).abs() < 1e-12);
+        assert!(ci.lo <= 0.8 && 0.8 <= ci.hi);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let values: Vec<f64> = (0..80).map(|i| ((i * 13) % 23) as f64).collect();
+        let narrow = mean_ci(&values, 2000, 0.5, 3);
+        let wide = mean_ci(&values, 2000, 0.99, 3);
+        assert!(wide.width() >= narrow.width());
+    }
+}

@@ -1,0 +1,178 @@
+//! Binary-classification counts and the derived precision/recall/F1 metrics
+//! reported throughout the paper's Table 4 (Validate experiments).
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated outcome counts of a binary classifier.
+///
+/// Conventions follow the paper: a "positive" example is one where the true
+/// label is positive (e.g. the action *was* executed, the workflow *was*
+/// completed). `observe(predicted, actual)` files the outcome into the right
+/// quadrant.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+}
+
+impl BinaryConfusion {
+    /// A confusion matrix built directly from quadrant counts.
+    pub fn from_counts(tp: u64, fp: u64, fn_: u64, tn: u64) -> Self {
+        Self { tp, fp, fn_, tn }
+    }
+
+    /// Record one prediction against its true label.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merge another confusion matrix into this one (e.g. across shards).
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Number of actually-positive observations.
+    pub fn positives(&self) -> u64 {
+        self.tp + self.fn_
+    }
+
+    /// Number of actually-negative observations.
+    pub fn negatives(&self) -> u64 {
+        self.fp + self.tn
+    }
+
+    /// TP / (TP + FP). Returns 0.0 when the classifier never predicted
+    /// positive — the harnesses treat "no predictions" as zero credit rather
+    /// than undefined, matching how the paper's annotators scored empty
+    /// outputs.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// TP / (TP + FN). Returns 0.0 when there were no positive examples.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall; 0.0 when both are zero.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// (TP + TN) / total; 0.0 on an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// TN / (TN + FP); the recall of the negative class.
+    pub fn specificity(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Balanced accuracy: mean of recall and specificity. Useful because the
+    /// actuation experiment samples three negatives per positive.
+    pub fn balanced_accuracy(&self) -> f64 {
+        (self.recall() + self.specificity()) / 2.0
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Convenience: score a slice of `(predicted, actual)` pairs.
+pub fn score_pairs(pairs: &[(bool, bool)]) -> BinaryConfusion {
+    let mut cm = BinaryConfusion::default();
+    for &(p, a) in pairs {
+        cm.observe(p, a);
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let cm = BinaryConfusion::default();
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let cm = BinaryConfusion::from_counts(10, 0, 0, 30);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn always_positive_classifier_has_unit_recall() {
+        // 3 negatives per positive, as in the actuation experiment set-up.
+        let cm = BinaryConfusion::from_counts(10, 30, 0, 0);
+        assert_eq!(cm.recall(), 1.0);
+        assert!((cm.precision() - 0.25).abs() < 1e-12);
+        assert!((cm.accuracy() - 0.25).abs() < 1e-12);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_routes_to_quadrants() {
+        let cm = score_pairs(&[(true, true), (true, false), (false, true), (false, false)]);
+        assert_eq!(cm, BinaryConfusion::from_counts(1, 1, 1, 1));
+        assert_eq!(cm.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BinaryConfusion::from_counts(1, 2, 3, 4);
+        let b = BinaryConfusion::from_counts(10, 20, 30, 40);
+        a.merge(&b);
+        assert_eq!(a, BinaryConfusion::from_counts(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn f1_matches_known_value() {
+        // Paper Table 4, "Actuation": P=0.95, R=0.85 -> F1=0.897...
+        let p: f64 = 0.95;
+        let r: f64 = 0.85;
+        let f1 = 2.0 * p * r / (p + r);
+        assert!((f1 - 0.8972).abs() < 1e-3);
+    }
+}

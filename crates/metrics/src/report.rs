@@ -1,0 +1,168 @@
+//! Paper-vs-measured comparison reports.
+//!
+//! Each bench harness produces a [`PaperComparison`]: a list of named metrics
+//! with the value the paper reports, the value this reproduction measured,
+//! and a tolerance band. The band encodes "same shape", not "same number" —
+//! our substrate is a simulator, not the authors' GPT-4 testbed, so the
+//! question each row answers is *does the reproduced system land in the same
+//! operating regime?*
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::{fmt2, Table};
+
+/// One metric compared against the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// Metric name, e.g. `"Table 2 / completion with SOP"`.
+    pub name: String,
+    /// The value printed in the paper.
+    pub paper: f64,
+    /// The value this reproduction measured.
+    pub measured: f64,
+    /// Absolute tolerance for the "within band" verdict.
+    pub tolerance: f64,
+}
+
+impl PaperRow {
+    /// Absolute deviation from the paper's value.
+    pub fn abs_error(&self) -> f64 {
+        (self.measured - self.paper).abs()
+    }
+
+    /// Whether the measurement lands within the tolerance band.
+    pub fn within_band(&self) -> bool {
+        self.abs_error() <= self.tolerance + 1e-12
+    }
+}
+
+/// A named collection of [`PaperRow`]s with rendering helpers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PaperComparison {
+    /// Report title, e.g. `"Table 4 (Validate)"`.
+    pub title: String,
+    /// The compared metrics.
+    pub rows: Vec<PaperRow>,
+}
+
+impl PaperComparison {
+    /// Start an empty comparison with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a metric row.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        tolerance: f64,
+    ) -> &mut Self {
+        self.rows.push(PaperRow {
+            name: name.into(),
+            paper,
+            measured,
+            tolerance,
+        });
+        self
+    }
+
+    /// Number of rows within their tolerance band.
+    pub fn passed(&self) -> usize {
+        self.rows.iter().filter(|r| r.within_band()).count()
+    }
+
+    /// Whether every row lands within its band.
+    pub fn all_within_band(&self) -> bool {
+        self.passed() == self.rows.len()
+    }
+
+    /// Rows that missed their band (for diagnostics).
+    pub fn failures(&self) -> Vec<&PaperRow> {
+        self.rows.iter().filter(|r| !r.within_band()).collect()
+    }
+
+    /// Render the comparison as an ASCII table plus a verdict line.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["metric", "paper", "measured", "|err|", "band", "ok"]).numeric();
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                fmt2(r.paper),
+                fmt2(r.measured),
+                fmt2(r.abs_error()),
+                format!("±{}", fmt2(r.tolerance)),
+                if r.within_band() { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        format!(
+            "== {} ==\n{}\n{}/{} metrics within band\n",
+            self.title,
+            t.to_ascii(),
+            self.passed(),
+            self.rows.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_band_logic() {
+        let row = PaperRow {
+            name: "x".into(),
+            paper: 0.40,
+            measured: 0.45,
+            tolerance: 0.05,
+        };
+        assert!(row.within_band());
+        let row = PaperRow {
+            name: "x".into(),
+            paper: 0.40,
+            measured: 0.47,
+            tolerance: 0.05,
+        };
+        assert!(!row.within_band());
+    }
+
+    #[test]
+    fn comparison_counts_and_renders() {
+        let mut c = PaperComparison::new("Table 2 (Execute)");
+        c.push("completion w/o SOP", 0.17, 0.19, 0.08);
+        c.push("completion w/ SOP", 0.40, 0.60, 0.10);
+        assert_eq!(c.passed(), 1);
+        assert!(!c.all_within_band());
+        assert_eq!(c.failures().len(), 1);
+        let rendered = c.render();
+        assert!(rendered.contains("Table 2 (Execute)"));
+        assert!(rendered.contains("NO"));
+        assert!(rendered.contains("1/2 metrics within band"));
+    }
+
+    #[test]
+    fn exact_boundary_is_within() {
+        let row = PaperRow {
+            name: "edge".into(),
+            paper: 0.5,
+            measured: 0.6,
+            tolerance: 0.1,
+        };
+        assert!(row.within_band());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = PaperComparison::new("t");
+        c.push("m", 1.0, 1.1, 0.2);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PaperComparison = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.title, "t");
+    }
+}

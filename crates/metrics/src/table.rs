@@ -1,0 +1,222 @@
+//! Minimal ASCII/markdown table renderer for the bench harnesses, so every
+//! `table{1..4}` binary can print output shaped like the paper's tables.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple rectangular table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Build a table with the given column headers; all columns default to
+    /// left alignment (use [`Table::align`] to adjust).
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        Self {
+            header,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the alignment of column `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn align(mut self, idx: usize, align: Align) -> Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Right-align every column except the first (the usual shape for a
+    /// metrics table with a label column).
+    pub fn numeric(mut self) -> Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the row arity differs from the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = width.saturating_sub(len);
+        match align {
+            Align::Left => format!("{cell}{}", " ".repeat(fill)),
+            Align::Right => format!("{}{cell}", " ".repeat(fill)),
+        }
+    }
+
+    /// Render as a boxed ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let widths = self.widths();
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, " {} |", Self::pad(cell, widths[i], self.aligns[i]));
+            }
+            line
+        };
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::from("|");
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(out, " {} |", Self::pad(h, widths[i], self.aligns[i]));
+        }
+        out.push_str("\n|");
+        for (i, w) in widths.iter().enumerate() {
+            match self.aligns[i] {
+                Align::Left => {
+                    let _ = write!(out, "{}|", "-".repeat(w + 2));
+                }
+                Align::Right => {
+                    let _ = write!(out, "{}:|", "-".repeat(w + 1));
+                }
+            }
+        }
+        for row in &self.rows {
+            out.push_str("\n|");
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, " {} |", Self::pad(cell, widths[i], self.aligns[i]));
+            }
+        }
+        out
+    }
+}
+
+/// Format a fraction as the paper does: two decimal places (`0.93`).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a mean step count as the paper does in Table 1 (`9.63`).
+pub fn fmt_steps(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["Method", "Precision", "Recall"]).numeric();
+        t.row(vec!["WD", "0.75", "0.81"]);
+        t.row(vec!["WD+KF+ACT", "0.94", "0.95"]);
+        t
+    }
+
+    #[test]
+    fn ascii_has_all_cells_and_borders() {
+        let s = sample().to_ascii();
+        assert!(s.contains("WD+KF+ACT"));
+        assert!(s.contains("0.94"));
+        assert!(s.starts_with('+'));
+        assert_eq!(s.lines().count(), 6); // 3 separators + header + 2 rows
+    }
+
+    #[test]
+    fn markdown_aligns_numeric_columns() {
+        let s = sample().to_markdown();
+        assert!(s.contains("---:"), "numeric columns should right-align: {s}");
+        assert!(s.starts_with("| Method"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn widths_account_for_long_cells() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["a-very-long-cell"]);
+        let ascii = t.to_ascii();
+        for line in ascii.lines() {
+            assert_eq!(
+                line.chars().count(),
+                ascii.lines().next().unwrap().chars().count(),
+                "all lines same width"
+            );
+        }
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt2(0.934_9), "0.93");
+        assert_eq!(fmt_steps(9.625), "9.62"); // f64 banker's-ish rounding of display
+    }
+}

@@ -1,0 +1,203 @@
+//! The RPA bot: executes a compiled script, failing fast when a rule no
+//! longer matches the screen — no perception, no recovery, no common
+//! sense. The contrast with ECLAIR's executor is the point.
+
+use eclair_gui::event::EffectKind;
+use eclair_gui::{Key, Session, UserEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::script::{RpaOp, RpaScript};
+
+/// Why (or that) a run ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Every step executed (task success is checked separately).
+    Completed,
+    /// A selector matched nothing.
+    SelectorMiss { step: usize, selector: String },
+    /// The element matched but the operation bounced off it (e.g. typing
+    /// into a button).
+    OpFailed { step: usize, selector: String },
+}
+
+/// Result of one bot run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Steps successfully executed.
+    pub steps_done: usize,
+    /// Total steps in the script.
+    pub steps_total: usize,
+}
+
+impl RunReport {
+    /// Whether the bot got through its script.
+    pub fn completed(&self) -> bool {
+        self.outcome == RunOutcome::Completed
+    }
+}
+
+/// The bot.
+#[derive(Debug, Default)]
+pub struct RpaBot;
+
+impl RpaBot {
+    /// Run `script` against a live session.
+    pub fn run(&self, session: &mut Session, script: &RpaScript) -> RunReport {
+        let total = script.steps.len();
+        for (i, step) in script.steps.iter().enumerate() {
+            let Some(id) = step.selector.resolve(session) else {
+                return RunReport {
+                    outcome: RunOutcome::SelectorMiss {
+                        step: i,
+                        selector: step.selector.describe(),
+                    },
+                    steps_done: i,
+                    steps_total: total,
+                };
+            };
+            session.scroll_into_view(id);
+            let pt = session
+                .page()
+                .get(id)
+                .bounds
+                .center()
+                .offset(0, -session.scroll_y());
+            let ok = match &step.op {
+                RpaOp::Click => {
+                    let d = session.dispatch(UserEvent::Click(pt));
+                    d.effect != EffectKind::NoOp
+                }
+                RpaOp::Type(text) => {
+                    let d = session.dispatch(UserEvent::Click(pt));
+                    if d.effect != EffectKind::Focused {
+                        false
+                    } else {
+                        session.dispatch(UserEvent::Type(text.clone())).effect
+                            == EffectKind::Typed
+                    }
+                }
+                RpaOp::Replace(text) => {
+                    let d = session.dispatch(UserEvent::Click(pt));
+                    if d.effect != EffectKind::Focused {
+                        false
+                    } else {
+                        for _ in 0..300 {
+                            let empty = step
+                                .selector
+                                .resolve(session)
+                                .map(|id| session.page().get(id).value.is_empty())
+                                .unwrap_or(true);
+                            if empty {
+                                break;
+                            }
+                            session.dispatch(UserEvent::Press(Key::Backspace));
+                        }
+                        session.dispatch(UserEvent::Type(text.clone())).effect
+                            == EffectKind::Typed
+                    }
+                }
+            };
+            if !ok {
+                return RunReport {
+                    outcome: RunOutcome::OpFailed {
+                        step: i,
+                        selector: step.selector.describe(),
+                    },
+                    steps_done: i,
+                    steps_total: total,
+                };
+            }
+        }
+        RunReport {
+            outcome: RunOutcome::Completed,
+            steps_done: total,
+            steps_total: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{compile, AuthoringConfig};
+    use crate::selector::Selector;
+    use eclair_gui::{DriftOp, Theme};
+    use eclair_sites::tasks::all_tasks;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn careful_scripts_complete_all_tasks_on_pristine_ui() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for task in all_tasks() {
+            let mut author = task.launch();
+            let script = compile(
+                &task.id,
+                &mut author,
+                &task.gold_trace.actions,
+                AuthoringConfig::careful(),
+                &mut rng,
+            );
+            let mut run = task.launch();
+            let report = RpaBot.run(&mut run, &script);
+            assert!(report.completed(), "{}: {:?}", task.id, report.outcome);
+            assert!(
+                task.success.evaluate(&run),
+                "{}: bot completed but task check failed",
+                task.id
+            );
+        }
+    }
+
+    #[test]
+    fn drift_breaks_scripts() {
+        let task = all_tasks()
+            .into_iter()
+            .find(|t| t.id == "gitlab-01")
+            .unwrap();
+        let mut author = task.launch();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Label-anchored script.
+        let cfg = AuthoringConfig {
+            point_anchor_fraction: 0.0,
+            label_anchor_fraction: 1.0,
+            authoring_error_rate: 0.0,
+        };
+        let script = compile(&task.id, &mut author, &task.gold_trace.actions, cfg, &mut rng);
+        // A quarterly update renames the button the script clicks.
+        let theme = Theme::with_ops(vec![DriftOp::Relabel {
+            from: "New issue".into(),
+            to: "Create issue".into(),
+        }]);
+        let mut run = task.site.launch_with_theme(theme);
+        let report = RpaBot.run(&mut run, &script);
+        assert!(!report.completed(), "relabel must break the label anchor");
+        assert!(matches!(report.outcome, RunOutcome::SelectorMiss { .. }));
+    }
+
+    #[test]
+    fn report_counts_partial_progress() {
+        let task = all_tasks()
+            .into_iter()
+            .find(|t| t.id == "magento-05")
+            .unwrap();
+        let mut author = task.launch();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut script = compile(
+            &task.id,
+            &mut author,
+            &task.gold_trace.actions,
+            AuthoringConfig::careful(),
+            &mut rng,
+        );
+        // Sabotage the last step.
+        let last = script.steps.len() - 1;
+        script.steps[last].selector = Selector::ByName("gone".into());
+        let mut run = task.launch();
+        let report = RpaBot.run(&mut run, &script);
+        assert_eq!(report.steps_done, last);
+        assert!(!report.completed());
+    }
+}

@@ -1,0 +1,245 @@
+//! RPA scripts: compiled rule sequences.
+//!
+//! A script is authored once against the UI as it looked on authoring day
+//! (§3.2: "each workflow had to be manually mapped and coded into a set of
+//! well-defined, 'always true' actions"). The compiler turns a gold
+//! semantic trace into selector-anchored steps; an authoring configuration
+//! controls how anchors are chosen and how imperfect the first version is
+//! (initial deployments started at ~60% accuracy in the case study).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use eclair_gui::Session;
+use eclair_workflow::replay::{resolve_pref, KindPref};
+use eclair_workflow::{Action, TargetRef};
+
+use crate::selector::Selector;
+
+/// The operation a step performs on its resolved element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RpaOp {
+    /// Click the element.
+    Click,
+    /// Focus and type.
+    Type(String),
+    /// Clear then type.
+    Replace(String),
+}
+
+/// One compiled step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpaStep {
+    /// The anchor.
+    pub selector: Selector,
+    /// The operation.
+    pub op: RpaOp,
+}
+
+/// A compiled script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpaScript {
+    /// Workflow name.
+    pub name: String,
+    /// Steps in order.
+    pub steps: Vec<RpaStep>,
+}
+
+/// Authoring configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AuthoringConfig {
+    /// Fraction of anchors recorded as raw coordinates instead of
+    /// name/label selectors (lazy authoring — common in real deployments
+    /// and the most brittle choice).
+    pub point_anchor_fraction: f64,
+    /// Fraction of anchors recorded as visible labels (breaks on
+    /// relabeling).
+    pub label_anchor_fraction: f64,
+    /// Probability a step is mis-authored outright (wrong element picked
+    /// in the studio — the source of the 60% day-one accuracy).
+    pub authoring_error_rate: f64,
+}
+
+impl Default for AuthoringConfig {
+    fn default() -> Self {
+        Self {
+            point_anchor_fraction: 0.25,
+            label_anchor_fraction: 0.35,
+            authoring_error_rate: 0.0,
+        }
+    }
+}
+
+impl AuthoringConfig {
+    /// A careful authoring pass: everything anchored by automation id.
+    pub fn careful() -> Self {
+        Self {
+            point_anchor_fraction: 0.0,
+            label_anchor_fraction: 0.0,
+            authoring_error_rate: 0.0,
+        }
+    }
+
+    /// A rushed first deployment (§3.2's 60%-accurate day one).
+    pub fn rushed() -> Self {
+        Self {
+            point_anchor_fraction: 0.4,
+            label_anchor_fraction: 0.35,
+            authoring_error_rate: 0.12,
+        }
+    }
+}
+
+/// Compile a gold trace into a script by "recording" it against a live
+/// session: each semantic action is executed (oracle-grounded) so anchors
+/// can capture the on-screen geometry of authoring day.
+pub fn compile<R: Rng>(
+    name: &str,
+    session: &mut Session,
+    trace: &[Action],
+    cfg: AuthoringConfig,
+    rng: &mut R,
+) -> RpaScript {
+    let mut steps = Vec::with_capacity(trace.len());
+    for action in trace {
+        let (target, op, pref) = match action {
+            Action::Click(t) => (Some(t.clone()), RpaOp::Click, KindPref::Activatable),
+            Action::Type {
+                target: Some(t),
+                text,
+            } => (Some(t.clone()), RpaOp::Type(text.clone()), KindPref::Editable),
+            Action::Type { target: None, text } => {
+                (None, RpaOp::Type(text.clone()), KindPref::Editable)
+            }
+            Action::Replace { target, text } => (
+                Some(target.clone()),
+                RpaOp::Replace(text.clone()),
+                KindPref::Editable,
+            ),
+            // Presses/scrolls are handled by oracle replay during recording
+            // and need no anchor; real RPA encodes them as key commands.
+            Action::Press(_) | Action::Scroll(_) => (None, RpaOp::Click, KindPref::Any),
+        };
+        if let Some(target) = target {
+            let selector = anchor_for(session, &target, pref, cfg, rng);
+            steps.push(RpaStep {
+                selector,
+                op: op.clone(),
+            });
+        }
+        // Advance the recording so later anchors see the right screen.
+        let _ = eclair_workflow::replay::execute(session, action);
+    }
+    RpaScript {
+        name: name.into(),
+        steps,
+    }
+}
+
+fn anchor_for<R: Rng>(
+    session: &Session,
+    target: &TargetRef,
+    pref: KindPref,
+    cfg: AuthoringConfig,
+    rng: &mut R,
+) -> Selector {
+    let resolved = resolve_pref(session, target, pref);
+    // Mis-authored step: anchor a *different* interactive element.
+    let resolved = if rng.gen_bool(cfg.authoring_error_rate) {
+        let all = session.page().interactive_widgets();
+        if all.is_empty() {
+            resolved
+        } else {
+            Some(all[rng.gen_range(0..all.len())])
+        }
+    } else {
+        resolved
+    };
+    let Some(id) = resolved else {
+        // Could not resolve at authoring time: record the raw intent.
+        return match target {
+            TargetRef::Name(n) => Selector::ByName(n.clone()),
+            TargetRef::Label(l) => Selector::ByLabel(l.clone()),
+            TargetRef::Point(p) => Selector::ByPoint(*p),
+        };
+    };
+    let w = session.page().get(id);
+    let roll: f64 = rng.gen();
+    if roll < cfg.point_anchor_fraction {
+        Selector::ByPoint(w.bounds.center().offset(0, -session.scroll_y()))
+    } else if roll < cfg.point_anchor_fraction + cfg.label_anchor_fraction && !w.label.is_empty() {
+        Selector::ByLabel(w.label.clone())
+    } else if !w.name.is_empty() {
+        Selector::ByName(w.name.clone())
+    } else {
+        Selector::ByPoint(w.bounds.center().offset(0, -session.scroll_y()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_sites::tasks::all_tasks;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn careful_compilation_yields_name_anchors() {
+        let task = &all_tasks()[0];
+        let mut session = task.launch();
+        let mut rng = StdRng::seed_from_u64(1);
+        let script = compile(
+            &task.id,
+            &mut session,
+            &task.gold_trace.actions,
+            AuthoringConfig::careful(),
+            &mut rng,
+        );
+        assert!(!script.steps.is_empty());
+        assert!(
+            script
+                .steps
+                .iter()
+                .all(|s| matches!(s.selector, Selector::ByName(_))),
+            "careful config anchors by name: {:?}",
+            script.steps
+        );
+    }
+
+    #[test]
+    fn default_compilation_mixes_anchor_kinds() {
+        let mut kinds = std::collections::HashSet::new();
+        for (i, task) in all_tasks().iter().enumerate() {
+            let mut session = task.launch();
+            let mut rng = StdRng::seed_from_u64(i as u64);
+            let script = compile(
+                &task.id,
+                &mut session,
+                &task.gold_trace.actions,
+                AuthoringConfig::default(),
+                &mut rng,
+            );
+            for s in script.steps {
+                kinds.insert(std::mem::discriminant(&s.selector));
+            }
+        }
+        assert!(kinds.len() >= 3, "expected a mix of anchor kinds");
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let task = &all_tasks()[3];
+        let build = |seed| {
+            let mut session = task.launch();
+            let mut rng = StdRng::seed_from_u64(seed);
+            compile(
+                &task.id,
+                &mut session,
+                &task.gold_trace.actions,
+                AuthoringConfig::default(),
+                &mut rng,
+            )
+        };
+        assert_eq!(build(9), build(9));
+    }
+}

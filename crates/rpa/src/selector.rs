@@ -1,0 +1,112 @@
+//! RPA selectors: the hard-coded anchors a bot uses to find elements.
+//!
+//! The paper's case studies attribute RPA's brittleness to exactly these
+//! anchors breaking: "a button changing location on a screen, or a form
+//! field being renamed" (§1). Each variant fails under a different drift
+//! op: `ByName` under field renames, `ByLabel` under relabels, `ByPoint`
+//! under any geometry change (banners, reshuffles, input resizes).
+
+use eclair_gui::{Point, Session, WidgetId};
+use serde::{Deserialize, Serialize};
+
+/// One element anchor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Selector {
+    /// Match by programmatic name / automation id.
+    ByName(String),
+    /// Match by exact visible label.
+    ByLabel(String),
+    /// Click blindly at recorded coordinates (viewport space).
+    ByPoint(Point),
+    /// Match the `idx`-th interactive element on the page (recorded during
+    /// authoring; breaks when elements are added/reordered).
+    ByIndex(usize),
+}
+
+impl Selector {
+    /// Resolve against the live session. `ByPoint` resolves to whatever is
+    /// under the point *right now*.
+    pub fn resolve(&self, session: &Session) -> Option<WidgetId> {
+        let page = session.page();
+        match self {
+            Selector::ByName(n) => page.find_by_name(n),
+            Selector::ByLabel(l) => page.find_by_label(l, true),
+            Selector::ByPoint(p) => page.hit_test(p.offset(0, session.scroll_y())),
+            Selector::ByIndex(i) => page.interactive_widgets().get(*i).copied(),
+        }
+    }
+
+    /// Human-readable rendering for failure reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Selector::ByName(n) => format!("name={n}"),
+            Selector::ByLabel(l) => format!("label='{l}'"),
+            Selector::ByPoint(p) => format!("point=({},{})", p.x, p.y),
+            Selector::ByIndex(i) => format!("index={i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::{DriftOp, Session, Theme};
+    use eclair_sites::Site;
+
+    fn gitlab() -> Session {
+        Site::Gitlab.launch()
+    }
+
+    #[test]
+    fn by_name_and_label_resolve_on_pristine_ui() {
+        let s = gitlab();
+        assert!(Selector::ByName("nav-profile".into()).resolve(&s).is_some());
+        assert!(Selector::ByLabel("Projects".into()).resolve(&s).is_some());
+        assert!(Selector::ByName("missing".into()).resolve(&s).is_none());
+    }
+
+    #[test]
+    fn by_point_resolves_whatever_is_there() {
+        let s = gitlab();
+        let id = s.page().find_by_name("nav-profile").unwrap();
+        let pt = s.page().get(id).bounds.center();
+        assert_eq!(Selector::ByPoint(pt).resolve(&s), Some(id));
+    }
+
+    #[test]
+    fn relabel_breaks_label_selector_not_name() {
+        let theme = Theme::with_ops(vec![DriftOp::Relabel {
+            from: "Projects".into(),
+            to: "Workspaces".into(),
+        }]);
+        let s = Site::Gitlab.launch_with_theme(theme);
+        assert!(Selector::ByLabel("Projects".into()).resolve(&s).is_none());
+        assert!(Selector::ByName("nav-dashboard".into()).resolve(&s).is_some());
+    }
+
+    #[test]
+    fn banner_breaks_point_selector_not_name() {
+        let pristine = gitlab();
+        let id = pristine.page().find_by_name("nav-profile").unwrap();
+        let pt = pristine.page().get(id).bounds.center();
+
+        let theme = Theme::with_ops(vec![DriftOp::InsertBanner {
+            text: "New: dark mode is here! Try it from your profile.".into(),
+        }]);
+        let drifted = Site::Gitlab.launch_with_theme(theme);
+        let hit = Selector::ByPoint(pt).resolve(&drifted);
+        let want = drifted.page().find_by_name("nav-profile");
+        assert_ne!(hit, want, "shifted layout breaks recorded coordinates");
+        assert!(Selector::ByName("nav-profile".into()).resolve(&drifted).is_some());
+    }
+
+    #[test]
+    fn rename_breaks_name_selector() {
+        let theme = Theme::with_ops(vec![DriftOp::RenameField {
+            from: "nav-profile".into(),
+            to: "nav-profile_v2".into(),
+        }]);
+        let s = Site::Gitlab.launch_with_theme(theme);
+        assert!(Selector::ByName("nav-profile".into()).resolve(&s).is_none());
+    }
+}

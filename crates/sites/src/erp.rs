@@ -1,0 +1,444 @@
+//! ERP-sim: a NetSuite-like system of record for the §3.2 B2B
+//! invoice-processing case study.
+//!
+//! The workflow the case study describes: a contract document arrives in an
+//! inbox; an analyst opens it, reads the customer / amount / date / PO
+//! fields, and keys them into an invoice-entry form. The RPA bot and
+//! ECLAIR both automate exactly this loop in `eclair-rpa` and the
+//! case-study bench.
+
+use eclair_gui::{GuiApp, Page, PageBuilder, SemanticEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::fixtures;
+
+/// A contract document sitting in the inbox.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContractDoc {
+    pub id: String,
+    pub customer: String,
+    pub product: String,
+    pub amount: f64,
+    pub date: String,
+    pub po_number: String,
+    pub processed: bool,
+}
+
+/// An invoice keyed into the system of record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvoiceRecord {
+    pub customer: String,
+    pub amount: f64,
+    pub date: String,
+    pub po_number: String,
+}
+
+/// Current screen.
+#[derive(Debug, Clone, PartialEq)]
+enum Route {
+    Inbox,
+    Doc(usize),
+    NewInvoice,
+    Invoices,
+}
+
+/// The running ERP application.
+pub struct ErpApp {
+    docs: Vec<ContractDoc>,
+    invoices: Vec<InvoiceRecord>,
+    route: Route,
+    toast: Option<String>,
+}
+
+impl ErpApp {
+    /// Fresh instance with the standard contract inbox.
+    pub fn new() -> Self {
+        Self {
+            docs: fixtures::CONTRACTS
+                .iter()
+                .map(|&(id, customer, product, amount, date, po)| ContractDoc {
+                    id: id.into(),
+                    customer: customer.into(),
+                    product: product.into(),
+                    amount,
+                    date: date.into(),
+                    po_number: po.into(),
+                    processed: false,
+                })
+                .collect(),
+            invoices: Vec::new(),
+            route: Route::Inbox,
+            toast: None,
+        }
+    }
+
+    /// The contract inbox (oracle access).
+    pub fn docs(&self) -> &[ContractDoc] {
+        &self.docs
+    }
+
+    /// Invoices entered so far (oracle access).
+    pub fn invoices(&self) -> &[InvoiceRecord] {
+        &self.invoices
+    }
+
+    fn field<'a>(fields: &'a [(String, String)], name: &str) -> &'a str {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    }
+
+    fn customers() -> Vec<&'static str> {
+        let mut v = vec![""];
+        v.extend(fixtures::CONTRACTS.iter().map(|c| c.1));
+        v.dedup();
+        v
+    }
+}
+
+impl Default for ErpApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuiApp for ErpApp {
+    fn name(&self) -> &str {
+        "erp"
+    }
+
+    fn url(&self) -> String {
+        match &self.route {
+            Route::Inbox => "/erp/inbox".into(),
+            Route::Doc(i) => format!("/erp/doc/{}", self.docs[*i].id),
+            Route::NewInvoice => "/erp/invoices/new".into(),
+            Route::Invoices => "/erp/invoices".into(),
+        }
+    }
+
+    fn build(&self) -> Page {
+        match &self.route {
+            Route::Inbox => {
+                let mut b = PageBuilder::new("Inbox · ERP", "/erp/inbox");
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                b.row(|b| {
+                    b.link("nav-inbox", "Inbox");
+                    b.link("nav-invoices", "Invoices");
+                    b.link("nav-new-invoice", "Enter invoice");
+                });
+                b.divider();
+                b.heading(1, "Contract inbox");
+                let rows: Vec<Vec<(String, Option<String>)>> = self
+                    .docs
+                    .iter()
+                    .map(|d| {
+                        vec![
+                            (d.id.clone(), Some(format!("open-doc-{}", d.id))),
+                            (d.customer.clone(), None),
+                            (if d.processed { "processed" } else { "new" }.to_string(), None),
+                        ]
+                    })
+                    .collect();
+                b.table(&["Document", "Customer", "Status"], &rows);
+                b.finish()
+            }
+            Route::Doc(i) => {
+                let d = &self.docs[*i];
+                let mut b =
+                    PageBuilder::new(format!("{} · ERP", d.id), format!("/erp/doc/{}", d.id));
+                b.row(|b| {
+                    b.link("nav-inbox", "Inbox");
+                    b.link("nav-invoices", "Invoices");
+                    b.link("nav-new-invoice", "Enter invoice");
+                });
+                b.divider();
+                b.heading(1, format!("Contract {}", d.id));
+                // The "scanned document": fields rendered as plain text the
+                // agent must read off the screen.
+                b.text(format!("Customer: {}", d.customer));
+                b.text(format!("Product: {}", d.product));
+                b.text(format!("Contract amount (USD): {:.2}", d.amount));
+                b.text(format!("Effective date: {}", d.date));
+                b.text(format!("Purchase order: {}", d.po_number));
+                b.row(|b| {
+                    b.button("mark-processed", "Mark processed");
+                    b.button("enter-invoice", "Enter invoice");
+                });
+                b.finish()
+            }
+            Route::NewInvoice => {
+                let mut b = PageBuilder::new("Enter invoice · ERP", "/erp/invoices/new");
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                b.row(|b| {
+                    b.link("nav-inbox", "Inbox");
+                    b.link("nav-invoices", "Invoices");
+                });
+                b.divider();
+                b.heading(1, "Enter invoice");
+                b.form("invoice-form", |b| {
+                    b.select("customer", "Customer", &Self::customers(), None);
+                    b.text_input("amount", "Amount (USD)", "0.00");
+                    b.text_input("date", "Invoice date", "YYYY-MM-DD");
+                    b.text_input("po", "PO number", "PO-0000");
+                    b.row(|b| {
+                        b.button("save-invoice", "Save invoice");
+                        b.link("cancel-invoice", "Cancel");
+                    });
+                });
+                b.finish()
+            }
+            Route::Invoices => {
+                let mut b = PageBuilder::new("Invoices · ERP", "/erp/invoices");
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                b.row(|b| {
+                    b.link("nav-inbox", "Inbox");
+                    b.link("nav-new-invoice", "Enter invoice");
+                });
+                b.divider();
+                b.heading(1, "Invoices");
+                let rows: Vec<Vec<(String, Option<String>)>> = self
+                    .invoices
+                    .iter()
+                    .map(|i| {
+                        vec![
+                            (i.po_number.clone(), None),
+                            (i.customer.clone(), None),
+                            (format!("${:.2}", i.amount), None),
+                            (i.date.clone(), None),
+                        ]
+                    })
+                    .collect();
+                b.table(&["PO", "Customer", "Amount", "Date"], &rows);
+                b.finish()
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: SemanticEvent) -> bool {
+        let SemanticEvent::Activated { name, fields, .. } = ev else {
+            if let SemanticEvent::Dismissed { .. } = ev {
+                if self.toast.take().is_some() {
+                    return true;
+                }
+            }
+            return false;
+        };
+        self.toast = None;
+        match name.as_str() {
+            "nav-inbox" => {
+                self.route = Route::Inbox;
+                true
+            }
+            "nav-invoices" => {
+                self.route = Route::Invoices;
+                true
+            }
+            "nav-new-invoice" | "enter-invoice" => {
+                self.route = Route::NewInvoice;
+                true
+            }
+            "cancel-invoice" => {
+                self.route = Route::Invoices;
+                true
+            }
+            "mark-processed" => {
+                if let Route::Doc(i) = self.route {
+                    self.docs[i].processed = true;
+                    self.toast = Some("Document marked processed".into());
+                }
+                true
+            }
+            "save-invoice" => {
+                let customer = Self::field(&fields, "customer").trim().to_string();
+                let po = Self::field(&fields, "po").trim().to_string();
+                let amount: Option<f64> = Self::field(&fields, "amount").parse().ok();
+                if customer.is_empty() || po.is_empty() || amount.is_none() {
+                    self.toast =
+                        Some("Customer, amount, and PO number are required".into());
+                    return true;
+                }
+                if self.invoices.iter().any(|i| i.po_number == po) {
+                    self.toast = Some(format!("PO {po} already entered"));
+                    return true;
+                }
+                self.invoices.push(InvoiceRecord {
+                    customer,
+                    amount: amount.expect("checked above"),
+                    date: Self::field(&fields, "date").trim().to_string(),
+                    po_number: po,
+                });
+                self.toast = Some("Invoice saved".into());
+                self.route = Route::Invoices;
+                true
+            }
+            _ => {
+                if let Some(id) = name.strip_prefix("open-doc-") {
+                    if let Some(i) = self.docs.iter().position(|d| d.id == id) {
+                        self.route = Route::Doc(i);
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn probe(&self, key: &str) -> Option<String> {
+        let mut parts = key.splitn(2, ':');
+        match parts.next()? {
+            "invoice_count" => Some(self.invoices.len().to_string()),
+            "invoice_amount" => {
+                let po = parts.next()?;
+                self.invoices
+                    .iter()
+                    .find(|i| i.po_number == po)
+                    .map(|i| format!("{:.2}", i.amount))
+            }
+            "invoice_customer" => {
+                let po = parts.next()?;
+                self.invoices
+                    .iter()
+                    .find(|i| i.po_number == po)
+                    .map(|i| i.customer.clone())
+            }
+            "invoice_date" => {
+                let po = parts.next()?;
+                self.invoices
+                    .iter()
+                    .find(|i| i.po_number == po)
+                    .map(|i| i.date.clone())
+            }
+            "doc_processed" => {
+                let id = parts.next()?;
+                self.docs
+                    .iter()
+                    .find(|d| d.id == id)
+                    .map(|d| d.processed.to_string())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::Session;
+    use eclair_workflow::replay::execute_trace;
+    use eclair_workflow::{Action, TargetRef};
+
+    fn name(n: &str) -> TargetRef {
+        TargetRef::Name(n.into())
+    }
+
+    #[test]
+    fn invoice_entry_end_to_end() {
+        let mut s = Session::new(Box::new(ErpApp::new()));
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-doc-DOC-301")),
+                Action::Click(name("enter-invoice")),
+                Action::Type {
+                    target: Some(name("customer")),
+                    text: "Acme".into(), // combo box snaps to "Acme Corp"
+                },
+                Action::Type {
+                    target: Some(name("amount")),
+                    text: "48000".into(),
+                },
+                Action::Type {
+                    target: Some(name("date")),
+                    text: "2024-02-01".into(),
+                },
+                Action::Type {
+                    target: Some(name("po")),
+                    text: "PO-7741".into(),
+                },
+                Action::Click(name("save-invoice")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("invoice_count"), Some("1".into()));
+        assert_eq!(s.app().probe("invoice_customer:PO-7741"), Some("Acme Corp".into()));
+        assert_eq!(s.app().probe("invoice_amount:PO-7741"), Some("48000.00".into()));
+        assert_eq!(s.url(), "/erp/invoices");
+    }
+
+    #[test]
+    fn duplicate_po_rejected() {
+        let mut s = Session::new(Box::new(ErpApp::new()));
+        for _ in 0..2 {
+            execute_trace(
+                &mut s,
+                &[
+                    Action::Click(name("nav-new-invoice")),
+                    Action::Type {
+                        target: Some(name("customer")),
+                        text: "Initech".into(),
+                    },
+                    Action::Type {
+                        target: Some(name("amount")),
+                        text: "6250".into(),
+                    },
+                    Action::Type {
+                        target: Some(name("po")),
+                        text: "PO-7743".into(),
+                    },
+                    Action::Click(name("save-invoice")),
+                ],
+            )
+            .unwrap();
+        }
+        assert_eq!(s.app().probe("invoice_count"), Some("1".into()));
+        assert!(s.screenshot().contains_text("already entered"));
+    }
+
+    #[test]
+    fn document_view_shows_fields_as_text() {
+        let mut s = Session::new(Box::new(ErpApp::new()));
+        execute_trace(&mut s, &[Action::Click(name("open-doc-DOC-305"))]).unwrap();
+        let shot = s.screenshot();
+        assert!(shot.contains_text("Stark Industries"));
+        assert!(shot.contains_text("96000.00"));
+        assert!(shot.contains_text("PO-7745"));
+    }
+
+    #[test]
+    fn mark_processed() {
+        let mut s = Session::new(Box::new(ErpApp::new()));
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-doc-DOC-302")),
+                Action::Click(name("mark-processed")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("doc_processed:DOC-302"), Some("true".into()));
+        assert_eq!(s.app().probe("doc_processed:DOC-301"), Some("false".into()));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let mut s = Session::new(Box::new(ErpApp::new()));
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-new-invoice")),
+                Action::Click(name("save-invoice")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("invoice_count"), Some("0".into()));
+        assert!(s.screenshot().contains_text("required"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Deterministic fixture data shared by the simulated sites.
+
+/// Users known to the GitLab directory (for member invites / assignees).
+pub const USERS: &[&str] = &[
+    "abishek", "byteblaze", "carol.chen", "dferrante", "emma.lopez", "frank.ops", "grace.hall",
+    "hazy.r", "ivan.petrov", "jill.woo",
+];
+
+/// Project-label vocabulary.
+pub const LABELS: &[&str] = &["bug", "feature", "docs", "help wanted", "urgent", "backend"];
+
+/// Product names seeding the Magento catalog.
+pub const PRODUCT_NAMES: &[(&str, &str, f64, u32)] = &[
+    ("Sprite Stasis Ball 65 cm", "24-WG082-blue", 27.25, 24),
+    ("Quest Lumaflex Band", "PG004", 19.00, 100),
+    ("Harmony Lumaflex Strength Kit", "PG005", 22.00, 56),
+    ("Affirm Water Bottle", "24-UG06", 7.00, 146),
+    ("Dual Handle Cardio Ball", "24-UG07", 12.00, 12),
+    ("Zing Jump Rope", "24-UG04", 9.00, 80),
+    ("Gauge Yoga Mat", "24-WG088", 29.50, 33),
+    ("Pursuit Backpack", "24-MB01", 34.00, 18),
+];
+
+/// Customers seeding Magento.
+pub const CUSTOMERS: &[(&str, &str)] = &[
+    ("Emma Lopez", "emma.lopez@example.com"),
+    ("John Smith", "john.smith@example.com"),
+    ("Ava Brown", "ava.brown@example.com"),
+    ("Liam Wilson", "liam.wilson@example.com"),
+    ("Sophia Garcia", "sophia.garcia@example.com"),
+];
+
+/// Open orders seeding Magento: (id, customer index, total, status).
+pub const ORDERS: &[(u32, usize, f64, &str)] = &[
+    (1001, 0, 54.50, "Pending"),
+    (1002, 1, 19.00, "Pending"),
+    (1003, 2, 122.75, "Processing"),
+    (1004, 3, 7.00, "Pending"),
+    (1005, 4, 63.00, "Complete"),
+];
+
+/// Contracts arriving in the ERP inbox: (doc id, customer, product,
+/// amount, date, PO number).
+pub const CONTRACTS: &[(&str, &str, &str, f64, &str, &str)] = &[
+    ("DOC-301", "Acme Corp", "Platform license (annual)", 48_000.0, "2024-02-01", "PO-7741"),
+    ("DOC-302", "Globex LLC", "Support contract (gold)", 12_500.0, "2024-02-03", "PO-7742"),
+    ("DOC-303", "Initech", "Seat expansion x25", 6_250.0, "2024-02-07", "PO-7743"),
+    ("DOC-304", "Umbrella Health", "Data pipeline add-on", 18_900.0, "2024-02-11", "PO-7744"),
+    ("DOC-305", "Stark Industries", "Platform license (annual)", 96_000.0, "2024-02-12", "PO-7745"),
+    ("DOC-306", "Wayne Enterprises", "Analytics module", 22_400.0, "2024-02-15", "PO-7746"),
+];
+
+/// Insurance members known to the payer portal: (member id, name, dob,
+/// payer, eligible).
+pub const MEMBERS: &[(&str, &str, &str, &str, bool)] = &[
+    ("M10001", "Alice Nguyen", "1984-03-12", "BlueCross", true),
+    ("M10002", "Robert King", "1951-11-02", "BlueCross", true),
+    ("M10003", "Jorge Ramos", "1990-07-23", "Aetna", false),
+    ("M10004", "Mei Tanaka", "1978-01-30", "Cigna", true),
+    ("M10005", "Dana Cole", "2001-05-17", "Aetna", true),
+    ("M10006", "Peter Fox", "1969-09-09", "Cigna", false),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_invariants() {
+        assert!(USERS.len() >= 8);
+        assert!(PRODUCT_NAMES.len() >= 6);
+        // SKUs unique.
+        let mut skus: Vec<&str> = PRODUCT_NAMES.iter().map(|p| p.1).collect();
+        skus.sort();
+        skus.dedup();
+        assert_eq!(skus.len(), PRODUCT_NAMES.len());
+        // Order ids unique and reference valid customers.
+        for &(_, cust, _, _) in ORDERS {
+            assert!(cust < CUSTOMERS.len());
+        }
+        // Contract POs unique.
+        let mut pos: Vec<&str> = CONTRACTS.iter().map(|c| c.5).collect();
+        pos.sort();
+        pos.dedup();
+        assert_eq!(pos.len(), CONTRACTS.len());
+    }
+}

@@ -1,0 +1,640 @@
+//! GitLab-sim: a project-management application mirroring the WebArena
+//! GitLab environment the paper samples 15 of its 30 workflows from.
+
+pub mod pages;
+pub mod state;
+
+use eclair_gui::{GuiApp, Page, SemanticEvent};
+
+pub use state::{GitlabState, Issue, IssueState, MergeRequest, MrState, Project};
+
+/// Current screen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Route {
+    Dashboard,
+    Project(usize),
+    /// Issues list with an applied filter string.
+    Issues(usize, String),
+    NewIssue(usize),
+    Issue(usize, u32),
+    Mrs(usize),
+    Mr(usize, u32),
+    Members(usize),
+    Settings(usize),
+    Profile,
+}
+
+/// The running application.
+pub struct GitlabApp {
+    state: GitlabState,
+    route: Route,
+    toast: Option<String>,
+    modal: Option<String>,
+}
+
+impl GitlabApp {
+    /// Fresh instance on the standard fixture.
+    pub fn new() -> Self {
+        Self {
+            state: GitlabState::fixture(),
+            route: Route::Dashboard,
+            toast: None,
+            modal: None,
+        }
+    }
+
+    /// Access the domain state (tests/oracles).
+    pub fn state(&self) -> &GitlabState {
+        &self.state
+    }
+
+    fn field<'a>(fields: &'a [(String, String)], name: &str) -> &'a str {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    }
+
+    fn current_project(&self) -> Option<usize> {
+        match &self.route {
+            Route::Project(p)
+            | Route::Issues(p, _)
+            | Route::NewIssue(p)
+            | Route::Issue(p, _)
+            | Route::Mrs(p)
+            | Route::Mr(p, _)
+            | Route::Members(p)
+            | Route::Settings(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    fn handle_activation(&mut self, name: &str, fields: &[(String, String)]) -> bool {
+        self.toast = None;
+        // Global navigation.
+        match name {
+            "nav-dashboard" => {
+                self.route = Route::Dashboard;
+                return true;
+            }
+            "nav-profile" => {
+                self.route = Route::Profile;
+                return true;
+            }
+            _ => {}
+        }
+        if let Some(slug) = name.strip_prefix("open-project-") {
+            if let Some(p) = self.state.project_by_slug(slug) {
+                self.route = Route::Project(p);
+                return true;
+            }
+        }
+        let Some(p) = self.current_project() else {
+            return self.handle_profile(name, fields);
+        };
+        // Project tab bar.
+        match name {
+            "tab-overview" => {
+                self.route = Route::Project(p);
+                return true;
+            }
+            "tab-issues" => {
+                self.route = Route::Issues(p, String::new());
+                return true;
+            }
+            "tab-mrs" => {
+                self.route = Route::Mrs(p);
+                return true;
+            }
+            "tab-members" => {
+                self.route = Route::Members(p);
+                return true;
+            }
+            "tab-settings" => {
+                self.route = Route::Settings(p);
+                return true;
+            }
+            _ => {}
+        }
+        match name {
+            "new-issue" => {
+                self.route = Route::NewIssue(p);
+                true
+            }
+            "apply-filter" => {
+                let filter = Self::field(fields, "issue-filter").to_string();
+                self.route = Route::Issues(p, filter);
+                true
+            }
+            "create-issue" => {
+                let title = Self::field(fields, "title").trim().to_string();
+                if title.is_empty() {
+                    self.toast = Some("Title can't be blank".into());
+                    return true;
+                }
+                let label = match Self::field(fields, "label") {
+                    "" => None,
+                    l => Some(l.to_string()),
+                };
+                let assignee = match Self::field(fields, "assignee") {
+                    "" => None,
+                    a => Some(a.to_string()),
+                };
+                let id = self.state.projects[p].add_issue(
+                    title,
+                    Self::field(fields, "description").to_string(),
+                    label,
+                    assignee,
+                    Self::field(fields, "confidential") == "true",
+                );
+                self.toast = Some("Issue created".into());
+                self.route = Route::Issue(p, id);
+                true
+            }
+            "cancel-issue" => {
+                self.route = Route::Issues(p, String::new());
+                true
+            }
+            "close-issue" => {
+                if let Route::Issue(_, id) = self.route {
+                    if let Some(i) = self.state.projects[p].issue_mut(id) {
+                        i.state = IssueState::Closed;
+                    }
+                    self.toast = Some("Issue closed".into());
+                }
+                true
+            }
+            "reopen-issue" => {
+                if let Route::Issue(_, id) = self.route {
+                    if let Some(i) = self.state.projects[p].issue_mut(id) {
+                        i.state = IssueState::Open;
+                    }
+                    self.toast = Some("Issue reopened".into());
+                }
+                true
+            }
+            "add-label" => {
+                if let Route::Issue(_, id) = self.route {
+                    let label = Self::field(fields, "add-label-select").to_string();
+                    if !label.is_empty() {
+                        if let Some(i) = self.state.projects[p].issue_mut(id) {
+                            if !i.labels.contains(&label) {
+                                i.labels.push(label);
+                            }
+                        }
+                        self.toast = Some("Label added".into());
+                    }
+                }
+                true
+            }
+            "save-title" => {
+                if let Route::Issue(_, id) = self.route {
+                    let t = Self::field(fields, "new-title").trim().to_string();
+                    if !t.is_empty() {
+                        if let Some(i) = self.state.projects[p].issue_mut(id) {
+                            i.title = t;
+                        }
+                        self.toast = Some("Title updated".into());
+                    }
+                }
+                true
+            }
+            "add-comment" => {
+                if let Route::Issue(_, id) = self.route {
+                    let c = Self::field(fields, "comment").trim().to_string();
+                    if !c.is_empty() {
+                        if let Some(i) = self.state.projects[p].issue_mut(id) {
+                            i.comments.push(c);
+                        }
+                        self.toast = Some("Comment added".into());
+                    }
+                }
+                true
+            }
+            "merge-mr" => {
+                if let Route::Mr(_, id) = self.route {
+                    if let Some(m) = self.state.projects[p].mr_mut(id) {
+                        m.state = MrState::Merged;
+                    }
+                    self.toast = Some("Merge request merged".into());
+                }
+                true
+            }
+            "close-mr" => {
+                if let Route::Mr(_, id) = self.route {
+                    if let Some(m) = self.state.projects[p].mr_mut(id) {
+                        m.state = MrState::Closed;
+                    }
+                    self.toast = Some("Merge request closed".into());
+                }
+                true
+            }
+            "invite-member" => {
+                let user = Self::field(fields, "invite-username").trim().to_string();
+                let role = Self::field(fields, "invite-role").to_string();
+                if !self.state.user_exists(&user) {
+                    self.toast = Some(format!("User '{user}' not found"));
+                } else if self.state.projects[p].members.iter().any(|(u, _)| *u == user) {
+                    self.toast = Some(format!("{user} is already a member"));
+                } else {
+                    self.state.projects[p].members.push((user.clone(), role));
+                    self.toast = Some(format!("{user} invited"));
+                }
+                true
+            }
+            "save-settings" => {
+                let new_name = Self::field(fields, "project-name").trim().to_string();
+                if !new_name.is_empty() {
+                    self.state.projects[p].name = new_name;
+                }
+                self.state.projects[p].visibility =
+                    Self::field(fields, "visibility").to_string();
+                self.toast = Some("Settings saved".into());
+                true
+            }
+            "archive-project" => {
+                self.modal = Some("archive".into());
+                true
+            }
+            "confirm-archive" => {
+                self.state.projects[p].archived = true;
+                self.modal = None;
+                self.route = Route::Dashboard;
+                self.toast = Some("Project archived".into());
+                true
+            }
+            "cancel-archive" => {
+                self.modal = None;
+                true
+            }
+            _ => self.open_row_link(name, p),
+        }
+    }
+
+    fn open_row_link(&mut self, name: &str, p: usize) -> bool {
+        if let Some(id) = name.strip_prefix("open-issue-").and_then(|s| s.parse().ok()) {
+            self.route = Route::Issue(p, id);
+            return true;
+        }
+        if let Some(id) = name.strip_prefix("open-mr-").and_then(|s| s.parse().ok()) {
+            self.route = Route::Mr(p, id);
+            return true;
+        }
+        if let Some(user) = name.strip_prefix("remove-member-") {
+            self.state.projects[p].members.retain(|(u, _)| u != user);
+            self.toast = Some("Member removed".into());
+            return true;
+        }
+        false
+    }
+
+    fn handle_profile(&mut self, name: &str, fields: &[(String, String)]) -> bool {
+        if name == "update-profile" {
+            self.state.profile_name = Self::field(fields, "display-name").to_string();
+            self.state.profile_status = Self::field(fields, "status-message").to_string();
+            self.toast = Some("Profile updated".into());
+            return true;
+        }
+        false
+    }
+}
+
+impl Default for GitlabApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuiApp for GitlabApp {
+    fn name(&self) -> &str {
+        "gitlab"
+    }
+
+    fn url(&self) -> String {
+        self.build_page_url()
+    }
+
+    fn build(&self) -> Page {
+        pages::build(&self.state, &self.route, &self.toast, &self.modal)
+    }
+
+    fn on_event(&mut self, ev: SemanticEvent) -> bool {
+        match ev {
+            SemanticEvent::Activated { name, fields, .. } => {
+                self.handle_activation(&name, &fields)
+            }
+            SemanticEvent::Dismissed { name } => {
+                if name == "archive-confirm" {
+                    self.modal = None;
+                    return true;
+                }
+                if self.toast.take().is_some() {
+                    return true;
+                }
+                false
+            }
+            SemanticEvent::Toggled { .. } => false,
+        }
+    }
+
+    fn probe(&self, key: &str) -> Option<String> {
+        let mut parts = key.splitn(3, ':');
+        let kind = parts.next()?;
+        match kind {
+            "issue_exists" | "issue_state" | "issue_labels" | "issue_assignee"
+            | "issue_confidential" | "issue_comments" => {
+                let slug = parts.next()?;
+                let title = parts.next()?;
+                let p = &self.state.projects[self.state.project_by_slug(slug)?];
+                let issue = p.issue_by_title(title);
+                Some(match kind {
+                    "issue_exists" => issue.is_some().to_string(),
+                    _ => {
+                        let i = issue?;
+                        match kind {
+                            "issue_state" => match i.state {
+                                IssueState::Open => "open".into(),
+                                IssueState::Closed => "closed".into(),
+                            },
+                            "issue_labels" => i.labels.join(","),
+                            "issue_assignee" => i.assignee.clone().unwrap_or_default(),
+                            "issue_confidential" => i.confidential.to_string(),
+                            "issue_comments" => i.comments.join(" | "),
+                            _ => unreachable!(),
+                        }
+                    }
+                })
+            }
+            "mr_state" => {
+                let slug = parts.next()?;
+                let title = parts.next()?;
+                let p = &self.state.projects[self.state.project_by_slug(slug)?];
+                let m = p.mrs.iter().find(|m| m.title == title)?;
+                Some(
+                    match m.state {
+                        MrState::Open => "open",
+                        MrState::Merged => "merged",
+                        MrState::Closed => "closed",
+                    }
+                    .into(),
+                )
+            }
+            "member_role" => {
+                let slug = parts.next()?;
+                let user = parts.next()?;
+                let p = &self.state.projects[self.state.project_by_slug(slug)?];
+                p.members
+                    .iter()
+                    .find(|(u, _)| u == user)
+                    .map(|(_, r)| r.clone())
+            }
+            "is_member" => {
+                let slug = parts.next()?;
+                let user = parts.next()?;
+                let p = &self.state.projects[self.state.project_by_slug(slug)?];
+                Some(p.members.iter().any(|(u, _)| u == user).to_string())
+            }
+            "project_visibility" => {
+                let slug = parts.next()?;
+                let p = &self.state.projects[self.state.project_by_slug(slug)?];
+                Some(p.visibility.clone())
+            }
+            "project_archived" => {
+                let slug = parts.next()?;
+                let p = &self.state.projects[self.state.project_by_slug(slug)?];
+                Some(p.archived.to_string())
+            }
+            "project_exists" => {
+                let slug = parts.next()?;
+                Some(self.state.project_by_slug(slug).is_some().to_string())
+            }
+            "profile_name" => Some(self.state.profile_name.clone()),
+            "profile_status" => Some(self.state.profile_status.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl GitlabApp {
+    fn build_page_url(&self) -> String {
+        let slug = |p: usize| self.state.projects[p].slug();
+        match &self.route {
+            Route::Dashboard => "/gitlab".into(),
+            Route::Project(p) => format!("/gitlab/p/{}", slug(*p)),
+            Route::Issues(p, _) => format!("/gitlab/p/{}/issues", slug(*p)),
+            Route::NewIssue(p) => format!("/gitlab/p/{}/issues/new", slug(*p)),
+            Route::Issue(p, id) => format!("/gitlab/p/{}/issues/{id}", slug(*p)),
+            Route::Mrs(p) => format!("/gitlab/p/{}/merge_requests", slug(*p)),
+            Route::Mr(p, id) => format!("/gitlab/p/{}/merge_requests/{id}", slug(*p)),
+            Route::Members(p) => format!("/gitlab/p/{}/members", slug(*p)),
+            Route::Settings(p) => format!("/gitlab/p/{}/settings", slug(*p)),
+            Route::Profile => "/gitlab/profile".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::Session;
+    use eclair_workflow::replay::execute_trace;
+    use eclair_workflow::{Action, TargetRef};
+
+    fn session() -> Session {
+        Session::new(Box::new(GitlabApp::new()))
+    }
+
+    fn name(n: &str) -> TargetRef {
+        TargetRef::Name(n.into())
+    }
+
+    #[test]
+    fn create_issue_end_to_end() {
+        let mut s = session();
+        let trace = vec![
+            Action::Click(name("open-project-webapp")),
+            Action::Click(name("tab-issues")),
+            Action::Click(name("new-issue")),
+            Action::Type {
+                target: Some(name("title")),
+                text: "Login broken on Safari".into(),
+            },
+            Action::Type {
+                target: Some(name("description")),
+                text: "Repro: open login in Safari 17".into(),
+            },
+            Action::Type {
+                target: Some(name("label")),
+                text: "bug".into(),
+            },
+            Action::Click(name("create-issue")),
+        ];
+        execute_trace(&mut s, &trace).expect("trace runs");
+        assert_eq!(
+            s.app().probe("issue_exists:webapp:Login broken on Safari"),
+            Some("true".into())
+        );
+        assert_eq!(
+            s.app().probe("issue_labels:webapp:Login broken on Safari"),
+            Some("bug".into())
+        );
+        assert!(s.url().contains("/issues/"));
+        assert!(s.screenshot().contains_text("Issue created"));
+    }
+
+    #[test]
+    fn close_and_reopen_issue() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-project-webapp")),
+                Action::Click(name("tab-issues")),
+                Action::Click(name("open-issue-1")),
+                Action::Click(name("close-issue")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            s.app().probe("issue_state:webapp:Checkout page times out"),
+            Some("closed".into())
+        );
+        execute_trace(&mut s, &[Action::Click(name("reopen-issue"))]).unwrap();
+        assert_eq!(
+            s.app().probe("issue_state:webapp:Checkout page times out"),
+            Some("open".into())
+        );
+    }
+
+    #[test]
+    fn invite_member_validates_directory() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-project-webapp")),
+                Action::Click(name("tab-members")),
+                Action::Type {
+                    target: Some(name("invite-username")),
+                    text: "nobody.real".into(),
+                },
+                Action::Click(name("invite-member")),
+            ],
+        )
+        .unwrap();
+        assert!(s.screenshot().contains_text("not found"));
+        assert_eq!(s.app().probe("is_member:webapp:nobody.real"), Some("false".into()));
+        execute_trace(
+            &mut s,
+            &[
+                Action::Replace {
+                    target: name("invite-username"),
+                    text: "jill.woo".into(),
+                },
+                Action::Click(name("invite-member")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("is_member:webapp:jill.woo"), Some("true".into()));
+        assert_eq!(
+            s.app().probe("member_role:webapp:jill.woo"),
+            Some("Developer".into())
+        );
+    }
+
+    #[test]
+    fn archive_requires_modal_confirmation() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-project-docs")),
+                Action::Click(name("tab-settings")),
+                Action::Click(name("archive-project")),
+            ],
+        )
+        .unwrap();
+        assert!(s.page().active_modal().is_some());
+        assert_eq!(s.app().probe("project_archived:docs"), Some("false".into()));
+        execute_trace(&mut s, &[Action::Click(name("confirm-archive"))]).unwrap();
+        assert_eq!(s.app().probe("project_archived:docs"), Some("true".into()));
+        assert_eq!(s.url(), "/gitlab");
+    }
+
+    #[test]
+    fn merge_request_flow() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-project-webapp")),
+                Action::Click(name("tab-mrs")),
+                Action::Click(name("open-mr-1")),
+                Action::Click(name("merge-mr")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            s.app().probe("mr_state:webapp:Fix flaky login test"),
+            Some("merged".into())
+        );
+    }
+
+    #[test]
+    fn filter_issues_narrows_table() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-project-webapp")),
+                Action::Click(name("tab-issues")),
+                Action::Type {
+                    target: Some(name("issue-filter")),
+                    text: "dark".into(),
+                },
+                Action::Click(name("apply-filter")),
+            ],
+        )
+        .unwrap();
+        let shot = s.screenshot();
+        assert!(shot.contains_text("Add dark mode"));
+        assert!(!shot.contains_text("Checkout page times out"));
+    }
+
+    #[test]
+    fn profile_update() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-profile")),
+                Action::Type {
+                    target: Some(name("status-message")),
+                    text: "Out of office".into(),
+                },
+                Action::Click(name("update-profile")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("profile_status"), Some("Out of office".into()));
+        assert_eq!(s.app().probe("profile_name"), Some("Byte Blaze".into()));
+    }
+
+    #[test]
+    fn blank_title_is_rejected_with_toast() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-project-webapp")),
+                Action::Click(name("tab-issues")),
+                Action::Click(name("new-issue")),
+                Action::Click(name("create-issue")),
+            ],
+        )
+        .unwrap();
+        assert!(s.screenshot().contains_text("Title can't be blank"));
+        assert!(s.url().ends_with("/issues/new"), "stays on the form");
+    }
+}

@@ -1,0 +1,383 @@
+//! GitLab-sim page builders: pure functions from state to widget trees.
+
+use eclair_gui::{Page, PageBuilder};
+
+use super::state::{GitlabState, IssueState, MrState};
+use super::Route;
+use crate::fixtures;
+
+fn nav(b: &mut PageBuilder) {
+    b.row(|b| {
+        b.link("nav-dashboard", "Projects");
+        b.link("nav-profile", "Profile");
+        b.icon_button("nav-search", "Search GitLab");
+        b.icon_button("nav-notifications", "Notifications");
+    });
+    b.divider();
+}
+
+fn project_tabs(b: &mut PageBuilder) {
+    b.row(|b| {
+        b.tab("tab-overview", "Overview");
+        b.tab("tab-issues", "Issues");
+        b.tab("tab-mrs", "Merge requests");
+        b.tab("tab-members", "Members");
+        b.tab("tab-settings", "Settings");
+    });
+}
+
+fn toast_if(b: &mut PageBuilder, toast: &Option<String>) {
+    if let Some(t) = toast {
+        b.toast(t.clone());
+    }
+}
+
+/// Render the page for a route.
+pub fn build(state: &GitlabState, route: &Route, toast: &Option<String>, modal: &Option<String>) -> Page {
+    match route {
+        Route::Dashboard => dashboard(state, toast),
+        Route::Project(p) => project_home(state, *p, toast),
+        Route::Issues(p, filter) => issues(state, *p, filter, toast),
+        Route::NewIssue(p) => new_issue(state, *p, toast),
+        Route::Issue(p, id) => issue_detail(state, *p, *id, toast),
+        Route::Mrs(p) => mrs(state, *p, toast),
+        Route::Mr(p, id) => mr_detail(state, *p, *id, toast),
+        Route::Members(p) => members(state, *p, toast),
+        Route::Settings(p) => settings(state, *p, toast, modal),
+        Route::Profile => profile(state, toast),
+    }
+}
+
+fn dashboard(state: &GitlabState, toast: &Option<String>) -> Page {
+    let mut b = PageBuilder::new("Projects · GitLab", "/gitlab");
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Projects");
+    let rows: Vec<Vec<(String, Option<String>)>> = state
+        .projects
+        .iter()
+        .filter(|p| !p.archived)
+        .map(|p| {
+            vec![
+                (p.name.clone(), Some(format!("open-project-{}", p.slug()))),
+                (p.description.clone(), None),
+                (format!("{} issues", p.issues.len()), None),
+                (p.visibility.clone(), None),
+            ]
+        })
+        .collect();
+    b.table(&["Name", "Description", "Issues", "Visibility"], &rows);
+    b.finish()
+}
+
+fn project_home(state: &GitlabState, p: usize, toast: &Option<String>) -> Page {
+    let proj = &state.projects[p];
+    let mut b = PageBuilder::new(
+        format!("{} · GitLab", proj.name),
+        format!("/gitlab/p/{}", proj.slug()),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, proj.name.clone());
+    project_tabs(&mut b);
+    b.text(proj.description.clone());
+    b.text(format!(
+        "{} open issues · {} merge requests · {} members",
+        proj.issues
+            .iter()
+            .filter(|i| i.state == IssueState::Open)
+            .count(),
+        proj.mrs.len(),
+        proj.members.len()
+    ));
+    b.finish()
+}
+
+fn issues(state: &GitlabState, p: usize, filter: &str, toast: &Option<String>) -> Page {
+    let proj = &state.projects[p];
+    let mut b = PageBuilder::new(
+        format!("Issues · {}", proj.name),
+        format!("/gitlab/p/{}/issues", proj.slug()),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Issues");
+    project_tabs(&mut b);
+    b.form("filter-form", |b| {
+        b.row(|b| {
+            b.text_input("issue-filter", "", "Search or filter results...");
+            b.button("apply-filter", "Search");
+            b.button("new-issue", "New issue");
+        });
+    });
+    let needle = filter.to_lowercase();
+    let rows: Vec<Vec<(String, Option<String>)>> = proj
+        .issues
+        .iter()
+        .filter(|i| needle.is_empty() || i.title.to_lowercase().contains(&needle))
+        .map(|i| {
+            vec![
+                (i.title.clone(), Some(format!("open-issue-{}", i.id))),
+                (
+                    match i.state {
+                        IssueState::Open => "open".to_string(),
+                        IssueState::Closed => "closed".to_string(),
+                    },
+                    None,
+                ),
+                (i.labels.join(", "), None),
+                (i.assignee.clone().unwrap_or_default(), None),
+            ]
+        })
+        .collect();
+    b.table(&["Title", "State", "Labels", "Assignee"], &rows);
+    b.finish()
+}
+
+fn new_issue(state: &GitlabState, p: usize, toast: &Option<String>) -> Page {
+    let proj = &state.projects[p];
+    let mut b = PageBuilder::new(
+        format!("New issue · {}", proj.name),
+        format!("/gitlab/p/{}/issues/new", proj.slug()),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "New issue");
+    b.form("issue-form", |b| {
+        b.text_input("title", "Title", "Add a title");
+        b.textarea("description", "Description", "Write a description...");
+        let mut labels: Vec<&str> = vec![""];
+        labels.extend(fixtures::LABELS);
+        b.select("label", "Label", &labels, None);
+        let mut assignees: Vec<&str> = vec![""];
+        assignees.extend(fixtures::USERS);
+        b.select("assignee", "Assignee", &assignees, None);
+        b.checkbox("confidential", "This issue is confidential", false);
+        b.row(|b| {
+            b.button("create-issue", "Create issue");
+            b.link("cancel-issue", "Cancel");
+        });
+    });
+    b.finish()
+}
+
+fn issue_detail(state: &GitlabState, p: usize, id: u32, toast: &Option<String>) -> Page {
+    let proj = &state.projects[p];
+    let issue = proj.issue(id).expect("route points at an existing issue");
+    let mut b = PageBuilder::new(
+        format!("{} · Issues", issue.title),
+        format!("/gitlab/p/{}/issues/{}", proj.slug(), id),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, issue.title.clone());
+    b.row(|b| {
+        b.badge(match issue.state {
+            IssueState::Open => "Open",
+            IssueState::Closed => "Closed",
+        });
+        for l in &issue.labels {
+            b.badge(l.clone());
+        }
+        if issue.confidential {
+            b.badge("Confidential");
+        }
+    });
+    b.text(issue.description.clone());
+    b.text(format!(
+        "Assignee: {}",
+        issue.assignee.clone().unwrap_or_else(|| "none".into())
+    ));
+    b.row(|b| {
+        match issue.state {
+            IssueState::Open => b.button("close-issue", "Close issue"),
+            IssueState::Closed => b.button("reopen-issue", "Reopen issue"),
+        };
+    });
+    b.divider();
+    b.form("label-form", |b| {
+        b.row(|b| {
+            let mut labels: Vec<&str> = vec![""];
+            labels.extend(fixtures::LABELS);
+            b.select("add-label-select", "Label", &labels, None);
+            b.button("add-label", "Add label");
+        });
+    });
+    b.form("title-form", |b| {
+        b.row(|b| {
+            b.text_input("new-title", "", "New title");
+            b.button("save-title", "Save title");
+        });
+    });
+    b.divider();
+    for c in &issue.comments {
+        b.text(format!("💬 {c}"));
+    }
+    b.form("comment-form", |b| {
+        b.textarea("comment", "Comment", "Write a comment...");
+        b.button("add-comment", "Comment");
+    });
+    b.finish()
+}
+
+fn mrs(state: &GitlabState, p: usize, toast: &Option<String>) -> Page {
+    let proj = &state.projects[p];
+    let mut b = PageBuilder::new(
+        format!("Merge requests · {}", proj.name),
+        format!("/gitlab/p/{}/merge_requests", proj.slug()),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Merge requests");
+    project_tabs(&mut b);
+    let rows: Vec<Vec<(String, Option<String>)>> = proj
+        .mrs
+        .iter()
+        .map(|m| {
+            vec![
+                (m.title.clone(), Some(format!("open-mr-{}", m.id))),
+                (
+                    match m.state {
+                        MrState::Open => "open".to_string(),
+                        MrState::Merged => "merged".to_string(),
+                        MrState::Closed => "closed".to_string(),
+                    },
+                    None,
+                ),
+                (m.source_branch.clone(), None),
+            ]
+        })
+        .collect();
+    b.table(&["Title", "State", "Source branch"], &rows);
+    b.finish()
+}
+
+fn mr_detail(state: &GitlabState, p: usize, id: u32, toast: &Option<String>) -> Page {
+    let proj = &state.projects[p];
+    let mr = proj.mr(id).expect("route points at an existing MR");
+    let mut b = PageBuilder::new(
+        format!("{} · Merge requests", mr.title),
+        format!("/gitlab/p/{}/merge_requests/{}", proj.slug(), id),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, mr.title.clone());
+    b.badge(match mr.state {
+        MrState::Open => "Open",
+        MrState::Merged => "Merged",
+        MrState::Closed => "Closed",
+    });
+    b.text(format!("Source branch: {}", mr.source_branch));
+    if mr.state == MrState::Open {
+        b.row(|b| {
+            b.button("merge-mr", "Merge");
+            b.button("close-mr", "Close merge request");
+        });
+    }
+    b.finish()
+}
+
+fn members(state: &GitlabState, p: usize, toast: &Option<String>) -> Page {
+    let proj = &state.projects[p];
+    let mut b = PageBuilder::new(
+        format!("Members · {}", proj.name),
+        format!("/gitlab/p/{}/members", proj.slug()),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Project members");
+    project_tabs(&mut b);
+    b.form("invite-form", |b| {
+        b.row(|b| {
+            b.text_input("invite-username", "", "Username");
+            b.select(
+                "invite-role",
+                "Role",
+                &["Guest", "Reporter", "Developer", "Maintainer"],
+                Some("Developer"),
+            );
+            b.button("invite-member", "Invite member");
+        });
+    });
+    let rows: Vec<Vec<(String, Option<String>)>> = proj
+        .members
+        .iter()
+        .map(|(u, r)| {
+            vec![
+                (u.clone(), None),
+                (r.clone(), None),
+                ("Remove".to_string(), Some(format!("remove-member-{u}"))),
+            ]
+        })
+        .collect();
+    b.table(&["User", "Role", ""], &rows);
+    b.finish()
+}
+
+fn settings(
+    state: &GitlabState,
+    p: usize,
+    toast: &Option<String>,
+    modal: &Option<String>,
+) -> Page {
+    let proj = &state.projects[p];
+    let mut b = PageBuilder::new(
+        format!("Settings · {}", proj.name),
+        format!("/gitlab/p/{}/settings", proj.slug()),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Project settings");
+    project_tabs(&mut b);
+    b.form("settings-form", |b| {
+        let pname = b.text_input("project-name", "Project name", "");
+        let _ = pname;
+        b.select(
+            "visibility",
+            "Visibility",
+            &["private", "internal", "public"],
+            Some(&proj.visibility),
+        );
+        b.button("save-settings", "Save changes");
+    });
+    b.divider();
+    b.heading(2, "Danger zone");
+    b.button("archive-project", "Archive project");
+    let mut page = {
+        if modal.as_deref() == Some("archive") {
+            b.modal("archive-confirm", |b| {
+                b.text("Archiving will hide this project from the dashboard. Continue?");
+                b.row(|b| {
+                    b.button("confirm-archive", "Archive");
+                    b.button("cancel-archive", "Cancel");
+                });
+            });
+        }
+        b.finish()
+    };
+    // Pre-fill the project name into the settings field.
+    if let Some(id) = page.find_by_name("project-name") {
+        page.get_mut(id).value = proj.name.clone();
+    }
+    page
+}
+
+fn profile(state: &GitlabState, toast: &Option<String>) -> Page {
+    let mut b = PageBuilder::new("Profile · GitLab", "/gitlab/profile");
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "User profile");
+    b.form("profile-form", |b| {
+        b.text_input("display-name", "Display name", "");
+        b.text_input("status-message", "Status message", "Set a status");
+        b.button("update-profile", "Update profile");
+    });
+    let mut page = b.finish();
+    if let Some(id) = page.find_by_name("display-name") {
+        page.get_mut(id).value = state.profile_name.clone();
+    }
+    if let Some(id) = page.find_by_name("status-message") {
+        page.get_mut(id).value = state.profile_status.clone();
+    }
+    page
+}

@@ -1,0 +1,466 @@
+//! Magento-admin-sim: the e-commerce back office mirroring WebArena's
+//! Adobe Magento admin environment (the other half of the paper's 30
+//! sampled workflows).
+
+pub mod pages;
+pub mod state;
+
+use eclair_gui::{GuiApp, Page, SemanticEvent};
+
+pub use state::{Customer, MagentoState, Order, Product};
+
+/// Current screen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Route {
+    Dashboard,
+    /// Product grid with an applied search filter.
+    Products(String),
+    NewProduct,
+    EditProduct(String),
+    Orders,
+    Order(u32),
+    Customers(String),
+}
+
+/// The running admin application.
+pub struct MagentoApp {
+    state: MagentoState,
+    route: Route,
+    toast: Option<String>,
+    modal: Option<String>,
+}
+
+impl MagentoApp {
+    /// Fresh instance on the standard fixture.
+    pub fn new() -> Self {
+        Self {
+            state: MagentoState::fixture(),
+            route: Route::Dashboard,
+            toast: None,
+            modal: None,
+        }
+    }
+
+    /// Access the domain state (tests/oracles).
+    pub fn state(&self) -> &MagentoState {
+        &self.state
+    }
+
+    fn field<'a>(fields: &'a [(String, String)], name: &str) -> &'a str {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    }
+
+    fn handle_activation(&mut self, name: &str, fields: &[(String, String)]) -> bool {
+        self.toast = None;
+        match name {
+            "nav-dashboard" => {
+                self.route = Route::Dashboard;
+                return true;
+            }
+            "nav-products" | "back-to-products" => {
+                self.route = Route::Products(String::new());
+                return true;
+            }
+            "nav-orders" => {
+                self.route = Route::Orders;
+                return true;
+            }
+            "nav-customers" => {
+                self.route = Route::Customers(String::new());
+                return true;
+            }
+            "apply-search" => {
+                self.route = Route::Products(Self::field(fields, "product-search").into());
+                return true;
+            }
+            "apply-customer-search" => {
+                self.route = Route::Customers(Self::field(fields, "customer-search").into());
+                return true;
+            }
+            "add-product" => {
+                self.route = Route::NewProduct;
+                return true;
+            }
+            "save-product" => return self.save_new_product(fields),
+            "update-product" => return self.update_product(fields),
+            "ship-order" => {
+                if let Route::Order(id) = self.route {
+                    if let Some(o) = self.state.order_mut(id) {
+                        o.status = "Shipped".into();
+                    }
+                    self.toast = Some("Shipment created".into());
+                }
+                return true;
+            }
+            "cancel-order" => {
+                self.modal = Some("cancel".into());
+                return true;
+            }
+            "confirm-cancel" => {
+                if let Route::Order(id) = self.route {
+                    if let Some(o) = self.state.order_mut(id) {
+                        o.status = "Canceled".into();
+                    }
+                }
+                self.modal = None;
+                self.toast = Some("Order canceled".into());
+                return true;
+            }
+            "abort-cancel" => {
+                self.modal = None;
+                return true;
+            }
+            "submit-comment" => {
+                if let Route::Order(id) = self.route {
+                    let c = Self::field(fields, "order-comment").trim().to_string();
+                    if c.is_empty() {
+                        self.toast = Some("Comment cannot be empty".into());
+                    } else if let Some(o) = self.state.order_mut(id) {
+                        o.comments.push(c);
+                        self.toast = Some("Comment added".into());
+                    }
+                }
+                return true;
+            }
+            _ => {}
+        }
+        if let Some(sku) = name.strip_prefix("edit-product-") {
+            if self.state.product(sku).is_some() {
+                self.route = Route::EditProduct(sku.to_string());
+                return true;
+            }
+        }
+        if let Some(id) = name.strip_prefix("open-order-").and_then(|s| s.parse().ok()) {
+            if self.state.order(id).is_some() {
+                self.route = Route::Order(id);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn save_new_product(&mut self, fields: &[(String, String)]) -> bool {
+        let name = Self::field(fields, "name").trim().to_string();
+        let sku = Self::field(fields, "sku").trim().to_string();
+        if name.is_empty() || sku.is_empty() {
+            self.toast = Some("Name and SKU are required".into());
+            return true;
+        }
+        if self.state.product(&sku).is_some() {
+            self.toast = Some(format!("SKU {sku} already exists"));
+            return true;
+        }
+        let price: f64 = Self::field(fields, "price").parse().unwrap_or(0.0);
+        let quantity: u32 = Self::field(fields, "quantity").parse().unwrap_or(0);
+        let status = match Self::field(fields, "status") {
+            "" => "Enabled".to_string(),
+            s => s.to_string(),
+        };
+        self.state.products.push(Product {
+            name,
+            sku: sku.clone(),
+            price,
+            quantity,
+            status,
+        });
+        self.toast = Some("You saved the product".into());
+        self.route = Route::EditProduct(sku);
+        true
+    }
+
+    fn update_product(&mut self, fields: &[(String, String)]) -> bool {
+        let Route::EditProduct(sku) = &self.route else {
+            return false;
+        };
+        let sku = sku.clone();
+        let new_price: Option<f64> = Self::field(fields, "price").parse().ok();
+        let new_qty: Option<u32> = Self::field(fields, "quantity").parse().ok();
+        let new_name = Self::field(fields, "name").trim().to_string();
+        let new_status = Self::field(fields, "status").to_string();
+        if let Some(p) = self.state.product_mut(&sku) {
+            if let Some(v) = new_price {
+                p.price = v;
+            }
+            if let Some(v) = new_qty {
+                p.quantity = v;
+            }
+            if !new_name.is_empty() {
+                p.name = new_name;
+            }
+            if !new_status.is_empty() {
+                p.status = new_status;
+            }
+        }
+        self.toast = Some("You saved the product".into());
+        true
+    }
+}
+
+impl Default for MagentoApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuiApp for MagentoApp {
+    fn name(&self) -> &str {
+        "magento"
+    }
+
+    fn url(&self) -> String {
+        match &self.route {
+            Route::Dashboard => "/magento".into(),
+            Route::Products(_) => "/magento/catalog/products".into(),
+            Route::NewProduct => "/magento/catalog/products/new".into(),
+            Route::EditProduct(sku) => format!("/magento/catalog/products/{sku}/edit"),
+            Route::Orders => "/magento/sales/orders".into(),
+            Route::Order(id) => format!("/magento/sales/orders/{id}"),
+            Route::Customers(_) => "/magento/customers".into(),
+        }
+    }
+
+    fn build(&self) -> Page {
+        pages::build(&self.state, &self.route, &self.toast, &self.modal)
+    }
+
+    fn on_event(&mut self, ev: SemanticEvent) -> bool {
+        match ev {
+            SemanticEvent::Activated { name, fields, .. } => {
+                self.handle_activation(&name, &fields)
+            }
+            SemanticEvent::Dismissed { name } => {
+                if name == "cancel-confirm" {
+                    self.modal = None;
+                    return true;
+                }
+                if self.toast.take().is_some() {
+                    return true;
+                }
+                false
+            }
+            SemanticEvent::Toggled { .. } => false,
+        }
+    }
+
+    fn probe(&self, key: &str) -> Option<String> {
+        let mut parts = key.splitn(2, ':');
+        let kind = parts.next()?;
+        let arg = parts.next().unwrap_or("");
+        match kind {
+            "product_exists" => Some(
+                self.state
+                    .products
+                    .iter()
+                    .any(|p| p.name == arg || p.sku == arg)
+                    .to_string(),
+            ),
+            "product_price" => self.state.product(arg).map(|p| format!("{:.2}", p.price)),
+            "product_qty" => self.state.product(arg).map(|p| p.quantity.to_string()),
+            "product_status" => self.state.product(arg).map(|p| p.status.clone()),
+            "product_name" => self.state.product(arg).map(|p| p.name.clone()),
+            "order_status" => arg
+                .parse()
+                .ok()
+                .and_then(|id| self.state.order(id))
+                .map(|o| o.status.clone()),
+            "order_comments" => arg
+                .parse()
+                .ok()
+                .and_then(|id| self.state.order(id))
+                .map(|o| o.comments.join(" | ")),
+            "customer_exists" => Some(
+                self.state
+                    .customers
+                    .iter()
+                    .any(|c| c.email == arg || c.name == arg)
+                    .to_string(),
+            ),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::Session;
+    use eclair_workflow::replay::execute_trace;
+    use eclair_workflow::{Action, TargetRef};
+
+    fn session() -> Session {
+        Session::new(Box::new(MagentoApp::new()))
+    }
+
+    fn name(n: &str) -> TargetRef {
+        TargetRef::Name(n.into())
+    }
+
+    #[test]
+    fn add_product_end_to_end() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-products")),
+                Action::Click(name("add-product")),
+                Action::Type {
+                    target: Some(name("name")),
+                    text: "Trail Running Socks".into(),
+                },
+                Action::Type {
+                    target: Some(name("sku")),
+                    text: "24-SO01".into(),
+                },
+                Action::Type {
+                    target: Some(name("price")),
+                    text: "11.50".into(),
+                },
+                Action::Type {
+                    target: Some(name("quantity")),
+                    text: "40".into(),
+                },
+                Action::Click(name("save-product")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("product_exists:24-SO01"), Some("true".into()));
+        assert_eq!(s.app().probe("product_price:24-SO01"), Some("11.50".into()));
+        assert!(s.url().ends_with("/edit"));
+        assert!(s.screenshot().contains_text("You saved the product"));
+    }
+
+    #[test]
+    fn duplicate_sku_rejected() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-products")),
+                Action::Click(name("add-product")),
+                Action::Type {
+                    target: Some(name("name")),
+                    text: "Dup".into(),
+                },
+                Action::Type {
+                    target: Some(name("sku")),
+                    text: "PG004".into(),
+                },
+                Action::Click(name("save-product")),
+            ],
+        )
+        .unwrap();
+        assert!(s.screenshot().contains_text("already exists"));
+        assert_eq!(s.app().probe("product_name:PG004"), Some("Quest Lumaflex Band".into()));
+    }
+
+    #[test]
+    fn update_price_via_edit_form() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-products")),
+                Action::Click(name("edit-product-PG004")),
+            ],
+        )
+        .unwrap();
+        // The form is prefilled; clear price by backspacing then type anew.
+        let price_field = s.page().find_by_name("price").unwrap();
+        let pt = s
+            .page()
+            .get(price_field)
+            .bounds
+            .center()
+            .offset(0, -s.scroll_y());
+        s.dispatch(eclair_gui::UserEvent::Click(pt));
+        for _ in 0..10 {
+            s.dispatch(eclair_gui::UserEvent::Press(eclair_gui::Key::Backspace));
+        }
+        s.dispatch(eclair_gui::UserEvent::Type("17.25".into()));
+        execute_trace(&mut s, &[Action::Click(name("update-product"))]).unwrap();
+        assert_eq!(s.app().probe("product_price:PG004"), Some("17.25".into()));
+    }
+
+    #[test]
+    fn cancel_order_requires_confirmation() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-orders")),
+                Action::Click(name("open-order-1002")),
+                Action::Click(name("cancel-order")),
+            ],
+        )
+        .unwrap();
+        assert!(s.page().active_modal().is_some());
+        assert_eq!(s.app().probe("order_status:1002"), Some("Pending".into()));
+        execute_trace(&mut s, &[Action::Click(name("confirm-cancel"))]).unwrap();
+        assert_eq!(s.app().probe("order_status:1002"), Some("Canceled".into()));
+    }
+
+    #[test]
+    fn ship_order_and_comment() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-orders")),
+                Action::Click(name("open-order-1001")),
+                Action::Type {
+                    target: Some(name("order-comment")),
+                    text: "Called customer to confirm address".into(),
+                },
+                Action::Click(name("submit-comment")),
+                Action::Click(name("ship-order")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("order_status:1001"), Some("Shipped".into()));
+        assert_eq!(
+            s.app().probe("order_comments:1001"),
+            Some("Called customer to confirm address".into())
+        );
+    }
+
+    #[test]
+    fn search_filters_grid() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-products")),
+                Action::Type {
+                    target: Some(name("product-search")),
+                    text: "Lumaflex".into(),
+                },
+                Action::Click(name("apply-search")),
+            ],
+        )
+        .unwrap();
+        let shot = s.screenshot();
+        assert!(shot.contains_text("Quest Lumaflex Band"));
+        assert!(!shot.contains_text("Zing Jump Rope"));
+    }
+
+    #[test]
+    fn escape_dismisses_cancel_modal() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("nav-orders")),
+                Action::Click(name("open-order-1004")),
+                Action::Click(name("cancel-order")),
+            ],
+        )
+        .unwrap();
+        s.dispatch(eclair_gui::UserEvent::Press(eclair_gui::Key::Escape));
+        assert!(s.page().active_modal().is_none());
+        assert_eq!(s.app().probe("order_status:1004"), Some("Pending".into()));
+    }
+}

@@ -1,0 +1,238 @@
+//! Magento-admin-sim page builders.
+
+use eclair_gui::{Page, PageBuilder};
+
+use super::state::MagentoState;
+use super::Route;
+
+fn nav(b: &mut PageBuilder) {
+    b.row(|b| {
+        b.link("nav-dashboard", "Dashboard");
+        b.link("nav-products", "Catalog");
+        b.link("nav-orders", "Orders");
+        b.link("nav-customers", "Customers");
+        b.icon_button("nav-admin", "Admin account");
+    });
+    b.divider();
+}
+
+fn toast_if(b: &mut PageBuilder, toast: &Option<String>) {
+    if let Some(t) = toast {
+        b.toast(t.clone());
+    }
+}
+
+/// Render the page for a route.
+pub fn build(
+    state: &MagentoState,
+    route: &Route,
+    toast: &Option<String>,
+    modal: &Option<String>,
+) -> Page {
+    match route {
+        Route::Dashboard => dashboard(state, toast),
+        Route::Products(filter) => products(state, filter, toast),
+        Route::NewProduct => new_product(toast),
+        Route::EditProduct(sku) => edit_product(state, sku, toast),
+        Route::Orders => orders(state, toast),
+        Route::Order(id) => order_detail(state, *id, toast, modal),
+        Route::Customers(filter) => customers(state, filter, toast),
+    }
+}
+
+fn dashboard(state: &MagentoState, toast: &Option<String>) -> Page {
+    let mut b = PageBuilder::new("Dashboard · Magento Admin", "/magento");
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Dashboard");
+    let revenue: f64 = state
+        .orders
+        .iter()
+        .filter(|o| o.status == "Complete")
+        .map(|o| o.total)
+        .sum();
+    b.text(format!("Lifetime sales: ${revenue:.2}"));
+    b.text(format!(
+        "{} products · {} orders · {} customers",
+        state.products.len(),
+        state.orders.len(),
+        state.customers.len()
+    ));
+    b.finish()
+}
+
+fn products(state: &MagentoState, filter: &str, toast: &Option<String>) -> Page {
+    let mut b = PageBuilder::new("Products · Magento Admin", "/magento/catalog/products");
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Products");
+    b.form("search-form", |b| {
+        b.row(|b| {
+            b.text_input("product-search", "", "Search by keyword");
+            b.button("apply-search", "Search");
+            b.button("add-product", "Add product");
+        });
+    });
+    let needle = filter.to_lowercase();
+    let rows: Vec<Vec<(String, Option<String>)>> = state
+        .products
+        .iter()
+        .filter(|p| {
+            needle.is_empty()
+                || p.name.to_lowercase().contains(&needle)
+                || p.sku.to_lowercase().contains(&needle)
+        })
+        .map(|p| {
+            vec![
+                (p.name.clone(), Some(format!("edit-product-{}", p.sku))),
+                (p.sku.clone(), None),
+                (format!("${:.2}", p.price), None),
+                (p.quantity.to_string(), None),
+                (p.status.clone(), None),
+            ]
+        })
+        .collect();
+    b.table(&["Name", "SKU", "Price", "Qty", "Status"], &rows);
+    b.finish()
+}
+
+fn product_form(b: &mut PageBuilder, submit_name: &str, submit_label: &str) {
+    b.form("product-form", |b| {
+        b.text_input("name", "Product name", "");
+        b.text_input("sku", "SKU", "");
+        b.text_input("price", "Price", "0.00");
+        b.text_input("quantity", "Quantity", "0");
+        b.select("status", "Enable product", &["Enabled", "Disabled"], Some("Enabled"));
+        b.row(|b| {
+            b.button(submit_name, submit_label);
+            b.link("back-to-products", "Back");
+        });
+    });
+}
+
+fn new_product(toast: &Option<String>) -> Page {
+    let mut b = PageBuilder::new("New product · Magento Admin", "/magento/catalog/products/new");
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "New product");
+    product_form(&mut b, "save-product", "Save");
+    b.finish()
+}
+
+fn edit_product(state: &MagentoState, sku: &str, toast: &Option<String>) -> Page {
+    let p = state.product(sku).expect("route points at existing product");
+    let mut b = PageBuilder::new(
+        format!("{} · Magento Admin", p.name),
+        format!("/magento/catalog/products/{}/edit", p.sku),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, p.name.clone());
+    product_form(&mut b, "update-product", "Save");
+    let mut page = b.finish();
+    for (field, value) in [
+        ("name", p.name.clone()),
+        ("sku", p.sku.clone()),
+        ("price", format!("{:.2}", p.price)),
+        ("quantity", p.quantity.to_string()),
+        ("status", p.status.clone()),
+    ] {
+        if let Some(id) = page.find_by_name(field) {
+            page.get_mut(id).value = value;
+        }
+    }
+    page
+}
+
+fn orders(state: &MagentoState, toast: &Option<String>) -> Page {
+    let mut b = PageBuilder::new("Orders · Magento Admin", "/magento/sales/orders");
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Orders");
+    let rows: Vec<Vec<(String, Option<String>)>> = state
+        .orders
+        .iter()
+        .map(|o| {
+            vec![
+                (format!("#{}", o.id), Some(format!("open-order-{}", o.id))),
+                (o.customer.clone(), None),
+                (format!("${:.2}", o.total), None),
+                (o.status.clone(), None),
+            ]
+        })
+        .collect();
+    b.table(&["Order", "Customer", "Total", "Status"], &rows);
+    b.finish()
+}
+
+fn order_detail(
+    state: &MagentoState,
+    id: u32,
+    toast: &Option<String>,
+    modal: &Option<String>,
+) -> Page {
+    let o = state.order(id).expect("route points at existing order");
+    let mut b = PageBuilder::new(
+        format!("Order #{id} · Magento Admin"),
+        format!("/magento/sales/orders/{id}"),
+    );
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, format!("Order #{id}"));
+    b.row(|b| {
+        b.badge(o.status.clone());
+    });
+    b.text(format!("Customer: {}", o.customer));
+    b.text(format!("Grand total: ${:.2}", o.total));
+    if o.status == "Pending" || o.status == "Processing" {
+        b.row(|b| {
+            b.button("ship-order", "Ship");
+            b.button("cancel-order", "Cancel order");
+        });
+    }
+    b.divider();
+    b.heading(2, "Order comments");
+    for c in &o.comments {
+        b.text(format!("💬 {c}"));
+    }
+    b.form("comment-form", |b| {
+        b.textarea("order-comment", "Comment", "Add a note for this order");
+        b.button("submit-comment", "Submit comment");
+    });
+    if modal.as_deref() == Some("cancel") {
+        b.modal("cancel-confirm", |b| {
+            b.text("Are you sure you want to cancel this order?");
+            b.row(|b| {
+                b.button("confirm-cancel", "OK");
+                b.button("abort-cancel", "Go back");
+            });
+        });
+    }
+    b.finish()
+}
+
+fn customers(state: &MagentoState, filter: &str, toast: &Option<String>) -> Page {
+    let mut b = PageBuilder::new("Customers · Magento Admin", "/magento/customers");
+    toast_if(&mut b, toast);
+    nav(&mut b);
+    b.heading(1, "Customers");
+    b.form("customer-search-form", |b| {
+        b.row(|b| {
+            b.text_input("customer-search", "", "Search by name or email");
+            b.button("apply-customer-search", "Search");
+        });
+    });
+    let needle = filter.to_lowercase();
+    let rows: Vec<Vec<(String, Option<String>)>> = state
+        .customers
+        .iter()
+        .filter(|c| {
+            needle.is_empty()
+                || c.name.to_lowercase().contains(&needle)
+                || c.email.to_lowercase().contains(&needle)
+        })
+        .map(|c| vec![(c.name.clone(), None), (c.email.clone(), None)])
+        .collect();
+    b.table(&["Name", "Email"], &rows);
+    b.finish()
+}

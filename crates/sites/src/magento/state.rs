@@ -1,0 +1,123 @@
+//! Magento-admin-sim domain state: catalog, orders, customers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fixtures;
+
+/// Catalog entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Product {
+    pub name: String,
+    pub sku: String,
+    pub price: f64,
+    pub quantity: u32,
+    /// "Enabled" / "Disabled".
+    pub status: String,
+}
+
+/// A customer order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Order {
+    pub id: u32,
+    pub customer: String,
+    pub total: f64,
+    /// "Pending" / "Processing" / "Complete" / "Canceled" / "Shipped".
+    pub status: String,
+    pub comments: Vec<String>,
+}
+
+/// A registered customer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Customer {
+    pub name: String,
+    pub email: String,
+}
+
+/// The whole admin instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MagentoState {
+    pub products: Vec<Product>,
+    pub orders: Vec<Order>,
+    pub customers: Vec<Customer>,
+}
+
+impl MagentoState {
+    /// Standard evaluation fixture seeded from [`crate::fixtures`].
+    pub fn fixture() -> Self {
+        let products = fixtures::PRODUCT_NAMES
+            .iter()
+            .map(|&(name, sku, price, qty)| Product {
+                name: name.into(),
+                sku: sku.into(),
+                price,
+                quantity: qty,
+                status: "Enabled".into(),
+            })
+            .collect();
+        let customers: Vec<Customer> = fixtures::CUSTOMERS
+            .iter()
+            .map(|&(name, email)| Customer {
+                name: name.into(),
+                email: email.into(),
+            })
+            .collect();
+        let orders = fixtures::ORDERS
+            .iter()
+            .map(|&(id, cust, total, status)| Order {
+                id,
+                customer: customers[cust].name.clone(),
+                total,
+                status: status.into(),
+                comments: Vec::new(),
+            })
+            .collect();
+        Self {
+            products,
+            orders,
+            customers,
+        }
+    }
+
+    /// Find a product by SKU.
+    pub fn product(&self, sku: &str) -> Option<&Product> {
+        self.products.iter().find(|p| p.sku == sku)
+    }
+
+    /// Find a product by SKU, mutably.
+    pub fn product_mut(&mut self, sku: &str) -> Option<&mut Product> {
+        self.products.iter_mut().find(|p| p.sku == sku)
+    }
+
+    /// Find an order by id.
+    pub fn order(&self, id: u32) -> Option<&Order> {
+        self.orders.iter().find(|o| o.id == id)
+    }
+
+    /// Find an order by id, mutably.
+    pub fn order_mut(&mut self, id: u32) -> Option<&mut Order> {
+        self.orders.iter_mut().find(|o| o.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shape() {
+        let s = MagentoState::fixture();
+        assert_eq!(s.products.len(), fixtures::PRODUCT_NAMES.len());
+        assert_eq!(s.orders.len(), fixtures::ORDERS.len());
+        assert!(s.product("PG004").is_some());
+        assert_eq!(s.order(1001).unwrap().customer, "Emma Lopez");
+    }
+
+    #[test]
+    fn lookups_mutate() {
+        let mut s = MagentoState::fixture();
+        s.product_mut("PG004").unwrap().price = 21.0;
+        assert_eq!(s.product("PG004").unwrap().price, 21.0);
+        s.order_mut(1002).unwrap().status = "Canceled".into();
+        assert_eq!(s.order(1002).unwrap().status, "Canceled");
+    }
+}

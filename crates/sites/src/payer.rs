@@ -1,0 +1,253 @@
+//! Payer-portal-sim: an insurance eligibility-verification portal for the
+//! §3.1 hospital revenue-cycle-management case study.
+//!
+//! Hospital staff (or a bot) look up whether a patient's coverage is active
+//! before a visit — one of the two workflows the hospital's RPA pilot
+//! automated, and the one "constant changes to payers' websites would
+//! break".
+
+use eclair_gui::{GuiApp, Page, PageBuilder, SemanticEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::fixtures;
+
+/// Result of the last eligibility check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CheckResult {
+    Eligible { member: String },
+    Ineligible { member: String },
+    NotFound { member: String },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Route {
+    Search,
+    Result,
+}
+
+/// The running payer portal.
+pub struct PayerApp {
+    route: Route,
+    last_result: Option<CheckResult>,
+    /// Audit log of all checks performed: `(member_id, outcome)`.
+    checks: Vec<(String, String)>,
+    toast: Option<String>,
+}
+
+impl PayerApp {
+    /// Fresh instance on the standard member database.
+    pub fn new() -> Self {
+        Self {
+            route: Route::Search,
+            last_result: None,
+            checks: Vec::new(),
+            toast: None,
+        }
+    }
+
+    /// All checks performed this session (oracle access).
+    pub fn checks(&self) -> &[(String, String)] {
+        &self.checks
+    }
+
+    fn field<'a>(fields: &'a [(String, String)], name: &str) -> &'a str {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    }
+
+    fn payers() -> Vec<&'static str> {
+        vec!["", "BlueCross", "Aetna", "Cigna"]
+    }
+}
+
+impl Default for PayerApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuiApp for PayerApp {
+    fn name(&self) -> &str {
+        "payer"
+    }
+
+    fn url(&self) -> String {
+        match self.route {
+            Route::Search => "/payer/eligibility".into(),
+            Route::Result => "/payer/eligibility/result".into(),
+        }
+    }
+
+    fn build(&self) -> Page {
+        match self.route {
+            Route::Search => {
+                let mut b = PageBuilder::new("Eligibility · Payer Portal", "/payer/eligibility");
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                b.heading(1, "Verify patient eligibility");
+                b.text("Enter the member details exactly as they appear on the insurance card.");
+                b.form("eligibility-form", |b| {
+                    b.text_input("member-id", "Member ID", "M00000");
+                    b.text_input("dob", "Date of birth", "YYYY-MM-DD");
+                    b.select("payer", "Payer", &Self::payers(), None);
+                    b.button("check-eligibility", "Check eligibility");
+                });
+                b.finish()
+            }
+            Route::Result => {
+                let mut b = PageBuilder::new(
+                    "Result · Payer Portal",
+                    "/payer/eligibility/result",
+                );
+                b.heading(1, "Eligibility result");
+                match &self.last_result {
+                    Some(CheckResult::Eligible { member }) => {
+                        b.badge("ACTIVE COVERAGE");
+                        b.text(format!("Member {member}: coverage is active for this plan year."));
+                    }
+                    Some(CheckResult::Ineligible { member }) => {
+                        b.badge("NOT COVERED");
+                        b.text(format!("Member {member}: coverage lapsed or plan terminated."));
+                    }
+                    Some(CheckResult::NotFound { member }) => {
+                        b.badge("NO MATCH");
+                        b.text(format!("No member found matching {member}. Verify the ID and date of birth."));
+                    }
+                    None => {
+                        b.text("No check performed yet.");
+                    }
+                }
+                b.link("new-check", "New check");
+                b.finish()
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: SemanticEvent) -> bool {
+        let SemanticEvent::Activated { name, fields, .. } = ev else {
+            return false;
+        };
+        self.toast = None;
+        match name.as_str() {
+            "check-eligibility" => {
+                let member = Self::field(&fields, "member-id").trim().to_string();
+                let dob = Self::field(&fields, "dob").trim().to_string();
+                if member.is_empty() {
+                    self.toast = Some("Member ID is required".into());
+                    return true;
+                }
+                let found = fixtures::MEMBERS
+                    .iter()
+                    .find(|&&(id, _, mdob, _, _)| id == member && (dob.is_empty() || mdob == dob));
+                let result = match found {
+                    Some(&(_, _, _, _, true)) => CheckResult::Eligible {
+                        member: member.clone(),
+                    },
+                    Some(&(_, _, _, _, false)) => CheckResult::Ineligible {
+                        member: member.clone(),
+                    },
+                    None => CheckResult::NotFound {
+                        member: member.clone(),
+                    },
+                };
+                let outcome = match &result {
+                    CheckResult::Eligible { .. } => "eligible",
+                    CheckResult::Ineligible { .. } => "ineligible",
+                    CheckResult::NotFound { .. } => "not_found",
+                };
+                self.checks.push((member, outcome.into()));
+                self.last_result = Some(result);
+                self.route = Route::Result;
+                true
+            }
+            "new-check" => {
+                self.route = Route::Search;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn probe(&self, key: &str) -> Option<String> {
+        let mut parts = key.splitn(2, ':');
+        match parts.next()? {
+            "check_count" => Some(self.checks.len().to_string()),
+            "last_check" => {
+                let member = parts.next()?;
+                self.checks
+                    .iter()
+                    .rev()
+                    .find(|(m, _)| m == member)
+                    .map(|(_, o)| o.clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::Session;
+    use eclair_workflow::replay::execute_trace;
+    use eclair_workflow::{Action, TargetRef};
+
+    fn name(n: &str) -> TargetRef {
+        TargetRef::Name(n.into())
+    }
+
+    fn check(s: &mut Session, member: &str, dob: &str) {
+        execute_trace(
+            s,
+            &[
+                Action::Type {
+                    target: Some(name("member-id")),
+                    text: member.into(),
+                },
+                Action::Type {
+                    target: Some(name("dob")),
+                    text: dob.into(),
+                },
+                Action::Click(name("check-eligibility")),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn eligible_member_reports_active() {
+        let mut s = Session::new(Box::new(PayerApp::new()));
+        check(&mut s, "M10001", "1984-03-12");
+        assert!(s.screenshot().contains_text("ACTIVE COVERAGE"));
+        assert_eq!(s.app().probe("last_check:M10001"), Some("eligible".into()));
+    }
+
+    #[test]
+    fn lapsed_member_reports_not_covered() {
+        let mut s = Session::new(Box::new(PayerApp::new()));
+        check(&mut s, "M10003", "1990-07-23");
+        assert!(s.screenshot().contains_text("NOT COVERED"));
+        assert_eq!(s.app().probe("last_check:M10003"), Some("ineligible".into()));
+    }
+
+    #[test]
+    fn wrong_dob_is_no_match() {
+        let mut s = Session::new(Box::new(PayerApp::new()));
+        check(&mut s, "M10001", "1999-01-01");
+        assert!(s.screenshot().contains_text("NO MATCH"));
+        assert_eq!(s.app().probe("last_check:M10001"), Some("not_found".into()));
+    }
+
+    #[test]
+    fn new_check_returns_to_form() {
+        let mut s = Session::new(Box::new(PayerApp::new()));
+        check(&mut s, "M10004", "");
+        execute_trace(&mut s, &[Action::Click(name("new-check"))]).unwrap();
+        assert_eq!(s.url(), "/payer/eligibility");
+        assert_eq!(s.app().probe("check_count"), Some("1".into()));
+    }
+}

@@ -1,0 +1,209 @@
+//! WebArena-style task specifications.
+//!
+//! A [`TaskSpec`] bundles what the paper's evaluation needs per workflow:
+//! the natural-language intent (the "workflow description" / WD), the gold
+//! semantic action trace a human demonstrator performs, a human-written
+//! reference SOP, and a programmatic success predicate over final
+//! application state (WebArena's functional correctness checks).
+
+use eclair_gui::Session;
+use eclair_workflow::{Action, ActionTrace, Sop};
+use serde::{Deserialize, Serialize};
+
+use crate::{erp::ErpApp, gitlab::GitlabApp, magento::MagentoApp, payer::PayerApp};
+
+/// Which simulated application a task runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    Gitlab,
+    Magento,
+    Erp,
+    Payer,
+}
+
+impl Site {
+    /// Launch a fresh session on this site's standard fixture.
+    pub fn launch(&self) -> Session {
+        match self {
+            Site::Gitlab => Session::new(Box::new(GitlabApp::new())),
+            Site::Magento => Session::new(Box::new(MagentoApp::new())),
+            Site::Erp => Session::new(Box::new(ErpApp::new())),
+            Site::Payer => Session::new(Box::new(PayerApp::new())),
+        }
+    }
+
+    /// Launch with a theme (for drift studies).
+    pub fn launch_with_theme(&self, theme: eclair_gui::Theme) -> Session {
+        match self {
+            Site::Gitlab => Session::with_theme(Box::new(GitlabApp::new()), theme),
+            Site::Magento => Session::with_theme(Box::new(MagentoApp::new()), theme),
+            Site::Erp => Session::with_theme(Box::new(ErpApp::new()), theme),
+            Site::Payer => Session::with_theme(Box::new(PayerApp::new()), theme),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Site::Gitlab => "gitlab",
+            Site::Magento => "magento",
+            Site::Erp => "erp",
+            Site::Payer => "payer",
+        }
+    }
+}
+
+/// The functional success predicate for a task.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuccessCheck {
+    /// Each `(probe_key, expected_value)` must hold on the final app state.
+    pub probes: Vec<(String, String)>,
+    /// The final URL must contain this substring, when set.
+    pub url_contains: Option<String>,
+}
+
+impl SuccessCheck {
+    /// Build from probe pairs.
+    pub fn probes(pairs: &[(&str, &str)]) -> Self {
+        Self {
+            probes: pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            url_contains: None,
+        }
+    }
+
+    /// Additionally require the final URL to contain a substring.
+    pub fn with_url(mut self, fragment: &str) -> Self {
+        self.url_contains = Some(fragment.to_string());
+        self
+    }
+
+    /// Evaluate against a (finished) session.
+    pub fn evaluate(&self, session: &Session) -> bool {
+        if let Some(frag) = &self.url_contains {
+            if !session.url().contains(frag.as_str()) {
+                return false;
+            }
+        }
+        self.probes
+            .iter()
+            .all(|(k, v)| session.app().probe(k).as_deref() == Some(v.as_str()))
+    }
+}
+
+/// One evaluation workflow.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Stable identifier, e.g. `"gitlab-03"`.
+    pub id: String,
+    /// The site it runs on.
+    pub site: Site,
+    /// Natural-language workflow description (WD).
+    pub intent: String,
+    /// Gold semantic action trace (what the human demonstrator does).
+    pub gold_trace: ActionTrace,
+    /// Human-written reference SOP (labels, not programmatic names).
+    pub gold_sop: Sop,
+    /// Functional success predicate.
+    pub success: SuccessCheck,
+}
+
+impl TaskSpec {
+    /// Construct a task.
+    pub fn new(
+        id: &str,
+        site: Site,
+        intent: &str,
+        gold_actions: Vec<Action>,
+        sop_steps: &[&str],
+        success: SuccessCheck,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            site,
+            intent: intent.into(),
+            gold_trace: ActionTrace::from_actions(gold_actions),
+            gold_sop: Sop::from_texts(intent, sop_steps),
+            success,
+        }
+    }
+
+    /// Launch a fresh session for this task.
+    pub fn launch(&self) -> Session {
+        self.site.launch()
+    }
+
+    /// Run the gold trace on a fresh session and verify the success
+    /// predicate — the self-check every task must pass (used by tests).
+    pub fn verify_gold(&self) -> Result<(), String> {
+        let mut session = self.launch();
+        eclair_workflow::replay::execute_trace(&mut session, &self.gold_trace.actions)
+            .map_err(|(i, e)| format!("{}: gold action {} failed: {e}", self.id, i + 1))?;
+        if !self.success.evaluate(&session) {
+            return Err(format!(
+                "{}: gold trace did not satisfy the success check (url={})",
+                self.id,
+                session.url()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_workflow::TargetRef;
+
+    #[test]
+    fn success_check_evaluates_probes_and_url() {
+        let task = TaskSpec::new(
+            "erp-smoke",
+            Site::Erp,
+            "Enter the Acme Corp invoice",
+            vec![
+                Action::Click(TargetRef::Name("nav-new-invoice".into())),
+                Action::Type {
+                    target: Some(TargetRef::Name("customer".into())),
+                    text: "Acme Corp".into(),
+                },
+                Action::Type {
+                    target: Some(TargetRef::Name("amount".into())),
+                    text: "48000".into(),
+                },
+                Action::Type {
+                    target: Some(TargetRef::Name("po".into())),
+                    text: "PO-7741".into(),
+                },
+                Action::Click(TargetRef::Name("save-invoice".into())),
+            ],
+            &["Open the invoice form", "Fill the fields", "Save"],
+            SuccessCheck::probes(&[("invoice_customer:PO-7741", "Acme Corp")])
+                .with_url("/erp/invoices"),
+        );
+        task.verify_gold().expect("gold trace satisfies its check");
+    }
+
+    #[test]
+    fn failing_check_reports_error() {
+        let task = TaskSpec::new(
+            "erp-bad",
+            Site::Erp,
+            "impossible",
+            vec![Action::Click(TargetRef::Name("nav-invoices".into()))],
+            &["Go to invoices"],
+            SuccessCheck::probes(&[("invoice_count", "999")]),
+        );
+        assert!(task.verify_gold().is_err());
+    }
+
+    #[test]
+    fn sites_launch() {
+        for site in [Site::Gitlab, Site::Magento, Site::Erp, Site::Payer] {
+            let s = site.launch();
+            assert!(!s.page().is_empty(), "{} renders", site.name());
+        }
+    }
+}

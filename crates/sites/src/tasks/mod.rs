@@ -1,0 +1,178 @@
+//! The 30-workflow evaluation suite (15 GitLab + 15 Magento), mirroring the
+//! paper's sample "from the Gitlab and Adobe Magento environments", plus
+//! the case-study workflows used by the §3 reproductions.
+//!
+//! Every task's gold trace is verified against its success predicate by the
+//! test suite (`verify_gold`), so the evaluation set is known-solvable —
+//! the same property WebArena guarantees via its functional checks.
+
+pub mod gitlab_tasks;
+pub mod magento_tasks;
+
+use eclair_workflow::{Action, TargetRef};
+
+use crate::task::{Site, SuccessCheck, TaskSpec};
+
+/// Shorthand: click the widget with programmatic name `n`.
+pub(crate) fn click(n: &str) -> Action {
+    Action::Click(TargetRef::Name(n.into()))
+}
+
+/// Shorthand: focus the named widget and type.
+pub(crate) fn type_into(n: &str, text: &str) -> Action {
+    Action::Type {
+        target: Some(TargetRef::Name(n.into())),
+        text: text.into(),
+    }
+}
+
+/// Shorthand: clear the named widget and type a fresh value.
+pub(crate) fn replace(n: &str, text: &str) -> Action {
+    Action::Replace {
+        target: TargetRef::Name(n.into()),
+        text: text.into(),
+    }
+}
+
+/// All 30 evaluation tasks, GitLab first.
+///
+/// ```
+/// let tasks = eclair_sites::all_tasks();
+/// assert_eq!(tasks.len(), 30);
+/// // Every task's gold trace satisfies its own success predicate.
+/// tasks[0].verify_gold().unwrap();
+/// ```
+pub fn all_tasks() -> Vec<TaskSpec> {
+    let mut tasks = gitlab_tasks::tasks();
+    tasks.extend(magento_tasks::tasks());
+    tasks
+}
+
+/// The §3.2 case-study workflow: ingest contract `doc_index` from the ERP
+/// inbox into the invoice system of record.
+pub fn erp_invoice_task(doc_index: usize) -> TaskSpec {
+    let (id, customer, _product, amount, date, po) = crate::fixtures::CONTRACTS[doc_index];
+    TaskSpec::new(
+        &format!("erp-invoice-{}", doc_index + 1),
+        Site::Erp,
+        &format!("Ingest contract {id} into the invoice system of record"),
+        vec![
+            click(&format!("open-doc-{id}")),
+            click("enter-invoice"),
+            type_into("customer", customer),
+            type_into("amount", &format!("{amount}")),
+            type_into("date", date),
+            type_into("po", po),
+            click("save-invoice"),
+        ],
+        &[
+            &format!("Open document '{id}' from the contract inbox"),
+            "Click the 'Enter invoice' button",
+            &format!("Select '{customer}' from the Customer dropdown"),
+            &format!("Type \"{amount}\" into the Amount field"),
+            &format!("Type \"{date}\" into the Invoice date field"),
+            &format!("Type \"{po}\" into the PO number field"),
+            "Click the 'Save invoice' button",
+        ],
+        SuccessCheck::probes(&[
+            (
+                &format!("invoice_customer:{po}") as &str,
+                customer,
+            ),
+            (
+                &format!("invoice_amount:{po}") as &str,
+                &format!("{amount:.2}"),
+            ),
+        ])
+        .with_url("/erp/invoices"),
+    )
+}
+
+/// The §3.1 case-study workflow: verify a member's insurance eligibility.
+pub fn payer_eligibility_task(member_index: usize) -> TaskSpec {
+    let (member, _name, dob, payer, eligible) = crate::fixtures::MEMBERS[member_index];
+    TaskSpec::new(
+        &format!("payer-elig-{}", member_index + 1),
+        Site::Payer,
+        &format!("Verify insurance eligibility for member {member}"),
+        vec![
+            type_into("member-id", member),
+            type_into("dob", dob),
+            type_into("payer", payer),
+            click("check-eligibility"),
+        ],
+        &[
+            &format!("Type \"{member}\" into the Member ID field"),
+            &format!("Type \"{dob}\" into the Date of birth field"),
+            &format!("Select '{payer}' from the Payer dropdown"),
+            "Click the 'Check eligibility' button",
+        ],
+        SuccessCheck::probes(&[(
+            &format!("last_check:{member}") as &str,
+            if eligible { "eligible" } else { "ineligible" },
+        )])
+        .with_url("/payer/eligibility/result"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_thirty_tasks() {
+        let tasks = all_tasks();
+        assert_eq!(tasks.len(), 30);
+        let gitlab = tasks.iter().filter(|t| t.site == Site::Gitlab).count();
+        let magento = tasks.iter().filter(|t| t.site == Site::Magento).count();
+        assert_eq!(gitlab, 15);
+        assert_eq!(magento, 15);
+    }
+
+    #[test]
+    fn task_ids_are_unique() {
+        let tasks = all_tasks();
+        let mut ids: Vec<&str> = tasks.iter().map(|t| t.id.as_str()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), tasks.len());
+    }
+
+    #[test]
+    fn every_gold_trace_satisfies_its_success_check() {
+        for task in all_tasks() {
+            task.verify_gold().unwrap();
+        }
+    }
+
+    #[test]
+    fn gold_sops_average_near_paper_ground_truth() {
+        // Paper Table 1 ground truth: 8.70 steps per SOP on average.
+        let tasks = all_tasks();
+        let avg: f64 =
+            tasks.iter().map(|t| t.gold_sop.len() as f64).sum::<f64>() / tasks.len() as f64;
+        assert!(
+            (4.0..=11.0).contains(&avg),
+            "average SOP length {avg:.2} should be broadly comparable to the paper's 8.70"
+        );
+    }
+
+    #[test]
+    fn case_study_tasks_verify() {
+        for i in 0..crate::fixtures::CONTRACTS.len() {
+            erp_invoice_task(i).verify_gold().unwrap();
+        }
+        for i in 0..crate::fixtures::MEMBERS.len() {
+            payer_eligibility_task(i).verify_gold().unwrap();
+        }
+    }
+
+    #[test]
+    fn intents_are_nonempty_and_descriptive() {
+        for t in all_tasks() {
+            assert!(t.intent.split_whitespace().count() >= 4, "{}", t.id);
+            assert!(!t.gold_sop.is_empty(), "{}", t.id);
+            assert!(t.gold_trace.len() >= 2, "{}", t.id);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Set-of-marks prompting support (Yang et al., 2023).
+//!
+//! Table 3 grounds GPT-4 by overlaying "a unique numeric label on top of
+//! every element in the webpage screenshot" and asking the model to output
+//! a label number. The candidate boxes come either from the page's HTML
+//! ("HTML" source) or from the simulated YOLO detector ("YOLO" source).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use eclair_gui::html::{element_boxes, HtmlElement};
+use eclair_gui::{Page, Rect, Screenshot};
+
+use crate::detector::{Detection, YoloNasSim};
+
+/// One numbered mark over a candidate box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mark {
+    /// The numeric label drawn on screen (1-based, reading order).
+    pub label: u32,
+    /// The candidate box in viewport coordinates.
+    pub rect: Rect,
+    /// Text associated with the candidate (OCR'd for detector marks, exact
+    /// for HTML marks).
+    pub text: String,
+    /// Coarse class/tag hint ("button", "a", "input", or a detector class).
+    pub hint: String,
+}
+
+/// A screenshot plus its overlaid marks — the exact artifact handed to the
+/// grounding model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarkedScreenshot {
+    /// The underlying frame.
+    pub shot: Screenshot,
+    /// Marks in label order.
+    pub marks: Vec<Mark>,
+}
+
+impl MarkedScreenshot {
+    /// Look up a mark by its numeric label.
+    pub fn mark(&self, label: u32) -> Option<&Mark> {
+        self.marks.iter().find(|m| m.label == label)
+    }
+}
+
+fn reading_order(rects: &mut [(Rect, String, String)]) {
+    // Stable top-to-bottom, left-to-right ordering, as SoM tooling numbers
+    // elements.
+    rects.sort_by_key(|(r, _, _)| (r.y, r.x));
+}
+
+/// Build marks from ground-truth HTML element boxes (Table 3 "HTML").
+pub fn marks_from_html(page: &Page, scroll_y: i32) -> MarkedScreenshot {
+    let shot = page.screenshot_at(scroll_y);
+    let elements: Vec<HtmlElement> = element_boxes(page, scroll_y, true);
+    let mut triples: Vec<(Rect, String, String)> = elements
+        .into_iter()
+        .map(|e| (e.rect, e.text, e.tag))
+        .collect();
+    reading_order(&mut triples);
+    let marks = triples
+        .into_iter()
+        .enumerate()
+        .map(|(i, (rect, text, hint))| Mark {
+            label: i as u32 + 1,
+            rect,
+            text,
+            hint,
+        })
+        .collect();
+    MarkedScreenshot { shot, marks }
+}
+
+/// Build marks from detector output (Table 3 "YOLO").
+pub fn marks_from_detections(shot: &Screenshot, detections: &[Detection]) -> MarkedScreenshot {
+    let mut triples: Vec<(Rect, String, String)> = detections
+        .iter()
+        .map(|d| (d.rect, d.text.clone(), format!("{:?}", d.visual)))
+        .collect();
+    reading_order(&mut triples);
+    let marks = triples
+        .into_iter()
+        .enumerate()
+        .map(|(i, (rect, text, hint))| Mark {
+            label: i as u32 + 1,
+            rect,
+            text,
+            hint,
+        })
+        .collect();
+    MarkedScreenshot {
+        shot: shot.clone(),
+        marks,
+    }
+}
+
+/// Convenience: run the detector then mark (the full "YOLO" pipeline).
+pub fn marks_via_detector<R: Rng>(
+    shot: &Screenshot,
+    detector: &YoloNasSim,
+    rng: &mut R,
+) -> MarkedScreenshot {
+    let dets = detector.detect(shot, rng);
+    marks_from_detections(shot, &dets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::PageBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("marks", "/marks");
+        b.heading(1, "Members");
+        b.row(|b| {
+            b.button("invite", "Invite member");
+            b.link("export", "Export list");
+        });
+        b.text_input("q", "Filter", "search members");
+        b.icon_button("gear", "Settings");
+        b.finish()
+    }
+
+    #[test]
+    fn html_marks_cover_all_interactive_elements() {
+        let p = page();
+        let m = marks_from_html(&p, 0);
+        // button + link + input + icon = 4 candidates.
+        assert_eq!(m.marks.len(), 4, "{:#?}", m.marks);
+        assert!(m.marks.iter().any(|mk| mk.hint == "svg"));
+        assert!(m.marks.iter().any(|mk| mk.text == "Invite member"));
+    }
+
+    #[test]
+    fn labels_are_unique_and_in_reading_order() {
+        let p = page();
+        let m = marks_from_html(&p, 0);
+        for (i, mk) in m.marks.iter().enumerate() {
+            assert_eq!(mk.label, i as u32 + 1);
+        }
+        for pair in m.marks.windows(2) {
+            assert!(
+                (pair[0].rect.y, pair[0].rect.x) <= (pair[1].rect.y, pair[1].rect.x),
+                "reading order violated"
+            );
+        }
+    }
+
+    #[test]
+    fn detector_marks_reflect_detector_noise() {
+        let p = page();
+        let shot = p.screenshot_at(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = marks_via_detector(&shot, &YoloNasSim::oracle(), &mut rng);
+        assert_eq!(m.marks.len(), 4, "oracle detector finds all 4");
+        // A blind detector yields fewer marks.
+        let blind = YoloNasSim {
+            recall_small: 0.0,
+            recall_medium: 0.0,
+            recall_large: 0.0,
+            false_positive_rate: 0.0,
+            ..YoloNasSim::default()
+        };
+        let m2 = marks_via_detector(&shot, &blind, &mut StdRng::seed_from_u64(5));
+        assert!(m2.marks.is_empty());
+    }
+
+    #[test]
+    fn mark_lookup_by_label() {
+        let p = page();
+        let m = marks_from_html(&p, 0);
+        assert!(m.mark(1).is_some());
+        assert!(m.mark(99).is_none());
+    }
+}

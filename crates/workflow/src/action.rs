@@ -1,0 +1,199 @@
+//! Semantic actions: the unit of workflow execution.
+//!
+//! A semantic action says *what* to do ("click the button labelled New
+//! issue"), not *where* the pixels are. Turning one into raw events is
+//! **grounding** — done perfectly by the oracle in [`crate::replay`] and
+//! imperfectly by the FM-based grounder in `eclair-core` (the gap between
+//! the two is exactly what Table 2/Table 3 measure).
+
+use eclair_gui::{Key, Point};
+use serde::{Deserialize, Serialize};
+
+/// How an action refers to its target widget.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetRef {
+    /// By visible text ("New issue"). What humans write in SOPs.
+    Label(String),
+    /// By programmatic name — what RPA scripts and gold traces use.
+    Name(String),
+    /// By raw viewport coordinates — what a grounded agent ultimately emits.
+    Point(Point),
+}
+
+impl TargetRef {
+    /// A short rendering for SOPs/logs.
+    pub fn describe(&self) -> String {
+        match self {
+            TargetRef::Label(l) => format!("'{l}'"),
+            TargetRef::Name(n) => format!("[{n}]"),
+            TargetRef::Point(p) => format!("({},{})", p.x, p.y),
+        }
+    }
+}
+
+/// A semantic action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Click a target (activates buttons/links, focuses inputs, toggles
+    /// checkboxes).
+    Click(TargetRef),
+    /// Type text; `target` of `None` types into whatever is focused.
+    /// A `Some` target implies the focus-then-type decomposition.
+    Type {
+        target: Option<TargetRef>,
+        text: String,
+    },
+    /// Clear a (possibly prefilled) field and type a new value — what a
+    /// demonstrator does by select-all-and-retype.
+    Replace { target: TargetRef, text: String },
+    /// Press a non-printable key.
+    Press(Key),
+    /// Scroll vertically by pixels.
+    Scroll(i32),
+}
+
+impl Action {
+    /// Natural-language rendering, the way a human would write the step.
+    pub fn describe(&self) -> String {
+        match self {
+            Action::Click(t) => format!("Click {}", t.describe()),
+            Action::Type {
+                target: Some(t),
+                text,
+            } => format!("Type \"{text}\" into {}", t.describe()),
+            Action::Type { target: None, text } => format!("Type \"{text}\""),
+            Action::Replace { target, text } => {
+                format!("Set {} to \"{text}\"", target.describe())
+            }
+            Action::Press(k) => format!("Press {}", k.name()),
+            Action::Scroll(dy) if *dy >= 0 => "Scroll down".to_string(),
+            Action::Scroll(_) => "Scroll up".to_string(),
+        }
+    }
+
+    /// The target reference, if the action has one.
+    pub fn target(&self) -> Option<&TargetRef> {
+        match self {
+            Action::Click(t) => Some(t),
+            Action::Type {
+                target: Some(t), ..
+            } => Some(t),
+            Action::Replace { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Whether two actions are the same *kind* of interaction.
+    pub fn same_kind(&self, other: &Action) -> bool {
+        matches!(
+            (self, other),
+            (Action::Click(_), Action::Click(_))
+                | (Action::Type { .. }, Action::Type { .. })
+                | (Action::Replace { .. }, Action::Replace { .. })
+                | (Action::Replace { .. }, Action::Type { .. })
+                | (Action::Type { .. }, Action::Replace { .. })
+                | (Action::Press(_), Action::Press(_))
+                | (Action::Scroll(_), Action::Scroll(_))
+        )
+    }
+}
+
+/// An ordered sequence of semantic actions (a workflow's gold trace or an
+/// agent's emitted plan).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActionTrace {
+    /// The actions in execution order.
+    pub actions: Vec<Action>,
+}
+
+impl ActionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vec.
+    pub fn from_actions(actions: Vec<Action>) -> Self {
+        Self { actions }
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// One line per action, numbered from 1.
+    pub fn describe(&self) -> String {
+        self.actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| format!("{}. {}", i + 1, a.describe()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_round_trips_intent() {
+        assert_eq!(
+            Action::Click(TargetRef::Label("New issue".into())).describe(),
+            "Click 'New issue'"
+        );
+        assert_eq!(
+            Action::Type {
+                target: Some(TargetRef::Name("title".into())),
+                text: "Login broken".into()
+            }
+            .describe(),
+            "Type \"Login broken\" into [title]"
+        );
+        assert_eq!(Action::Press(Key::Enter).describe(), "Press Enter");
+        assert_eq!(Action::Scroll(-100).describe(), "Scroll up");
+    }
+
+    #[test]
+    fn same_kind_compares_variants() {
+        let c1 = Action::Click(TargetRef::Label("A".into()));
+        let c2 = Action::Click(TargetRef::Name("b".into()));
+        let t = Action::Type {
+            target: None,
+            text: "x".into(),
+        };
+        assert!(c1.same_kind(&c2));
+        assert!(!c1.same_kind(&t));
+    }
+
+    #[test]
+    fn trace_describe_numbers_steps() {
+        let t = ActionTrace::from_actions(vec![
+            Action::Click(TargetRef::Label("New issue".into())),
+            Action::Type {
+                target: Some(TargetRef::Label("Title".into())),
+                text: "Bug".into(),
+            },
+        ]);
+        let d = t.describe();
+        assert!(d.starts_with("1. Click"));
+        assert!(d.contains("\n2. Type"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn target_extraction() {
+        let a = Action::Type {
+            target: Some(TargetRef::Name("q".into())),
+            text: "hi".into(),
+        };
+        assert_eq!(a.target(), Some(&TargetRef::Name("q".into())));
+        assert_eq!(Action::Press(Key::Tab).target(), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! The workflow taxonomy of the paper's Figure 2.
+//!
+//! Figure 2 classifies workflows along three axes — *enumerable sequence of
+//! steps*, *decision making*, *knowledge intensive* — and shows which
+//! bracket of technology can automate each category: plain rule systems and
+//! RPA cover only fully-enumerable, decision-free workflows, while ECLAIR
+//! extends coverage to decision-heavy and knowledge-intensive ones.
+
+use serde::{Deserialize, Serialize};
+
+/// Intensity of a requirement axis (the figure's ✗ / ~ / ✓).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Not required (✗).
+    None,
+    /// Somewhat required (~).
+    Some,
+    /// Heavily required (✓).
+    Heavy,
+}
+
+impl Level {
+    /// The figure's glyph.
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            Level::None => "x",
+            Level::Some => "~",
+            Level::Heavy => "v",
+        }
+    }
+}
+
+/// Which class of automation technology can take a workflow end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AutomationTech {
+    /// Hard-coded rules / traditional RPA suffice.
+    Rpa,
+    /// Needs FM-based automation (ECLAIR's target band).
+    Eclair,
+    /// Not automatable end-to-end (no enumerable procedure at all).
+    HumanOnly,
+}
+
+/// A workflow's position in the Figure 2 space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowProfile {
+    /// Short workflow name.
+    pub name: String,
+    /// Can the workflow be written down as an enumerable sequence of steps?
+    pub enumerable_steps: bool,
+    /// How much in-flight decision making does it need?
+    pub decision_making: Level,
+    /// How much tacit domain knowledge does it need?
+    pub knowledge_intensive: Level,
+}
+
+impl WorkflowProfile {
+    /// Construct a profile.
+    pub fn new(
+        name: impl Into<String>,
+        enumerable_steps: bool,
+        decision_making: Level,
+        knowledge_intensive: Level,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            enumerable_steps,
+            decision_making,
+            knowledge_intensive,
+        }
+    }
+
+    /// The minimal technology bracket able to automate this workflow —
+    /// Figure 2's bracketing rule.
+    pub fn minimal_tech(&self) -> AutomationTech {
+        if !self.enumerable_steps {
+            return AutomationTech::HumanOnly;
+        }
+        if self.decision_making == Level::None && self.knowledge_intensive == Level::None {
+            AutomationTech::Rpa
+        } else {
+            AutomationTech::Eclair
+        }
+    }
+
+    /// Whether ECLAIR's bracket covers the workflow (it covers everything
+    /// RPA covers, plus the decision/knowledge band).
+    pub fn eclair_can_automate(&self) -> bool {
+        self.enumerable_steps
+    }
+
+    /// Whether traditional RPA's bracket covers the workflow.
+    pub fn rpa_can_automate(&self) -> bool {
+        self.minimal_tech() == AutomationTech::Rpa
+    }
+}
+
+/// The five real hospital workflows listed in Figure 2, with the paper's
+/// axis markings.
+pub fn figure2_examples() -> Vec<WorkflowProfile> {
+    vec![
+        WorkflowProfile::new(
+            "Sending a templated post-visit follow-up email",
+            true,
+            Level::None,
+            Level::None,
+        ),
+        WorkflowProfile::new(
+            "Digitizing insurance claim documents",
+            true,
+            Level::None,
+            Level::None,
+        ),
+        WorkflowProfile::new(
+            "Verifying a patient's insurance eligibility",
+            true,
+            Level::Some,
+            Level::None,
+        ),
+        WorkflowProfile::new(
+            "Ordering proper medication dosages",
+            true,
+            Level::Some,
+            Level::Some,
+        ),
+        WorkflowProfile::new(
+            "Coordinating post-surgery recovery plan",
+            true,
+            Level::Some,
+            Level::Some,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_bracketing_matches_paper() {
+        let rows = figure2_examples();
+        assert_eq!(rows.len(), 5);
+        // Rows 1-2: RPA bracket. Rows 3-5: ECLAIR-only.
+        assert_eq!(rows[0].minimal_tech(), AutomationTech::Rpa);
+        assert_eq!(rows[1].minimal_tech(), AutomationTech::Rpa);
+        for row in &rows[2..] {
+            assert_eq!(row.minimal_tech(), AutomationTech::Eclair, "{}", row.name);
+        }
+        // ECLAIR covers everything in the figure.
+        assert!(rows.iter().all(WorkflowProfile::eclair_can_automate));
+        // RPA covers only the first two.
+        assert_eq!(rows.iter().filter(|r| r.rpa_can_automate()).count(), 2);
+    }
+
+    #[test]
+    fn non_enumerable_work_is_human_only() {
+        let w = WorkflowProfile::new("Novel research", false, Level::Heavy, Level::Heavy);
+        assert_eq!(w.minimal_tech(), AutomationTech::HumanOnly);
+        assert!(!w.eclair_can_automate());
+    }
+
+    #[test]
+    fn levels_order_and_glyphs() {
+        assert!(Level::None < Level::Some);
+        assert!(Level::Some < Level::Heavy);
+        assert_eq!(Level::Some.glyph(), "~");
+    }
+}

@@ -1,0 +1,297 @@
+//! Integrity constraints over GUI states.
+//!
+//! Paper §4.3.1, "inspired by prior work on data cleaning": *"we create a
+//! set of 'integrity constraints' defining whether an action is viable at a
+//! particular state. For example, an 'integrity constraint' for clicking a
+//! button is that the button is visible and not disabled."*
+//!
+//! Constraints are evaluated two ways:
+//! * **oracle** ([`IntegrityConstraint::holds_oracle`]) — against the live
+//!   session, with full knowledge of focus/enabled/visibility; this labels
+//!   the ground truth;
+//! * **visual** (in `eclair-core::validate`) — from a static screenshot,
+//!   which is all the FM gets; the gap between the two *is* the paper's
+//!   low integrity-constraint recall.
+
+use serde::{Deserialize, Serialize};
+
+use eclair_gui::Session;
+
+use crate::action::{Action, TargetRef};
+
+/// One atomic predicate over a GUI state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// The referenced widget is rendered (itself and all ancestors).
+    Visible(String),
+    /// The referenced widget accepts interaction.
+    Enabled(String),
+    /// The referenced widget currently has keyboard focus.
+    Focused(String),
+    /// No modal dialog is intercepting input.
+    NoModal,
+    /// The current URL contains this substring.
+    UrlContains(String),
+    /// The referenced widget is inside the current viewport (not scrolled
+    /// away).
+    InViewport(String),
+}
+
+impl Constraint {
+    /// Human-readable rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            Constraint::Visible(t) => format!("'{t}' is visible"),
+            Constraint::Enabled(t) => format!("'{t}' is enabled"),
+            Constraint::Focused(t) => format!("'{t}' is focused"),
+            Constraint::NoModal => "no modal dialog is open".to_string(),
+            Constraint::UrlContains(u) => format!("URL contains '{u}'"),
+            Constraint::InViewport(t) => format!("'{t}' is on screen"),
+        }
+    }
+
+    fn find(session: &Session, target: &str) -> Option<eclair_gui::WidgetId> {
+        session
+            .page()
+            .find_by_name(target)
+            .or_else(|| session.page().find_by_label(target, true))
+            .or_else(|| session.page().find_by_label(target, false))
+    }
+
+    /// Oracle evaluation against the live session.
+    pub fn holds_oracle(&self, session: &Session) -> bool {
+        match self {
+            Constraint::Visible(t) => {
+                Self::find(session, t).map(|id| session.page().is_shown(id)).unwrap_or(false)
+            }
+            Constraint::Enabled(t) => Self::find(session, t)
+                .map(|id| session.page().get(id).enabled && session.page().is_shown(id))
+                .unwrap_or(false),
+            Constraint::Focused(t) => {
+                if t.is_empty() {
+                    // Anonymous focus requirement ("some field is focused").
+                    session.focus().is_some()
+                } else {
+                    match (Self::find(session, t), session.focus()) {
+                        (Some(id), Some(f)) => id == f,
+                        _ => false,
+                    }
+                }
+            }
+            Constraint::NoModal => session.page().active_modal().is_none(),
+            Constraint::UrlContains(u) => session.url().contains(u.as_str()),
+            Constraint::InViewport(t) => Self::find(session, t)
+                .map(|id| {
+                    let b = session.page().get(id).bounds;
+                    let top = session.scroll_y();
+                    let bottom = top + eclair_gui::VIEWPORT.h as i32;
+                    session.page().is_shown(id) && b.bottom() > top && b.y < bottom
+                })
+                .unwrap_or(false),
+        }
+    }
+
+    /// Whether checking this constraint requires information a static
+    /// screenshot does not reliably carry (focus; enabled is partially
+    /// visible via gray-out; modal presence is visible).
+    pub fn visually_observable(&self) -> bool {
+        !matches!(self, Constraint::Focused(_))
+    }
+}
+
+/// The precondition set for one action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntegrityConstraint {
+    /// Description of the action this constraint gates.
+    pub action_desc: String,
+    /// All predicates must hold for the action to be viable.
+    pub preds: Vec<Constraint>,
+}
+
+impl IntegrityConstraint {
+    /// Oracle evaluation: every predicate holds.
+    pub fn holds_oracle(&self, session: &Session) -> bool {
+        self.preds.iter().all(|p| p.holds_oracle(session))
+    }
+
+    /// Human-readable rendering ("before 'Click Save': 'Save' is visible;
+    /// 'Save' is enabled").
+    pub fn describe(&self) -> String {
+        format!(
+            "before '{}': {}",
+            self.action_desc,
+            self.preds
+                .iter()
+                .map(Constraint::describe)
+                .collect::<Vec<_>>()
+                .join("; ")
+        )
+    }
+
+    /// Derive the canonical constraint set for a semantic action — the
+    /// "repository of integrity constraints" the paper's §5 proposes.
+    pub fn for_action(action: &Action) -> IntegrityConstraint {
+        let mut preds = vec![Constraint::NoModal];
+        match action {
+            Action::Click(t) => {
+                if let Some(name) = target_key(t) {
+                    preds.push(Constraint::Visible(name.clone()));
+                    preds.push(Constraint::Enabled(name.clone()));
+                    preds.push(Constraint::InViewport(name));
+                }
+            }
+            Action::Replace { target, .. } => {
+                if let Some(name) = target_key(target) {
+                    preds.push(Constraint::Visible(name.clone()));
+                    preds.push(Constraint::Enabled(name));
+                }
+            }
+            Action::Type { target, .. } => match target {
+                Some(t) => {
+                    if let Some(name) = target_key(t) {
+                        preds.push(Constraint::Visible(name.clone()));
+                        preds.push(Constraint::Enabled(name));
+                    }
+                }
+                None => {
+                    // Typing blind requires *something* focused; the
+                    // constraint names no widget so it reads "a field is
+                    // focused" — encoded as Focused("").
+                    preds.push(Constraint::Focused(String::new()));
+                }
+            },
+            Action::Press(_) | Action::Scroll(_) => {}
+        }
+        IntegrityConstraint {
+            action_desc: action.describe(),
+            preds,
+        }
+    }
+}
+
+fn target_key(t: &TargetRef) -> Option<String> {
+    match t {
+        TargetRef::Label(l) => Some(l.clone()),
+        TargetRef::Name(n) => Some(n.clone()),
+        TargetRef::Point(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::{GuiApp, Page, PageBuilder, SemanticEvent, UserEvent};
+
+    struct App {
+        modal: bool,
+    }
+    impl GuiApp for App {
+        fn name(&self) -> &str {
+            "c"
+        }
+        fn url(&self) -> String {
+            "/settings/profile".into()
+        }
+        fn build(&self) -> Page {
+            let mut b = PageBuilder::new("c", "/settings/profile");
+            b.form("f", |b| {
+                b.text_input("email", "Email", "");
+                b.button("save", "Save");
+            });
+            let locked = b.button("locked", "Locked action");
+            if self.modal {
+                b.modal("warn", |b| {
+                    b.text("Warning!");
+                    b.button("ok", "OK");
+                });
+            }
+            let mut p = b.finish();
+            p.get_mut(locked).enabled = false;
+            p.relayout();
+            p
+        }
+        fn on_event(&mut self, _: SemanticEvent) -> bool {
+            false
+        }
+    }
+
+    fn session(modal: bool) -> Session {
+        Session::new(Box::new(App { modal }))
+    }
+
+    #[test]
+    fn visible_and_enabled_oracle() {
+        let s = session(false);
+        assert!(Constraint::Visible("Save".into()).holds_oracle(&s));
+        assert!(Constraint::Enabled("save".into()).holds_oracle(&s));
+        assert!(Constraint::Visible("Locked action".into()).holds_oracle(&s));
+        assert!(!Constraint::Enabled("locked".into()).holds_oracle(&s));
+        assert!(!Constraint::Visible("Nonexistent".into()).holds_oracle(&s));
+    }
+
+    #[test]
+    fn focus_constraint_tracks_session_focus() {
+        let mut s = session(false);
+        assert!(!Constraint::Focused("email".into()).holds_oracle(&s));
+        let id = s.page().find_by_name("email").unwrap();
+        let pt = s.page().get(id).bounds.center();
+        s.dispatch(UserEvent::Click(pt));
+        assert!(Constraint::Focused("email".into()).holds_oracle(&s));
+        assert!(!Constraint::Focused("save".into()).holds_oracle(&s));
+    }
+
+    #[test]
+    fn modal_constraint() {
+        let with = session(true);
+        let without = session(false);
+        assert!(!Constraint::NoModal.holds_oracle(&with));
+        assert!(Constraint::NoModal.holds_oracle(&without));
+    }
+
+    #[test]
+    fn url_constraint() {
+        let s = session(false);
+        assert!(Constraint::UrlContains("settings".into()).holds_oracle(&s));
+        assert!(!Constraint::UrlContains("billing".into()).holds_oracle(&s));
+    }
+
+    #[test]
+    fn for_action_click_derives_canonical_preds() {
+        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label(
+            "Save".into(),
+        )));
+        assert!(ic.preds.contains(&Constraint::NoModal));
+        assert!(ic.preds.contains(&Constraint::Visible("Save".into())));
+        assert!(ic.preds.contains(&Constraint::Enabled("Save".into())));
+        let s = session(false);
+        assert!(ic.holds_oracle(&s));
+    }
+
+    #[test]
+    fn blind_typing_requires_focus() {
+        let ic = IntegrityConstraint::for_action(&Action::Type {
+            target: None,
+            text: "x".into(),
+        });
+        assert!(ic.preds.iter().any(|p| matches!(p, Constraint::Focused(_))));
+        let s = session(false);
+        assert!(!ic.holds_oracle(&s), "nothing focused yet");
+    }
+
+    #[test]
+    fn focused_is_the_only_visually_hidden_predicate() {
+        assert!(!Constraint::Focused("x".into()).visually_observable());
+        assert!(Constraint::Visible("x".into()).visually_observable());
+        assert!(Constraint::NoModal.visually_observable());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label(
+            "Save".into(),
+        )));
+        let d = ic.describe();
+        assert!(d.contains("Click 'Save'"));
+        assert!(d.contains("is enabled"));
+    }
+}

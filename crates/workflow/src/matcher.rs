@@ -1,0 +1,256 @@
+//! Semantic step matching: the deterministic stand-in for the paper's human
+//! annotators, who judged whether a generated step "is in" the reference
+//! SOP and whether a suggested action is "semantically equivalent" to the
+//! gold action (§4.1.1, §4.2.1).
+//!
+//! A step is decomposed into a *verb class* (click / type / navigate / ...)
+//! and a bag of content tokens; similarity combines verb agreement with
+//! token F1 overlap. Thresholds are deliberately forgiving about phrasing
+//! ("Click the 'New issue' button" ≈ "Press New issue") and strict about
+//! substance (different targets do not match).
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse interaction verb classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VerbClass {
+    Click,
+    Type,
+    Navigate,
+    Scroll,
+    Press,
+    Check,
+    Select,
+    /// No recognizable interaction verb.
+    Other,
+}
+
+const VERB_TABLE: &[(&str, VerbClass)] = &[
+    ("click", VerbClass::Click),
+    ("tap", VerbClass::Click),
+    ("hit", VerbClass::Click),
+    ("activate", VerbClass::Click),
+    ("push", VerbClass::Click),
+    ("type", VerbClass::Type),
+    ("enter", VerbClass::Type),
+    ("input", VerbClass::Type),
+    ("fill", VerbClass::Type),
+    ("write", VerbClass::Type),
+    ("set", VerbClass::Type),
+    ("navigate", VerbClass::Navigate),
+    ("go", VerbClass::Navigate),
+    ("open", VerbClass::Navigate),
+    ("visit", VerbClass::Navigate),
+    ("scroll", VerbClass::Scroll),
+    ("press", VerbClass::Press),
+    ("check", VerbClass::Check),
+    ("tick", VerbClass::Check),
+    ("uncheck", VerbClass::Check),
+    ("toggle", VerbClass::Check),
+    ("enable", VerbClass::Check),
+    ("disable", VerbClass::Check),
+    ("select", VerbClass::Select),
+    ("choose", VerbClass::Select),
+    ("pick", VerbClass::Select),
+];
+
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "on", "in", "to", "of", "for", "with", "into", "at", "and", "then", "now",
+    "button", "field", "link", "box", "option", "page", "screen", "item", "element", "labeled",
+    "labelled", "called", "named", "that", "says", "text", "your", "it",
+];
+
+/// Lowercase, strip punctuation, drop stopwords.
+pub fn normalize_tokens(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty() && !STOPWORDS.contains(t))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Normalized tokens with interaction verbs removed — the *substance* of a
+/// step (targets, values). Verb agreement is scored separately, so leaving
+/// verbs in the bags would double-count them and make "Click A" ≈ "Click B".
+pub fn content_tokens(text: &str) -> Vec<String> {
+    normalize_tokens(text)
+        .into_iter()
+        .filter(|t| !VERB_TABLE.iter().any(|(w, _)| w == t))
+        .collect()
+}
+
+/// Classify the leading interaction verb of a step.
+pub fn verb_class(text: &str) -> VerbClass {
+    for tok in text
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .take(4)
+    {
+        if let Some((_, v)) = VERB_TABLE.iter().find(|(w, _)| *w == tok) {
+            return *v;
+        }
+    }
+    VerbClass::Other
+}
+
+/// Equivalence between verb classes (press≈click for buttons; select≈click;
+/// enter≈type; click≈navigate for links).
+fn verbs_compatible(a: VerbClass, b: VerbClass) -> bool {
+    use VerbClass::*;
+    if a == b {
+        return true;
+    }
+    matches!(
+        (a, b),
+        (Click, Press)
+            | (Press, Click)
+            | (Click, Select)
+            | (Select, Click)
+            | (Check, Click)
+            | (Click, Check)
+            | (Type, Select)
+            | (Select, Type)
+            | (Click, Navigate)
+            | (Navigate, Click)
+    )
+}
+
+/// Token-level F1 between two bags of tokens.
+pub fn token_f1(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut b_left: Vec<&String> = b.iter().collect();
+    let mut overlap = 0usize;
+    for tok in a {
+        if let Some(pos) = b_left.iter().position(|t| *t == tok) {
+            b_left.swap_remove(pos);
+            overlap += 1;
+        }
+    }
+    let p = overlap as f64 / a.len() as f64;
+    let r = overlap as f64 / b.len() as f64;
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Similarity in [0, 1] between two step texts: verb compatibility worth
+/// 0.4, content-token F1 worth 0.6 (verbs excluded from the token bags so
+/// they are not double-counted).
+pub fn step_similarity(a: &str, b: &str) -> f64 {
+    let va = verb_class(a);
+    let vb = verb_class(b);
+    let verb_score = if verbs_compatible(va, vb) { 1.0 } else { 0.0 };
+    let ta = content_tokens(a);
+    let tb = content_tokens(b);
+    0.4 * verb_score + 0.6 * token_f1(&ta, &tb)
+}
+
+/// Default decision threshold for "these steps are the same step": a
+/// compatible verb plus a clear majority of shared content.
+pub const MATCH_THRESHOLD: f64 = 0.75;
+
+/// Whether two steps are semantically equivalent.
+pub fn steps_match(a: &str, b: &str) -> bool {
+    step_similarity(a, b) >= MATCH_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paraphrases_match() {
+        assert!(steps_match(
+            "Click the 'New issue' button",
+            "Press New issue"
+        ));
+        assert!(steps_match(
+            "Type \"Login broken\" into the Title field",
+            "Enter Login broken in Title"
+        ));
+        assert!(steps_match(
+            "Select 'Bug' from the label dropdown",
+            "Choose the Bug label"
+        ));
+    }
+
+    #[test]
+    fn different_targets_do_not_match() {
+        assert!(!steps_match(
+            "Click the 'Delete project' button",
+            "Click the 'New issue' button"
+        ));
+        assert!(!steps_match(
+            "Type \"alpha\" into Search",
+            "Type \"omega\" into Description"
+        ));
+    }
+
+    #[test]
+    fn verb_class_detection() {
+        assert_eq!(verb_class("Click the save button"), VerbClass::Click);
+        assert_eq!(verb_class("Now type your name"), VerbClass::Type);
+        assert_eq!(verb_class("Navigate to the issues page"), VerbClass::Navigate);
+        assert_eq!(verb_class("Wait patiently"), VerbClass::Other);
+    }
+
+    #[test]
+    fn press_click_compatible() {
+        assert!(verbs_compatible(VerbClass::Click, VerbClass::Press));
+        assert!(!verbs_compatible(VerbClass::Type, VerbClass::Scroll));
+    }
+
+    #[test]
+    fn token_f1_properties() {
+        let a = content_tokens("Click the Save changes button");
+        let b = content_tokens("Press Save changes");
+        assert!(token_f1(&a, &b) > 0.5);
+        assert_eq!(token_f1(&a, &a), 1.0);
+        assert_eq!(token_f1(&a, &[]), 0.0);
+        assert_eq!(token_f1(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn content_tokens_exclude_verbs() {
+        assert_eq!(
+            content_tokens("Click the 'New issue' button"),
+            vec!["new".to_string(), "issue".into()]
+        );
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let pairs = [
+            ("Click 'New issue'", "Press the New issue button"),
+            ("Type \"x\" into Title", "Scroll down"),
+        ];
+        for (a, b) in pairs {
+            assert!((step_similarity(a, b) - step_similarity(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stopwords_do_not_inflate_similarity() {
+        // Shared stopwords only — must not match.
+        assert!(!steps_match(
+            "Click on the button in the page",
+            "Type into the field on the page"
+        ));
+    }
+
+    #[test]
+    fn normalize_strips_punctuation_and_case() {
+        assert_eq!(
+            normalize_tokens("Click 'New Issue'!"),
+            vec!["click".to_string(), "new".into(), "issue".into()]
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The oracle executor: semantic actions → raw events with *perfect*
+//! grounding.
+//!
+//! Gold traces, the RPA bot, and the demonstration recorder all need to
+//! actually drive the GUI. The oracle resolves a [`TargetRef`] against the
+//! live page (which agents are forbidden from touching), scrolls the target
+//! into view, and emits clicks at exact centers. Comparing ECLAIR's
+//! FM-grounded execution to this oracle isolates the grounding gap that
+//! Table 2 documents.
+
+use eclair_gui::event::EffectKind;
+use eclair_gui::{Point, Session, UserEvent, WidgetId};
+use serde::{Deserialize, Serialize};
+
+use crate::action::{Action, TargetRef};
+
+/// Why the oracle could not perform an action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayError {
+    /// No widget matches the target reference on the current page.
+    TargetNotFound(String),
+    /// The widget exists but is not interactive/enabled/visible.
+    TargetNotActionable(String),
+    /// The dispatched event had no effect (e.g. typing with no focus).
+    NoEffect(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::TargetNotFound(t) => write!(f, "target not found: {t}"),
+            ReplayError::TargetNotActionable(t) => write!(f, "target not actionable: {t}"),
+            ReplayError::NoEffect(d) => write!(f, "event had no effect: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Which widget family an action prefers when a label is ambiguous. Real
+/// pages reuse text (a field caption and a button may both say "Search");
+/// the oracle disambiguates by intent, as a human demonstrator would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindPref {
+    /// Prefer buttons/links/menu items (for clicks meant to activate).
+    Activatable,
+    /// Prefer inputs/selects (for typing).
+    Editable,
+    /// No preference.
+    Any,
+}
+
+/// Resolve a target reference to a widget on the current page.
+pub fn resolve(session: &Session, target: &TargetRef) -> Option<WidgetId> {
+    resolve_pref(session, target, KindPref::Any)
+}
+
+/// Resolve with a kind preference for ambiguous labels.
+pub fn resolve_pref(
+    session: &Session,
+    target: &TargetRef,
+    pref: KindPref,
+) -> Option<WidgetId> {
+    let page = session.page();
+    match target {
+        TargetRef::Name(n) => page.find_by_name(n),
+        TargetRef::Label(l) => {
+            let candidates = page.find_all_by_label(l);
+            let pick = |pred: &dyn Fn(eclair_gui::WidgetKind) -> bool| {
+                candidates.iter().copied().find(|&id| pred(page.get(id).kind))
+            };
+            match pref {
+                KindPref::Activatable => pick(&|k| k.is_activatable())
+                    .or_else(|| pick(&|k| k.is_interactive())),
+                KindPref::Editable => pick(&|k| k.is_editable())
+                    .or_else(|| pick(&|k| k.is_interactive())),
+                KindPref::Any => pick(&|k| k.is_interactive()),
+            }
+            .or_else(|| candidates.first().copied())
+        }
+        TargetRef::Point(p) => page.hit_test(p.offset(0, session.scroll_y())),
+    }
+}
+
+/// The viewport-space click point the oracle would use for a target.
+pub fn click_point(session: &mut Session, target: &TargetRef) -> Result<Point, ReplayError> {
+    click_point_pref(session, target, KindPref::Activatable)
+}
+
+/// As [`click_point`], with an explicit kind preference.
+pub fn click_point_pref(
+    session: &mut Session,
+    target: &TargetRef,
+    pref: KindPref,
+) -> Result<Point, ReplayError> {
+    match target {
+        TargetRef::Point(p) => Ok(*p),
+        _ => {
+            let id = resolve_pref(session, target, pref)
+                .ok_or_else(|| ReplayError::TargetNotFound(target.describe()))?;
+            if !session.page().is_shown(id) || !session.page().get(id).enabled {
+                return Err(ReplayError::TargetNotActionable(target.describe()));
+            }
+            session.scroll_into_view(id);
+            Ok(session
+                .page()
+                .get(id)
+                .bounds
+                .center()
+                .offset(0, -session.scroll_y()))
+        }
+    }
+}
+
+/// Execute one semantic action with oracle grounding. Returns the raw
+/// events that were dispatched.
+pub fn execute(session: &mut Session, action: &Action) -> Result<Vec<UserEvent>, ReplayError> {
+    let mut events = Vec::new();
+    match action {
+        Action::Click(target) => {
+            let pt = click_point(session, target)?;
+            let ev = UserEvent::Click(pt);
+            let d = session.dispatch(ev.clone());
+            events.push(ev);
+            if d.effect == EffectKind::NoOp {
+                return Err(ReplayError::NoEffect(action.describe()));
+            }
+        }
+        Action::Type { target, text } => {
+            if let Some(target) = target {
+                // Decomposition: focus first, then type.
+                let pt = click_point_pref(session, target, KindPref::Editable)?;
+                let ev = UserEvent::Click(pt);
+                let d = session.dispatch(ev.clone());
+                events.push(ev);
+                if d.effect != EffectKind::Focused {
+                    return Err(ReplayError::TargetNotActionable(target.describe()));
+                }
+            }
+            let ev = UserEvent::Type(text.clone());
+            let d = session.dispatch(ev.clone());
+            events.push(ev);
+            if d.effect == EffectKind::NoOp {
+                return Err(ReplayError::NoEffect(action.describe()));
+            }
+        }
+        Action::Replace { target, text } => {
+            let pt = click_point_pref(session, target, KindPref::Editable)?;
+            let ev = UserEvent::Click(pt);
+            let d = session.dispatch(ev.clone());
+            events.push(ev);
+            if d.effect != EffectKind::Focused {
+                return Err(ReplayError::TargetNotActionable(target.describe()));
+            }
+            // Clear: backspace until the field is empty (bounded).
+            for _ in 0..300 {
+                let done = resolve_pref(session, target, KindPref::Editable)
+                    .map(|id| session.page().get(id).value.is_empty())
+                    .unwrap_or(true);
+                if done {
+                    break;
+                }
+                let ev = UserEvent::Press(eclair_gui::Key::Backspace);
+                session.dispatch(ev.clone());
+                events.push(ev);
+            }
+            let ev = UserEvent::Type(text.clone());
+            let d = session.dispatch(ev.clone());
+            events.push(ev);
+            if d.effect == EffectKind::NoOp {
+                return Err(ReplayError::NoEffect(action.describe()));
+            }
+        }
+        Action::Press(k) => {
+            let ev = UserEvent::Press(*k);
+            session.dispatch(ev.clone());
+            events.push(ev);
+        }
+        Action::Scroll(dy) => {
+            let ev = UserEvent::Scroll(*dy);
+            session.dispatch(ev.clone());
+            events.push(ev);
+        }
+    }
+    Ok(events)
+}
+
+/// Execute a whole trace; stops at the first failure.
+pub fn execute_trace(
+    session: &mut Session,
+    actions: &[Action],
+) -> Result<Vec<UserEvent>, (usize, ReplayError)> {
+    let mut all = Vec::new();
+    for (i, a) in actions.iter().enumerate() {
+        match execute(session, a) {
+            Ok(evs) => all.extend(evs),
+            Err(e) => return Err((i, e)),
+        }
+    }
+    Ok(all)
+}
+
+/// Flatten a trace into the raw events it *would* dispatch, by executing it
+/// on the session (needed because grounding depends on evolving state).
+/// This is how demonstrations are realized for recording.
+pub fn realize_events(
+    session: &mut Session,
+    actions: &[Action],
+) -> Result<Vec<UserEvent>, (usize, ReplayError)> {
+    execute_trace(session, actions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::{GuiApp, Key, Page, PageBuilder, SemanticEvent};
+
+    struct SearchApp {
+        query: Option<String>,
+    }
+    impl GuiApp for SearchApp {
+        fn name(&self) -> &str {
+            "search"
+        }
+        fn url(&self) -> String {
+            match &self.query {
+                Some(q) => format!("/results?q={q}"),
+                None => "/search".into(),
+            }
+        }
+        fn build(&self) -> Page {
+            match &self.query {
+                Some(q) => {
+                    let mut b = PageBuilder::new("Results", self.url());
+                    b.heading(1, format!("Results for {q}"));
+                    b.finish()
+                }
+                None => {
+                    let mut b = PageBuilder::new("Search", "/search");
+                    b.form("search-form", |b| {
+                        b.text_input("q", "Search", "type query");
+                        b.button("go", "Search");
+                    });
+                    b.finish()
+                }
+            }
+        }
+        fn on_event(&mut self, ev: SemanticEvent) -> bool {
+            if let SemanticEvent::Activated { name, fields, .. } = ev {
+                if name == "go" {
+                    self.query = fields.into_iter().find(|(n, _)| n == "q").map(|(_, v)| v);
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    fn session() -> Session {
+        Session::new(Box::new(SearchApp { query: None }))
+    }
+
+    #[test]
+    fn oracle_executes_full_trace() {
+        let mut s = session();
+        let trace = vec![
+            Action::Type {
+                target: Some(TargetRef::Name("q".into())),
+                text: "dashboards".into(),
+            },
+            Action::Click(TargetRef::Label("Search".into())),
+        ];
+        let events = execute_trace(&mut s, &trace).expect("trace succeeds");
+        assert_eq!(s.url(), "/results?q=dashboards");
+        assert_eq!(events.len(), 3, "click-focus + type + click");
+    }
+
+    #[test]
+    fn label_resolution_disambiguates_by_intent() {
+        // The input and the button both carry the label "Search": clicks
+        // must resolve to the button, typing to the input.
+        let s = session();
+        let click_id =
+            resolve_pref(&s, &TargetRef::Label("Search".into()), KindPref::Activatable).unwrap();
+        assert!(s.page().get(click_id).kind.is_activatable());
+        let type_id =
+            resolve_pref(&s, &TargetRef::Label("Search".into()), KindPref::Editable).unwrap();
+        assert!(s.page().get(type_id).kind.is_editable());
+        assert_ne!(click_id, type_id);
+    }
+
+    #[test]
+    fn missing_target_errors() {
+        let mut s = session();
+        let err = execute(&mut s, &Action::Click(TargetRef::Name("nope".into()))).unwrap_err();
+        assert!(matches!(err, ReplayError::TargetNotFound(_)));
+    }
+
+    #[test]
+    fn typing_without_focus_reports_no_effect() {
+        let mut s = session();
+        let err = execute(
+            &mut s,
+            &Action::Type {
+                target: None,
+                text: "orphan".into(),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReplayError::NoEffect(_)));
+    }
+
+    #[test]
+    fn enter_submits_via_press() {
+        let mut s = session();
+        execute(
+            &mut s,
+            &Action::Type {
+                target: Some(TargetRef::Name("q".into())),
+                text: "reports".into(),
+            },
+        )
+        .unwrap();
+        execute(&mut s, &Action::Press(Key::Enter)).unwrap();
+        assert_eq!(s.url(), "/results?q=reports");
+    }
+
+    #[test]
+    fn trace_failure_reports_index() {
+        let mut s = session();
+        let trace = vec![
+            Action::Click(TargetRef::Name("q".into())),
+            Action::Click(TargetRef::Name("missing-button".into())),
+        ];
+        let (idx, err) = execute_trace(&mut s, &trace).unwrap_err();
+        assert_eq!(idx, 1);
+        assert!(matches!(err, ReplayError::TargetNotFound(_)));
+    }
+
+    #[test]
+    fn disabled_target_not_actionable() {
+        struct DisabledApp;
+        impl GuiApp for DisabledApp {
+            fn name(&self) -> &str {
+                "d"
+            }
+            fn url(&self) -> String {
+                "/d".into()
+            }
+            fn build(&self) -> Page {
+                let mut b = PageBuilder::new("d", "/d");
+                let id = b.button("locked", "Locked");
+                let mut p = b.finish();
+                p.get_mut(id).enabled = false;
+                p.relayout();
+                p
+            }
+            fn on_event(&mut self, _: SemanticEvent) -> bool {
+                false
+            }
+        }
+        let mut s = Session::new(Box::new(DisabledApp));
+        let err = execute(&mut s, &Action::Click(TargetRef::Name("locked".into()))).unwrap_err();
+        assert!(matches!(err, ReplayError::TargetNotActionable(_)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Standard Operating Procedures (SOPs).
+//!
+//! Paper §2.2: workers "follow a standard operating procedure ('SOP'), a
+//! form of written documentation which outlines all of the steps and
+//! actions of the workflow". SOPs are the paper's central scaffold: they
+//! are what Demonstrate generates (Table 1) and what doubles Execute's
+//! completion rate (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::Action;
+
+/// One numbered step of an SOP: free-form text, optionally carrying the
+/// structured action it was derived from (gold SOPs have one; generated
+/// SOPs may not).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SopStep {
+    /// 1-based position.
+    pub index: usize,
+    /// The instruction text ("Click the 'New issue' button").
+    pub text: String,
+    /// Structured action hint when known.
+    pub action: Option<Action>,
+    /// Whether a human must perform/approve this step (the paper's §5
+    /// human-in-the-loop marking: "the SOP could mark steps where the model
+    /// transfers control to a human").
+    pub human_gate: bool,
+}
+
+impl SopStep {
+    /// A plain text step.
+    pub fn new(index: usize, text: impl Into<String>) -> Self {
+        Self {
+            index,
+            text: text.into(),
+            action: None,
+            human_gate: false,
+        }
+    }
+
+    /// A step derived from a structured action.
+    pub fn from_action(index: usize, action: Action) -> Self {
+        Self {
+            index,
+            text: action.describe(),
+            action: Some(action),
+            human_gate: false,
+        }
+    }
+
+    /// Mark as requiring human sign-off.
+    pub fn gated(mut self) -> Self {
+        self.human_gate = true;
+        self
+    }
+}
+
+/// A complete SOP.
+///
+/// ```
+/// use eclair_workflow::Sop;
+///
+/// let sop = Sop::from_texts("Create an issue", &[
+///     "Click the 'New issue' button",
+///     "Type \"Login broken\" into the Title field",
+/// ]);
+/// let round_tripped = Sop::parse(&sop.format());
+/// assert_eq!(round_tripped.len(), 2);
+/// assert_eq!(round_tripped.title, "Create an issue");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sop {
+    /// The workflow this SOP documents.
+    pub title: String,
+    /// Ordered steps.
+    pub steps: Vec<SopStep>,
+}
+
+impl Sop {
+    /// An empty SOP with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Build from step texts.
+    pub fn from_texts(title: impl Into<String>, texts: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            steps: texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| SopStep::new(i + 1, *t))
+                .collect(),
+        }
+    }
+
+    /// Build from a gold action trace.
+    pub fn from_actions(title: impl Into<String>, actions: &[Action]) -> Self {
+        Self {
+            title: title.into(),
+            steps: actions
+                .iter()
+                .enumerate()
+                .map(|(i, a)| SopStep::from_action(i + 1, a.clone()))
+                .collect(),
+        }
+    }
+
+    /// Append a step, renumbering automatically.
+    pub fn push(&mut self, text: impl Into<String>) -> &mut SopStep {
+        let idx = self.steps.len() + 1;
+        self.steps.push(SopStep::new(idx, text));
+        self.steps.last_mut().expect("just pushed")
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether there are no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Render in the canonical numbered format.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("SOP: {}\n", self.title));
+        }
+        for s in &self.steps {
+            let gate = if s.human_gate { " [HUMAN]" } else { "" };
+            out.push_str(&format!("{}. {}{}\n", s.index, s.text, gate));
+        }
+        out
+    }
+
+    /// Parse the canonical numbered format back into an SOP. Unnumbered
+    /// lines are ignored except an optional `SOP: <title>` header. Step
+    /// numbering in the input is not trusted; steps are renumbered.
+    pub fn parse(text: &str) -> Sop {
+        let mut sop = Sop::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(title) = line.strip_prefix("SOP:") {
+                sop.title = title.trim().to_string();
+                continue;
+            }
+            // Accept "3. text", "3) text", "- text".
+            let body = line
+                .split_once(". ")
+                .filter(|(n, _)| n.chars().all(|c| c.is_ascii_digit()))
+                .map(|(_, b)| b)
+                .or_else(|| {
+                    line.split_once(") ")
+                        .filter(|(n, _)| n.chars().all(|c| c.is_ascii_digit()))
+                        .map(|(_, b)| b)
+                })
+                .or_else(|| line.strip_prefix("- "));
+            if let Some(body) = body {
+                let human_gate = body.ends_with("[HUMAN]");
+                let body = body.trim_end_matches("[HUMAN]").trim();
+                let idx = sop.steps.len() + 1;
+                let mut step = SopStep::new(idx, body);
+                step.human_gate = human_gate;
+                sop.steps.push(step);
+            }
+        }
+        sop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::TargetRef;
+
+    #[test]
+    fn format_parse_round_trip() {
+        let mut sop = Sop::new("Create an issue");
+        sop.push("Click 'New issue'");
+        sop.push("Type \"Bug\" into the Title field");
+        sop.steps[1].human_gate = true;
+        let text = sop.format();
+        let back = Sop::parse(&text);
+        assert_eq!(back.title, "Create an issue");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.steps[0].text, "Click 'New issue'");
+        assert!(back.steps[1].human_gate);
+    }
+
+    #[test]
+    fn parse_accepts_multiple_formats() {
+        let sop = Sop::parse("1) First step\n- Second step\n17. Third step\nnoise line\n");
+        assert_eq!(sop.len(), 3);
+        assert_eq!(sop.steps[2].index, 3, "renumbered");
+        assert_eq!(sop.steps[1].text, "Second step");
+    }
+
+    #[test]
+    fn from_actions_carries_structure() {
+        let sop = Sop::from_actions(
+            "t",
+            &[Action::Click(TargetRef::Label("Save".into()))],
+        );
+        assert_eq!(sop.steps[0].text, "Click 'Save'");
+        assert!(sop.steps[0].action.is_some());
+    }
+
+    #[test]
+    fn push_renumbers() {
+        let mut sop = Sop::new("x");
+        sop.push("a");
+        sop.push("b");
+        assert_eq!(sop.steps[1].index, 2);
+    }
+
+    #[test]
+    fn empty_parse_is_empty() {
+        let sop = Sop::parse("\n\n");
+        assert!(sop.is_empty());
+        assert_eq!(sop.format(), "");
+    }
+}

@@ -1,0 +1,87 @@
+//! The §3.1 hospital case study, run live: revenue-cycle management.
+//!
+//! Insurance-eligibility verification on the simulated payer portal, with
+//! the two dynamics the hospital reported:
+//!
+//! * **payer-website churn** — the portal ships a redesign (drift theme);
+//!   the RPA bot's selectors break, ECLAIR re-grounds visually and keeps
+//!   working;
+//! * **human-in-the-loop** — ineligible results trigger the sensitive-
+//!   action policy so a human reviews before any downstream claim action.
+//!
+//! Run with: `cargo run --release --example hospital_rcm`
+
+use eclair::gui::{DriftOp, Theme};
+use eclair::hitl_run::run_with_gate;
+use eclair::prelude::*;
+use eclair::rpa::script::{compile, AuthoringConfig};
+use eclair::rpa::RpaBot;
+use eclair::sites::tasks::payer_eligibility_task;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = eclair::sites::fixtures::MEMBERS.len();
+    println!("Eligibility queue: {n} members\n");
+
+    // The payer's quarterly redesign: the submit button is relabeled and a
+    // banner shifts the page (paper: "constant changes to payers' websites
+    // would break the bot").
+    let redesign = Theme::with_ops(vec![
+        DriftOp::Relabel {
+            from: "Check eligibility".into(),
+            to: "Verify coverage".into(),
+        },
+        DriftOp::InsertBanner {
+            text: "Planned maintenance this weekend. Portal may be briefly unavailable.".into(),
+        },
+    ]);
+
+    // --- RPA bot, authored before the redesign.
+    let mut rng = StdRng::seed_from_u64(3);
+    let author_task = payer_eligibility_task(0);
+    let mut author = author_task.launch();
+    let script = compile(
+        &author_task.id,
+        &mut author,
+        &author_task.gold_trace.actions,
+        AuthoringConfig {
+            point_anchor_fraction: 0.0,
+            label_anchor_fraction: 1.0, // anchored on visible labels
+            authoring_error_rate: 0.0,
+        },
+        &mut rng,
+    );
+    let mut rpa_ok = 0;
+    let mut eclair_ok = 0;
+    let mut gated = 0;
+    for i in 0..n {
+        let task = payer_eligibility_task(i);
+        // RPA against the redesigned portal.
+        let mut session = task.site.launch_with_theme(redesign.clone());
+        let run = RpaBot.run(&mut session, &script);
+        if run.completed() && task.success.evaluate(&session) {
+            rpa_ok += 1;
+        }
+        // ECLAIR against the same redesigned portal, with a human gate on
+        // ineligible outcomes.
+        let (report, interrupted) = run_with_gate(&task, &redesign, 70 + i as u64);
+        if report.success {
+            eclair_ok += 1;
+        }
+        if interrupted {
+            gated += 1;
+        }
+        println!(
+            "member {}: RPA {} · ECLAIR {}{}",
+            eclair::sites::fixtures::MEMBERS[i].0,
+            if run.completed() { "ok" } else { "selector broke" },
+            if report.success { "verified" } else { "failed" },
+            if interrupted { " (escalated to human)" } else { "" }
+        );
+    }
+    println!(
+        "\nAfter the payer redesign: RPA {rpa_ok}/{n} · ECLAIR {eclair_ok}/{n} \
+         ({gated} escalations to staff)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: automate one enterprise workflow end to end with ECLAIR.
+//!
+//! The full Demonstrate → Execute → Validate loop from the paper's
+//! Figure 1 on a single GitLab workflow:
+//!
+//! 1. a human demonstration is recorded (here: the gold trace replayed
+//!    against the simulated GitLab);
+//! 2. the agent watches the key frames + action log and writes an SOP;
+//! 3. a fresh session is opened and the agent executes the SOP purely
+//!    through pixels (screenshots in, clicks/keystrokes out);
+//! 4. the self-validators audit the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eclair::prelude::*;
+
+fn main() {
+    // A task from the 30-workflow evaluation suite: "Close the issue
+    // 'Checkout page times out' in the WebApp project".
+    let task = eclair::sites::all_tasks()
+        .into_iter()
+        .find(|t| t.id == "gitlab-03")
+        .expect("task exists");
+
+    println!("Workflow: {}\n", task.intent);
+
+    let mut agent = Eclair::new(EclairConfig {
+        profile: ModelProfile::gpt4v(),
+        evidence: EvidenceLevel::WdKfAct,
+        strategy: GroundingStrategy::SomHtml,
+        seed: 7,
+    });
+
+    let report = agent.automate(&task);
+
+    println!("— Demonstrate: the SOP ECLAIR learned from the demo —");
+    println!("{}", report.sop_text);
+    println!("— Execute —");
+    for line in &report.log {
+        println!("  {line}");
+    }
+    println!();
+    println!("functional success: {}", report.success);
+    println!("self-reported complete: {}", report.self_reported_complete);
+    println!("trajectory faithful:    {}", report.trajectory_faithful);
+    println!(
+        "actions attempted: {} (gold trace: {})",
+        report.actions_attempted,
+        task.gold_trace.len()
+    );
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the full ECLAIR pipeline over the
+//! simulated enterprise, plus the §5 extensions (ensembles, HITL, skills).
+
+use eclair::prelude::*;
+use eclair_core::execute::executor::{run_task, ExecConfig};
+use eclair_core::hitl::{HumanDecision, SensitivePolicy};
+use eclair_core::multiagent::first_success;
+use eclair_core::skills::SkillLibrary;
+use eclair_gui::{DriftOp, Theme};
+
+#[test]
+fn oracle_agent_automates_every_site() {
+    // One representative task per site, full Demonstrate→Execute→Validate.
+    for id in ["gitlab-07", "magento-05"] {
+        let task = eclair::sites::all_tasks()
+            .into_iter()
+            .find(|t| t.id == id)
+            .unwrap();
+        let mut agent = Eclair::new(EclairConfig {
+            profile: ModelProfile::oracle(),
+            ..Default::default()
+        });
+        let report = agent.automate(&task);
+        assert!(report.success, "{id}: {:#?}", report.log);
+        assert!(report.self_reported_complete, "{id}");
+    }
+    // Case-study sites through their task constructors.
+    for task in [
+        eclair::sites::tasks::erp_invoice_task(1),
+        eclair::sites::tasks::payer_eligibility_task(0),
+    ] {
+        let mut agent = Eclair::new(EclairConfig {
+            profile: ModelProfile::oracle(),
+            ..Default::default()
+        });
+        let report = agent.automate(&task);
+        assert!(report.success, "{}: {:#?}", task.id, report.log);
+    }
+}
+
+#[test]
+fn gpt4_agent_survives_ui_relabeling_that_breaks_rpa() {
+    use eclair_rpa::script::{compile, AuthoringConfig};
+    use eclair_rpa::RpaBot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let task = eclair::sites::all_tasks()
+        .into_iter()
+        .find(|t| t.id == "magento-05")
+        .unwrap();
+    let theme = Theme::with_ops(vec![DriftOp::Relabel {
+        from: "Ship".into(),
+        to: "Create shipment".into(),
+    }]);
+
+    // RPA authored on the pristine UI with label anchors: breaks.
+    let mut author = task.launch();
+    let mut rng = StdRng::seed_from_u64(4);
+    let script = compile(
+        &task.id,
+        &mut author,
+        &task.gold_trace.actions,
+        AuthoringConfig {
+            point_anchor_fraction: 0.0,
+            label_anchor_fraction: 1.0,
+            authoring_error_rate: 0.0,
+        },
+        &mut rng,
+    );
+    let mut rpa_session = task.site.launch_with_theme(theme.clone());
+    assert!(
+        !RpaBot.run(&mut rpa_session, &script).completed(),
+        "label-anchored RPA must break on relabel"
+    );
+
+    // ECLAIR with the same (now stale) SOP: at least sometimes re-grounds
+    // semantically ("Ship" → the shipment button) and completes.
+    let mut wins = 0;
+    for seed in 0..8 {
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 60 + seed);
+        let mut session = task.site.launch_with_theme(theme.clone());
+        let cfg = ExecConfig::with_sop(task.gold_sop.clone()).budgeted(task.gold_trace.len());
+        let r = eclair_core::execute::executor::run_on_session(
+            &mut model,
+            &mut session,
+            &task.intent,
+            &cfg,
+        );
+        let _ = r;
+        if task.success.evaluate(&session) {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 3, "FM grounding should adapt to relabeling: {wins}/8");
+}
+
+#[test]
+fn ensembles_and_validated_acceptance() {
+    let task = eclair::sites::all_tasks()
+        .into_iter()
+        .find(|t| t.id == "gitlab-14")
+        .unwrap();
+    let cfg = ExecConfig::with_sop(task.gold_sop.clone()).budgeted(task.gold_trace.len());
+    let ens = first_success(&ModelProfile::gpt4v(), &task, &cfg, 4, 77);
+    assert!(ens.attempts >= 1 && ens.attempts <= 4);
+    if ens.success {
+        assert!(ens.winner.is_some());
+    }
+}
+
+#[test]
+fn hitl_policy_gates_destructive_steps() {
+    let policy = SensitivePolicy::enterprise_default();
+    let task = eclair::sites::all_tasks()
+        .into_iter()
+        .find(|t| t.id == "gitlab-13") // archive project
+        .unwrap();
+    let gated: Vec<&str> = task
+        .gold_sop
+        .steps
+        .iter()
+        .filter(|s| policy.triggers(&eclair_core::execute::parse::parse_step(&s.text)))
+        .map(|s| s.text.as_str())
+        .collect();
+    assert!(
+        !gated.is_empty(),
+        "archiving steps must trigger the sensitive-action interrupt"
+    );
+    // The oracle "human" approves; automation proceeds.
+    let mut approver = eclair_core::hitl::FixedOracle(HumanDecision::Approve);
+    use eclair_core::hitl::HumanOracle;
+    assert_eq!(approver.decide(gated[0]), HumanDecision::Approve);
+}
+
+#[test]
+fn skill_library_accumulates_and_transfers() {
+    let lib = SkillLibrary::shared();
+    let task = eclair::sites::all_tasks()
+        .into_iter()
+        .find(|t| t.id == "magento-05")
+        .unwrap();
+    // Run once and record what grounded successfully (simulated here by
+    // teaching the library the gold grounding for the order page).
+    let session = task.launch();
+    let _ = session;
+    lib.learn(
+        "/magento/sales/orders/1001",
+        "the 'Ship' button",
+        eclair_gui::Point::new(50, 230),
+    );
+    // Transfers to a different order id.
+    assert!(lib
+        .recall("/magento/sales/orders/1002", "the 'Ship' button")
+        .is_some());
+    assert_eq!(lib.len(), 1);
+}
+
+#[test]
+fn eclair_run_is_reproducible_from_seed() {
+    let task = eclair::sites::all_tasks().remove(0);
+    let run = |seed| {
+        let mut agent = Eclair::new(EclairConfig {
+            seed,
+            ..Default::default()
+        });
+        let r = agent.automate(&task);
+        (r.success, r.actions_attempted, r.sop_text)
+    };
+    assert_eq!(run(123), run(123), "same seed, same run");
+}
+
+#[test]
+fn thirty_task_suite_is_solvable_and_distinct() {
+    let tasks = eclair::sites::all_tasks();
+    assert_eq!(tasks.len(), 30);
+    let mut intents: Vec<&str> = tasks.iter().map(|t| t.intent.as_str()).collect();
+    intents.sort();
+    intents.dedup();
+    assert_eq!(intents.len(), 30, "intents are distinct");
+    for t in &tasks {
+        t.verify_gold().unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests over the Demonstrate → Execute → Validate data flow:
+//! recordings feed key frames feed SOP generation feed execution feed
+//! validation, across crate boundaries.
+
+use eclair::prelude::*;
+use eclair_core::demonstrate::{generate_sop, record_gold_demo};
+use eclair_core::execute::executor::{run_task, ExecConfig};
+use eclair_core::validate::{check_completion, check_trajectory};
+use eclair_vision::keyframes::{extract_key_frames, KeyFrameConfig};
+use eclair_workflow::score::score_sop;
+
+fn task(id: &str) -> TaskSpec {
+    eclair::sites::all_tasks()
+        .into_iter()
+        .find(|t| t.id == id)
+        .unwrap()
+}
+
+#[test]
+fn recordings_have_aligned_frames_and_informative_logs() {
+    for id in ["gitlab-01", "magento-06", "gitlab-12"] {
+        let t = task(id);
+        let rec = record_gold_demo(&t);
+        assert_eq!(rec.frames.len(), rec.log.len() + 1, "{id}");
+        // Most clicks resolve accessible target text.
+        let clicks: Vec<_> = rec
+            .log
+            .iter()
+            .filter(|e| matches!(e.event, eclair::gui::UserEvent::Click(_)))
+            .collect();
+        let with_text = clicks.iter().filter(|e| e.target_text.is_some()).count();
+        assert!(
+            with_text * 2 >= clicks.len(),
+            "{id}: recorder resolves most click targets"
+        );
+        // The final frame reflects the completed workflow.
+        let mut check = t.launch();
+        for e in &rec.log {
+            check.dispatch(e.event.clone());
+        }
+        assert!(t.success.evaluate(&check), "{id}");
+    }
+}
+
+#[test]
+fn key_frames_compress_recordings_substantially() {
+    let t = task("gitlab-12"); // includes a Replace (backspace burst)
+    let rec = record_gold_demo(&t);
+    let kfs = extract_key_frames(&rec, KeyFrameConfig::default());
+    assert!(
+        kfs.len() < rec.frames.len() / 2,
+        "key frames must compress the raw frame stream: {} of {}",
+        kfs.len(),
+        rec.frames.len()
+    );
+    // Ordered, unique, final state retained.
+    for pair in kfs.windows(2) {
+        assert!(pair[0].frame_index < pair[1].frame_index);
+    }
+    assert_eq!(kfs.last().unwrap().frame_index, rec.frames.len() - 1);
+}
+
+#[test]
+fn generated_sop_executes_and_validates() {
+    // The full loop on one task with the GPT-4 profile at a fixed seed.
+    let t = task("magento-05");
+    let rec = record_gold_demo(&t);
+    let mut model = FmModel::new(ModelProfile::gpt4v(), 5);
+    let sop = generate_sop(&mut model, &t.intent, Some(&rec), EvidenceLevel::WdKfAct);
+    let score = score_sop(&sop, &t.gold_sop);
+    assert!(score.f1() >= 0.6, "learned SOP resembles gold: {score:?}");
+
+    let cfg = ExecConfig::with_sop(sop.clone()).budgeted(t.gold_trace.len());
+    let mut exec_model = FmModel::new(ModelProfile::gpt4v(), 6);
+    let result = run_task(&mut exec_model, &t, &cfg);
+    assert!(result.success, "{:#?}", result.log);
+
+    // Validators agree the demonstration completed and followed the SOP.
+    let mut judge = FmModel::new(ModelProfile::gpt4v(), 7);
+    assert!(check_completion(&mut judge, &rec, &t.intent).verdict);
+    assert!(check_trajectory(&mut judge, &rec, &sop).verdict);
+}
+
+#[test]
+fn evidence_levels_order_holds_on_a_sample() {
+    let tasks: Vec<_> = eclair::sites::all_tasks().into_iter().take(6).collect();
+    let mut f1s = [0.0f64; 3];
+    for (ti, t) in tasks.iter().enumerate() {
+        let rec = record_gold_demo(t);
+        for (k, level) in EvidenceLevel::all().into_iter().enumerate() {
+            let mut model = FmModel::new(ModelProfile::gpt4v(), 500 + ti as u64);
+            let sop = generate_sop(&mut model, &t.intent, Some(&rec), level);
+            f1s[k] += score_sop(&sop, &t.gold_sop).f1();
+        }
+    }
+    assert!(
+        f1s[2] >= f1s[1] && f1s[1] >= f1s[0] - 0.3,
+        "evidence helps: {f1s:?}"
+    );
+}
+
+#[test]
+fn token_accounting_tracks_prompt_sizes() {
+    use eclair::fm::{Part, Prompt};
+    let t = task("gitlab-03");
+    let session = t.launch();
+    let shot = session.screenshot_at_phase(false);
+    let prompt = Prompt::new("You are ECLAIR, an enterprise workflow agent.")
+        .text(format!("Workflow: {}", t.intent))
+        .text(t.gold_sop.format())
+        .image(shot);
+    assert!(prompt.tokens() > 100);
+    assert_eq!(prompt.image_count(), 1);
+    let mut model = FmModel::new(ModelProfile::gpt4v(), 1);
+    model.charge(&prompt, 80);
+    assert_eq!(model.meter().calls, 1);
+    assert!(matches!(prompt.parts[0], Part::Text(_)));
+}
+
+#[test]
+fn rpa_and_eclair_disagree_under_drift_in_the_expected_direction() {
+    use eclair::gui::theme::generate_drift;
+    use eclair::gui::Theme;
+    use eclair::rpa::script::{compile, AuthoringConfig};
+    use eclair::rpa::RpaBot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let tasks: Vec<_> = eclair::sites::all_tasks().into_iter().take(8).collect();
+    let mut rng = StdRng::seed_from_u64(21);
+    // Build a heavily-drifted theme sampled from a representative page.
+    let mut theme = Theme::pristine();
+    let sample = tasks[0].launch();
+    theme.extend(generate_drift(sample.page(), &mut rng, 8));
+
+    let mut rpa_ok = 0;
+    let mut eclair_ok = 0;
+    for (i, t) in tasks.iter().enumerate() {
+        let mut author = t.launch();
+        let script = compile(
+            &t.id,
+            &mut author,
+            &t.gold_trace.actions,
+            AuthoringConfig::default(),
+            &mut rng,
+        );
+        let mut rpa_session = t.site.launch_with_theme(theme.clone());
+        if RpaBot.run(&mut rpa_session, &script).completed()
+            && t.success.evaluate(&rpa_session)
+        {
+            rpa_ok += 1;
+        }
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 800 + i as u64);
+        let mut session = t.site.launch_with_theme(theme.clone());
+        let cfg = ExecConfig::with_sop(t.gold_sop.clone()).budgeted(t.gold_trace.len());
+        eclair_core::execute::executor::run_on_session(&mut model, &mut session, &t.intent, &cfg);
+        if t.success.evaluate(&session) {
+            eclair_ok += 1;
+        }
+    }
+    assert!(
+        eclair_ok >= rpa_ok,
+        "under drift the FM agent should hold up at least as well: eclair {eclair_ok} vs rpa {rpa_ok}"
+    );
+}

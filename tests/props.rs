@@ -1,0 +1,276 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning geometry/layout, screenshots, matching, SOPs, selectors, and
+//! metrics.
+
+use eclair::gui::{Page, PageBuilder, Point, Rect, SizeBucket};
+use eclair::metrics::classification::BinaryConfusion;
+use eclair::workflow::matcher::{step_similarity, token_f1};
+use eclair::workflow::score::score_sop;
+use eclair::workflow::Sop;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0i32..1200, 0i32..2000, 1u32..600, 1u32..400)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9 ]{0,18}").expect("valid regex")
+}
+
+proptest! {
+    // ------------------------------------------------------------ geometry
+
+    #[test]
+    fn rect_center_is_inside(r in arb_rect()) {
+        prop_assert!(r.contains(r.center()));
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_rect(), b in arb_rect()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_is_contained(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(i.area() <= a.area());
+            prop_assert!(i.area() <= b.area());
+            prop_assert!(a.contains(i.center()) && b.contains(i.center()));
+        }
+    }
+
+    #[test]
+    fn size_buckets_are_monotone(w in 1u32..800, h in 1u32..400, grow in 1u32..4) {
+        let small = Rect::new(0, 0, w, h);
+        let big = Rect::new(0, 0, w * grow, h * grow);
+        prop_assert!(small.size_bucket() <= big.size_bucket());
+        let _ = SizeBucket::all();
+    }
+
+    // -------------------------------------------------------------- layout
+
+    #[test]
+    fn layout_never_overlaps_stacked_leaves(labels in proptest::collection::vec(arb_label(), 1..12)) {
+        let mut b = PageBuilder::new("prop", "/prop");
+        for (i, l) in labels.iter().enumerate() {
+            if i % 2 == 0 {
+                b.button(format!("b{i}"), l.clone());
+            } else {
+                b.text(l.clone());
+            }
+        }
+        let p = b.finish();
+        let leaves: Vec<Rect> = p
+            .visible_iter()
+            .filter(|w| !w.kind.is_container())
+            .map(|w| w.bounds)
+            .collect();
+        for pair in leaves.windows(2) {
+            prop_assert!(
+                pair[1].y >= pair[0].bottom(),
+                "stacked leaves must not overlap: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for r in &leaves {
+            prop_assert!(r.x >= 0 && r.right() <= 1280);
+        }
+    }
+
+    #[test]
+    fn hit_test_agrees_with_bounds(labels in proptest::collection::vec(arb_label(), 1..8)) {
+        let mut b = PageBuilder::new("hit", "/hit");
+        for (i, l) in labels.iter().enumerate() {
+            b.button(format!("b{i}"), l.clone());
+        }
+        let p = b.finish();
+        for w in p.visible_iter().filter(|w| w.kind.is_interactive()) {
+            let hit = p.hit_test(w.bounds.center());
+            prop_assert_eq!(hit, Some(w.id), "center of a button hits that button");
+        }
+    }
+
+    #[test]
+    fn screenshot_render_is_pure(seed_label in arb_label(), scroll in 0i32..200) {
+        let mut b = PageBuilder::new("pure", "/pure");
+        b.heading(1, seed_label.clone());
+        for i in 0..30 {
+            b.text(format!("{seed_label} row {i}"));
+        }
+        let p = b.finish();
+        let s1 = p.screenshot_at(scroll);
+        let s2 = p.screenshot_at(scroll);
+        prop_assert_eq!(&s1, &s2);
+        prop_assert!((s1.diff_fraction(&s2) - 0.0).abs() < 1e-12);
+    }
+
+    // ------------------------------------------------------------ matching
+
+    #[test]
+    fn step_similarity_symmetric_bounded(a in arb_label(), b in arb_label()) {
+        let fwd = step_similarity(&a, &b);
+        let bwd = step_similarity(&b, &a);
+        prop_assert!((fwd - bwd).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&fwd));
+    }
+
+    #[test]
+    fn token_f1_identity(tokens in proptest::collection::vec("[a-z]{1,8}", 0..8)) {
+        let v: Vec<String> = tokens;
+        if v.is_empty() {
+            prop_assert_eq!(token_f1(&v, &v), 1.0);
+        } else {
+            prop_assert!((token_f1(&v, &v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    // ---------------------------------------------------------------- SOPs
+
+    #[test]
+    fn sop_format_parse_round_trip(steps in proptest::collection::vec(arb_label(), 1..10)) {
+        let sop = Sop::from_texts("Prop workflow", &steps.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        let back = Sop::parse(&sop.format());
+        prop_assert_eq!(back.len(), sop.len());
+        for (a, b) in back.steps.iter().zip(&sop.steps) {
+            prop_assert_eq!(a.text.trim(), b.text.trim());
+            prop_assert_eq!(a.index, b.index);
+        }
+    }
+
+    #[test]
+    fn self_scored_sop_is_perfect(steps in proptest::collection::vec("[A-Za-z][A-Za-z0-9 ]{4,24}", 1..8)) {
+        // Click-prefixed unique-ish steps score 1.0 against themselves.
+        let texts: Vec<String> = steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("Click the '{s} {i}' button"))
+            .collect();
+        let sop = Sop::from_texts("t", &texts.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        let score = score_sop(&sop, &sop);
+        prop_assert_eq!(score.missing, 0);
+        prop_assert_eq!(score.incorrect, 0);
+        prop_assert!((score.precision - 1.0).abs() < 1e-12);
+    }
+
+    // ------------------------------------------------------------- metrics
+
+    #[test]
+    fn confusion_metrics_bounded(tp in 0u64..500, fp in 0u64..500, fn_ in 0u64..500, tn in 0u64..500) {
+        let cm = BinaryConfusion::from_counts(tp, fp, fn_, tn);
+        for v in [cm.precision(), cm.recall(), cm.f1(), cm.accuracy(), cm.balanced_accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        prop_assert_eq!(cm.total(), tp + fp + fn_ + tn);
+        // F1 lies between min and max of precision and recall.
+        let (p, r) = (cm.precision(), cm.recall());
+        prop_assert!(cm.f1() <= p.max(r) + 1e-12);
+        prop_assert!(cm.f1() + 1e-12 >= p.min(r) || cm.f1() == 0.0);
+    }
+
+    // -------------------------------------------------------- gui sessions
+
+    #[test]
+    fn typed_text_round_trips_through_session(input in "[a-zA-Z0-9 ]{1,24}") {
+        use eclair::gui::{GuiApp, SemanticEvent, Session, UserEvent};
+        struct One;
+        impl GuiApp for One {
+            fn name(&self) -> &str { "one" }
+            fn url(&self) -> String { "/one".into() }
+            fn build(&self) -> Page {
+                let mut b = PageBuilder::new("one", "/one");
+                b.form("f", |b| {
+                    b.text_input("field", "Field", "");
+                    b.button("go", "Go");
+                });
+                b.finish()
+            }
+            fn on_event(&mut self, _: SemanticEvent) -> bool { false }
+        }
+        let mut s = Session::new(Box::new(One));
+        let id = s.page().find_by_name("field").unwrap();
+        let pt = s.page().get(id).bounds.center().offset(0, -s.scroll_y());
+        s.dispatch(UserEvent::Click(pt));
+        s.dispatch(UserEvent::Type(input.clone()));
+        let id = s.page().find_by_name("field").unwrap();
+        prop_assert_eq!(&s.page().get(id).value, &input);
+        // And the pixels show it.
+        prop_assert!(s.screenshot().contains_text(&input));
+    }
+}
+
+// --------------------------------------------------------- recordings
+
+proptest! {
+    #[test]
+    fn trace_corruptions_keep_alignment(cut in 0usize..12, i in 0usize..10, j in 0usize..10) {
+        use eclair_core::demonstrate::record_gold_demo;
+        let task = eclair::sites::all_tasks().remove(0);
+        let rec = record_gold_demo(&task);
+        let t = rec.truncated(cut);
+        prop_assert_eq!(t.frames.len(), t.log.len() + 1);
+        let n = rec.num_actions();
+        let sw = rec.with_swapped(i.min(n - 1), j.min(n - 1));
+        prop_assert_eq!(sw.frames.len(), sw.log.len() + 1);
+        let del = rec.with_deleted(i.min(n - 1));
+        prop_assert_eq!(del.frames.len(), del.log.len() + 1);
+        for (idx, e) in del.log.iter().enumerate() {
+            prop_assert_eq!(e.frame_index, idx, "indices rewritten after delete");
+        }
+    }
+
+    #[test]
+    fn key_frames_are_a_strictly_increasing_subsequence(task_idx in 0usize..30) {
+        use eclair_core::demonstrate::record_gold_demo;
+        use eclair_vision::keyframes::{extract_key_frames, KeyFrameConfig};
+        let task = eclair::sites::all_tasks().remove(task_idx);
+        let rec = record_gold_demo(&task);
+        let kfs = extract_key_frames(&rec, KeyFrameConfig::default());
+        prop_assert!(!kfs.is_empty());
+        for pair in kfs.windows(2) {
+            prop_assert!(pair[0].frame_index < pair[1].frame_index);
+        }
+        prop_assert!(kfs.last().unwrap().frame_index <= rec.frames.len() - 1);
+    }
+
+    #[test]
+    fn detector_is_deterministic_and_boxes_stay_near_items(seed in 0u64..50) {
+        use eclair::vision::detector::YoloNasSim;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut b = PageBuilder::new("det", "/det");
+        b.button("a", "Alpha action");
+        b.link("b", "Beta link");
+        b.text_input("c", "Gamma", "value");
+        let shot = b.finish().screenshot_at(0);
+        let det = YoloNasSim::default();
+        let d1 = det.detect(&shot, &mut StdRng::seed_from_u64(seed));
+        let d2 = det.detect(&shot, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&d1, &d2);
+        for d in d1.iter().filter(|d| !d.spurious) {
+            let best = shot.items.iter().map(|i| d.rect.iou(&i.rect)).fold(0.0f64, f64::max);
+            prop_assert!(best > 0.2, "{:?}", d);
+        }
+    }
+
+    #[test]
+    fn theme_application_is_idempotent_for_relabels(to in "[A-Z][a-z]{2,10}") {
+        use eclair::gui::{DriftOp, Theme};
+        let mut b = PageBuilder::new("t", "/t");
+        b.button("save", "Save");
+        let mut p1 = b.finish();
+        let theme = Theme::with_ops(vec![DriftOp::Relabel { from: "Save".into(), to: to.clone() }]);
+        theme.apply(&mut p1);
+        let relabeled = p1.find_by_label(&to, true);
+        prop_assert!(relabeled.is_some());
+        // Applying again is a no-op (the source label is gone).
+        let before = p1.clone();
+        theme.apply(&mut p1);
+        prop_assert_eq!(p1.len(), before.len());
+    }
+}
