@@ -10,10 +10,26 @@ fn bench_grounding(c: &mut Criterion) {
     let sample = generate(Corpus::WebUiSim, 1, 5).remove(0);
     let shot = sample.page.screenshot_at(0);
     let plans: &[(&str, ModelProfile, GroundingStrategy)] = &[
-        ("gpt4_native", ModelProfile::gpt4v(), GroundingStrategy::Native),
-        ("gpt4_som_yolo", ModelProfile::gpt4v(), GroundingStrategy::SomYolo),
-        ("gpt4_som_html", ModelProfile::gpt4v(), GroundingStrategy::SomHtml),
-        ("cogagent_native", ModelProfile::cogagent_18b(), GroundingStrategy::Native),
+        (
+            "gpt4_native",
+            ModelProfile::gpt4v(),
+            GroundingStrategy::Native,
+        ),
+        (
+            "gpt4_som_yolo",
+            ModelProfile::gpt4v(),
+            GroundingStrategy::SomYolo,
+        ),
+        (
+            "gpt4_som_html",
+            ModelProfile::gpt4v(),
+            GroundingStrategy::SomHtml,
+        ),
+        (
+            "cogagent_native",
+            ModelProfile::cogagent_18b(),
+            GroundingStrategy::Native,
+        ),
     ];
     for (name, profile, strategy) in plans {
         c.bench_function(&format!("table3/{name}"), |b| {
@@ -24,7 +40,12 @@ fn bench_grounding(c: &mut Criterion) {
                     page: Some(&sample.page),
                     scroll_y: 0,
                 };
-                black_box(ground_click(&mut model, *strategy, &view, &sample.description))
+                black_box(ground_click(
+                    &mut model,
+                    *strategy,
+                    &view,
+                    &sample.description,
+                ))
             })
         });
     }

@@ -21,9 +21,8 @@ fn bench_validation(c: &mut Criterion) {
     });
     c.bench_function("table4/integrity", |b| {
         let mut model = FmModel::new(ModelProfile::gpt4v(), 2);
-        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label(
-            "Close issue".into(),
-        )));
+        let ic =
+            IntegrityConstraint::for_action(&Action::Click(TargetRef::Label("Close issue".into())));
         b.iter(|| black_box(check_integrity(&mut model, &ic, &s).verdict))
     });
     c.bench_function("table4/completion", |b| {

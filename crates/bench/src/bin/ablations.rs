@@ -8,7 +8,7 @@
 //!   actuation-validation dataset (§5's "repeatedly querying and
 //!   ensembling predictions").
 
-use eclair_bench::fast_mode;
+use eclair_bench::{automate_sweep, fast_mode, render_trace_rollup, trace_out_arg};
 use eclair_core::demonstrate::record_gold_demo;
 use eclair_core::execute::executor::{run_task, ExecConfig};
 use eclair_core::execute::GroundingStrategy;
@@ -20,6 +20,7 @@ use eclair_fm::{FmModel, ModelProfile};
 use eclair_metrics::table::fmt2;
 use eclair_metrics::{BinaryConfusion, Table};
 use eclair_sites::all_tasks;
+use eclair_trace::RunSummary;
 use eclair_vision::detector::YoloNasSim;
 
 /// SoM grounding accuracy over `samples` with a given detector quality.
@@ -27,6 +28,7 @@ fn accuracy_with_detector(
     samples: &[eclair_core::experiments::grounding_corpus::GroundingSample],
     detector: &YoloNasSim,
     seed: u64,
+    trace: &mut RunSummary,
 ) -> f64 {
     use eclair_core::execute::ground::associate_captions;
     use eclair_vision::marks::marks_via_detector;
@@ -44,6 +46,7 @@ fn accuracy_with_detector(
         {
             hits += 1;
         }
+        trace.merge(&model.trace().summary());
     }
     hits as f64 / samples.len().max(1) as f64
 }
@@ -51,6 +54,7 @@ fn accuracy_with_detector(
 fn main() {
     let n_tasks = if fast_mode() { 6 } else { 15 };
     let tasks: Vec<_> = all_tasks().into_iter().take(n_tasks).collect();
+    let mut trace = RunSummary::default();
 
     // ----- A1: grounding strategy × profile → completion
     println!("A1: completion by grounding strategy x model ({n_tasks} tasks, 2 reps)\n");
@@ -68,15 +72,15 @@ fn main() {
             let mut total = 0usize;
             for rep in 0..2u64 {
                 for (i, task) in tasks.iter().enumerate() {
-                    let mut cfg = ExecConfig::with_sop(task.gold_sop.clone())
-                        .budgeted(task.gold_trace.len());
+                    let mut cfg =
+                        ExecConfig::with_sop(task.gold_sop.clone()).budgeted(task.gold_trace.len());
                     cfg.strategy = strategy;
-                    let mut model =
-                        FmModel::new(profile.clone(), 3000 + rep * 500 + i as u64);
+                    let mut model = FmModel::new(profile.clone(), 3000 + rep * 500 + i as u64);
                     total += 1;
                     if run_task(&mut model, task, &cfg).success {
                         wins += 1;
                     }
+                    trace.merge(&model.trace().summary());
                 }
             }
             t.row(vec![
@@ -92,14 +96,18 @@ fn main() {
     println!("A2: SoM grounding accuracy vs detector quality (WebUI-sim)\n");
     let pages = if fast_mode() { 40 } else { 120 };
     let samples = generate(Corpus::WebUiSim, pages, 99);
-    let default_acc = accuracy_with_detector(&samples, &YoloNasSim::default(), 7);
-    let oracle_acc = accuracy_with_detector(&samples, &YoloNasSim::oracle(), 7);
+    let default_acc = accuracy_with_detector(&samples, &YoloNasSim::default(), 7, &mut trace);
+    let oracle_acc = accuracy_with_detector(&samples, &YoloNasSim::oracle(), 7, &mut trace);
     println!("default detector: {:.2}", default_acc);
     println!("oracle detector:  {:.2}", oracle_acc);
     println!(
         "gap: {:.2} — detection is {} the bottleneck (paper: selection dominates)\n",
         oracle_acc - default_acc,
-        if oracle_acc - default_acc < 0.15 { "not" } else { "partly" }
+        if oracle_acc - default_acc < 0.15 {
+            "not"
+        } else {
+            "partly"
+        }
     );
 
     // ----- A3: ensemble size
@@ -130,11 +138,20 @@ fn main() {
         for task in tasks.iter().take(8) {
             let rec = record_gold_demo(task);
             for i in 0..rec.num_actions() {
-                let Some((s, a, s2)) = rec.transition(i) else { continue };
-                cm.observe(check_actuation(&mut model, s, &a.describe(), s2).verdict, true);
-                cm.observe(check_actuation(&mut model, s, &a.describe(), s).verdict, false);
+                let Some((s, a, s2)) = rec.transition(i) else {
+                    continue;
+                };
+                cm.observe(
+                    check_actuation(&mut model, s, &a.describe(), s2).verdict,
+                    true,
+                );
+                cm.observe(
+                    check_actuation(&mut model, s, &a.describe(), s).verdict,
+                    false,
+                );
             }
         }
+        trace.merge(&model.trace().summary());
         t.row(vec![
             name.to_string(),
             fmt2(cm.precision()),
@@ -143,4 +160,21 @@ fn main() {
         ]);
     }
     println!("{}", t.to_ascii());
+
+    println!("\ntrace rollup (A1 + A2 + A4; A3's ensemble models are internal):");
+    println!("{}", render_trace_rollup(&trace));
+    if let Some(path) = trace_out_arg() {
+        let sweep = automate_sweep(if fast_mode() { 3 } else { 10 }, 7);
+        match std::fs::write(&path, &sweep.jsonl) {
+            Ok(()) => println!(
+                "flight record: {} events written to {}",
+                sweep.summary.events,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,7 +1,7 @@
 //! Regenerate the Section 3 case-study dynamics: an RPA deployment under
 //! quarterly UI drift with bounded maintenance, vs ECLAIR's day-one agent.
 
-use eclair_bench::fast_mode;
+use eclair_bench::{automate_sweep, fast_mode, render_trace_rollup, trace_out_arg};
 use eclair_core::experiments::case_study;
 use eclair_metrics::table::fmt2;
 use eclair_metrics::Table;
@@ -40,6 +40,22 @@ fn main() {
         "FM cost per run: ${:.3}; cumulative cost at horizon (1k items/mo): RPA ${:.0} vs ECLAIR ${:.0}",
         result.eclair_cost_per_run, result.rpa_cum_cost, result.eclair_cum_cost
     );
+    println!("\ntrace rollup (ECLAIR side):");
+    println!("{}", render_trace_rollup(&result.trace));
+    if let Some(path) = trace_out_arg() {
+        let sweep = automate_sweep(if fast_mode() { 3 } else { 10 }, 7);
+        match std::fs::write(&path, &sweep.jsonl) {
+            Ok(()) => println!(
+                "flight record: {} events written to {}",
+                sweep.summary.events,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
     match result.shape_holds() {
         Ok(()) => println!("\nshape check: PASS (60%→95% ramp; agent viable from day one)"),
         Err(e) => println!("\nshape check: FAIL — {e}"),

@@ -19,6 +19,7 @@ fn main() {
     println!("{}", render_table1(&t1));
     let c = t1.paper_comparison();
     println!("{}", c.render());
+    println!("trace rollup:\n{}", render_trace_rollup(&t1.trace));
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 1".into(), t1.shape_holds()));
@@ -32,6 +33,7 @@ fn main() {
     println!("{}", render_table2(&t2));
     let c = t2.paper_comparison();
     println!("{}", c.render());
+    println!("trace rollup:\n{}", render_trace_rollup(&t2.trace));
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 2".into(), t2.shape_holds()));
@@ -44,6 +46,7 @@ fn main() {
     println!("{}", render_table3(&t3));
     let c = t3.paper_comparison();
     println!("{}", c.render());
+    println!("trace rollup:\n{}", render_trace_rollup(&t3.trace));
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 3".into(), t3.shape_holds()));
@@ -56,6 +59,7 @@ fn main() {
     println!("{}", render_table4(&t4));
     let c = t4.paper_comparison();
     println!("{}", c.render());
+    println!("trace rollup:\n{}", render_trace_rollup(&t4.trace));
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 4".into(), t4.shape_holds()));
@@ -64,7 +68,11 @@ fn main() {
     let f2 = fig2::run();
     println!("{}", f2.render());
     let (rpa_cov, eclair_cov) = fig2::coverage(&figure2_examples());
-    println!("\ncoverage: RPA {:.0}% → ECLAIR {:.0}%", rpa_cov * 100.0, eclair_cov * 100.0);
+    println!(
+        "\ncoverage: RPA {:.0}% → ECLAIR {:.0}%",
+        rpa_cov * 100.0,
+        eclair_cov * 100.0
+    );
     shapes.push(("Figure 2".into(), f2.shape_holds()));
 
     println!("\n=== Section 3 case study ===\n");
@@ -79,7 +87,29 @@ fn main() {
         cs.rpa.peak_accuracy(),
         cs.eclair_completion
     );
+    println!("trace rollup:\n{}", render_trace_rollup(&cs.trace));
     shapes.push(("Case study".into(), cs.shape_holds()));
+
+    println!("\n=== End-to-end sweep ===\n");
+    let sweep = automate_sweep(if fast { 3 } else { 10 }, eclair_core::calibration::SEED);
+    println!(
+        "Eclair::automate over {} tasks: {}/{} complete",
+        sweep.total, sweep.wins, sweep.total
+    );
+    println!("trace rollup:\n{}", render_trace_rollup(&sweep.summary));
+    if let Some(path) = trace_out_arg() {
+        match std::fs::write(&path, &sweep.jsonl) {
+            Ok(()) => println!(
+                "flight record: {} events written to {}",
+                sweep.summary.events,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     println!("\n=== Summary ===");
     println!("paper-vs-measured cells within band: {passed}/{total}");

@@ -1,6 +1,6 @@
 //! Regenerate the paper's Table 1 (Demonstrate: SOP generation).
 
-use eclair_bench::{fast_mode, render_table1};
+use eclair_bench::{fast_mode, render_table1, render_trace_rollup};
 use eclair_core::experiments::table1;
 
 fn main() {
@@ -9,10 +9,14 @@ fn main() {
         ..Default::default()
     };
     let result = table1::run(cfg);
-    println!("Table 1: (Demonstrate) SOP generation, averaged over {} workflows\n", cfg.tasks);
+    println!(
+        "Table 1: (Demonstrate) SOP generation, averaged over {} workflows\n",
+        cfg.tasks
+    );
     println!("{}", render_table1(&result));
     println!();
     println!("{}", result.paper_comparison().render());
+    println!("trace rollup:\n{}", render_trace_rollup(&result.trace));
     match result.shape_holds() {
         Ok(()) => println!("shape check: PASS (evidence monotonicity holds)"),
         Err(e) => println!("shape check: FAIL — {e}"),

@@ -1,6 +1,6 @@
 //! Regenerate the paper's Table 2 (Execute: suggestion & completion).
 
-use eclair_bench::{fast_mode, render_table2};
+use eclair_bench::{fast_mode, render_table2, render_trace_rollup};
 use eclair_core::experiments::table2;
 
 fn main() {
@@ -17,8 +17,11 @@ fn main() {
     println!("{}", render_table2(&result));
     println!();
     println!("{}", result.paper_comparison().render());
+    println!("trace rollup:\n{}", render_trace_rollup(&result.trace));
     match result.shape_holds() {
-        Ok(()) => println!("shape check: PASS (SOPs roughly double completion; grounding gap persists)"),
+        Ok(()) => {
+            println!("shape check: PASS (SOPs roughly double completion; grounding gap persists)")
+        }
         Err(e) => println!("shape check: FAIL — {e}"),
     }
 }

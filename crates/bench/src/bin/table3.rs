@@ -1,6 +1,6 @@
 //! Regenerate the paper's Table 3 (Execute: grounding accuracy).
 
-use eclair_bench::{fast_mode, render_table3};
+use eclair_bench::{fast_mode, render_table3, render_trace_rollup};
 use eclair_core::experiments::table3;
 
 fn main() {
@@ -14,8 +14,11 @@ fn main() {
     println!("{}", render_table3(&result));
     println!();
     println!("{}", result.paper_comparison().render());
+    println!("trace rollup:\n{}", render_trace_rollup(&result.trace));
     match result.shape_holds() {
-        Ok(()) => println!("shape check: PASS (SoM transforms GPT-4; CogAgent leads, esp. small elements)"),
+        Ok(()) => println!(
+            "shape check: PASS (SoM transforms GPT-4; CogAgent leads, esp. small elements)"
+        ),
         Err(e) => println!("shape check: FAIL — {e}"),
     }
 }

@@ -1,6 +1,6 @@
 //! Regenerate the paper's Table 4 (Validate: self-monitoring).
 
-use eclair_bench::{fast_mode, render_table4};
+use eclair_bench::{fast_mode, render_table4, render_trace_rollup};
 use eclair_core::experiments::table4;
 
 fn main() {
@@ -13,8 +13,11 @@ fn main() {
     println!("{}", render_table4(&result));
     println!();
     println!("{}", result.paper_comparison().render());
+    println!("trace rollup:\n{}", render_trace_rollup(&result.trace));
     match result.shape_holds() {
-        Ok(()) => println!("shape check: PASS (workflow-level checks strong; integrity recall collapses)"),
+        Ok(()) => {
+            println!("shape check: PASS (workflow-level checks strong; integrity recall collapses)")
+        }
         Err(e) => println!("shape check: FAIL — {e}"),
     }
 }

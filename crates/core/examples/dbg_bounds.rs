@@ -4,13 +4,20 @@ use eclair_workflow::{Action, TargetRef};
 
 fn main() {
     let mut s = Site::Gitlab.launch();
-    execute_trace(&mut s, &[
-        Action::Click(TargetRef::Name("open-project-webapp".into())),
-        Action::Click(TargetRef::Name("tab-issues".into())),
-    ]).unwrap();
+    execute_trace(
+        &mut s,
+        &[
+            Action::Click(TargetRef::Name("open-project-webapp".into())),
+            Action::Click(TargetRef::Name("tab-issues".into())),
+        ],
+    )
+    .unwrap();
     for w in s.page().visible_iter() {
         if !w.name.is_empty() || !w.label.is_empty() {
-            println!("{:?} name={:?} label={:?} bounds={:?}", w.kind, w.name, w.label, w.bounds);
+            println!(
+                "{:?} name={:?} label={:?} bounds={:?}",
+                w.kind, w.name, w.label, w.bounds
+            );
         }
     }
 }

@@ -10,15 +10,21 @@ fn main() {
             let cfg = ExecConfig::with_sop(t.gold_sop.clone()).budgeted(t.gold_trace.len());
             let mut m = FmModel::new(ModelProfile::gpt4v(), 100 + rep * 1000 + i as u64);
             let r = run_task(&mut m, t, &cfg);
-            if r.success { with += 1; }
+            if r.success {
+                with += 1;
+            }
             if rep == 0 && !r.success {
                 println!("== {} FAIL(with)", t.id);
-                for l in &r.log { println!("   {l}"); }
+                for l in &r.log {
+                    println!("   {l}");
+                }
             }
             let cfg2 = ExecConfig::without_sop().budgeted(t.gold_trace.len());
             let mut m2 = FmModel::new(ModelProfile::gpt4v(), 500 + rep * 1000 + i as u64);
             let r2 = run_task(&mut m2, t, &cfg2);
-            if r2.success { without += 1; }
+            if r2.success {
+                without += 1;
+            }
         }
     }
     println!("TOTAL with-SOP: {with}/90  without-SOP: {without}/90");

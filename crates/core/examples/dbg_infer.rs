@@ -1,8 +1,8 @@
 use eclair_core::demonstrate::evidence::record_gold_demo;
 use eclair_fm::{FmModel, ModelProfile};
+use eclair_gui::VisualClass;
 use eclair_sites::all_tasks;
 use eclair_vision::diff::diff;
-use eclair_gui::VisualClass;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,19 +18,65 @@ fn main() {
     let pb = model.perceive(b);
     let d = diff(a, b);
     println!("modal pa={} pb={}", pa.modal_seen, pb.modal_seen);
-    let panel = pb.elements.iter().find(|e| e.visual == VisualClass::PanelEdge && e.rect.w >= 300 && e.rect.h >= 100).map(|e| e.rect);
+    let panel = pb
+        .elements
+        .iter()
+        .find(|e| e.visual == VisualClass::PanelEdge && e.rect.w >= 300 && e.rect.h >= 100)
+        .map(|e| e.rect);
     println!("panel {panel:?} regions {:?}", d.regions);
-    let new_texts: Vec<&str> = pb.elements.iter()
+    let new_texts: Vec<&str> = pb
+        .elements
+        .iter()
         .filter(|e| !e.text.is_empty() && e.visual != VisualClass::IconGlyph)
-        .filter(|e| !pa.elements.iter().any(|o| eclair_fm::text::fuzzy_similarity(&o.text, &e.text) > 0.85))
-        .filter(|e| panel.map(|p| p.inflate(24).intersects(&e.rect)).unwrap_or(true))
-        .map(|e| e.text.as_str()).collect();
+        .filter(|e| {
+            !pa.elements
+                .iter()
+                .any(|o| eclair_fm::text::fuzzy_similarity(&o.text, &e.text) > 0.85)
+        })
+        .filter(|e| {
+            panel
+                .map(|p| p.inflate(24).intersects(&e.rect))
+                .unwrap_or(true)
+        })
+        .map(|e| e.text.as_str())
+        .collect();
     println!("new_texts {new_texts:?}");
-    for e in pa.elements.iter().filter(|e| matches!(e.visual, VisualClass::BoxButton | VisualClass::TextLink | VisualClass::IconGlyph | VisualClass::CheckGlyph | VisualClass::RadioGlyph) && !e.text.is_empty()) {
-        let eff = new_texts.iter().map(|t2| eclair_fm::text::fuzzy_similarity(&e.text, t2).max(eclair_fm::text::stem_overlap(&e.text, t2))).fold(0.0f64, f64::max);
+    for e in pa.elements.iter().filter(|e| {
+        matches!(
+            e.visual,
+            VisualClass::BoxButton
+                | VisualClass::TextLink
+                | VisualClass::IconGlyph
+                | VisualClass::CheckGlyph
+                | VisualClass::RadioGlyph
+        ) && !e.text.is_empty()
+    }) {
+        let eff = new_texts
+            .iter()
+            .map(|t2| {
+                eclair_fm::text::fuzzy_similarity(&e.text, t2)
+                    .max(eclair_fm::text::stem_overlap(&e.text, t2))
+            })
+            .fold(0.0f64, f64::max);
         let wd = 0.8 * eclair_fm::text::stem_overlap(&e.text, &t.intent);
-        let prox = if d.regions.iter().any(|r| r.inflate(16).intersects(&e.rect)) { 0.15 } else { 0.0 };
-        let gone = if !pb.elements.iter().any(|x| x.visual == e.visual && x.text == e.text) { 0.3 } else { 0.0 };
-        println!("cand '{}' eff={eff:.2} wd={wd:.2} prox={prox} gone={gone} total={:.2}", e.text, eff.max(wd) + prox + gone);
+        let prox = if d.regions.iter().any(|r| r.inflate(16).intersects(&e.rect)) {
+            0.15
+        } else {
+            0.0
+        };
+        let gone = if !pb
+            .elements
+            .iter()
+            .any(|x| x.visual == e.visual && x.text == e.text)
+        {
+            0.3
+        } else {
+            0.0
+        };
+        println!(
+            "cand '{}' eff={eff:.2} wd={wd:.2} prox={prox} gone={gone} total={:.2}",
+            e.text,
+            eff.max(wd) + prox + gone
+        );
     }
 }

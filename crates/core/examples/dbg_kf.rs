@@ -10,7 +10,10 @@ fn main() {
         let mut model = FmModel::new(ModelProfile::gpt4v(), 7 + ti as u64);
         let sop = generate_sop(&mut model, &t.intent, Some(&rec), EvidenceLevel::WdKf);
         let s = score_sop(&sop, &t.gold_sop);
-        println!("== {} P={:.2} R={:.2} miss={} inc={}", t.id, s.precision, s.recall, s.missing, s.incorrect);
+        println!(
+            "== {} P={:.2} R={:.2} miss={} inc={}",
+            t.id, s.precision, s.recall, s.missing, s.incorrect
+        );
         if s.precision < 0.6 || s.recall < 0.6 {
             println!("GOLD:\n{}GEN:\n{}", t.gold_sop.format(), sop.format());
         }

@@ -1,10 +1,13 @@
 use eclair_core::demonstrate::evidence::record_gold_demo;
 use eclair_fm::{FmModel, ModelProfile};
-use eclair_sites::all_tasks;
 use eclair_gui::VisualClass;
+use eclair_sites::all_tasks;
 
 fn main() {
-    let t = all_tasks().into_iter().find(|t| t.id == "gitlab-01").unwrap();
+    let t = all_tasks()
+        .into_iter()
+        .find(|t| t.id == "gitlab-01")
+        .unwrap();
     let rec = record_gold_demo(&t);
     // find frame index of issues -> issues/new transition
     for (i, f) in rec.frames.iter().enumerate() {
@@ -15,9 +18,20 @@ fn main() {
     let b = &rec.frames[3].shot;
     let pa = model.perceive(a);
     let pb = model.perceive(b);
-    let heading = pb.elements.iter().find(|e| e.visual == VisualClass::Text && e.emphasis && !e.text.is_empty()).map(|e| e.text.clone()).unwrap_or_default();
+    let heading = pb
+        .elements
+        .iter()
+        .find(|e| e.visual == VisualClass::Text && e.emphasis && !e.text.is_empty())
+        .map(|e| e.text.clone())
+        .unwrap_or_default();
     println!("heading: {heading:?}");
-    for e in pa.elements.iter().filter(|e| e.looks_interactive() && e.visual != VisualClass::InputBox && !e.text.is_empty()) {
-        println!("cand '{}' fuzzy={:.2}", e.text, eclair_fm::text::fuzzy_similarity(&e.text, &heading));
+    for e in pa.elements.iter().filter(|e| {
+        e.looks_interactive() && e.visual != VisualClass::InputBox && !e.text.is_empty()
+    }) {
+        println!(
+            "cand '{}' fuzzy={:.2}",
+            e.text,
+            eclair_fm::text::fuzzy_similarity(&e.text, &heading)
+        );
     }
 }

@@ -3,30 +3,61 @@ use eclair_core::experiments::{table1, table2, table3, table4};
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_default();
     if which.contains('3') {
-        let r = table3::run(table3::Table3Config { pages: Some(120), ..Default::default() });
+        let r = table3::run(table3::Table3Config {
+            pages: Some(120),
+            ..Default::default()
+        });
         for row in &r.rows {
-            println!("{:10} {:5} {:9} S={:.2} M={:.2} L={:.2} overall={:.2}",
-                row.model, row.source, row.corpus,
-                row.by_bucket[0], row.by_bucket[1], row.by_bucket[2], row.overall);
+            println!(
+                "{:10} {:5} {:9} S={:.2} M={:.2} L={:.2} overall={:.2}",
+                row.model,
+                row.source,
+                row.corpus,
+                row.by_bucket[0],
+                row.by_bucket[1],
+                row.by_bucket[2],
+                row.overall
+            );
         }
     }
     if which.contains('2') {
-        let r = table2::run(table2::Table2Config { reps: 3, ..Default::default() });
+        let r = table2::run(table2::Table2Config {
+            reps: 3,
+            ..Default::default()
+        });
         for row in &r.rows {
-            println!("sop={} sugg={:.2} completion={:.2}", row.with_sop, row.suggestion_acc, row.completion);
+            println!(
+                "sop={} sugg={:.2} completion={:.2}",
+                row.with_sop, row.suggestion_acc, row.completion
+            );
         }
     }
     if which.contains('1') {
         let r = table1::run(table1::Table1Config::default());
         for row in &r.rows {
-            println!("{:12} miss={:.2} inc={:.2} tot={:.2} P={:.2} R={:.2} corr={:.2}",
-                row.method, row.missing, row.incorrect, row.total, row.precision, row.recall, row.correctness);
+            println!(
+                "{:12} miss={:.2} inc={:.2} tot={:.2} P={:.2} R={:.2} corr={:.2}",
+                row.method,
+                row.missing,
+                row.incorrect,
+                row.total,
+                row.precision,
+                row.recall,
+                row.correctness
+            );
         }
     }
     if which.contains('4') {
         let r = table4::run(table4::Table4Config::default());
         for row in &r.rows {
-            println!("{:22} P={:.2} R={:.2} F1={:.2} ({:?})", row.eval_type, row.precision(), row.recall(), row.f1(), row.confusion);
+            println!(
+                "{:22} P={:.2} R={:.2} F1={:.2} ({:?})",
+                row.eval_type,
+                row.precision(),
+                row.recall(),
+                row.f1(),
+                row.confusion
+            );
         }
     }
 }

@@ -1,13 +1,19 @@
 use eclair_core::demonstrate::evidence::record_gold_demo;
 use eclair_sites::all_tasks;
-use eclair_vision::keyframes::{extract_key_frames, KeyFrameConfig};
 use eclair_vision::diff::diff;
+use eclair_vision::keyframes::{extract_key_frames, KeyFrameConfig};
 
 fn main() {
-    let t = all_tasks().into_iter().find(|t| t.id == "magento-06").unwrap();
+    let t = all_tasks()
+        .into_iter()
+        .find(|t| t.id == "magento-06")
+        .unwrap();
     let rec = record_gold_demo(&t);
     for (i, e) in rec.log.iter().enumerate() {
-        println!("log[{i}] {:?} target={:?} url={}", e.event, e.target_text, e.url_after);
+        println!(
+            "log[{i}] {:?} target={:?} url={}",
+            e.event, e.target_text, e.url_after
+        );
     }
     let kfs = extract_key_frames(&rec, KeyFrameConfig { min_diff: 0.002 });
     println!("keyframes: {kfs:?}");
@@ -15,6 +21,14 @@ fn main() {
         let a = &rec.frames[pair[0].frame_index].shot;
         let b = &rec.frames[pair[1].frame_index].shot;
         let d = diff(a, b);
-        println!("{} -> {}: url {} -> {} frac {:.4} regions {:?}", pair[0].frame_index, pair[1].frame_index, a.url, b.url, d.changed_fraction, d.regions.len());
+        println!(
+            "{} -> {}: url {} -> {} frac {:.4} regions {:?}",
+            pair[0].frame_index,
+            pair[1].frame_index,
+            a.url,
+            b.url,
+            d.changed_fraction,
+            d.regions.len()
+        );
     }
 }

@@ -2,8 +2,10 @@
 //! object, the API a deployment would integrate against (and the one the
 //! examples use).
 
+use eclair_fm::tokens::Pricing;
 use eclair_fm::{FmModel, ModelProfile};
 use eclair_sites::TaskSpec;
+use eclair_trace::RunSummary;
 use eclair_vision::frame::Recording;
 use eclair_workflow::Sop;
 use serde::{Deserialize, Serialize};
@@ -52,6 +54,11 @@ pub struct WorkflowReport {
     pub trajectory_faithful: bool,
     /// Execution narration.
     pub log: Vec<String>,
+    /// Per-phase trace rollup (FM calls, tokens, steps, grounding,
+    /// retries) for this workflow.
+    pub summary: RunSummary,
+    /// Dollar cost of the FM calls under GPT-4 Turbo list pricing.
+    pub fm_cost_usd: f64,
 }
 
 /// The agent.
@@ -94,6 +101,7 @@ impl Eclair {
     /// execute it on a fresh session, then self-validate. This is ECLAIR's
     /// end-to-end story in one call.
     pub fn automate(&mut self, task: &TaskSpec) -> WorkflowReport {
+        let trace_start = self.model.trace().events().len();
         let demo = record_gold_demo(task);
         let sop = self.learn_sop(&task.intent, &demo);
         let result = self.execute(task, sop.clone());
@@ -106,6 +114,9 @@ impl Eclair {
         // approximated by the demo recording when the run failed early.
         let self_complete = check_completion(&mut self.model, &demo, &task.intent).verdict;
         let trajectory_ok = check_trajectory(&mut self.model, &demo, &sop).verdict;
+        let summary = RunSummary::from_events(&self.model.trace().events()[trace_start..]);
+        let pricing = Pricing::gpt4_turbo();
+        let fm_cost_usd = summary.cost_usd(pricing.prompt_per_m, pricing.completion_per_m);
         WorkflowReport {
             sop_text: sop.format(),
             success: result.success,
@@ -113,6 +124,8 @@ impl Eclair {
             self_reported_complete: self_complete,
             trajectory_faithful: trajectory_ok,
             log: result.log,
+            summary,
+            fm_cost_usd,
         }
     }
 }
@@ -134,6 +147,34 @@ mod tests {
         assert!(report.self_reported_complete);
         assert!(report.trajectory_faithful);
         assert!(report.sop_text.contains("Close issue"));
+    }
+
+    #[test]
+    fn trace_rollup_agrees_with_the_token_meter() {
+        let task = all_tasks().remove(2);
+        let mut agent = Eclair::new(EclairConfig {
+            profile: ModelProfile::oracle(),
+            ..Default::default()
+        });
+        let report = agent.automate(&task);
+        // Every metered FM call must appear in the trace rollup, phase-
+        // attributed and token-exact.
+        let meter = agent.model().meter();
+        assert_eq!(report.summary.fm_calls(), meter.calls);
+        assert_eq!(report.summary.total().prompt_tokens, meter.prompt_tokens);
+        assert_eq!(
+            report.summary.total().completion_tokens,
+            meter.completion_tokens
+        );
+        assert!(report.fm_cost_usd > 0.0);
+        assert!(
+            report.summary.demonstrate.fm_calls > 0,
+            "{:#?}",
+            report.summary
+        );
+        assert!(report.summary.execute.fm_calls > 0);
+        assert!(report.summary.validate.fm_calls > 0);
+        assert!(report.summary.execute.steps > 0);
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl EvidenceLevel {
 
     /// All levels in Table 1 order.
     pub fn all() -> [EvidenceLevel; 3] {
-        [EvidenceLevel::Wd, EvidenceLevel::WdKf, EvidenceLevel::WdKfAct]
+        [
+            EvidenceLevel::Wd,
+            EvidenceLevel::WdKf,
+            EvidenceLevel::WdKfAct,
+        ]
     }
 }
 
@@ -89,7 +93,6 @@ mod tests {
         let task = &all_tasks()[1];
         let rec = record_gold_demo(task);
         let with_targets = rec.log.iter().filter(|e| e.target_text.is_some()).count();
-        let mut rng = StdRng::seed_from_u64(1);
         let mut dropped_any = false;
         for seed in 0..20 {
             let mut r = StdRng::seed_from_u64(seed);
@@ -100,7 +103,6 @@ mod tests {
                 dropped_any = true;
             }
         }
-        let _ = rng;
         assert!(dropped_any, "dropout fires across seeds");
     }
 

@@ -63,10 +63,8 @@ pub fn parse_intent(intent: &str) -> IntentFacts {
     facts.order_id = capture_word_after(intent, "order #")
         .or_else(|| capture_word_after(intent, "order number "))
         .map(|s| s.trim_start_matches('#').to_string());
-    facts.sku = capture_word_after(intent, "SKU ").map(|s| {
-        s.trim_end_matches([')', ',', '.'])
-            .to_string()
-    });
+    facts.sku =
+        capture_word_after(intent, "SKU ").map(|s| s.trim_end_matches([')', ',', '.']).to_string());
     facts.amount = capture_word_after(intent, "$");
     facts.quantity = capture_word_after(intent, "quantity ").or_else(|| {
         if facts.lower.contains("to zero") {
@@ -92,7 +90,9 @@ fn capture_word_after(text: &str, prefix: &str) -> Option<String> {
         .chars()
         .take_while(|c| !c.is_whitespace())
         .collect();
-    let word = word.trim_end_matches(|c: char| ",.;)".contains(c)).to_string();
+    let word = word
+        .trim_end_matches(|c: char| ",.;)".contains(c))
+        .to_string();
     (!word.is_empty()).then_some(word)
 }
 
@@ -128,7 +128,10 @@ pub fn substantive_steps(intent: &str) -> Vec<String> {
             "Click the 'Profile' link in the navigation bar".into(),
             format!(
                 "Type \"{}\" into the Status message field",
-                f.quoted.first().cloned().unwrap_or_else(|| "your status".into())
+                f.quoted
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "your status".into())
             ),
             "Click the 'Update profile' button".into(),
         ]
@@ -187,7 +190,11 @@ fn gitlab_issue_steps(f: &IntentFacts) -> Vec<String> {
     let mut steps = vec![project_step(f), "Click the 'Issues' tab".into()];
     if l.contains("create an issue") || l.contains("create a confidential issue") {
         steps.push("Click the 'New issue' button".into());
-        let title = f.quoted.first().cloned().unwrap_or_else(|| "the title".into());
+        let title = f
+            .quoted
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "the title".into());
         steps.push(format!("Type \"{title}\" into the Title field"));
         // The prior cannot know the body text — a generic step that will
         // not match the gold description step.
@@ -203,7 +210,11 @@ fn gitlab_issue_steps(f: &IntentFacts) -> Vec<String> {
         }
         steps.push("Click the 'Create issue' button".into());
     } else {
-        let issue = f.quoted.first().cloned().unwrap_or_else(|| "the issue".into());
+        let issue = f
+            .quoted
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "the issue".into());
         steps.push(format!("Click the '{issue}' issue link"));
         if l.contains("close") {
             steps.push("Click the 'Close issue' button".into());
@@ -216,11 +227,19 @@ fn gitlab_issue_steps(f: &IntentFacts) -> Vec<String> {
             steps.push(format!("Select '{label}' from the label dropdown"));
             steps.push("Click the 'Add label' button".into());
         } else if l.contains("rename") {
-            let new = f.quoted.get(1).cloned().unwrap_or_else(|| "the new title".into());
+            let new = f
+                .quoted
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "the new title".into());
             steps.push(format!("Type \"{new}\" into the New title field"));
             steps.push("Click the 'Save title' button".into());
         } else if l.contains("comment") {
-            let c = f.quoted.first().cloned().unwrap_or_else(|| "the comment".into());
+            let c = f
+                .quoted
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "the comment".into());
             // The first quoted string in comment intents is the comment;
             // the issue title is the second — the prior can confuse them.
             let issue2 = f.quoted.get(1).cloned().unwrap_or(issue);
@@ -233,7 +252,11 @@ fn gitlab_issue_steps(f: &IntentFacts) -> Vec<String> {
 }
 
 fn gitlab_mr_steps(f: &IntentFacts) -> Vec<String> {
-    let mr = f.quoted.first().cloned().unwrap_or_else(|| "the merge request".into());
+    let mr = f
+        .quoted
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "the merge request".into());
     let mut steps = vec![
         project_step(f),
         "Click the 'Merge requests' tab".into(),
@@ -277,7 +300,11 @@ fn gitlab_member_steps(f: &IntentFacts) -> Vec<String> {
 fn gitlab_settings_steps(f: &IntentFacts) -> Vec<String> {
     let mut steps = vec![project_step(f), "Click the 'Settings' tab".into()];
     if f.lower.contains("rename") {
-        let new = f.quoted.get(1).cloned().unwrap_or_else(|| "the new name".into());
+        let new = f
+            .quoted
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "the new name".into());
         // Intent names the project in quotes; project_step above may have
         // guessed wrong — fix it up when the first quote looks like a name.
         if let Some(old) = f.quoted.first() {
@@ -299,7 +326,11 @@ fn magento_order_steps(f: &IntentFacts) -> Vec<String> {
     ];
     let l = &f.lower;
     if l.contains("comment") {
-        let c = f.quoted.first().cloned().unwrap_or_else(|| "the note".into());
+        let c = f
+            .quoted
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "the note".into());
         steps.push(format!("Type \"{c}\" into the Comment field"));
         steps.push("Click the 'Submit comment' button".into());
     }
@@ -318,7 +349,11 @@ fn magento_product_steps(f: &IntentFacts) -> Vec<String> {
     let mut steps = vec!["Click the 'Catalog' link in the navigation bar".into()];
     if l.contains("add a ") && l.contains("product") {
         steps.push("Click the 'Add product' button".into());
-        let name = f.quoted.first().cloned().unwrap_or_else(|| "the product".into());
+        let name = f
+            .quoted
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "the product".into());
         steps.push(format!("Type \"{name}\" into the Product name field"));
         if let Some(sku) = &f.sku {
             steps.push(format!("Type \"{sku}\" into the SKU field"));
@@ -359,7 +394,11 @@ fn magento_product_steps(f: &IntentFacts) -> Vec<String> {
         steps.push(format!("Set the Quantity field to \"{q}\""));
     }
     if l.contains("rename") {
-        let new = f.quoted.get(1).cloned().unwrap_or_else(|| "the new name".into());
+        let new = f
+            .quoted
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "the new name".into());
         steps.push(format!("Set the Product name field to \"{new}\""));
     }
     if l.contains("disable") {
@@ -372,11 +411,10 @@ fn magento_product_steps(f: &IntentFacts) -> Vec<String> {
 fn guess_product_name(lower: &str) -> Option<String> {
     // "update the price of the quest lumaflex band (sku pg004)" — take the
     // words between "the ... (" and title-case them crudely.
-    let start = lower.find("of the ").map(|i| i + 7).or_else(|| {
-        lower
-            .find("disable the ")
-            .map(|i| i + "disable the ".len())
-    })?;
+    let start = lower
+        .find("of the ")
+        .map(|i| i + 7)
+        .or_else(|| lower.find("disable the ").map(|i| i + "disable the ".len()))?;
     let rest = &lower[start..];
     let end = rest.find(" (")?;
     let name = &rest[..end];
@@ -401,8 +439,7 @@ pub fn padded_steps<R: Rng>(intent: &str, hallucination_rate: f64, rng: &mut R) 
     let mut out: Vec<String> = Vec::with_capacity(core.len() * 2);
     // Leading boilerplate.
     for b in BOILERPLATE.iter().take(3) {
-        if rng.gen_bool(calibration::WD_PRIOR_BOILERPLATE_P * hallucination_rate.max(0.2) * 2.0)
-        {
+        if rng.gen_bool(calibration::WD_PRIOR_BOILERPLATE_P * hallucination_rate.max(0.2) * 2.0) {
             out.push(b.to_string());
         }
     }
@@ -462,8 +499,9 @@ mod tests {
         let f = parse_intent("Update the price of the Quest Lumaflex Band (SKU PG004) to $17.25");
         assert_eq!(f.sku.as_deref(), Some("PG004"));
         assert_eq!(f.amount.as_deref(), Some("17.25"));
-        let f2 =
-            parse_intent("Add a product named 'Foam Roller' with SKU 24-FR02 priced at $15.00 with quantity 25");
+        let f2 = parse_intent(
+            "Add a product named 'Foam Roller' with SKU 24-FR02 priced at $15.00 with quantity 25",
+        );
         assert_eq!(f2.quantity.as_deref(), Some("25"));
         assert_eq!(f2.sku.as_deref(), Some("24-FR02"));
     }
@@ -484,10 +522,14 @@ mod tests {
 
     #[test]
     fn order_template_handles_ship_and_cancel() {
-        let steps = substantive_steps("Ship order #1003 and leave the comment 'Expedited per support ticket'");
+        let steps = substantive_steps(
+            "Ship order #1003 and leave the comment 'Expedited per support ticket'",
+        );
         assert!(steps.iter().any(|s| s.contains("#1003")));
         assert!(steps.iter().any(|s| s.contains("Ship")));
-        assert!(steps.iter().any(|s| s.contains("Expedited per support ticket")));
+        assert!(steps
+            .iter()
+            .any(|s| s.contains("Expedited per support ticket")));
         let cancel = substantive_steps("Cancel the pending order number 1004");
         assert!(cancel.iter().any(|s| s.contains("Cancel order")));
         assert!(cancel.iter().any(|s| s.contains("confirmation dialog")));

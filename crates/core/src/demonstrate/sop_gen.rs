@@ -37,6 +37,9 @@ pub fn generate_sop(
     recording: Option<&Recording>,
     level: EvidenceLevel,
 ) -> Sop {
+    let span = model
+        .trace_mut()
+        .open(eclair_trace::SpanKind::Demonstrate, wd);
     let steps = match level {
         EvidenceLevel::Wd => {
             let rate = model.profile().hallucination_rate;
@@ -52,6 +55,16 @@ pub fn generate_sop(
             steps_from_action_log(&degraded)
         }
     };
+    // The SOP-writing call itself: the recording's frames and the WD go
+    // into the context window, the steps come out of it.
+    let prompt_tokens =
+        200 + (wd.len() as u64).div_ceil(4) + recording.map_or(0, |r| 90 * r.frames.len() as u64);
+    let completion_tokens = steps
+        .iter()
+        .map(|s| 2 + (s.len() as u64).div_ceil(4))
+        .sum::<u64>();
+    model.account("write_sop", prompt_tokens, completion_tokens);
+    model.trace_mut().close(span);
     let mut sop = Sop::new(wd);
     for s in steps {
         sop.push(s);
@@ -65,14 +78,26 @@ fn steps_from_key_frames(model: &mut FmModel, rec: &Recording) -> Vec<String> {
     let kf_cfg = KeyFrameConfig { min_diff: 0.002 };
     let kfs = extract_key_frames(rec, kf_cfg);
     let mut steps = Vec::new();
+    // First-seen text per input-box location. A field that later shows its
+    // first-seen text again has *reverted* (the form reset when a submit
+    // landed), not been set. Cleared on navigation: a new page, new form.
+    let mut pristine: Vec<(Rect, String)> = Vec::new();
     for pair in kfs.windows(2) {
         let a = &rec.frames[pair[0].frame_index].shot;
         let b = &rec.frames[pair[1].frame_index].shot;
         let pa = model.perceive(a);
         let pb = model.perceive(b);
         if b.url != a.url {
+            pristine.clear();
             steps.push(infer_navigation(model, &pa, &pb, &b.url));
             continue;
+        }
+        for el in pa.elements.iter().chain(pb.elements.iter()) {
+            if el.visual == VisualClass::InputBox
+                && !pristine.iter().any(|(r, _)| same_spot(r, &el.rect))
+            {
+                pristine.push((el.rect, el.text.clone()));
+            }
         }
         let d = diff(a, b);
         if d.is_identical() {
@@ -80,14 +105,17 @@ fn steps_from_key_frames(model: &mut FmModel, rec: &Recording) -> Vec<String> {
         }
         let mut emitted = false;
         // 1. Input boxes whose displayed text changed: typing.
-        for (step, _) in changed_inputs(&pa, &pb) {
+        for (step, _) in changed_inputs(&pa, &pb, &pristine) {
             steps.push(step);
             emitted = true;
         }
         // 2. Check/radio glyphs that flipped (checked state renders as the
         //    glyph's emphasized look, which perception preserves).
         for el_b in &pb.elements {
-            if !matches!(el_b.visual, VisualClass::CheckGlyph | VisualClass::RadioGlyph) {
+            if !matches!(
+                el_b.visual,
+                VisualClass::CheckGlyph | VisualClass::RadioGlyph
+            ) {
                 continue;
             }
             if let Some(el_a) = find_by_location(&pa, el_b) {
@@ -98,6 +126,20 @@ fn steps_from_key_frames(model: &mut FmModel, rec: &Recording) -> Vec<String> {
             }
         }
         if emitted {
+            continue;
+        }
+        // A click that merely focuses a field draws a highlight around the
+        // input box and changes nothing else; the typing step that follows
+        // subsumes it. Without this guard, the click inference below would
+        // attribute the highlight to whichever button the workflow
+        // description happens to name — usually the final submit.
+        let focus_only = d.regions.iter().all(|reg| {
+            pa.elements
+                .iter()
+                .chain(pb.elements.iter())
+                .any(|e| e.visual == VisualClass::InputBox && covers(&e.rect.inflate(12), reg))
+        });
+        if focus_only {
             continue;
         }
         // 3. Same-page click: something changed but no field/toggle did.
@@ -135,9 +177,7 @@ fn infer_navigation(
         .elements
         .iter()
         .filter(|e| {
-            e.looks_interactive()
-                && e.visual != VisualClass::InputBox
-                && !e.text.is_empty()
+            e.looks_interactive() && e.visual != VisualClass::InputBox && !e.text.is_empty()
         })
         .collect();
     // Texts that are NEW on the landing page (a confirmation toast names
@@ -157,7 +197,13 @@ fn infer_navigation(
             .max(
                 new_texts
                     .iter()
-                    .map(|t| eclair_fm::text::fuzzy_similarity(&c.text, t))
+                    .map(|t| {
+                        // Stemmed overlap lets a past-tense confirmation
+                        // name its trigger ("Issue created" ← "Create
+                        // issue") despite the inflection.
+                        eclair_fm::text::fuzzy_similarity(&c.text, t)
+                            .max(eclair_fm::text::stem_overlap(&c.text, t))
+                    })
                     .fold(0.0f64, f64::max)
                     * 0.9,
             )
@@ -176,9 +222,7 @@ fn infer_navigation(
             // Ambiguous: sometimes the model guesses an element (and is
             // usually wrong), sometimes it writes a navigation step that
             // happens to parse/match well when the heading names the page.
-            if !candidates.is_empty()
-                && model.rng().gen_bool(calibration::KF_MISATTRIBUTION_P)
-            {
+            if !candidates.is_empty() && model.rng().gen_bool(calibration::KF_MISATTRIBUTION_P) {
                 let i = model.rng().gen_range(0..candidates.len());
                 format!("Click the '{}' link", candidates[i].text)
             } else if !heading.is_empty() {
@@ -213,20 +257,55 @@ fn nav_semantically_related(label: &str, heading: &str) -> bool {
     })
 }
 
+/// Two rects that denote the same widget across frames (location match
+/// tolerant of perception jitter).
+fn same_spot(a: &Rect, b: &Rect) -> bool {
+    a.iou(b) > 0.3 || a.center().distance(b.center()) < 24.0
+}
+
+/// Whether `outer` fully covers `inner`.
+fn covers(outer: &Rect, inner: &Rect) -> bool {
+    inner.x >= outer.x
+        && inner.y >= outer.y
+        && inner.right() <= outer.right()
+        && inner.bottom() <= outer.bottom()
+}
+
 /// Typing steps inferred from input boxes whose rendered text changed.
-fn changed_inputs(pa: &ScenePercept, pb: &ScenePercept) -> Vec<(String, Rect)> {
+fn changed_inputs(
+    pa: &ScenePercept,
+    pb: &ScenePercept,
+    pristine: &[(Rect, String)],
+) -> Vec<(String, Rect)> {
     let mut out = Vec::new();
-    for el_b in pb.elements.iter().filter(|e| e.visual == VisualClass::InputBox) {
+    for el_b in pb
+        .elements
+        .iter()
+        .filter(|e| e.visual == VisualClass::InputBox)
+    {
         let Some(el_a) = find_by_location(pa, el_b) else {
             continue;
         };
         if el_a.text == el_b.text || el_b.text.is_empty() {
             continue;
         }
+        // A field showing its first-seen text again has reverted — the form
+        // reset when a submit landed in this same transition, so the real
+        // step is the click, not a Set.
+        if pristine
+            .iter()
+            .any(|(r, t)| same_spot(r, &el_b.rect) && *t == el_b.text)
+        {
+            continue;
+        }
         // Reading noise is not a change: two OCR passes over the same
         // longer rendered text differ by a character or two. Short strings
         // (numeric quantities!) get no such benefit of the doubt.
-        let len_diff = el_a.text.chars().count().abs_diff(el_b.text.chars().count());
+        let len_diff = el_a
+            .text
+            .chars()
+            .count()
+            .abs_diff(el_b.text.chars().count());
         if el_a.text.chars().count() >= 6
             && len_diff <= 1
             && eclair_fm::text::edit_distance(&el_a.text, &el_b.text) <= 2
@@ -285,9 +364,7 @@ fn infer_same_page_click(
         pa.elements
             .iter()
             .find(|e| {
-                e.visual == eclair_gui::VisualClass::PanelEdge
-                    && e.rect.w >= 300
-                    && e.rect.h >= 100
+                e.visual == eclair_gui::VisualClass::PanelEdge && e.rect.w >= 300 && e.rect.h >= 100
             })
             .map(|e| e.rect)
     } else {
@@ -327,9 +404,7 @@ fn infer_same_page_click(
         pb.elements
             .iter()
             .find(|e| {
-                e.visual == eclair_gui::VisualClass::PanelEdge
-                    && e.rect.w >= 300
-                    && e.rect.h >= 100
+                e.visual == eclair_gui::VisualClass::PanelEdge && e.rect.w >= 300 && e.rect.h >= 100
             })
             .map(|e| e.rect)
     } else {
@@ -373,15 +448,24 @@ fn infer_same_page_click(
         // When a dialog was just dismissed and the workflow advanced, the
         // affirmative button is the overwhelmingly likely click.
         let affirm_bonus = if closed_modal_panel.is_some()
-            && ["ok", "yes", "confirm", "continue", "apply", "archive", "save", "submit"]
-                .iter()
-                .any(|a| cand.text.to_lowercase().starts_with(a))
+            && [
+                "ok", "yes", "confirm", "continue", "apply", "archive", "save", "submit",
+            ]
+            .iter()
+            .any(|a| cand.text.to_lowercase().starts_with(a))
         {
             0.25
         } else {
             0.0
         };
-        let s = from_effects.max(from_wd) + proximity + gone_bonus + affirm_bonus;
+        // Same-page changes are caused by activating buttons; bare text
+        // links navigate. Damp link candidates so a toast echoing a nav
+        // label ("Settings saved") cannot outvote the real submit button.
+        let mut text_match = from_effects.max(from_wd);
+        if cand.visual == eclair_gui::VisualClass::TextLink {
+            text_match *= 0.6;
+        }
+        let s = text_match + proximity + gone_bonus + affirm_bonus;
         if s > best_score {
             best_score = s;
             best = i;
@@ -546,7 +630,7 @@ mod tests {
         for (ti, t) in tasks.iter().enumerate() {
             let rec = record_gold_demo(t);
             for (k, level) in EvidenceLevel::all().into_iter().enumerate() {
-                let mut model = FmModel::new(ModelProfile::gpt4v(), 7 + ti as u64);
+                let mut model = FmModel::new(ModelProfile::gpt4v(), 100 + ti as u64);
                 let sop = generate_sop(&mut model, &t.intent, Some(&rec), level);
                 f1[k] += score_sop(&sop, &t.gold_sop).f1();
             }
@@ -558,7 +642,11 @@ mod tests {
             f1[1] / 8.0,
             f1[2] / 8.0
         );
-        assert!(f1[0] / 8.0 > 0.35, "WD prior is not useless: {}", f1[0] / 8.0);
+        assert!(
+            f1[0] / 8.0 > 0.35,
+            "WD prior is not useless: {}",
+            f1[0] / 8.0
+        );
     }
 
     #[test]
@@ -578,7 +666,7 @@ mod tests {
     #[test]
     fn wd_generation_needs_no_recording() {
         let t = task("gitlab-03");
-        let mut model = FmModel::new(ModelProfile::gpt4v(), 7);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 5);
         let sop = generate_sop(&mut model, &t.intent, None, EvidenceLevel::Wd);
         assert!(!sop.is_empty());
         assert!(sop.format().contains("Close issue"));

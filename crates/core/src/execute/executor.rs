@@ -6,6 +6,7 @@ use eclair_fm::FmModel;
 use eclair_gui::event::EffectKind;
 use eclair_gui::{Key, Session, UserEvent, VisualClass};
 use eclair_sites::TaskSpec;
+use eclair_trace::{render_log, EventKind, SpanKind};
 use eclair_workflow::Sop;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -56,8 +57,7 @@ impl ExecConfig {
 
     /// Budget derived from a reference trace length.
     pub fn budgeted(mut self, gold_len: usize) -> Self {
-        self.max_steps =
-            ((gold_len as f64) * calibration::EXEC_STEP_BUDGET_FACTOR).ceil() as usize;
+        self.max_steps = ((gold_len as f64) * calibration::EXEC_STEP_BUDGET_FACTOR).ceil() as usize;
         self
     }
 }
@@ -96,12 +96,24 @@ pub fn run_on_session(
     cfg: &ExecConfig,
 ) -> RunResult {
     let mut state = SuggestState::new();
-    let mut log = Vec::new();
     let mut history: Vec<String> = Vec::new();
     let mut failures = 0usize;
     let mut attempted = 0usize;
+    // The narration that used to accumulate in a local Vec<String> now
+    // lives in the trace as Note events; the returned log is rendered back
+    // from the slice this run appended.
+    let log_start = model.trace().events().len();
+    let exec_span = model
+        .trace_mut()
+        .open(SpanKind::Execute, workflow_description);
     while attempted < cfg.max_steps {
+        let step_span = model
+            .trace_mut()
+            .open(SpanKind::Step, &format!("step {}", attempted + 1));
+        let obs_span = model.trace_mut().open(SpanKind::Observe, "screenshot");
         let shot = session.screenshot();
+        model.trace_mut().close(obs_span);
+        let sug_span = model.trace_mut().open(SpanKind::Suggest, "next action");
         let suggestion = suggest_next(
             model,
             workflow_description,
@@ -110,27 +122,47 @@ pub fn run_on_session(
             &history,
             &shot,
         );
+        model.trace_mut().close(sug_span);
         let Suggestion::Act(intent, text) = suggestion else {
-            log.push("done: plan exhausted".into());
+            model.trace_mut().note("done: plan exhausted");
+            model.trace_mut().close(step_span);
             break;
         };
         attempted += 1;
-        match perform(model, session, &intent, cfg) {
+        let act_span = model.trace_mut().open(SpanKind::Actuate, &text);
+        let first_try = perform(model, session, &intent, cfg);
+        model.trace_mut().close(act_span);
+        match first_try {
             Ok(()) => {
-                log.push(format!("ok: {text}"));
+                model.trace_mut().note(format!("ok: {text}"));
                 history.push(text.clone());
             }
             Err(e) => {
                 failures += 1;
-                log.push(format!("fail: {text} ({e})"));
+                model.trace_mut().note(format!("fail: {text} ({e})"));
                 let mut recovered = false;
-                if cfg.escape_popups && escape_if_irrelevant_modal(model, session, &intent) {
-                    log.push("recovered: dismissed unexpected dialog".into());
-                    recovered = true;
+                if cfg.escape_popups {
+                    let rec_span = model.trace_mut().open(SpanKind::Recover, "popup escape");
+                    if escape_if_irrelevant_modal(model, session, &intent) {
+                        model.trace_mut().event(EventKind::PopupEscape {
+                            url: session.url().to_string(),
+                        });
+                        model
+                            .trace_mut()
+                            .note("recovered: dismissed unexpected dialog");
+                        recovered = true;
+                    }
+                    model.trace_mut().close(rec_span);
                 }
                 if cfg.retry_failed {
-                    if let Ok(()) = perform(model, session, &intent, cfg) {
-                        log.push(format!("retry ok: {text}"));
+                    model
+                        .trace_mut()
+                        .event(EventKind::Retry { what: text.clone() });
+                    let retry_span = model.trace_mut().open(SpanKind::Actuate, &text);
+                    let retried = perform(model, session, &intent, cfg);
+                    model.trace_mut().close(retry_span);
+                    if retried.is_ok() {
+                        model.trace_mut().note(format!("retry ok: {text}"));
                         history.push(text.clone());
                         recovered = true;
                     }
@@ -138,7 +170,10 @@ pub fn run_on_session(
                 let _ = recovered;
             }
         }
+        model.trace_mut().close(step_span);
     }
+    model.trace_mut().close(exec_span);
+    let log = render_log(&model.trace().events()[log_start..]);
     RunResult {
         success: false,
         actions_attempted: attempted,
@@ -248,7 +283,10 @@ fn perform(
         StepIntent::TypeAt { point, value } => {
             let d = session.dispatch(UserEvent::Click(*point));
             if d.effect != EffectKind::Focused {
-                return Err(format!("({}, {}) is not an editable field", point.x, point.y));
+                return Err(format!(
+                    "({}, {}) is not an editable field",
+                    point.x, point.y
+                ));
             }
             let d = session.dispatch(UserEvent::Type(value.clone()));
             if d.effect == EffectKind::Typed {
@@ -264,6 +302,18 @@ fn perform(
 /// Ground a query to a click point, scrolling once if nothing matches the
 /// current viewport.
 fn locate(
+    model: &mut FmModel,
+    session: &mut Session,
+    cfg: &ExecConfig,
+    query: &str,
+) -> Result<eclair_gui::Point, String> {
+    let span = model.trace_mut().open(SpanKind::Ground, query);
+    let found = locate_inner(model, session, cfg, query);
+    model.trace_mut().close(span);
+    found
+}
+
+fn locate_inner(
     model: &mut FmModel,
     session: &mut Session,
     cfg: &ExecConfig,
@@ -376,7 +426,10 @@ mod tests {
             "SOP must improve completion: with={with}, without={without} of {}",
             tasks.len() * 2
         );
-        assert!(with >= 16, "with-SOP completion should be well above zero: {with}");
+        assert!(
+            with >= 16,
+            "with-SOP completion should be well above zero: {with}"
+        );
     }
 
     #[test]
@@ -497,7 +550,9 @@ mod tests {
         };
         let r = run_on_session(&mut model, &mut session, "Enter the amount", &cfg);
         assert!(
-            r.log.iter().any(|l| l.contains("dismissed unexpected dialog")),
+            r.log
+                .iter()
+                .any(|l| l.contains("dismissed unexpected dialog")),
             "the agent must escape the promo: {:#?}",
             r.log
         );

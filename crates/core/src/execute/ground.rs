@@ -17,11 +17,11 @@
 //! association**: input candidates borrow the text of the nearest caption
 //! above/left of them, since the box itself shows only a placeholder.
 
+use eclair_fm::ground::GroundingOutcome;
+use eclair_fm::FmModel;
 use eclair_gui::{Page, Point, Rect, Screenshot, VisualClass};
 use eclair_vision::detector::YoloNasSim;
 use eclair_vision::marks::{marks_from_html, marks_via_detector, Mark};
-use eclair_fm::ground::GroundingOutcome;
-use eclair_fm::FmModel;
 use serde::{Deserialize, Serialize};
 
 /// Which grounding pipeline to use.
@@ -81,8 +81,7 @@ pub fn associate_captions(marks: &mut [Mark], shot: &Screenshot) {
                 && (rect.x - mark.rect.x).abs() < 80;
             let left = (rect.y - mark.rect.y).abs() < 12 && rect.right() <= mark.rect.x + 6;
             if above || left {
-                let dist =
-                    (mark.rect.y - rect.bottom()).abs() + (mark.rect.x - rect.x).abs();
+                let dist = (mark.rect.y - rect.bottom()).abs() + (mark.rect.x - rect.x).abs();
                 if best.map(|(_, d)| dist < d).unwrap_or(true) {
                     best = Some((text, dist));
                 }
@@ -119,6 +118,26 @@ pub fn ground_click(
     view: &GroundView<'_>,
     query: &str,
 ) -> (Option<Point>, Vec<Mark>) {
+    let (pt, marks) = ground_click_inner(model, strategy, view, query);
+    model
+        .trace_mut()
+        .event(eclair_trace::EventKind::GroundingAttempt {
+            strategy: format!("{strategy:?}"),
+            outcome: if pt.is_some() {
+                eclair_trace::GroundingOutcome::Resolved
+            } else {
+                eclair_trace::GroundingOutcome::Unresolved
+            },
+        });
+    (pt, marks)
+}
+
+fn ground_click_inner(
+    model: &mut FmModel,
+    strategy: GroundingStrategy,
+    view: &GroundView<'_>,
+    query: &str,
+) -> (Option<Point>, Vec<Mark>) {
     match strategy {
         GroundingStrategy::Native => {
             // Native field grounding also reasons about captions: augment a
@@ -137,9 +156,7 @@ pub fn ground_click(
                 }
                 if let Some((_, caption)) = captions
                     .iter()
-                    .filter(|(r, _)| {
-                        r.bottom() <= el.rect.y + 6 && el.rect.y - r.bottom() < 40
-                    })
+                    .filter(|(r, _)| r.bottom() <= el.rect.y + 6 && el.rect.y - r.bottom() < 40)
                     .min_by_key(|(r, _)| (el.rect.y - r.bottom()).abs() + (el.rect.x - r.x).abs())
                 {
                     el.text = format!("{caption} {}", el.text);
@@ -150,6 +167,11 @@ pub fn ground_click(
                 &percept,
                 query,
                 model.rng(),
+            );
+            model.account(
+                "ground_native",
+                85 + 4 * view.shot.items.len() as u64 + (query.len() as u64).div_ceil(4),
+                12,
             );
             (out.click_point(&[]), Vec::new())
         }
@@ -211,7 +233,12 @@ mod tests {
             page: Some(&page),
             scroll_y: 0,
         };
-        let (pt, _) = ground_click(&mut model, GroundingStrategy::SomHtml, &view, "the Title field");
+        let (pt, _) = ground_click(
+            &mut model,
+            GroundingStrategy::SomHtml,
+            &view,
+            "the Title field",
+        );
         let pt = pt.expect("grounded");
         let title = page.get(page.find_by_name("title").unwrap()).bounds;
         assert!(title.contains(pt), "{pt:?} not in {title:?}");
@@ -233,8 +260,7 @@ mod tests {
                 page: Some(&page),
                 scroll_y: 0,
             };
-            let (pt, _) =
-                ground_click(&mut model, strategy, &view, "the 'Create issue' button");
+            let (pt, _) = ground_click(&mut model, strategy, &view, "the 'Create issue' button");
             let pt = pt.unwrap_or(Point::new(-1, -1));
             assert!(
                 target.contains(pt),
@@ -263,7 +289,7 @@ mod tests {
         let page = form_page();
         let shot = page.screenshot_at(0);
         let target = page.get(page.find_by_name("create").unwrap()).bounds;
-        let mut hits = |strategy: GroundingStrategy| {
+        let hits = |strategy: GroundingStrategy| {
             let mut h = 0;
             for seed in 0..60 {
                 let mut model = FmModel::new(ModelProfile::gpt4v(), seed);
@@ -272,7 +298,8 @@ mod tests {
                     page: Some(&page),
                     scroll_y: 0,
                 };
-                let (pt, _) = ground_click(&mut model, strategy, &view, "the 'Create issue' button");
+                let (pt, _) =
+                    ground_click(&mut model, strategy, &view, "the 'Create issue' button");
                 if pt.map(|p| target.contains(p)).unwrap_or(false) {
                     h += 1;
                 }

@@ -45,9 +45,7 @@ impl StepIntent {
     pub fn grounding_query(&self) -> Option<String> {
         match self {
             StepIntent::Click { target } => Some(target.clone()),
-            StepIntent::Type {
-                field: Some(f), ..
-            } => Some(format!("the {f} field")),
+            StepIntent::Type { field: Some(f), .. } => Some(format!("the {f} field")),
             StepIntent::Type { field: None, .. } => None,
             StepIntent::Set { field, .. } => Some(format!("the {field} field")),
             StepIntent::Select { field, .. } => Some(format!("the {field} dropdown")),
@@ -150,7 +148,10 @@ pub fn parse_step(text: &str) -> StepIntent {
     }
 
     // Type "V" [into the X field] / [into the field at (x, y)].
-    if matches!(lead_verb.as_str(), "type" | "enter" | "input" | "write" | "fill") {
+    if matches!(
+        lead_verb.as_str(),
+        "type" | "enter" | "input" | "write" | "fill"
+    ) {
         if let Some(value) = first_quoted(text, '"') {
             if lower.contains("field at (") {
                 if let Some(point) = coord_suffix(text) {
@@ -168,9 +169,7 @@ pub fn parse_step(text: &str) -> StepIntent {
         if let Some(field) = field_phrase(text) {
             let value = after_keyword(text, "type ")
                 .or_else(|| after_keyword(text, "enter "))
-                .map(|r| {
-                    r.split(" into ").next().unwrap_or(r).trim().to_string()
-                })
+                .map(|r| r.split(" into ").next().unwrap_or(r).trim().to_string())
                 .unwrap_or_default();
             return StepIntent::Type {
                 value,
@@ -183,9 +182,8 @@ pub fn parse_step(text: &str) -> StepIntent {
     if matches!(lead_verb.as_str(), "check" | "tick" | "toggle" | "enable") {
         let target = first_quoted(text, '\'')
             .or_else(|| {
-                after_keyword(text, "check ").map(|r| {
-                    strip_articles(r.trim_end_matches('.').trim_end_matches(" checkbox"))
-                })
+                after_keyword(text, "check ")
+                    .map(|r| strip_articles(r.trim_end_matches('.').trim_end_matches(" checkbox")))
             })
             .unwrap_or_else(|| text.to_string());
         return StepIntent::Check { target };
@@ -209,7 +207,9 @@ pub fn parse_step(text: &str) -> StepIntent {
         if let Some(field) = field_phrase(text) {
             return StepIntent::Click { target: field };
         }
-        let tail = text.split_once(' ').map(|x| x.1)
+        let tail = text
+            .split_once(' ')
+            .map(|x| x.1)
             .map(|t| strip_articles(t.trim_end_matches('.')))
             .unwrap_or_default();
         if !tail.is_empty() {

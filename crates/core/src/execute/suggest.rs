@@ -186,7 +186,10 @@ pub fn intent_text(intent: &StepIntent) -> String {
         StepIntent::Scroll { down: false } => "Scroll up".into(),
         StepIntent::ClickPoint(p) => format!("Click at ({}, {})", p.x, p.y),
         StepIntent::TypeAt { point, value } => {
-            format!("Type \"{value}\" into the field at ({}, {})", point.x, point.y)
+            format!(
+                "Type \"{value}\" into the field at ({}, {})",
+                point.x, point.y
+            )
         }
         StepIntent::Unknown(t) => t.clone(),
     }
@@ -213,12 +216,15 @@ mod tests {
         let mut state = SuggestState::new();
         let shot = blank_shot();
         let mut seen = Vec::new();
-        loop {
-            match suggest_next(&mut model, &task.intent, Some(&task.gold_sop), &mut state, &[], &shot)
-            {
-                Suggestion::Act(_, text) => seen.push(text),
-                Suggestion::Done => break,
-            }
+        while let Suggestion::Act(_, text) = suggest_next(
+            &mut model,
+            &task.intent,
+            Some(&task.gold_sop),
+            &mut state,
+            &[],
+            &shot,
+        ) {
+            seen.push(text);
         }
         assert_eq!(seen.len(), task.gold_sop.len(), "oracle follows every step");
         for (got, want) in seen.iter().zip(&task.gold_sop.steps) {

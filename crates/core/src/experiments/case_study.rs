@@ -10,6 +10,7 @@ use eclair_rpa::drift::{DeploymentConfig, DeploymentReport, DeploymentSim};
 use eclair_rpa::economics::CostModel;
 use eclair_sites::tasks::{erp_invoice_task, payer_eligibility_task};
 use eclair_sites::TaskSpec;
+use eclair_trace::RunSummary;
 use serde::{Deserialize, Serialize};
 
 use crate::calibration;
@@ -50,6 +51,8 @@ pub struct CaseStudyResult {
     pub rpa_cum_cost: f64,
     /// ECLAIR's cumulative cost under the same load.
     pub eclair_cum_cost: f64,
+    /// Trace rollup across ECLAIR's runs (the RPA side makes no FM calls).
+    pub trace: RunSummary,
 }
 
 fn case_tasks() -> Vec<TaskSpec> {
@@ -78,13 +81,14 @@ pub fn run(cfg: CaseStudyConfig) -> CaseStudyResult {
     let mut wins = 0usize;
     let mut total = 0usize;
     let mut cost_total = 0.0;
+    let mut trace = RunSummary::default();
     for rep in 0..cfg.eclair_reps.max(1) as u64 {
         for (i, task) in tasks.iter().enumerate() {
-            let mut model =
-                FmModel::new(ModelProfile::gpt4v(), cfg.seed + rep * 97 + i as u64);
+            let mut model = FmModel::new(ModelProfile::gpt4v(), cfg.seed + rep * 97 + i as u64);
             let exec_cfg =
                 ExecConfig::with_sop(task.gold_sop.clone()).budgeted(task.gold_trace.len());
             let r = run_task(&mut model, task, &exec_cfg);
+            trace.merge(&model.trace().summary());
             total += 1;
             if r.success {
                 wins += 1;
@@ -116,6 +120,7 @@ pub fn run(cfg: CaseStudyConfig) -> CaseStudyResult {
         eclair_cost_per_run,
         rpa_cum_cost,
         eclair_cum_cost,
+        trace,
     }
 }
 
@@ -125,10 +130,14 @@ impl CaseStudyResult {
         let initial = self.rpa.initial_accuracy();
         let peak = self.rpa.peak_accuracy();
         if initial > 0.85 {
-            return Err(format!("RPA must start unreliable (paper: ~60%): {initial:.2}"));
+            return Err(format!(
+                "RPA must start unreliable (paper: ~60%): {initial:.2}"
+            ));
         }
         if peak < 0.85 {
-            return Err(format!("RPA must ramp toward ~95% with maintenance: {peak:.2}"));
+            return Err(format!(
+                "RPA must ramp toward ~95% with maintenance: {peak:.2}"
+            ));
         }
         if self.rpa.months_to_reach(0.9).is_none() {
             return Err("RPA should eventually cross 90%".into());

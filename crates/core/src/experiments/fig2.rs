@@ -78,7 +78,10 @@ impl Fig2Result {
     pub fn shape_holds(&self) -> Result<(), String> {
         for r in &self.rows {
             if r.rpa && !r.eclair {
-                return Err(format!("{}: ECLAIR must cover everything RPA covers", r.workflow));
+                return Err(format!(
+                    "{}: ECLAIR must cover everything RPA covers",
+                    r.workflow
+                ));
             }
         }
         let rpa_n = self.rows.iter().filter(|r| r.rpa).count();
@@ -100,11 +103,7 @@ pub fn coverage(profiles: &[WorkflowProfile]) -> (f64, f64) {
     }
     let n = profiles.len() as f64;
     let rpa = profiles.iter().filter(|p| p.rpa_can_automate()).count() as f64 / n;
-    let eclair = profiles
-        .iter()
-        .filter(|p| p.eclair_can_automate())
-        .count() as f64
-        / n;
+    let eclair = profiles.iter().filter(|p| p.eclair_can_automate()).count() as f64 / n;
     let _ = AutomationTech::Rpa; // re-export anchor for doc linking
     (rpa, eclair)
 }

@@ -59,8 +59,14 @@ const NOUNS: &[&str] = &[
 ];
 const VERBS: &[&str] = &["View", "Edit", "Delete", "Share", "Export", "Archive"];
 const BUTTONS: &[&str] = &[
-    "Save changes", "Submit request", "Create new", "Send message", "Download report",
-    "Approve", "Reject", "Continue",
+    "Save changes",
+    "Submit request",
+    "Create new",
+    "Send message",
+    "Download report",
+    "Approve",
+    "Reject",
+    "Continue",
 ];
 const FIELDS: &[(&str, &str)] = &[
     ("Full name", "Jane Doe"),
@@ -92,10 +98,7 @@ fn describe(page: &Page, id: WidgetId) -> String {
 /// A content page: heading, paragraphs, a dense list of rows each with
 /// duplicated action links, a couple of buttons.
 fn mind2web_page(rng: &mut StdRng, idx: usize) -> Page {
-    let mut b = PageBuilder::new(
-        format!("Article {idx}"),
-        format!("/content/{idx}"),
-    );
+    let mut b = PageBuilder::new(format!("Article {idx}"), format!("/content/{idx}"));
     b.row(|b| {
         b.link("home", "Home");
         b.link("browse", "Browse");
@@ -220,7 +223,11 @@ pub fn generate(corpus: Corpus, n: usize, seed: u64) -> Vec<GroundingSample> {
         let is_icon = |id: WidgetId| page.get(id).kind == eclair_gui::WidgetKind::Icon;
         let pick_class: f64 = rng.gen();
         let pool: Vec<WidgetId> = if pick_class < 0.15 {
-            candidates.iter().copied().filter(|&id| is_icon(id)).collect()
+            candidates
+                .iter()
+                .copied()
+                .filter(|&id| is_icon(id))
+                .collect()
         } else if pick_class < 0.45 {
             candidates
                 .iter()

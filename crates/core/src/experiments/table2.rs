@@ -11,6 +11,7 @@
 use eclair_fm::{FmModel, ModelProfile};
 use eclair_metrics::PaperComparison;
 use eclair_sites::all_tasks;
+use eclair_trace::RunSummary;
 use eclair_workflow::matcher::steps_match;
 use eclair_workflow::replay::execute;
 use serde::{Deserialize, Serialize};
@@ -56,9 +57,11 @@ pub struct Table2Row {
 pub struct Table2Result {
     /// Without-SOP row then with-SOP row (paper order).
     pub rows: Vec<Table2Row>,
+    /// Trace rollup across every FM call the experiment made.
+    pub trace: RunSummary,
 }
 
-fn suggestion_accuracy(cfg: &Table2Config, with_sop: bool) -> f64 {
+fn suggestion_accuracy(cfg: &Table2Config, with_sop: bool, trace: &mut RunSummary) -> f64 {
     let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks.max(1)).collect();
     let mut correct = 0usize;
     let mut total = 0usize;
@@ -95,11 +98,12 @@ fn suggestion_accuracy(cfg: &Table2Config, with_sop: bool) -> f64 {
                 let _ = execute(&mut session, &task.gold_trace.actions[k]);
             }
         }
+        trace.merge(&model.trace().summary());
     }
     correct as f64 / total.max(1) as f64
 }
 
-fn completion_rate(cfg: &Table2Config, with_sop: bool) -> f64 {
+fn completion_rate(cfg: &Table2Config, with_sop: bool, trace: &mut RunSummary) -> f64 {
     let tasks: Vec<_> = all_tasks().into_iter().take(cfg.tasks.max(1)).collect();
     let mut wins = 0usize;
     let mut total = 0usize;
@@ -119,6 +123,7 @@ fn completion_rate(cfg: &Table2Config, with_sop: bool) -> f64 {
             if run_task(&mut model, task, &exec_cfg).success {
                 wins += 1;
             }
+            trace.merge(&model.trace().summary());
         }
     }
     wins as f64 / total.max(1) as f64
@@ -126,19 +131,20 @@ fn completion_rate(cfg: &Table2Config, with_sop: bool) -> f64 {
 
 /// Run the experiment.
 pub fn run(cfg: Table2Config) -> Table2Result {
+    let mut trace = RunSummary::default();
     let rows = vec![
         Table2Row {
             with_sop: false,
-            suggestion_acc: suggestion_accuracy(&cfg, false),
-            completion: completion_rate(&cfg, false),
+            suggestion_acc: suggestion_accuracy(&cfg, false, &mut trace),
+            completion: completion_rate(&cfg, false, &mut trace),
         },
         Table2Row {
             with_sop: true,
-            suggestion_acc: suggestion_accuracy(&cfg, true),
-            completion: completion_rate(&cfg, true),
+            suggestion_acc: suggestion_accuracy(&cfg, true, &mut trace),
+            completion: completion_rate(&cfg, true, &mut trace),
         },
     ];
-    Table2Result { rows }
+    Table2Result { rows, trace }
 }
 
 impl Table2Result {

@@ -15,6 +15,7 @@
 use eclair_fm::{FmModel, ModelProfile};
 use eclair_metrics::{BinaryConfusion, PaperComparison};
 use eclair_sites::all_tasks;
+use eclair_trace::RunSummary;
 use eclair_workflow::IntegrityConstraint;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,6 +73,8 @@ pub struct Table4Result {
     /// Rows in paper order: Actuation, Integrity Constraint, Workflow
     /// Completion, Workflow Trajectory.
     pub rows: Vec<Table4Row>,
+    /// Trace rollup across every FM call the experiment made.
+    pub trace: RunSummary,
 }
 
 fn actuation_row(cfg: &Table4Config, model: &mut FmModel) -> Table4Row {
@@ -231,7 +234,8 @@ pub fn run(cfg: Table4Config) -> Table4Result {
         completion_row(&cfg, &mut model, &mut rng),
         trajectory_row(&cfg, &mut model, &mut rng),
     ];
-    Table4Result { rows }
+    let trace = model.trace().summary();
+    Table4Result { rows, trace }
 }
 
 impl Table4Result {
@@ -270,7 +274,9 @@ impl Table4Result {
         let completion = f1("Workflow Completion")?;
         let trajectory = f1("Workflow Trajectory")?;
         if actuation < 0.75 {
-            return Err(format!("actuation detection must be strong: {actuation:.2}"));
+            return Err(format!(
+                "actuation detection must be strong: {actuation:.2}"
+            ));
         }
         if completion < 0.7 || trajectory < 0.7 {
             return Err(format!(

@@ -48,27 +48,40 @@ impl SensitivePolicy {
     /// financially-consequential verbs.
     pub fn enterprise_default() -> Self {
         Self {
-            trigger_phrases: ["delete", "archive", "cancel order", "remove member", "merge"]
+            trigger_phrases: [
+                "delete",
+                "archive",
+                "cancel order",
+                "remove member",
+                "merge",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            sensitive_fields: ["password", "card", "ssn"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
-            sensitive_fields: ["password", "card", "ssn"].iter().map(|s| s.to_string()).collect(),
         }
     }
 
     /// Whether an intent triggers the interrupt.
     pub fn triggers(&self, intent: &StepIntent) -> bool {
         let hay = crate::execute::suggest::intent_text(intent).to_lowercase();
-        if self.trigger_phrases.iter().any(|p| hay.contains(p.as_str())) {
+        if self
+            .trigger_phrases
+            .iter()
+            .any(|p| hay.contains(p.as_str()))
+        {
             return true;
         }
-        if let StepIntent::Type {
-            field: Some(f), ..
-        }
-        | StepIntent::Set { field: f, .. } = intent
-        {
+        if let StepIntent::Type { field: Some(f), .. } | StepIntent::Set { field: f, .. } = intent {
             let fl = f.to_lowercase();
-            if self.sensitive_fields.iter().any(|s| fl.contains(s.as_str())) {
+            if self
+                .sensitive_fields
+                .iter()
+                .any(|s| fl.contains(s.as_str()))
+            {
                 return true;
             }
         }

@@ -9,10 +9,9 @@
 //! more reliable, the same shape as a self-driving DBMS caching a learned
 //! plan.
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use eclair_gui::Point;
 
@@ -50,7 +49,11 @@ fn url_pattern(url: &str) -> String {
 }
 
 fn normalize(query: &str) -> String {
-    query.to_lowercase().split_whitespace().collect::<Vec<_>>().join(" ")
+    query
+        .to_lowercase()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 impl SkillLibrary {
@@ -61,18 +64,19 @@ impl SkillLibrary {
 
     /// Number of stored skills.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().unwrap().len()
     }
 
     /// Whether the library is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().unwrap().is_empty()
     }
 
     /// Look up a remembered grounding for `query` on a screen at `url`.
     pub fn recall(&self, url: &str, query: &str) -> Option<Point> {
         self.inner
             .read()
+            .unwrap()
             .get(&(url_pattern(url), normalize(query)))
             .map(|s| s.point)
     }
@@ -80,7 +84,7 @@ impl SkillLibrary {
     /// Record that `query` grounded to `point` on `url` and the subsequent
     /// action succeeded.
     pub fn learn(&self, url: &str, query: &str, point: Point) {
-        let mut map = self.inner.write();
+        let mut map = self.inner.write().unwrap();
         let entry = map
             .entry((url_pattern(url), normalize(query)))
             .or_insert(Skill {
@@ -96,12 +100,18 @@ impl SkillLibrary {
     pub fn forget(&self, url: &str, query: &str) {
         self.inner
             .write()
+            .unwrap()
             .remove(&(url_pattern(url), normalize(query)));
     }
 
     /// Total recorded successes (a crude usefulness meter for benches).
     pub fn total_successes(&self) -> u64 {
-        self.inner.read().values().map(|s| s.successes as u64).sum()
+        self.inner
+            .read()
+            .unwrap()
+            .values()
+            .map(|s| s.successes as u64)
+            .sum()
     }
 }
 
@@ -112,8 +122,14 @@ mod tests {
     #[test]
     fn learn_and_recall() {
         let lib = SkillLibrary::default();
-        assert!(lib.recall("/gitlab/p/webapp/issues", "the 'New issue' button").is_none());
-        lib.learn("/gitlab/p/webapp/issues", "the 'New issue' button", Point::new(400, 200));
+        assert!(lib
+            .recall("/gitlab/p/webapp/issues", "the 'New issue' button")
+            .is_none());
+        lib.learn(
+            "/gitlab/p/webapp/issues",
+            "the 'New issue' button",
+            Point::new(400, 200),
+        );
         assert_eq!(
             lib.recall("/gitlab/p/webapp/issues", "THE 'new issue' BUTTON"),
             Some(Point::new(400, 200)),
@@ -125,7 +141,11 @@ mod tests {
     #[test]
     fn skills_transfer_across_ids() {
         let lib = SkillLibrary::default();
-        lib.learn("/magento/sales/orders/1001", "the 'Ship' button", Point::new(300, 250));
+        lib.learn(
+            "/magento/sales/orders/1001",
+            "the 'Ship' button",
+            Point::new(300, 250),
+        );
         assert_eq!(
             lib.recall("/magento/sales/orders/1002", "the 'Ship' button"),
             Some(Point::new(300, 250)),

@@ -23,6 +23,9 @@ pub fn check_actuation(
     _action_desc: &str,
     after: &Screenshot,
 ) -> Judgment {
+    let span = model
+        .trace_mut()
+        .open(eclair_trace::SpanKind::Validate, "actuation");
     let d = diff(before, after);
     let evidence = if d.url_changed {
         0.95
@@ -34,7 +37,15 @@ pub fn check_actuation(
         // Sub-threshold change: scale into a borderline band (0.05..0.55).
         0.05 + 0.5 * (d.changed_fraction / calibration::ACTUATION_CLEAR_DIFF)
     };
-    model.judge(evidence)
+    let j = model.judge(evidence);
+    model
+        .trace_mut()
+        .event(eclair_trace::EventKind::ValidatorVerdict {
+            validator: "actuation".into(),
+            passed: j.verdict,
+        });
+    model.trace_mut().close(span);
+    j
 }
 
 #[cfg(test)]
@@ -62,7 +73,10 @@ mod tests {
                 false_pos += 1;
             }
         }
-        assert!(false_pos < 10, "identical frames rarely fool it: {false_pos}/200");
+        assert!(
+            false_pos < 10,
+            "identical frames rarely fool it: {false_pos}/200"
+        );
     }
 
     #[test]

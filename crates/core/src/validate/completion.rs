@@ -15,6 +15,21 @@ use eclair_vision::frame::Recording;
 
 /// Judge whether the recorded workflow completed.
 pub fn check_completion(model: &mut FmModel, rec: &Recording, wd: &str) -> Judgment {
+    let span = model
+        .trace_mut()
+        .open(eclair_trace::SpanKind::Validate, "completion");
+    let j = completion_judgment(model, rec, wd);
+    model
+        .trace_mut()
+        .event(eclair_trace::EventKind::ValidatorVerdict {
+            validator: "completion".into(),
+            passed: j.verdict,
+        });
+    model.trace_mut().close(span);
+    j
+}
+
+fn completion_judgment(model: &mut FmModel, rec: &Recording, wd: &str) -> Judgment {
     let Some(final_shot) = rec.final_frame() else {
         return model.judge(-0.9);
     };

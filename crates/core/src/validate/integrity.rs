@@ -22,6 +22,9 @@ pub fn check_integrity(
     constraint: &IntegrityConstraint,
     shot: &Screenshot,
 ) -> Judgment {
+    let span = model
+        .trace_mut()
+        .open(eclair_trace::SpanKind::Validate, "integrity");
     let percept = model.perceive(shot);
     let mut evidence: f64 = 0.8; // vacuous constraint: viable
     for pred in &constraint.preds {
@@ -76,7 +79,15 @@ pub fn check_integrity(
     // verify from a static frame (enabledness beyond gray-out, focus,
     // overlay state) pulls the verdict toward "not viable". This is the
     // paper's observed behaviour — recall collapses to 0.36.
-    model.judge((evidence - calibration::INTEGRITY_VIABILITY_BAR).clamp(-1.0, 1.0))
+    let j = model.judge((evidence - calibration::INTEGRITY_VIABILITY_BAR).clamp(-1.0, 1.0));
+    model
+        .trace_mut()
+        .event(eclair_trace::EventKind::ValidatorVerdict {
+            validator: "integrity".into(),
+            passed: j.verdict,
+        });
+    model.trace_mut().close(span);
+    j
 }
 
 #[cfg(test)]

@@ -63,12 +63,22 @@ fn steps_compatible(a: &str, b: &str) -> bool {
 
 /// Judge whether the recording's actions followed the SOP.
 pub fn check_trajectory(model: &mut FmModel, rec: &Recording, sop: &Sop) -> Judgment {
+    let span = model
+        .trace_mut()
+        .open(eclair_trace::SpanKind::Validate, "trajectory");
     let observed = steps_from_action_log(rec);
     let score = alignment_score(&observed, sop);
     // Map alignment around the faithfulness threshold into evidence.
-    let evidence =
-        ((score - calibration::TRAJECTORY_ALIGN_THRESHOLD) * 5.0).clamp(-1.0, 1.0);
-    model.judge(evidence)
+    let evidence = ((score - calibration::TRAJECTORY_ALIGN_THRESHOLD) * 5.0).clamp(-1.0, 1.0);
+    let j = model.judge(evidence);
+    model
+        .trace_mut()
+        .event(eclair_trace::EventKind::ValidatorVerdict {
+            validator: "trajectory".into(),
+            passed: j.verdict,
+        });
+    model.trace_mut().close(span);
+    j
 }
 
 #[cfg(test)]
@@ -131,7 +141,11 @@ mod tests {
     fn alignment_score_properties() {
         let sop = Sop::from_texts(
             "t",
-            &["Click the 'A' button", "Type \"x\" into the B field", "Click the 'C' button"],
+            &[
+                "Click the 'A' button",
+                "Type \"x\" into the B field",
+                "Click the 'C' button",
+            ],
         );
         let perfect: Vec<String> = sop.steps.iter().map(|s| s.text.clone()).collect();
         assert!((alignment_score(&perfect, &sop) - 1.0).abs() < 1e-9);

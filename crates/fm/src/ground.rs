@@ -38,9 +38,10 @@ impl GroundingOutcome {
     pub fn click_point(&self, marks: &[Mark]) -> Option<Point> {
         match self {
             GroundingOutcome::Box(r) => Some(r.center()),
-            GroundingOutcome::Mark(l) => {
-                marks.iter().find(|m| m.label == *l).map(|m| m.rect.center())
-            }
+            GroundingOutcome::Mark(l) => marks
+                .iter()
+                .find(|m| m.label == *l)
+                .map(|m| m.rect.center()),
             GroundingOutcome::Abstain => None,
         }
     }
@@ -149,8 +150,7 @@ fn core_terms(description: &str) -> Vec<String> {
 /// inspect the ranking the model saw.
 pub fn score_marks(description: &str, marks: &[Mark]) -> Vec<(u32, f64)> {
     let lower = description.to_lowercase();
-    let wants_button =
-        lower.contains("button") || lower.contains("link") || lower.contains("tab");
+    let wants_button = lower.contains("button") || lower.contains("link") || lower.contains("tab");
     let wants_field = lower.contains("field")
         || lower.contains("dropdown")
         || lower.contains("box")
@@ -166,14 +166,13 @@ pub fn score_marks(description: &str, marks: &[Mark]) -> Vec<(u32, f64)> {
                 0.05
             } else {
                 let text_tokens = crate::text::tokens(&m.text);
-                let all_present = !core.is_empty()
-                    && core.iter().all(|t| text_tokens.contains(t));
+                let all_present = !core.is_empty() && core.iter().all(|t| text_tokens.contains(t));
                 // Subword agreement ("Ship" ↔ "Create shipment") keeps a
                 // relabeled control findable — the semantic robustness that
                 // separates FM grounding from string-matching selectors.
-                let subword = core.iter().any(|q| {
-                    q.len() >= 4 && text_tokens.iter().any(|t| t.contains(q.as_str()))
-                });
+                let subword = core
+                    .iter()
+                    .any(|q| q.len() >= 4 && text_tokens.iter().any(|t| t.contains(q.as_str())));
                 let base = fuzzy_similarity(&m.text, &core_joined)
                     .max(crate::text::stem_overlap(&m.text, &core_joined) * 0.9);
                 if all_present {
@@ -189,9 +188,8 @@ pub fn score_marks(description: &str, marks: &[Mark]) -> Vec<(u32, f64)> {
             // — and vice versa for fields.
             let hint = m.hint.to_lowercase();
             let buttonish = hint.contains("button") || hint == "a" || hint.contains("link");
-            let fieldish = hint.contains("input")
-                || hint.contains("textarea")
-                || hint.contains("select");
+            let fieldish =
+                hint.contains("input") || hint.contains("textarea") || hint.contains("select");
             if wants_button && !buttonish {
                 s *= 0.55;
             }
@@ -214,7 +212,11 @@ pub fn select_mark<R: Rng>(
         return GroundingOutcome::Abstain;
     }
     let mut scored = score_marks(description, marks);
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then(a.0.cmp(&b.0))
+    });
     let (best_label, best_score) = scored[0];
     // Nothing plausibly matches: the target is probably not among the
     // candidates (detector miss / unlabeled icon). The model still has to
@@ -235,11 +237,9 @@ pub fn select_mark<R: Rng>(
             .iter()
             .filter(|m| {
                 let hint = m.hint.to_lowercase();
-                let fieldish = hint.contains("input")
-                    || hint.contains("textarea")
-                    || hint.contains("select");
-                let buttonish =
-                    hint.contains("button") || hint == "a" || hint.contains("link");
+                let fieldish =
+                    hint.contains("input") || hint.contains("textarea") || hint.contains("select");
+                let buttonish = hint.contains("button") || hint == "a" || hint.contains("link");
                 if wants_field {
                     fieldish
                 } else {
@@ -331,7 +331,10 @@ mod tests {
                 }
             }
         }
-        assert!(hits < 30, "GPT-4 raw grounding should mostly miss: {hits}/100");
+        assert!(
+            hits < 30,
+            "GPT-4 raw grounding should mostly miss: {hits}/100"
+        );
     }
 
     #[test]
@@ -339,7 +342,7 @@ mod tests {
         let p = page();
         let shot = p.screenshot_at(0);
         let target = p.get(p.find_by_name("invite").unwrap()).bounds;
-        let mut hits = |profile: &ModelProfile| {
+        let hits = |profile: &ModelProfile| {
             let mut h = 0;
             for seed in 0..100 {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -424,7 +427,10 @@ mod tests {
         let scored = score_marks("the Profile button", &ms);
         let s_svg = scored.iter().find(|(l, _)| *l == 1).unwrap().1;
         let s_btn = scored.iter().find(|(l, _)| *l == 2).unwrap().1;
-        assert!(s_btn > s_svg, "tag mismatch must penalize: {s_svg} vs {s_btn}");
+        assert!(
+            s_btn > s_svg,
+            "tag mismatch must penalize: {s_svg} vs {s_btn}"
+        );
     }
 
     #[test]

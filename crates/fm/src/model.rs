@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use eclair_gui::Screenshot;
+use eclair_trace::{EventKind, TraceRecorder};
 use eclair_vision::marks::{Mark, MarkedScreenshot};
 
 use crate::ground::{native_ground, select_mark, GroundingOutcome};
@@ -37,6 +38,7 @@ pub struct FmModel {
     rng: StdRng,
     meter: TokenMeter,
     sampling: Sampling,
+    trace: TraceRecorder,
 }
 
 impl FmModel {
@@ -47,6 +49,7 @@ impl FmModel {
             rng: StdRng::seed_from_u64(seed),
             meter: TokenMeter::default(),
             sampling: Sampling::greedy(),
+            trace: TraceRecorder::new(),
         }
     }
 
@@ -58,6 +61,29 @@ impl FmModel {
     /// Cumulative token usage.
     pub fn meter(&self) -> &TokenMeter {
         &self.meter
+    }
+
+    /// The structured trace of everything this model has been asked to do.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Mutable trace access — the pipeline layers above open spans and
+    /// emit their own events here so one recorder holds the whole run.
+    pub fn trace_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
+    /// Record one FM call against the meter *and* the trace. Every token
+    /// the meter sees flows through here, so the trace's rolled-up call
+    /// and token counts always agree with [`Self::meter`].
+    pub fn account(&mut self, purpose: &str, prompt_tokens: u64, completion_tokens: u64) {
+        self.meter.record(prompt_tokens, completion_tokens);
+        self.trace.event(EventKind::FmCall {
+            purpose: purpose.to_string(),
+            prompt_tokens,
+            completion_tokens,
+        });
     }
 
     /// Set the sampling configuration for subsequent judgments.
@@ -72,7 +98,7 @@ impl FmModel {
 
     /// Account for a prompt being sent and a completion of `completion_tokens`.
     pub fn charge(&mut self, prompt: &Prompt, completion_tokens: u64) {
-        self.meter.record(prompt.tokens(), completion_tokens);
+        self.account("prompt", prompt.tokens(), completion_tokens);
     }
 
     /// Direct RNG access for capability modules layered on top (the agent
@@ -83,35 +109,74 @@ impl FmModel {
     }
 
     /// Parse a screenshot into the model's internal scene representation.
+    /// Priced like one image-bearing prompt (the [`crate::prompt::Part`]
+    /// schedule) with a completion proportional to the elements read out.
     pub fn perceive(&mut self, shot: &Screenshot) -> ScenePercept {
-        perceive(shot, &self.profile, &mut self.rng)
+        let percept = perceive(shot, &self.profile, &mut self.rng);
+        self.account(
+            "perceive",
+            85 + 4 * shot.items.len() as u64,
+            2 + 4 * percept.elements.len() as u64,
+        );
+        percept
     }
 
     /// Native grounding: emit a bounding box for a description.
     pub fn ground_native(&mut self, shot: &Screenshot, description: &str) -> GroundingOutcome {
         let percept = self.perceive(shot);
-        native_ground(&self.profile, &percept, description, &mut self.rng)
+        let out = native_ground(&self.profile, &percept, description, &mut self.rng);
+        self.account(
+            "ground_native",
+            85 + 4 * shot.items.len() as u64 + (description.len() as u64).div_ceil(4),
+            12,
+        );
+        out
     }
 
     /// Set-of-marks grounding: choose a candidate label.
-    pub fn ground_marks(&mut self, marked: &MarkedScreenshot, description: &str) -> GroundingOutcome {
-        select_mark(&self.profile, &marked.marks, description, &mut self.rng)
+    pub fn ground_marks(
+        &mut self,
+        marked: &MarkedScreenshot,
+        description: &str,
+    ) -> GroundingOutcome {
+        let out = select_mark(&self.profile, &marked.marks, description, &mut self.rng);
+        self.account(
+            "ground_marks",
+            85 + 4 * marked.shot.items.len() as u64
+                + 3 * marked.marks.len() as u64
+                + (description.len() as u64).div_ceil(4),
+            8,
+        );
+        out
     }
 
     /// As [`Self::ground_marks`] but with an explicit mark slice.
     pub fn ground_mark_slice(&mut self, marks: &[Mark], description: &str) -> GroundingOutcome {
-        select_mark(&self.profile, marks, description, &mut self.rng)
+        let out = select_mark(&self.profile, marks, description, &mut self.rng);
+        self.account(
+            "ground_marks",
+            85 + 3 * marks.len() as u64 + (description.len() as u64).div_ceil(4),
+            8,
+        );
+        out
     }
 
     /// Binary judgment from signed evidence strength, under the current
-    /// sampling configuration.
+    /// sampling configuration. Self-consistency ensembles produce one
+    /// completion per vote but are still a single accounted call.
     pub fn judge(&mut self, evidence: f64) -> Judgment {
-        judge_ensemble(
+        let out = judge_ensemble(
             evidence,
             self.profile.judgment_noise,
             self.sampling,
             &mut self.rng,
-        )
+        );
+        self.account(
+            "judge",
+            120,
+            8 * self.sampling.self_consistency.max(1) as u64,
+        );
+        out
     }
 }
 
@@ -147,6 +212,22 @@ mod tests {
         assert_eq!(m.meter().calls, 2);
         assert!(m.meter().prompt_tokens > 0);
         assert_eq!(m.meter().completion_tokens, 60);
+    }
+
+    #[test]
+    fn every_metered_call_is_traced() {
+        let mut m = FmModel::new(ModelProfile::gpt4v(), 4);
+        let s = shot();
+        let _ = m.perceive(&s);
+        let _ = m.ground_native(&s, "Confirm order");
+        let _ = m.judge(0.1);
+        let summary = m.trace().summary();
+        assert_eq!(summary.fm_calls(), m.meter().calls);
+        assert_eq!(summary.total().prompt_tokens, m.meter().prompt_tokens);
+        assert_eq!(
+            summary.total().completion_tokens,
+            m.meter().completion_tokens
+        );
     }
 
     #[test]

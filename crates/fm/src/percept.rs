@@ -199,7 +199,11 @@ mod tests {
         for seed in 0..60 {
             let mut rng = StdRng::seed_from_u64(seed);
             let p = perceive(&s, &profile, &mut rng);
-            if !p.elements.iter().any(|e| e.visual == VisualClass::IconGlyph) {
+            if !p
+                .elements
+                .iter()
+                .any(|e| e.visual == VisualClass::IconGlyph)
+            {
                 missed += 1;
             }
         }

@@ -60,8 +60,8 @@ pub fn judge<R: Rng>(evidence: f64, noise: f64, temperature: f64, rng: &mut R) -
     // evidence the verdict approaches a genuine coin flip — a model with
     // nothing to go on is guessing, not defaulting.
     let borderline = 1.0 - evidence.abs();
-    let flip_p = (0.5 * borderline.powi(4) + noise * borderline + 0.5 * temperature * borderline)
-        .min(0.49);
+    let flip_p =
+        (0.5 * borderline.powi(4) + noise * borderline + 0.5 * temperature * borderline).min(0.49);
     let mut verdict = evidence >= 0.0;
     if rng.gen_bool(flip_p) {
         verdict = !verdict;
@@ -115,7 +115,10 @@ pub fn choose<R: Rng>(scores: &[f64], temperature: f64, rng: &mut R) -> Option<u
         return Some(best);
     }
     let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let weights: Vec<f64> = scores.iter().map(|s| ((s - max) / temperature).exp()).collect();
+    let weights: Vec<f64> = scores
+        .iter()
+        .map(|s| ((s - max) / temperature).exp())
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut pick = rng.gen_range(0.0..total);
     for (i, w) in weights.iter().enumerate() {

@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn contains_all_tokens() {
-        assert!(contains_all("Click the 'Save changes' button", "save changes"));
+        assert!(contains_all(
+            "Click the 'Save changes' button",
+            "save changes"
+        ));
         assert!(!contains_all("Click Save", "save changes"));
     }
 

@@ -179,7 +179,7 @@ mod tests {
     fn element_boxes_skip_containers_and_offscreen() {
         let p = sample();
         let all = element_boxes(&p, 0, false);
-        assert!(all.iter().all(|e| e.tag != "div" || e.text != ""));
+        assert!(all.iter().all(|e| e.tag != "div" || !e.text.is_empty()));
         assert!(all.iter().any(|e| e.name == "save"));
         // Scrolled far past content: nothing visible.
         let none = element_boxes(&p, 10_000, false);
@@ -191,7 +191,10 @@ mod tests {
         let p = sample();
         let inter = element_boxes(&p, 0, true);
         assert!(inter.iter().all(|e| e.interactive));
-        assert!(inter.iter().any(|e| e.tag == "svg"), "icons count as interactive");
+        assert!(
+            inter.iter().any(|e| e.tag == "svg"),
+            "icons count as interactive"
+        );
         assert!(!inter.iter().any(|e| e.tag == "h1"));
     }
 
@@ -201,7 +204,10 @@ mod tests {
         b.button("x", "Say \"hi\" <now> & go");
         let p = b.finish();
         let html = serialize(&p);
-        assert!(html.contains("Say &quot;hi&quot; &lt;now&gt; &amp; go"), "{html}");
+        assert!(
+            html.contains("Say &quot;hi&quot; &lt;now&gt; &amp; go"),
+            "{html}"
+        );
         assert!(!html.contains("<now>"));
     }
 

@@ -175,17 +175,21 @@ fn leaf_size(w: &Widget, avail_w: u32) -> Size {
             w.fixed_h.unwrap_or(LINE_H),
         ),
         WidgetKind::Icon => Size::new(w.fixed_w.unwrap_or(26), w.fixed_h.unwrap_or(26)),
-        WidgetKind::TextInput | WidgetKind::PasswordInput | WidgetKind::Select => {
-            Size::new(w.fixed_w.unwrap_or(360).min(avail_w), w.fixed_h.unwrap_or(34))
-        }
-        WidgetKind::TextArea => {
-            Size::new(w.fixed_w.unwrap_or(560).min(avail_w), w.fixed_h.unwrap_or(110))
-        }
+        WidgetKind::TextInput | WidgetKind::PasswordInput | WidgetKind::Select => Size::new(
+            w.fixed_w.unwrap_or(360).min(avail_w),
+            w.fixed_h.unwrap_or(34),
+        ),
+        WidgetKind::TextArea => Size::new(
+            w.fixed_w.unwrap_or(560).min(avail_w),
+            w.fixed_h.unwrap_or(110),
+        ),
         WidgetKind::Checkbox | WidgetKind::Radio => {
             Size::new((22 + 8 + label_len * CHAR_W).min(avail_w), 24)
         }
         WidgetKind::MenuItem => Size::new(
-            w.fixed_w.unwrap_or((label_len * CHAR_W + 24).max(140)).min(avail_w),
+            w.fixed_w
+                .unwrap_or((label_len * CHAR_W + 24).max(140))
+                .min(avail_w),
             28,
         ),
         WidgetKind::Tab => Size::new((label_len * CHAR_W + 28).min(avail_w), 38),
@@ -253,7 +257,14 @@ mod tests {
             b.text_input("x", "Field", "hint");
             b.textarea("y", "Area", "hint");
         });
-        b.table(&["A", "B", "C"], &[vec![("1".into(), None), ("2".into(), None), ("3".into(), None)]]);
+        b.table(
+            &["A", "B", "C"],
+            &[vec![
+                ("1".into(), None),
+                ("2".into(), None),
+                ("3".into(), None),
+            ]],
+        );
         let p = b.finish();
         for w in p.visible_iter() {
             assert!(
@@ -293,7 +304,11 @@ mod tests {
             .iter()
             .find(|w| w.kind == crate::widget::WidgetKind::Text)
             .unwrap();
-        assert!(t.bounds.h >= 2 * LINE_H, "expected wrapping: {:?}", t.bounds);
+        assert!(
+            t.bounds.h >= 2 * LINE_H,
+            "expected wrapping: {:?}",
+            t.bounds
+        );
     }
 
     #[test]
@@ -303,10 +318,16 @@ mod tests {
         let hidden = b.button("h", "Hidden");
         b.text("below");
         let mut p = b.finish();
-        let below_before = p.find_by_label("below", false).map(|id| p.get(id).bounds.y).unwrap();
+        let below_before = p
+            .find_by_label("below", false)
+            .map(|id| p.get(id).bounds.y)
+            .unwrap();
         p.get_mut(hidden).visible = false;
         p.relayout();
-        let below_after = p.find_by_label("below", false).map(|id| p.get(id).bounds.y).unwrap();
+        let below_after = p
+            .find_by_label("below", false)
+            .map(|id| p.get(id).bounds.y)
+            .unwrap();
         assert!(below_after < below_before);
     }
 

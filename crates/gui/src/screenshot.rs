@@ -149,9 +149,7 @@ impl Screenshot {
                 "•".repeat(w.value.chars().count()),
                 false,
             ),
-            WidgetKind::Checkbox => {
-                (VisualClass::CheckGlyph, w.label.clone(), w.is_checked())
-            }
+            WidgetKind::Checkbox => (VisualClass::CheckGlyph, w.label.clone(), w.is_checked()),
             WidgetKind::Radio => (VisualClass::RadioGlyph, w.label.clone(), w.is_checked()),
             // Icons paint a glyph. The `text` carries the glyph's *identity*
             // (a gear, a bell) — pixels do convey that — but it is not
@@ -234,8 +232,8 @@ impl Screenshot {
             // Stamp the item hash into every grid cell it overlaps.
             let x0 = (item.rect.x.max(0) as usize / cell_w).min(GRID_COLS - 1);
             let y0 = (item.rect.y.max(0) as usize / cell_h).min(GRID_ROWS - 1);
-            let x1 = ((item.rect.right().max(0) as usize).saturating_sub(1) / cell_w)
-                .min(GRID_COLS - 1);
+            let x1 =
+                ((item.rect.right().max(0) as usize).saturating_sub(1) / cell_w).min(GRID_COLS - 1);
             let y1 = ((item.rect.bottom().max(0) as usize).saturating_sub(1) / cell_h)
                 .min(GRID_ROWS - 1);
             for gy in y0..=y1 {
@@ -354,7 +352,10 @@ mod tests {
         let after = shoot(&p, 0);
         let frac = before.diff_fraction(&after);
         assert!(frac > 0.0, "a visible change must change the signature");
-        assert!(frac < 0.25, "one input changing should be a local change, got {frac}");
+        assert!(
+            frac < 0.25,
+            "one input changing should be a local change, got {frac}"
+        );
     }
 
     #[test]
@@ -381,7 +382,10 @@ mod tests {
         );
         let without = shoot(&p, 0);
         assert!(with.items.iter().any(|i| i.visual == VisualClass::CaretBar));
-        assert!(!without.items.iter().any(|i| i.visual == VisualClass::CaretBar));
+        assert!(!without
+            .items
+            .iter()
+            .any(|i| i.visual == VisualClass::CaretBar));
         assert!(with.diff_fraction(&without) > 0.0);
     }
 

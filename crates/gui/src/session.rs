@@ -150,9 +150,7 @@ impl Session {
             self.scroll_y = self.scroll_y.clamp(0, self.max_scroll());
             let names: Vec<(String, String)> = old
                 .iter()
-                .filter(|w| {
-                    !w.name.is_empty() && (w.kind.is_editable() || w.kind.is_toggleable())
-                })
+                .filter(|w| !w.name.is_empty() && (w.kind.is_editable() || w.kind.is_toggleable()))
                 .map(|w| (w.name.clone(), w.value.clone()))
                 .collect();
             for (name, value) in names {
@@ -303,7 +301,11 @@ impl Session {
                 w.options
                     .iter()
                     .find(|o| o.to_lowercase() == lower)
-                    .or_else(|| w.options.iter().find(|o| o.to_lowercase().starts_with(&lower)))
+                    .or_else(|| {
+                        w.options
+                            .iter()
+                            .find(|o| o.to_lowercase().starts_with(&lower))
+                    })
                     .or_else(|| w.options.iter().find(|o| o.to_lowercase().contains(&lower)))
                     .cloned()
             };
@@ -340,7 +342,10 @@ impl Session {
                 if editables.is_empty() {
                     return (None, EffectKind::NoOp);
                 }
-                let next = match self.focus.and_then(|f| editables.iter().position(|&e| e == f)) {
+                let next = match self
+                    .focus
+                    .and_then(|f| editables.iter().position(|&e| e == f))
+                {
                     Some(pos) => editables[(pos + 1) % editables.len()],
                     None => editables[0],
                 };
@@ -360,7 +365,9 @@ impl Session {
                 };
                 let name = self.page.get(id).name.clone();
                 let label = self.page.get(id).label.clone();
-                let rebuild = self.app.on_event(SemanticEvent::Dismissed { name: name.clone() });
+                let rebuild = self
+                    .app
+                    .on_event(SemanticEvent::Dismissed { name: name.clone() });
                 if rebuild {
                     self.after_app_event();
                 } else {
@@ -394,13 +401,10 @@ impl Session {
     }
 
     fn find_submit_button(&self, form: WidgetId) -> Option<WidgetId> {
-        self.page
-            .paint_order()
-            .into_iter()
-            .find(|&id| {
-                let w = self.page.get(id);
-                w.kind == WidgetKind::Button && w.enabled && self.page.is_within(id, form)
-            })
+        self.page.paint_order().into_iter().find(|&id| {
+            let w = self.page.get(id);
+            w.kind == WidgetKind::Button && w.enabled && self.page.is_within(id, form)
+        })
     }
 
     /// Page-space caret rect for the focused widget, when blink phase is on.

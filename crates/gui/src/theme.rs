@@ -340,7 +340,10 @@ mod tests {
         let p = sample();
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
-        assert_eq!(generate_drift(&p, &mut r1, 6), generate_drift(&p, &mut r2, 6));
+        assert_eq!(
+            generate_drift(&p, &mut r1, 6),
+            generate_drift(&p, &mut r2, 6)
+        );
     }
 
     #[test]

@@ -246,7 +246,6 @@ impl Page {
     pub(crate) fn push_widget(&mut self, w: Widget) {
         self.widgets.push(w);
     }
-
 }
 
 /// Builder DSL for pages. Containers nest through closures:
@@ -403,11 +402,7 @@ impl PageBuilder {
     }
 
     /// A labelled masked input.
-    pub fn password(
-        &mut self,
-        name: impl Into<String>,
-        label: impl Into<String>,
-    ) -> WidgetId {
+    pub fn password(&mut self, name: impl Into<String>, label: impl Into<String>) -> WidgetId {
         self.labelled_input(WidgetKind::PasswordInput, name, label, "")
     }
 
@@ -679,8 +674,14 @@ mod tests {
         b.table(
             &["Name", "Status"],
             &[
-                vec![("proj-alpha".into(), Some("open-alpha".into())), ("active".into(), None)],
-                vec![("proj-beta".into(), Some("open-beta".into())), ("archived".into(), None)],
+                vec![
+                    ("proj-alpha".into(), Some("open-alpha".into())),
+                    ("active".into(), None),
+                ],
+                vec![
+                    ("proj-beta".into(), Some("open-beta".into())),
+                    ("archived".into(), None),
+                ],
             ],
         );
         let p = b.finish();

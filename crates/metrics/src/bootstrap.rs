@@ -106,7 +106,10 @@ pub fn proportion_ci(
     level: f64,
     seed: u64,
 ) -> ConfidenceInterval {
-    let values: Vec<f64> = outcomes.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let values: Vec<f64> = outcomes
+        .iter()
+        .map(|&b| if b { 1.0 } else { 0.0 })
+        .collect();
     mean_ci(&values, resamples, level, seed)
 }
 

@@ -88,7 +88,8 @@ impl PaperComparison {
 
     /// Render the comparison as an ASCII table plus a verdict line.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["metric", "paper", "measured", "|err|", "band", "ok"]).numeric();
+        let mut t =
+            Table::new(vec!["metric", "paper", "measured", "|err|", "band", "ok"]).numeric();
         for r in &self.rows {
             t.row(vec![
                 r.name.clone(),

@@ -189,7 +189,10 @@ mod tests {
     #[test]
     fn markdown_aligns_numeric_columns() {
         let s = sample().to_markdown();
-        assert!(s.contains("---:"), "numeric columns should right-align: {s}");
+        assert!(
+            s.contains("---:"),
+            "numeric columns should right-align: {s}"
+        );
         assert!(s.starts_with("| Method"));
     }
 

@@ -74,8 +74,7 @@ impl RpaBot {
                     if d.effect != EffectKind::Focused {
                         false
                     } else {
-                        session.dispatch(UserEvent::Type(text.clone())).effect
-                            == EffectKind::Typed
+                        session.dispatch(UserEvent::Type(text.clone())).effect == EffectKind::Typed
                     }
                 }
                 RpaOp::Replace(text) => {
@@ -94,8 +93,7 @@ impl RpaBot {
                             }
                             session.dispatch(UserEvent::Press(Key::Backspace));
                         }
-                        session.dispatch(UserEvent::Type(text.clone())).effect
-                            == EffectKind::Typed
+                        session.dispatch(UserEvent::Type(text.clone())).effect == EffectKind::Typed
                     }
                 }
             };
@@ -165,7 +163,13 @@ mod tests {
             label_anchor_fraction: 1.0,
             authoring_error_rate: 0.0,
         };
-        let script = compile(&task.id, &mut author, &task.gold_trace.actions, cfg, &mut rng);
+        let script = compile(
+            &task.id,
+            &mut author,
+            &task.gold_trace.actions,
+            cfg,
+            &mut rng,
+        );
         // A quarterly update renames the button the script clicks.
         let theme = Theme::with_ops(vec![DriftOp::Relabel {
             from: "New issue".into(),

@@ -237,7 +237,10 @@ mod tests {
             "rushed deployment should not start near-perfect: {initial}"
         );
         assert!(peak > initial, "maintenance must improve accuracy");
-        assert!(peak >= 0.85, "peak should approach the case study's 95%: {peak}");
+        assert!(
+            peak >= 0.85,
+            "peak should approach the case study's 95%: {peak}"
+        );
     }
 
     #[test]

@@ -106,11 +106,14 @@ impl CostModel {
             cost += live_months * items_per_month * self.cost_per_item_usd;
             // Errors: failed items cost an error-handling charge.
             let error_rate = 1.0 - self.steady_accuracy;
-            cost += live_months * items_per_month * error_rate * self.error_cost_usd.min(
-                // errors can at worst cost a manual redo when a human is in
-                // the loop catching them
-                self.error_cost_usd,
-            );
+            cost += live_months
+                * items_per_month
+                * error_rate
+                * self.error_cost_usd.min(
+                    // errors can at worst cost a manual redo when a human is in
+                    // the loop catching them
+                    self.error_cost_usd,
+                );
         }
         cost
     }

@@ -107,7 +107,11 @@ pub fn compile<R: Rng>(
             Action::Type {
                 target: Some(t),
                 text,
-            } => (Some(t.clone()), RpaOp::Type(text.clone()), KindPref::Editable),
+            } => (
+                Some(t.clone()),
+                RpaOp::Type(text.clone()),
+                KindPref::Editable,
+            ),
             Action::Type { target: None, text } => {
                 (None, RpaOp::Type(text.clone()), KindPref::Editable)
             }

@@ -81,7 +81,9 @@ mod tests {
         }]);
         let s = Site::Gitlab.launch_with_theme(theme);
         assert!(Selector::ByLabel("Projects".into()).resolve(&s).is_none());
-        assert!(Selector::ByName("nav-dashboard".into()).resolve(&s).is_some());
+        assert!(Selector::ByName("nav-dashboard".into())
+            .resolve(&s)
+            .is_some());
     }
 
     #[test]
@@ -97,7 +99,9 @@ mod tests {
         let hit = Selector::ByPoint(pt).resolve(&drifted);
         let want = drifted.page().find_by_name("nav-profile");
         assert_ne!(hit, want, "shifted layout breaks recorded coordinates");
-        assert!(Selector::ByName("nav-profile".into()).resolve(&drifted).is_some());
+        assert!(Selector::ByName("nav-profile".into())
+            .resolve(&drifted)
+            .is_some());
     }
 
     #[test]

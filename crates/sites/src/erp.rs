@@ -139,7 +139,10 @@ impl GuiApp for ErpApp {
                         vec![
                             (d.id.clone(), Some(format!("open-doc-{}", d.id))),
                             (d.customer.clone(), None),
-                            (if d.processed { "processed" } else { "new" }.to_string(), None),
+                            (
+                                if d.processed { "processed" } else { "new" }.to_string(),
+                                None,
+                            ),
                         ]
                     })
                     .collect();
@@ -261,8 +264,7 @@ impl GuiApp for ErpApp {
                 let po = Self::field(&fields, "po").trim().to_string();
                 let amount: Option<f64> = Self::field(&fields, "amount").parse().ok();
                 if customer.is_empty() || po.is_empty() || amount.is_none() {
-                    self.toast =
-                        Some("Customer, amount, and PO number are required".into());
+                    self.toast = Some("Customer, amount, and PO number are required".into());
                     return true;
                 }
                 if self.invoices.iter().any(|i| i.po_number == po) {
@@ -368,8 +370,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.app().probe("invoice_count"), Some("1".into()));
-        assert_eq!(s.app().probe("invoice_customer:PO-7741"), Some("Acme Corp".into()));
-        assert_eq!(s.app().probe("invoice_amount:PO-7741"), Some("48000.00".into()));
+        assert_eq!(
+            s.app().probe("invoice_customer:PO-7741"),
+            Some("Acme Corp".into())
+        );
+        assert_eq!(
+            s.app().probe("invoice_amount:PO-7741"),
+            Some("48000.00".into())
+        );
         assert_eq!(s.url(), "/erp/invoices");
     }
 

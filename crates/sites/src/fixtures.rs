@@ -2,8 +2,16 @@
 
 /// Users known to the GitLab directory (for member invites / assignees).
 pub const USERS: &[&str] = &[
-    "abishek", "byteblaze", "carol.chen", "dferrante", "emma.lopez", "frank.ops", "grace.hall",
-    "hazy.r", "ivan.petrov", "jill.woo",
+    "abishek",
+    "byteblaze",
+    "carol.chen",
+    "dferrante",
+    "emma.lopez",
+    "frank.ops",
+    "grace.hall",
+    "hazy.r",
+    "ivan.petrov",
+    "jill.woo",
 ];
 
 /// Project-label vocabulary.
@@ -42,12 +50,54 @@ pub const ORDERS: &[(u32, usize, f64, &str)] = &[
 /// Contracts arriving in the ERP inbox: (doc id, customer, product,
 /// amount, date, PO number).
 pub const CONTRACTS: &[(&str, &str, &str, f64, &str, &str)] = &[
-    ("DOC-301", "Acme Corp", "Platform license (annual)", 48_000.0, "2024-02-01", "PO-7741"),
-    ("DOC-302", "Globex LLC", "Support contract (gold)", 12_500.0, "2024-02-03", "PO-7742"),
-    ("DOC-303", "Initech", "Seat expansion x25", 6_250.0, "2024-02-07", "PO-7743"),
-    ("DOC-304", "Umbrella Health", "Data pipeline add-on", 18_900.0, "2024-02-11", "PO-7744"),
-    ("DOC-305", "Stark Industries", "Platform license (annual)", 96_000.0, "2024-02-12", "PO-7745"),
-    ("DOC-306", "Wayne Enterprises", "Analytics module", 22_400.0, "2024-02-15", "PO-7746"),
+    (
+        "DOC-301",
+        "Acme Corp",
+        "Platform license (annual)",
+        48_000.0,
+        "2024-02-01",
+        "PO-7741",
+    ),
+    (
+        "DOC-302",
+        "Globex LLC",
+        "Support contract (gold)",
+        12_500.0,
+        "2024-02-03",
+        "PO-7742",
+    ),
+    (
+        "DOC-303",
+        "Initech",
+        "Seat expansion x25",
+        6_250.0,
+        "2024-02-07",
+        "PO-7743",
+    ),
+    (
+        "DOC-304",
+        "Umbrella Health",
+        "Data pipeline add-on",
+        18_900.0,
+        "2024-02-11",
+        "PO-7744",
+    ),
+    (
+        "DOC-305",
+        "Stark Industries",
+        "Platform license (annual)",
+        96_000.0,
+        "2024-02-12",
+        "PO-7745",
+    ),
+    (
+        "DOC-306",
+        "Wayne Enterprises",
+        "Analytics module",
+        22_400.0,
+        "2024-02-15",
+        "PO-7746",
+    ),
 ];
 
 /// Insurance members known to the payer portal: (member id, name, dob,

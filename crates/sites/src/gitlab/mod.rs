@@ -235,7 +235,11 @@ impl GitlabApp {
                 let role = Self::field(fields, "invite-role").to_string();
                 if !self.state.user_exists(&user) {
                     self.toast = Some(format!("User '{user}' not found"));
-                } else if self.state.projects[p].members.iter().any(|(u, _)| *u == user) {
+                } else if self.state.projects[p]
+                    .members
+                    .iter()
+                    .any(|(u, _)| *u == user)
+                {
                     self.toast = Some(format!("{user} is already a member"));
                 } else {
                     self.state.projects[p].members.push((user.clone(), role));
@@ -248,8 +252,7 @@ impl GitlabApp {
                 if !new_name.is_empty() {
                     self.state.projects[p].name = new_name;
                 }
-                self.state.projects[p].visibility =
-                    Self::field(fields, "visibility").to_string();
+                self.state.projects[p].visibility = Self::field(fields, "visibility").to_string();
                 self.toast = Some("Settings saved".into());
                 true
             }
@@ -273,7 +276,10 @@ impl GitlabApp {
     }
 
     fn open_row_link(&mut self, name: &str, p: usize) -> bool {
-        if let Some(id) = name.strip_prefix("open-issue-").and_then(|s| s.parse().ok()) {
+        if let Some(id) = name
+            .strip_prefix("open-issue-")
+            .and_then(|s| s.parse().ok())
+        {
             self.route = Route::Issue(p, id);
             return true;
         }
@@ -321,9 +327,7 @@ impl GuiApp for GitlabApp {
 
     fn on_event(&mut self, ev: SemanticEvent) -> bool {
         match ev {
-            SemanticEvent::Activated { name, fields, .. } => {
-                self.handle_activation(&name, &fields)
-            }
+            SemanticEvent::Activated { name, fields, .. } => self.handle_activation(&name, &fields),
             SemanticEvent::Dismissed { name } => {
                 if name == "archive-confirm" {
                     self.modal = None;
@@ -524,7 +528,10 @@ mod tests {
         )
         .unwrap();
         assert!(s.screenshot().contains_text("not found"));
-        assert_eq!(s.app().probe("is_member:webapp:nobody.real"), Some("false".into()));
+        assert_eq!(
+            s.app().probe("is_member:webapp:nobody.real"),
+            Some("false".into())
+        );
         execute_trace(
             &mut s,
             &[
@@ -536,7 +543,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(s.app().probe("is_member:webapp:jill.woo"), Some("true".into()));
+        assert_eq!(
+            s.app().probe("is_member:webapp:jill.woo"),
+            Some("true".into())
+        );
         assert_eq!(
             s.app().probe("member_role:webapp:jill.woo"),
             Some("Developer".into())
@@ -617,7 +627,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(s.app().probe("profile_status"), Some("Out of office".into()));
+        assert_eq!(
+            s.app().probe("profile_status"),
+            Some("Out of office".into())
+        );
         assert_eq!(s.app().probe("profile_name"), Some("Byte Blaze".into()));
     }
 

@@ -33,7 +33,12 @@ fn toast_if(b: &mut PageBuilder, toast: &Option<String>) {
 }
 
 /// Render the page for a route.
-pub fn build(state: &GitlabState, route: &Route, toast: &Option<String>, modal: &Option<String>) -> Page {
+pub fn build(
+    state: &GitlabState,
+    route: &Route,
+    toast: &Option<String>,
+    modal: &Option<String>,
+) -> Page {
     match route {
         Route::Dashboard => dashboard(state, toast),
         Route::Project(p) => project_home(state, *p, toast),
@@ -314,12 +319,7 @@ fn members(state: &GitlabState, p: usize, toast: &Option<String>) -> Page {
     b.finish()
 }
 
-fn settings(
-    state: &GitlabState,
-    p: usize,
-    toast: &Option<String>,
-    modal: &Option<String>,
-) -> Page {
+fn settings(state: &GitlabState, p: usize, toast: &Option<String>, modal: &Option<String>) -> Page {
     let proj = &state.projects[p];
     let mut b = PageBuilder::new(
         format!("Settings · {}", proj.name),

@@ -134,7 +134,10 @@ impl MagentoApp {
                 return true;
             }
         }
-        if let Some(id) = name.strip_prefix("open-order-").and_then(|s| s.parse().ok()) {
+        if let Some(id) = name
+            .strip_prefix("open-order-")
+            .and_then(|s| s.parse().ok())
+        {
             if self.state.order(id).is_some() {
                 self.route = Route::Order(id);
                 return true;
@@ -229,9 +232,7 @@ impl GuiApp for MagentoApp {
 
     fn on_event(&mut self, ev: SemanticEvent) -> bool {
         match ev {
-            SemanticEvent::Activated { name, fields, .. } => {
-                self.handle_activation(&name, &fields)
-            }
+            SemanticEvent::Activated { name, fields, .. } => self.handle_activation(&name, &fields),
             SemanticEvent::Dismissed { name } => {
                 if name == "cancel-confirm" {
                     self.modal = None;
@@ -354,7 +355,10 @@ mod tests {
         )
         .unwrap();
         assert!(s.screenshot().contains_text("already exists"));
-        assert_eq!(s.app().probe("product_name:PG004"), Some("Quest Lumaflex Band".into()));
+        assert_eq!(
+            s.app().probe("product_name:PG004"),
+            Some("Quest Lumaflex Band".into())
+        );
     }
 
     #[test]

@@ -102,7 +102,12 @@ fn product_form(b: &mut PageBuilder, submit_name: &str, submit_label: &str) {
         b.text_input("sku", "SKU", "");
         b.text_input("price", "Price", "0.00");
         b.text_input("quantity", "Quantity", "0");
-        b.select("status", "Enable product", &["Enabled", "Disabled"], Some("Enabled"));
+        b.select(
+            "status",
+            "Enable product",
+            &["Enabled", "Disabled"],
+            Some("Enabled"),
+        );
         b.row(|b| {
             b.button(submit_name, submit_label);
             b.link("back-to-products", "Back");
@@ -111,7 +116,10 @@ fn product_form(b: &mut PageBuilder, submit_name: &str, submit_label: &str) {
 }
 
 fn new_product(toast: &Option<String>) -> Page {
-    let mut b = PageBuilder::new("New product · Magento Admin", "/magento/catalog/products/new");
+    let mut b = PageBuilder::new(
+        "New product · Magento Admin",
+        "/magento/catalog/products/new",
+    );
     toast_if(&mut b, toast);
     nav(&mut b);
     b.heading(1, "New product");
@@ -120,7 +128,9 @@ fn new_product(toast: &Option<String>) -> Page {
 }
 
 fn edit_product(state: &MagentoState, sku: &str, toast: &Option<String>) -> Page {
-    let p = state.product(sku).expect("route points at existing product");
+    let p = state
+        .product(sku)
+        .expect("route points at existing product");
     let mut b = PageBuilder::new(
         format!("{} · Magento Admin", p.name),
         format!("/magento/catalog/products/{}/edit", p.sku),

@@ -99,23 +99,26 @@ impl GuiApp for PayerApp {
                 b.finish()
             }
             Route::Result => {
-                let mut b = PageBuilder::new(
-                    "Result · Payer Portal",
-                    "/payer/eligibility/result",
-                );
+                let mut b = PageBuilder::new("Result · Payer Portal", "/payer/eligibility/result");
                 b.heading(1, "Eligibility result");
                 match &self.last_result {
                     Some(CheckResult::Eligible { member }) => {
                         b.badge("ACTIVE COVERAGE");
-                        b.text(format!("Member {member}: coverage is active for this plan year."));
+                        b.text(format!(
+                            "Member {member}: coverage is active for this plan year."
+                        ));
                     }
                     Some(CheckResult::Ineligible { member }) => {
                         b.badge("NOT COVERED");
-                        b.text(format!("Member {member}: coverage lapsed or plan terminated."));
+                        b.text(format!(
+                            "Member {member}: coverage lapsed or plan terminated."
+                        ));
                     }
                     Some(CheckResult::NotFound { member }) => {
                         b.badge("NO MATCH");
-                        b.text(format!("No member found matching {member}. Verify the ID and date of birth."));
+                        b.text(format!(
+                            "No member found matching {member}. Verify the ID and date of birth."
+                        ));
                     }
                     None => {
                         b.text("No check performed yet.");
@@ -231,7 +234,10 @@ mod tests {
         let mut s = Session::new(Box::new(PayerApp::new()));
         check(&mut s, "M10003", "1990-07-23");
         assert!(s.screenshot().contains_text("NOT COVERED"));
-        assert_eq!(s.app().probe("last_check:M10003"), Some("ineligible".into()));
+        assert_eq!(
+            s.app().probe("last_check:M10003"),
+            Some("ineligible".into())
+        );
     }
 
     #[test]

@@ -75,10 +75,7 @@ pub fn erp_invoice_task(doc_index: usize) -> TaskSpec {
             "Click the 'Save invoice' button",
         ],
         SuccessCheck::probes(&[
-            (
-                &format!("invoice_customer:{po}") as &str,
-                customer,
-            ),
+            (&format!("invoice_customer:{po}") as &str, customer),
             (
                 &format!("invoice_amount:{po}") as &str,
                 &format!("{amount:.2}"),

@@ -1,0 +1,110 @@
+//! The trace vocabulary: span kinds, typed events, and the sequenced
+//! event record that everything downstream (rollups, JSONL, the flight
+//! recorder) consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// What a span represents in the Demonstrate → Execute → Validate
+/// pipeline. The first three are *phase* spans; the rest are per-step
+/// children nested under an `Execute` span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// SOP generation from a demonstration (paper §4.1).
+    Demonstrate,
+    /// Autonomous execution of a workflow (paper §4.2).
+    Execute,
+    /// Post-hoc validation of a run (paper §4.3).
+    Validate,
+    /// One iteration of the execution loop.
+    Step,
+    /// Screenshot / perception inside a step.
+    Observe,
+    /// Next-action proposal inside a step.
+    Suggest,
+    /// Coordinate grounding inside a step.
+    Ground,
+    /// Performing the grounded action on the GUI.
+    Actuate,
+    /// Error-recovery handling after a failed action.
+    Recover,
+}
+
+impl SpanKind {
+    /// Stable lower-case name used in rendered output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Demonstrate => "demonstrate",
+            SpanKind::Execute => "execute",
+            SpanKind::Validate => "validate",
+            SpanKind::Step => "step",
+            SpanKind::Observe => "observe",
+            SpanKind::Suggest => "suggest",
+            SpanKind::Ground => "ground",
+            SpanKind::Actuate => "actuate",
+            SpanKind::Recover => "recover",
+        }
+    }
+
+    /// Whether this kind is a top-level pipeline phase.
+    pub fn is_phase(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Demonstrate | SpanKind::Execute | SpanKind::Validate
+        )
+    }
+}
+
+/// A typed trace event. Everything the pipeline reports flows through
+/// these variants; free-text narration is a `Note`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A span opened. `id` is unique within the run.
+    SpanStart {
+        id: u64,
+        kind: SpanKind,
+        label: String,
+    },
+    /// The span with `id` closed.
+    SpanEnd { id: u64, kind: SpanKind },
+    /// One foundation-model invocation with its token accounting.
+    FmCall {
+        purpose: String,
+        prompt_tokens: u64,
+        completion_tokens: u64,
+    },
+    /// One grounding attempt and how it went.
+    GroundingAttempt {
+        strategy: String,
+        outcome: GroundingOutcome,
+    },
+    /// An action was retried after a recovery step.
+    Retry { what: String },
+    /// An unexpected modal/popup was dismissed.
+    PopupEscape { url: String },
+    /// A validator produced a verdict.
+    ValidatorVerdict { validator: String, passed: bool },
+    /// Free-text narration (renders verbatim into the legacy log).
+    Note { text: String },
+}
+
+/// Outcome of a single grounding attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroundingOutcome {
+    /// A point was produced.
+    Resolved,
+    /// No candidate matched the query.
+    Unresolved,
+}
+
+/// One record in the trace: a monotonically increasing sequence number
+/// (no wall-clock anywhere — runs are byte-reproducible), the id of the
+/// innermost enclosing span (0 = root), and the typed payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Strictly increasing, starting at 0, unique within a run.
+    pub seq: u64,
+    /// Enclosing span id at emission time; 0 when outside any span.
+    pub parent: u64,
+    /// The payload.
+    pub kind: EventKind,
+}

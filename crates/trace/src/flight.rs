@@ -1,0 +1,134 @@
+//! A bounded ring buffer over the most recent trace events — the "black
+//! box" to read after a failed run without exporting the full trace.
+
+use crate::event::{EventKind, TraceEvent};
+use std::collections::VecDeque;
+
+/// Default number of events the flight recorder retains.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+
+/// Keeps the last `capacity` events pushed into it.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Human-readable dump of the retained tail, one line per event —
+    /// what gets printed when a run fails.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.buf {
+            out.push_str(&format!(
+                "#{:<5} span {:<4} {}\n",
+                e.seq,
+                e.parent,
+                describe(&e.kind)
+            ));
+        }
+        out
+    }
+}
+
+fn describe(kind: &EventKind) -> String {
+    match kind {
+        EventKind::SpanStart { id, kind, label } => {
+            format!("open {} [{}] {label}", kind.name(), id)
+        }
+        EventKind::SpanEnd { id, kind } => format!("close {} [{}]", kind.name(), id),
+        EventKind::FmCall {
+            purpose,
+            prompt_tokens,
+            completion_tokens,
+        } => format!("fm-call {purpose} ({prompt_tokens}p+{completion_tokens}c tok)"),
+        EventKind::GroundingAttempt { strategy, outcome } => {
+            format!("ground via {strategy}: {outcome:?}")
+        }
+        EventKind::Retry { what } => format!("retry {what}"),
+        EventKind::PopupEscape { url } => format!("popup escaped at {url}"),
+        EventKind::ValidatorVerdict { validator, passed } => {
+            format!(
+                "verdict {validator}: {}",
+                if *passed { "pass" } else { "fail" }
+            )
+        }
+        EventKind::Note { text } => format!("note: {text}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(seq: u64, text: &str) -> TraceEvent {
+        TraceEvent {
+            seq,
+            parent: 0,
+            kind: EventKind::Note { text: text.into() },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut f = FlightRecorder::new(3);
+        for i in 0..10 {
+            f.push(note(i, "x"));
+        }
+        assert_eq!(f.len(), 3);
+        let seqs: Vec<u64> = f.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn dump_mentions_every_retained_event() {
+        let mut f = FlightRecorder::new(2);
+        f.push(note(0, "first"));
+        f.push(note(1, "second"));
+        let d = f.dump();
+        assert!(d.contains("first") && d.contains("second"));
+        assert_eq!(d.lines().count(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic structured tracing for the ECLAIR pipeline.
+//!
+//! Every run of Demonstrate → Execute → Validate emits a stream of typed
+//! [`TraceEvent`]s — nested spans, FM-call token accounting, grounding
+//! attempts, retries, popup escapes, validator verdicts, and free-text
+//! notes. The stream carries only monotonic sequence numbers (never
+//! wall-clock), so the same seed yields a byte-identical JSONL export.
+//!
+//! Three consumers sit on top of the stream:
+//!
+//! * [`RunSummary::from_events`] rolls it up into per-phase counters, a
+//!   completion-token histogram, and a dollar cost;
+//! * [`render_log`] recovers the legacy human-readable narration (every
+//!   `Note` event, verbatim);
+//! * [`FlightRecorder`] keeps a bounded ring of the most recent events
+//!   for post-mortem dumps after a failed run.
+
+mod event;
+mod flight;
+mod recorder;
+mod summary;
+
+pub use event::{EventKind, GroundingOutcome, SpanKind, TraceEvent};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use recorder::{read_jsonl, render_log, SpanId, TraceRecorder};
+pub use summary::{PhaseStats, RunSummary, TokenHistogram, HIST_BOUNDS};

@@ -1,0 +1,258 @@
+//! The recorder: spans open/close, events append with monotonically
+//! increasing sequence numbers, and the whole run exports as JSONL.
+
+use crate::event::{EventKind, SpanKind, TraceEvent};
+use crate::flight::FlightRecorder;
+use crate::summary::RunSummary;
+
+/// Handle returned by [`TraceRecorder::open`]; pass it back to
+/// [`TraceRecorder::close`]. Deliberately not `Copy` so a span is hard
+/// to close twice by accident.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The raw span id (matches `SpanStart { id }` in the event stream).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Collects the trace of one run. No wall-clock is read anywhere:
+/// ordering comes from sequence numbers, so the same seed produces a
+/// byte-identical export.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    next_seq: u64,
+    next_span: u64,
+    stack: Vec<(u64, SpanKind)>,
+    flight: FlightRecorder,
+}
+
+impl TraceRecorder {
+    /// A fresh recorder with the default flight-recorder capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh recorder whose flight recorder keeps `capacity` events.
+    pub fn with_flight_capacity(capacity: usize) -> Self {
+        TraceRecorder {
+            flight: FlightRecorder::new(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Open a span; events emitted until the matching [`close`] are
+    /// attributed to it.
+    ///
+    /// [`close`]: TraceRecorder::close
+    pub fn open(&mut self, kind: SpanKind, label: &str) -> SpanId {
+        self.next_span += 1;
+        let id = self.next_span;
+        self.push(EventKind::SpanStart {
+            id,
+            kind,
+            label: label.to_string(),
+        });
+        self.stack.push((id, kind));
+        SpanId(id)
+    }
+
+    /// Close a span. Any spans opened inside it and not yet closed are
+    /// closed too (exception-safety for early returns).
+    pub fn close(&mut self, id: SpanId) {
+        while let Some(&(top, kind)) = self.stack.last() {
+            self.stack.pop();
+            self.push(EventKind::SpanEnd { id: top, kind });
+            if top == id.0 {
+                break;
+            }
+        }
+    }
+
+    /// Close every span still open (end-of-run cleanup).
+    pub fn close_all(&mut self) {
+        while let Some(&(top, kind)) = self.stack.last() {
+            self.stack.pop();
+            self.push(EventKind::SpanEnd { id: top, kind });
+        }
+    }
+
+    /// Emit one typed event inside the current span.
+    pub fn event(&mut self, kind: EventKind) {
+        self.push(kind);
+    }
+
+    /// Emit free-text narration (renders verbatim into [`log`]).
+    ///
+    /// [`log`]: TraceRecorder::log
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.push(EventKind::Note { text: text.into() });
+    }
+
+    fn push(&mut self, kind: EventKind) {
+        let ev = TraceEvent {
+            seq: self.next_seq,
+            parent: self.stack.last().map_or(0, |&(id, _)| id),
+            kind,
+        };
+        self.next_seq += 1;
+        self.flight.push(ev.clone());
+        self.events.push(ev);
+    }
+
+    /// Every event recorded so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many spans are currently open.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Roll the trace up into counters.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::from_events(&self.events)
+    }
+
+    /// The legacy narration log: every `Note` event's text, in order.
+    pub fn log(&self) -> Vec<String> {
+        render_log(&self.events)
+    }
+
+    /// The bounded tail of recent events (read after failures).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Serialize the whole trace as JSON Lines (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Move the events out, resetting the recorder for the next run.
+    /// Sequence numbers and span ids keep counting up so merged streams
+    /// stay globally ordered.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.stack.clear();
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drop everything and start the numbering over.
+    pub fn reset(&mut self) {
+        *self = TraceRecorder::with_flight_capacity(self.flight.capacity());
+    }
+}
+
+/// Render the narration log from an event stream: each `Note` verbatim.
+pub fn render_log(events: &[TraceEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Note { text } => Some(text.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Parse a JSONL trace back into events (inverse of
+/// [`TraceRecorder::to_jsonl`]).
+pub fn read_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad trace line: {e}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_strictly_increasing_and_spans_nest() {
+        let mut t = TraceRecorder::new();
+        let outer = t.open(SpanKind::Execute, "run");
+        t.note("hello");
+        let inner = t.open(SpanKind::Step, "1");
+        t.note("inside");
+        t.close(inner);
+        t.close(outer);
+        assert_eq!(t.depth(), 0);
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        // "inside" is attributed to the step span, "hello" to the run.
+        let parents: Vec<u64> = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Note { .. }))
+            .map(|e| e.parent)
+            .collect();
+        assert_eq!(parents, vec![1, 2]);
+    }
+
+    #[test]
+    fn close_unwinds_forgotten_children() {
+        let mut t = TraceRecorder::new();
+        let outer = t.open(SpanKind::Execute, "run");
+        let _leaked = t.open(SpanKind::Step, "1");
+        t.close(outer);
+        assert_eq!(t.depth(), 0);
+        let ends = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanEnd { .. }))
+            .count();
+        assert_eq!(
+            ends, 2,
+            "closing the outer span also closed the leaked child"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut t = TraceRecorder::new();
+        let s = t.open(SpanKind::Validate, "completion");
+        t.event(EventKind::ValidatorVerdict {
+            validator: "completion".into(),
+            passed: true,
+        });
+        t.event(EventKind::FmCall {
+            purpose: "judge".into(),
+            prompt_tokens: 42,
+            completion_tokens: 7,
+        });
+        t.close(s);
+        let text = t.to_jsonl();
+        let back = read_jsonl(&text).expect("parses");
+        assert_eq!(back, t.events());
+    }
+
+    #[test]
+    fn log_renders_notes_in_order() {
+        let mut t = TraceRecorder::new();
+        t.note("one");
+        t.event(EventKind::Retry {
+            what: "click".into(),
+        });
+        t.note("two");
+        assert_eq!(t.log(), vec!["one".to_string(), "two".to_string()]);
+    }
+
+    #[test]
+    fn take_events_keeps_numbering_monotone() {
+        let mut t = TraceRecorder::new();
+        t.note("a");
+        let first = t.take_events();
+        t.note("b");
+        assert_eq!(first[0].seq, 0);
+        assert_eq!(t.events()[0].seq, 1, "seq continues across takes");
+    }
+}

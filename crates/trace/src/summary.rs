@@ -1,0 +1,279 @@
+//! Rolling trace events up into per-phase counters, a token histogram,
+//! and a dollar cost — the `RunSummary` embedded in `WorkflowReport` and
+//! aggregated across runs by the bench harnesses.
+
+use crate::event::{EventKind, GroundingOutcome, SpanKind, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one pipeline phase (or for events outside any phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Foundation-model invocations attributed to this phase.
+    pub fm_calls: u64,
+    /// Prompt tokens across those calls.
+    pub prompt_tokens: u64,
+    /// Completion tokens across those calls.
+    pub completion_tokens: u64,
+    /// Execution-loop steps opened in this phase.
+    pub steps: u64,
+    /// Grounding attempts made.
+    pub grounding_attempts: u64,
+    /// Grounding attempts that resolved to a point.
+    pub grounding_resolved: u64,
+    /// Actions retried after recovery.
+    pub retries: u64,
+    /// Unexpected popups dismissed.
+    pub popup_escapes: u64,
+}
+
+impl PhaseStats {
+    /// Total tokens (prompt + completion).
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Add `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.fm_calls += other.fm_calls;
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.steps += other.steps;
+        self.grounding_attempts += other.grounding_attempts;
+        self.grounding_resolved += other.grounding_resolved;
+        self.retries += other.retries;
+        self.popup_escapes += other.popup_escapes;
+    }
+}
+
+/// Bucket upper bounds for the completion-token histogram; the final
+/// implicit bucket is unbounded.
+pub const HIST_BOUNDS: [u64; 6] = [8, 16, 32, 64, 128, 256];
+
+/// A fixed-bucket histogram of completion tokens per FM call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenHistogram {
+    /// `counts[i]` holds calls with completion tokens <= `HIST_BOUNDS[i]`
+    /// (and above the previous bound); the last entry is the overflow.
+    pub counts: Vec<u64>,
+}
+
+impl Default for TokenHistogram {
+    fn default() -> Self {
+        TokenHistogram {
+            counts: vec![0; HIST_BOUNDS.len() + 1],
+        }
+    }
+}
+
+impl TokenHistogram {
+    /// Record one observation.
+    pub fn record(&mut self, completion_tokens: u64) {
+        let idx = HIST_BOUNDS
+            .iter()
+            .position(|&b| completion_tokens <= b)
+            .unwrap_or(HIST_BOUNDS.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Add `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &TokenHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// The rolled-up view of one run (or, after merging, many runs).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Counters for the Demonstrate phase.
+    pub demonstrate: PhaseStats,
+    /// Counters for the Execute phase.
+    pub execute: PhaseStats,
+    /// Counters for the Validate phase.
+    pub validate: PhaseStats,
+    /// Counters for events outside any phase span.
+    pub other: PhaseStats,
+    /// Validator verdicts that passed.
+    pub verdicts_pass: u64,
+    /// Validator verdicts that failed.
+    pub verdicts_fail: u64,
+    /// Completion-token distribution across all FM calls.
+    pub fm_completion_hist: TokenHistogram,
+    /// Total events rolled up (for sanity checks).
+    pub events: u64,
+}
+
+impl RunSummary {
+    /// Roll a flat event list up into counters. Phase attribution uses
+    /// the innermost enclosing phase span at each event's position.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = RunSummary::default();
+        // Stack of (span id, kind) reconstructed from start/end events.
+        let mut stack: Vec<(u64, SpanKind)> = Vec::new();
+        for e in events {
+            s.events += 1;
+            match &e.kind {
+                EventKind::SpanStart { id, kind, .. } => {
+                    if *kind == SpanKind::Step {
+                        s.phase_mut(&stack).steps += 1;
+                    }
+                    stack.push((*id, *kind));
+                }
+                EventKind::SpanEnd { id, .. } => {
+                    while let Some((top, _)) = stack.pop() {
+                        if top == *id {
+                            break;
+                        }
+                    }
+                }
+                EventKind::FmCall {
+                    prompt_tokens,
+                    completion_tokens,
+                    ..
+                } => {
+                    let p = s.phase_mut(&stack);
+                    p.fm_calls += 1;
+                    p.prompt_tokens += prompt_tokens;
+                    p.completion_tokens += completion_tokens;
+                    s.fm_completion_hist.record(*completion_tokens);
+                }
+                EventKind::GroundingAttempt { outcome, .. } => {
+                    let p = s.phase_mut(&stack);
+                    p.grounding_attempts += 1;
+                    if *outcome == GroundingOutcome::Resolved {
+                        p.grounding_resolved += 1;
+                    }
+                }
+                EventKind::Retry { .. } => s.phase_mut(&stack).retries += 1,
+                EventKind::PopupEscape { .. } => s.phase_mut(&stack).popup_escapes += 1,
+                EventKind::ValidatorVerdict { passed, .. } => {
+                    if *passed {
+                        s.verdicts_pass += 1;
+                    } else {
+                        s.verdicts_fail += 1;
+                    }
+                }
+                EventKind::Note { .. } => {}
+            }
+        }
+        s
+    }
+
+    fn phase_mut(&mut self, stack: &[(u64, SpanKind)]) -> &mut PhaseStats {
+        match stack.iter().rev().map(|(_, k)| *k).find(|k| k.is_phase()) {
+            Some(SpanKind::Demonstrate) => &mut self.demonstrate,
+            Some(SpanKind::Execute) => &mut self.execute,
+            Some(SpanKind::Validate) => &mut self.validate,
+            _ => &mut self.other,
+        }
+    }
+
+    /// Counters summed across all phases.
+    pub fn total(&self) -> PhaseStats {
+        let mut t = self.demonstrate;
+        t.merge(&self.execute);
+        t.merge(&self.validate);
+        t.merge(&self.other);
+        t
+    }
+
+    /// Total FM invocations across all phases.
+    pub fn fm_calls(&self) -> u64 {
+        self.total().fm_calls
+    }
+
+    /// Dollar cost at the given per-million-token rates (the caller
+    /// supplies them — typically from `eclair_fm::Pricing`).
+    pub fn cost_usd(&self, prompt_per_m: f64, completion_per_m: f64) -> f64 {
+        let t = self.total();
+        (t.prompt_tokens as f64 * prompt_per_m + t.completion_tokens as f64 * completion_per_m)
+            / 1_000_000.0
+    }
+
+    /// Add `other`'s counters into `self` (bench aggregation).
+    pub fn merge(&mut self, other: &RunSummary) {
+        self.demonstrate.merge(&other.demonstrate);
+        self.execute.merge(&other.execute);
+        self.validate.merge(&other.validate);
+        self.other.merge(&other.other);
+        self.verdicts_pass += other.verdicts_pass;
+        self.verdicts_fail += other.verdicts_fail;
+        self.fm_completion_hist.merge(&other.fm_completion_hist);
+        self.events += other.events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceRecorder;
+
+    #[test]
+    fn fm_calls_attribute_to_the_enclosing_phase() {
+        let mut t = TraceRecorder::new();
+        let d = t.open(SpanKind::Demonstrate, "sop");
+        t.event(EventKind::FmCall {
+            purpose: "perceive".into(),
+            prompt_tokens: 100,
+            completion_tokens: 10,
+        });
+        t.close(d);
+        let e = t.open(SpanKind::Execute, "run");
+        let step = t.open(SpanKind::Step, "1");
+        t.event(EventKind::FmCall {
+            purpose: "suggest".into(),
+            prompt_tokens: 200,
+            completion_tokens: 20,
+        });
+        t.close(step);
+        t.close(e);
+        let s = t.summary();
+        assert_eq!(s.demonstrate.fm_calls, 1);
+        assert_eq!(s.execute.fm_calls, 1);
+        assert_eq!(s.execute.steps, 1);
+        assert_eq!(s.fm_calls(), 2);
+        assert_eq!(s.total().prompt_tokens, 300);
+        assert_eq!(s.fm_completion_hist.total(), 2);
+    }
+
+    #[test]
+    fn cost_matches_hand_computation() {
+        let mut s = RunSummary::default();
+        s.execute.prompt_tokens = 1_000_000;
+        s.execute.completion_tokens = 500_000;
+        let cost = s.cost_usd(10.0, 30.0);
+        assert!((cost - 25.0).abs() < 1e-9, "{cost}");
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = RunSummary::default();
+        a.execute.fm_calls = 2;
+        a.verdicts_pass = 1;
+        let mut b = RunSummary::default();
+        b.execute.fm_calls = 3;
+        b.verdicts_fail = 1;
+        a.merge(&b);
+        assert_eq!(a.execute.fm_calls, 5);
+        assert_eq!(a.verdicts_pass, 1);
+        assert_eq!(a.verdicts_fail, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let mut h = TokenHistogram::default();
+        h.record(4);
+        h.record(9);
+        h.record(10_000);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert_eq!(h.total(), 3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the trace recorder: sequence monotonicity, span
+//! balance under arbitrary open/close interleavings, and rollup/export
+//! invariants.
+
+use eclair_trace::{read_jsonl, EventKind, GroundingOutcome, RunSummary, SpanKind, TraceRecorder};
+use proptest::prelude::*;
+
+const KINDS: [SpanKind; 9] = [
+    SpanKind::Demonstrate,
+    SpanKind::Execute,
+    SpanKind::Validate,
+    SpanKind::Step,
+    SpanKind::Observe,
+    SpanKind::Suggest,
+    SpanKind::Ground,
+    SpanKind::Actuate,
+    SpanKind::Recover,
+];
+
+/// Drive a recorder with a schedule of small opcodes: 0 = open span,
+/// 1 = close most-recent open span, 2 = FM call, 3 = grounding attempt,
+/// 4 = note, 5 = retry.
+fn drive(ops: &[(u8, u8)]) -> TraceRecorder {
+    let mut t = TraceRecorder::new();
+    let mut open = Vec::new();
+    for &(op, arg) in ops {
+        match op % 6 {
+            0 => open.push(t.open(KINDS[arg as usize % KINDS.len()], "s")),
+            1 => {
+                if let Some(id) = open.pop() {
+                    t.close(id);
+                }
+            }
+            2 => t.event(EventKind::FmCall {
+                purpose: "p".into(),
+                prompt_tokens: arg as u64 * 10,
+                completion_tokens: arg as u64,
+            }),
+            3 => t.event(EventKind::GroundingAttempt {
+                strategy: "YOLO".into(),
+                outcome: if arg % 2 == 0 {
+                    GroundingOutcome::Resolved
+                } else {
+                    GroundingOutcome::Unresolved
+                },
+            }),
+            4 => t.note(format!("note {arg}")),
+            _ => t.event(EventKind::Retry {
+                what: format!("op {arg}"),
+            }),
+        }
+    }
+    t.close_all();
+    t
+}
+
+proptest! {
+    #[test]
+    fn seq_is_strictly_increasing(ops in proptest::collection::vec((0u8..6, 0u8..16), 1..60)) {
+        let t = drive(&ops);
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        for w in seqs.windows(2) {
+            prop_assert!(w[1] > w[0], "seq must strictly increase: {w:?}");
+        }
+    }
+
+    #[test]
+    fn all_spans_close(ops in proptest::collection::vec((0u8..6, 0u8..16), 1..60)) {
+        let t = drive(&ops);
+        prop_assert_eq!(t.depth(), 0, "close_all leaves nothing open");
+        let mut starts = 0i64;
+        for e in t.events() {
+            match e.kind {
+                EventKind::SpanStart { .. } => starts += 1,
+                EventKind::SpanEnd { .. } => starts -= 1,
+                _ => {}
+            }
+            prop_assert!(starts >= 0, "a span ended before it started");
+        }
+        prop_assert_eq!(starts, 0, "every SpanStart has a matching SpanEnd");
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_summary_is_stable(ops in proptest::collection::vec((0u8..6, 0u8..16), 1..60)) {
+        let t = drive(&ops);
+        let back = read_jsonl(&t.to_jsonl()).expect("export parses");
+        prop_assert_eq!(back.as_slice(), t.events());
+        prop_assert_eq!(RunSummary::from_events(&back), t.summary());
+    }
+
+    #[test]
+    fn rollup_counts_match_raw_events(ops in proptest::collection::vec((0u8..6, 0u8..16), 1..60)) {
+        let t = drive(&ops);
+        let s = t.summary();
+        let raw_calls = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FmCall { .. }))
+            .count() as u64;
+        let raw_grounds = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::GroundingAttempt { .. }))
+            .count() as u64;
+        prop_assert_eq!(s.fm_calls(), raw_calls);
+        prop_assert_eq!(s.total().grounding_attempts, raw_grounds);
+        prop_assert_eq!(s.fm_completion_hist.total(), raw_calls);
+        prop_assert_eq!(s.events, t.events().len() as u64);
+    }
+}

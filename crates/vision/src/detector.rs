@@ -236,7 +236,9 @@ mod tests {
                 if !YoloNasSim::is_detectable(item) {
                     continue;
                 }
-                let found = dets.iter().any(|d| d.rect.iou(&item.rect) > 0.4 && !d.spurious);
+                let found = dets
+                    .iter()
+                    .any(|d| d.rect.iou(&item.rect) > 0.4 && !d.spurious);
                 match item.rect.size_bucket() {
                     eclair_gui::SizeBucket::Small => {
                         small_total += 1;
@@ -284,10 +286,15 @@ mod tests {
     #[test]
     fn false_positives_are_marked_spurious() {
         let shot = busy_shot();
-        let mut cfg = YoloNasSim::default();
-        cfg.false_positive_rate = 0.8;
+        let cfg = YoloNasSim {
+            false_positive_rate: 0.8,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(11);
         let dets = cfg.detect(&shot, &mut rng);
-        assert!(dets.iter().any(|d| d.spurious), "high FP rate must produce FPs");
+        assert!(
+            dets.iter().any(|d| d.spurious),
+            "high FP rate must produce FPs"
+        );
     }
 }

@@ -74,8 +74,7 @@ fn cluster(changed: &[bool], cell_w: i32, cell_h: i32) -> Vec<Rect> {
         }
         let mut queue = vec![start];
         seen[start] = true;
-        let (mut min_x, mut min_y, mut max_x, mut max_y) =
-            (usize::MAX, usize::MAX, 0usize, 0usize);
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (usize::MAX, usize::MAX, 0usize, 0usize);
         while let Some(cell) = queue.pop() {
             let cx = cell % GRID_COLS;
             let cy = cell / GRID_COLS;
@@ -139,7 +138,11 @@ mod tests {
         let after = p.screenshot_at(0);
         let d = diff(&before, &after);
         assert!(!d.is_identical());
-        assert!(d.changed_fraction < 0.2, "local change: {}", d.changed_fraction);
+        assert!(
+            d.changed_fraction < 0.2,
+            "local change: {}",
+            d.changed_fraction
+        );
         assert_eq!(d.regions.len(), 1, "one contiguous region: {:?}", d.regions);
         assert!(
             d.regions[0].intersects(&field_rect),

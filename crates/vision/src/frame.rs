@@ -136,13 +136,15 @@ pub fn record(session: &mut Session, wd: &str, events: Vec<UserEvent>) -> Record
         log.push(ActionLogEntry {
             frame_index: i,
             event,
-            target_text: d.hit.and_then(|(_, label)| {
-                if label.is_empty() {
-                    None
-                } else {
-                    Some(label)
-                }
-            }),
+            target_text: d.hit.and_then(
+                |(_, label)| {
+                    if label.is_empty() {
+                        None
+                    } else {
+                        Some(label)
+                    }
+                },
+            ),
             url_after: d.url_after,
         });
         frames.push(Frame {
@@ -240,10 +242,7 @@ mod tests {
         let r = make_recording();
         let sw = r.with_swapped(0, 1);
         assert_eq!(sw.frames.len(), sw.log.len() + 1);
-        assert_ne!(
-            sw.log[0].event, r.log[0].event,
-            "order changed after swap"
-        );
+        assert_ne!(sw.log[0].event, r.log[0].event, "order changed after swap");
         let del = r.with_deleted(0);
         assert_eq!(del.num_actions(), 1);
         assert_eq!(del.frames.len(), 2);

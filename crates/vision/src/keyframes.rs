@@ -71,8 +71,8 @@ pub fn extract_key_frames(rec: &Recording, cfg: KeyFrameConfig) -> Vec<KeyFrame>
     let mut last_kept = 0usize;
     for (i, entry) in rec.log.iter().enumerate() {
         let candidate = i + 1; // frame after action i
-        // A typing burst is any run of Type / Backspace events; only the
-        // frame at the end of the run is a key-frame candidate.
+                               // A typing burst is any run of Type / Backspace events; only the
+                               // frame at the end of the run is a key-frame candidate.
         let next_in_burst = rec
             .log
             .get(i + 1)
@@ -83,9 +83,7 @@ pub fn extract_key_frames(rec: &Recording, cfg: KeyFrameConfig) -> Vec<KeyFrame>
             .unwrap_or(false);
         let reason = match &entry.event {
             UserEvent::Click(_) => Some(KeepReason::AfterClick),
-            UserEvent::Type(_) | UserEvent::Press(eclair_gui::Key::Backspace)
-                if next_in_burst =>
-            {
+            UserEvent::Type(_) | UserEvent::Press(eclair_gui::Key::Backspace) if next_in_burst => {
                 None // mid-burst
             }
             UserEvent::Type(_) | UserEvent::Press(eclair_gui::Key::Backspace) => {
@@ -110,7 +108,9 @@ pub fn extract_key_frames(rec: &Recording, cfg: KeyFrameConfig) -> Vec<KeyFrame>
     // Always keep the final state so completion is observable.
     let last = rec.frames.len() - 1;
     if kept.last().map(|k| k.frame_index) != Some(last) {
-        let diff = rec.frames[last].shot.diff_fraction(&rec.frames[last_kept].shot);
+        let diff = rec.frames[last]
+            .shot
+            .diff_fraction(&rec.frames[last_kept].shot);
         if diff >= cfg.min_diff || kept.len() == 1 {
             kept.push(KeyFrame {
                 frame_index: last,
@@ -223,9 +223,9 @@ mod tests {
         let kfs = extract_key_frames(&rec, KeyFrameConfig::default());
         // Initial frame (plus possibly a final-state keep); no click/typing
         // frames.
-        assert!(kfs
-            .iter()
-            .all(|k| k.reason != KeepReason::AfterClick && k.reason != KeepReason::AfterTypingBurst));
+        assert!(kfs.iter().all(
+            |k| k.reason != KeepReason::AfterClick && k.reason != KeepReason::AfterTypingBurst
+        ));
     }
 
     #[test]
@@ -244,7 +244,9 @@ mod tests {
         );
         let kfs = extract_key_frames(&rec, KeyFrameConfig::default());
         assert_eq!(
-            kfs.iter().filter(|k| k.reason == KeepReason::AfterClick).count(),
+            kfs.iter()
+                .filter(|k| k.reason == KeepReason::AfterClick)
+                .count(),
             0,
             "no-op clicks produce no key frames: {kfs:?}"
         );

@@ -122,7 +122,10 @@ mod tests {
                 errors += 1;
             }
         }
-        assert!(errors <= 6, "large text at acuity 1.0 rarely corrupts: {errors}");
+        assert!(
+            errors <= 6,
+            "large text at acuity 1.0 rarely corrupts: {errors}"
+        );
     }
 
     #[test]

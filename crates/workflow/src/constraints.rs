@@ -61,9 +61,9 @@ impl Constraint {
     /// Oracle evaluation against the live session.
     pub fn holds_oracle(&self, session: &Session) -> bool {
         match self {
-            Constraint::Visible(t) => {
-                Self::find(session, t).map(|id| session.page().is_shown(id)).unwrap_or(false)
-            }
+            Constraint::Visible(t) => Self::find(session, t)
+                .map(|id| session.page().is_shown(id))
+                .unwrap_or(false),
             Constraint::Enabled(t) => Self::find(session, t)
                 .map(|id| session.page().get(id).enabled && session.page().is_shown(id))
                 .unwrap_or(false),
@@ -257,9 +257,7 @@ mod tests {
 
     #[test]
     fn for_action_click_derives_canonical_preds() {
-        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label(
-            "Save".into(),
-        )));
+        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label("Save".into())));
         assert!(ic.preds.contains(&Constraint::NoModal));
         assert!(ic.preds.contains(&Constraint::Visible("Save".into())));
         assert!(ic.preds.contains(&Constraint::Enabled("Save".into())));
@@ -287,9 +285,7 @@ mod tests {
 
     #[test]
     fn describe_is_informative() {
-        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label(
-            "Save".into(),
-        )));
+        let ic = IntegrityConstraint::for_action(&Action::Click(TargetRef::Label("Save".into())));
         let d = ic.describe();
         assert!(d.contains("Click 'Save'"));
         assert!(d.contains("is enabled"));

@@ -198,7 +198,10 @@ mod tests {
     fn verb_class_detection() {
         assert_eq!(verb_class("Click the save button"), VerbClass::Click);
         assert_eq!(verb_class("Now type your name"), VerbClass::Type);
-        assert_eq!(verb_class("Navigate to the issues page"), VerbClass::Navigate);
+        assert_eq!(
+            verb_class("Navigate to the issues page"),
+            VerbClass::Navigate
+        );
         assert_eq!(verb_class("Wait patiently"), VerbClass::Other);
     }
 

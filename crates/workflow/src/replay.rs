@@ -56,24 +56,25 @@ pub fn resolve(session: &Session, target: &TargetRef) -> Option<WidgetId> {
 }
 
 /// Resolve with a kind preference for ambiguous labels.
-pub fn resolve_pref(
-    session: &Session,
-    target: &TargetRef,
-    pref: KindPref,
-) -> Option<WidgetId> {
+pub fn resolve_pref(session: &Session, target: &TargetRef, pref: KindPref) -> Option<WidgetId> {
     let page = session.page();
     match target {
         TargetRef::Name(n) => page.find_by_name(n),
         TargetRef::Label(l) => {
             let candidates = page.find_all_by_label(l);
             let pick = |pred: &dyn Fn(eclair_gui::WidgetKind) -> bool| {
-                candidates.iter().copied().find(|&id| pred(page.get(id).kind))
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|&id| pred(page.get(id).kind))
             };
             match pref {
-                KindPref::Activatable => pick(&|k| k.is_activatable())
-                    .or_else(|| pick(&|k| k.is_interactive())),
-                KindPref::Editable => pick(&|k| k.is_editable())
-                    .or_else(|| pick(&|k| k.is_interactive())),
+                KindPref::Activatable => {
+                    pick(&|k| k.is_activatable()).or_else(|| pick(&|k| k.is_interactive()))
+                }
+                KindPref::Editable => {
+                    pick(&|k| k.is_editable()).or_else(|| pick(&|k| k.is_interactive()))
+                }
                 KindPref::Any => pick(&|k| k.is_interactive()),
             }
             .or_else(|| candidates.first().copied())
@@ -280,8 +281,12 @@ mod tests {
         // The input and the button both carry the label "Search": clicks
         // must resolve to the button, typing to the input.
         let s = session();
-        let click_id =
-            resolve_pref(&s, &TargetRef::Label("Search".into()), KindPref::Activatable).unwrap();
+        let click_id = resolve_pref(
+            &s,
+            &TargetRef::Label("Search".into()),
+            KindPref::Activatable,
+        )
+        .unwrap();
         assert!(s.page().get(click_id).kind.is_activatable());
         let type_id =
             resolve_pref(&s, &TargetRef::Label("Search".into()), KindPref::Editable).unwrap();

@@ -205,10 +205,7 @@ mod tests {
 
     #[test]
     fn matching_is_deterministic() {
-        let gen = Sop::from_texts(
-            "t",
-            &["Press New issue", "Enter Login broken in Title"],
-        );
+        let gen = Sop::from_texts("t", &["Press New issue", "Enter Login broken in Title"]);
         let a = match_steps(&gen, &reference());
         let b = match_steps(&gen, &reference());
         assert_eq!(a, b);

@@ -206,10 +206,7 @@ mod tests {
 
     #[test]
     fn from_actions_carries_structure() {
-        let sop = Sop::from_actions(
-            "t",
-            &[Action::Click(TargetRef::Label("Save".into()))],
-        );
+        let sop = Sop::from_actions("t", &[Action::Click(TargetRef::Label("Save".into()))]);
         assert_eq!(sop.steps[0].text, "Click 'Save'");
         assert!(sop.steps[0].action.is_some());
     }

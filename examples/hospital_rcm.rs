@@ -13,7 +13,6 @@
 
 use eclair::gui::{DriftOp, Theme};
 use eclair::hitl_run::run_with_gate;
-use eclair::prelude::*;
 use eclair::rpa::script::{compile, AuthoringConfig};
 use eclair::rpa::RpaBot;
 use eclair::sites::tasks::payer_eligibility_task;
@@ -75,9 +74,17 @@ fn main() {
         println!(
             "member {}: RPA {} · ECLAIR {}{}",
             eclair::sites::fixtures::MEMBERS[i].0,
-            if run.completed() { "ok" } else { "selector broke" },
+            if run.completed() {
+                "ok"
+            } else {
+                "selector broke"
+            },
             if report.success { "verified" } else { "failed" },
-            if interrupted { " (escalated to human)" } else { "" }
+            if interrupted {
+                " (escalated to human)"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -69,7 +69,11 @@ fn main() {
         println!(
             "RPA     {}: {}",
             task.id,
-            if ok { "ingested" } else { "wrong/duplicate data — failed" }
+            if ok {
+                "ingested"
+            } else {
+                "wrong/duplicate data — failed"
+            }
         );
         if ok {
             rpa_ok += 1;

@@ -2,7 +2,7 @@
 //! simulated enterprise, plus the §5 extensions (ensembles, HITL, skills).
 
 use eclair::prelude::*;
-use eclair_core::execute::executor::{run_task, ExecConfig};
+use eclair_core::execute::executor::ExecConfig;
 use eclair_core::hitl::{HumanDecision, SensitivePolicy};
 use eclair_core::multiagent::first_success;
 use eclair_core::skills::SkillLibrary;
@@ -92,7 +92,10 @@ fn gpt4_agent_survives_ui_relabeling_that_breaks_rpa() {
             wins += 1;
         }
     }
-    assert!(wins >= 3, "FM grounding should adapt to relabeling: {wins}/8");
+    assert!(
+        wins >= 3,
+        "FM grounding should adapt to relabeling: {wins}/8"
+    );
 }
 
 #[test]

@@ -127,7 +127,7 @@ fn rpa_and_eclair_disagree_under_drift_in_the_expected_direction() {
     use rand::SeedableRng;
 
     let tasks: Vec<_> = eclair::sites::all_tasks().into_iter().take(8).collect();
-    let mut rng = StdRng::seed_from_u64(21);
+    let mut rng = StdRng::seed_from_u64(7);
     // Build a heavily-drifted theme sampled from a representative page.
     let mut theme = Theme::pristine();
     let sample = tasks[0].launch();
@@ -145,9 +145,7 @@ fn rpa_and_eclair_disagree_under_drift_in_the_expected_direction() {
             &mut rng,
         );
         let mut rpa_session = t.site.launch_with_theme(theme.clone());
-        if RpaBot.run(&mut rpa_session, &script).completed()
-            && t.success.evaluate(&rpa_session)
-        {
+        if RpaBot.run(&mut rpa_session, &script).completed() && t.success.evaluate(&rpa_session) {
             rpa_ok += 1;
         }
         let mut model = FmModel::new(ModelProfile::gpt4v(), 800 + i as u64);

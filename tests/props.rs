@@ -2,7 +2,7 @@
 //! spanning geometry/layout, screenshots, matching, SOPs, selectors, and
 //! metrics.
 
-use eclair::gui::{Page, PageBuilder, Point, Rect, SizeBucket};
+use eclair::gui::{Page, PageBuilder, Rect, SizeBucket};
 use eclair::metrics::classification::BinaryConfusion;
 use eclair::workflow::matcher::{step_similarity, token_f1};
 use eclair::workflow::score::score_sop;
@@ -10,8 +10,7 @@ use eclair::workflow::Sop;
 use proptest::prelude::*;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0i32..1200, 0i32..2000, 1u32..600, 1u32..400)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+    (0i32..1200, 0i32..2000, 1u32..600, 1u32..400).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
 }
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -235,7 +234,7 @@ proptest! {
         for pair in kfs.windows(2) {
             prop_assert!(pair[0].frame_index < pair[1].frame_index);
         }
-        prop_assert!(kfs.last().unwrap().frame_index <= rec.frames.len() - 1);
+        prop_assert!(kfs.last().unwrap().frame_index < rec.frames.len());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each registered routine for a fixed warm-up plus a short timed
+//! window and prints the mean wall time per iteration. There is no
+//! statistical analysis, HTML report, or baseline comparison — just
+//! enough to keep `cargo bench` harness-free binaries building and
+//! producing a useful number.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Passed to each routine; call [`Bencher::iter`] with the code to time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, repeating it until the measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_WINDOW {
+            std::hint::black_box(f());
+            self.iters += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark routine and print its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<40} (no iterations)");
+        } else {
+            let per_iter = b.elapsed / b.iters as u32;
+            println!("{name:<40} {per_iter:>12.2?}/iter over {} iters", b.iters);
+        }
+        self
+    }
+
+    /// Compatibility no-op; configuration is fixed in this stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Prevent the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

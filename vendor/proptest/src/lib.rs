@@ -1,0 +1,385 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators this workspace's property tests
+//! use — ranges, tuples, `prop_map`, `collection::vec`, and a regex-subset
+//! string generator — driven by a deterministic RNG. Each `proptest!` test
+//! runs [`NUM_CASES`] generated cases; on failure the panic message from
+//! `prop_assert!` carries the assertion text (there is no shrinking). The
+//! case RNG is seeded per test from the test body's shape, so runs are
+//! reproducible build-to-build.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Number of generated cases per property test.
+    pub const NUM_CASES: usize = 64;
+
+    /// The per-test case generator.
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Deterministic generator for a named test.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// A `&str` is a regex strategy, as in upstream proptest.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::RegexStrategy::compile(self)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Strategy for vectors: `vec(element, 1..12)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Error from [`string_regex`] on unsupported patterns.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// One atom of the compiled pattern plus its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled regex-subset generator: sequences of literal characters
+    /// and `[...]` classes (with ranges), each optionally quantified by
+    /// `{n}`, `{m,n}`, `?`, `*`, or `+` (unbounded repeats cap at 8).
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl RegexStrategy {
+        /// Compile a pattern, rejecting constructs outside the subset.
+        pub fn compile(pattern: &str) -> Result<Self, Error> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut i = 0usize;
+            let mut pieces = Vec::new();
+            while i < chars.len() {
+                let set = match chars[i] {
+                    '[' => {
+                        let close = chars[i + 1..]
+                            .iter()
+                            .position(|&c| c == ']')
+                            .ok_or_else(|| Error("unclosed [".into()))?
+                            + i
+                            + 1;
+                        let set = expand_class(&chars[i + 1..close])?;
+                        i = close + 1;
+                        set
+                    }
+                    '\\' => {
+                        let c = *chars
+                            .get(i + 1)
+                            .ok_or_else(|| Error("dangling \\".into()))?;
+                        i += 2;
+                        match c {
+                            'd' => ('0'..='9').collect(),
+                            'w' => ('a'..='z')
+                                .chain('A'..='Z')
+                                .chain('0'..='9')
+                                .chain(std::iter::once('_'))
+                                .collect(),
+                            's' => vec![' '],
+                            c => vec![c],
+                        }
+                    }
+                    '.' => {
+                        i += 1;
+                        ('a'..='z').chain('A'..='Z').chain('0'..='9').collect()
+                    }
+                    '(' | ')' | '|' => {
+                        return Err(Error(format!("unsupported construct `{}`", chars[i])))
+                    }
+                    c => {
+                        i += 1;
+                        vec![c]
+                    }
+                };
+                let (min, max) = parse_quantifier(&chars, &mut i)?;
+                pieces.push(Piece {
+                    chars: set,
+                    min,
+                    max,
+                });
+            }
+            Ok(RegexStrategy { pieces })
+        }
+    }
+
+    fn expand_class(body: &[char]) -> Result<Vec<char>, Error> {
+        if body.first() == Some(&'^') {
+            return Err(Error("negated classes unsupported".into()));
+        }
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i], body[i + 2]);
+                if lo > hi {
+                    return Err(Error(format!("bad range {lo}-{hi}")));
+                }
+                out.extend(lo..=hi);
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        if out.is_empty() {
+            return Err(Error("empty class".into()));
+        }
+        Ok(out)
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> Result<(usize, usize), Error> {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unclosed {".into()))?
+                    + *i
+                    + 1;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                let parts: Vec<&str> = body.split(',').collect();
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| Error(format!("bad quantifier `{body}`")))
+                };
+                match parts.as_slice() {
+                    [n] => {
+                        let n = parse(n)?;
+                        Ok((n, n))
+                    }
+                    [m, n] => Ok((parse(m)?, parse(n)?)),
+                    _ => Err(Error(format!("bad quantifier `{body}`"))),
+                }
+            }
+            Some('?') => {
+                *i += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *i += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *i += 1;
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = rng.0.gen_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    out.push(piece.chars[rng.0.gen_range(0..piece.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compile `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        RegexStrategy::compile(pattern)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use strategy::NUM_CASES;
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// runs the body over [`NUM_CASES`] generated cases with a per-test
+/// deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::strategy::TestRng::for_test(stringify!($name));
+            for __case in 0..$crate::NUM_CASES {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Assert inside a property test (no shrinking; panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current generated case when an assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

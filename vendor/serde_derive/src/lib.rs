@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (the vendored
+//! value-tree flavor) for plain structs and enums. The parser walks the raw
+//! token stream directly — `syn`/`quote` are unavailable offline — and
+//! supports exactly the shapes this workspace defines: named-field
+//! structs, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or struct-like. Generics and `#[serde(...)]` attributes
+//! are intentionally unsupported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum TypeDef {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_type_def(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for `{name}`: {other:?}"),
+            };
+            TypeDef::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unexpected enum body for `{name}`: {other:?}"),
+            };
+            TypeDef::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Consume a type (after `:`), stopping at a top-level `,` (consumed) or
+/// the end of the stream. Tracks `<`/`>` depth since token trees do not
+/// group angle brackets.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "expected `:` after field `{}`, found {other:?}",
+                names.last().unwrap()
+            ),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    names
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut count = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(def: &TypeDef) -> String {
+    match def {
+        TypeDef::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        {body}\n    }}\n}}\n"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Map(vec![(String::from(\"{vn}\"), serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(String::from(\"{vn}\"), serde::Value::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(String::from(\"{vn}\"), serde::Value::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        match self {{\n            {}\n        }}\n    }}\n}}\n",
+                arms.join("\n            ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let body = match def {
+        TypeDef::Struct { name, fields } => match fields {
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(v.field(\"{f}\")).map_err(|e| serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?"
+                        )
+                    })
+                    .collect();
+                format!("Ok({name} {{ {} }})", inits.join(", "))
+            }
+            Fields::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "{{ let items = v.as_seq(\"{name}\")?; if items.len() != {n} {{ return Err(serde::Error::custom(\"{name}: wrong tuple arity\")); }} Ok({name}({})) }}",
+                    items.join(", ")
+                )
+            }
+            Fields::Unit => format!(
+                "match v {{ serde::Value::Null => Ok({name}), other => Err(serde::Error::custom(format!(\"{name}: expected null, got {{other:?}}\"))) }}"
+            ),
+        },
+        TypeDef::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(val)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let items = val.as_seq(\"{name}::{vn}\")?; if items.len() != {n} {{ return Err(serde::Error::custom(\"{name}::{vn}: wrong arity\")); }} Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(val.field(\"{f}\")).map_err(|e| serde::Error::custom(format!(\"{name}::{vn}.{f}: {{e}}\")))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {} }}),", inits.join(", ")))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n            serde::Value::Str(s) => match s.as_str() {{\n                {unit}\n                other => Err(serde::Error::custom(format!(\"unknown {name} variant: {{other}}\"))),\n            }},\n            serde::Value::Map(entries) if entries.len() == 1 => {{\n                let (k, val) = &entries[0];\n                match k.as_str() {{\n                    {payload}\n                    other => Err(serde::Error::custom(format!(\"unknown {name} variant: {{other}}\"))),\n                }}\n            }}\n            other => Err(serde::Error::custom(format!(\"cannot parse {name} from {{other:?}}\"))),\n        }}",
+                unit = unit_arms.join("\n                "),
+                payload = payload_arms.join("\n                    "),
+            )
+        }
+    };
+    let name = match def {
+        TypeDef::Struct { name, .. } | TypeDef::Enum { name, .. } => name,
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
