@@ -14,6 +14,7 @@
 //! | `fig2`   | Figure 2 — workflow-automatability taxonomy |
 //! | `case_study` | Section 3 — RPA deployment dynamics vs ECLAIR |
 //! | `repro_all` | everything above, with a paper-vs-measured summary |
+//! | `fleet_bench` | fleet-mode worker sweep (1/2/4/8) over the 30-task suite → `BENCH_fleet.json` |
 //!
 //! Every binary prints the paper's layout followed by a
 //! [`eclair_metrics::PaperComparison`] block. Results are deterministic

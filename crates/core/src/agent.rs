@@ -48,6 +48,10 @@ pub struct WorkflowReport {
     pub success: bool,
     /// Actions attempted during execution.
     pub actions_attempted: usize,
+    /// Actions whose grounding or actuation failed during execution.
+    pub failures: usize,
+    /// Failed actions later recovered (escape and/or in-step retry).
+    pub recoveries: usize,
     /// The completion validator's verdict on the agent's own run.
     pub self_reported_complete: bool,
     /// The trajectory validator's verdict against the learned SOP.
@@ -121,6 +125,8 @@ impl Eclair {
             sop_text: sop.format(),
             success: result.success,
             actions_attempted: result.actions_attempted,
+            failures: result.failures,
+            recoveries: result.recoveries,
             self_reported_complete: self_complete,
             trajectory_faithful: trajectory_ok,
             log: result.log,

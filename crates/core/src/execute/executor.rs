@@ -63,7 +63,7 @@ impl ExecConfig {
 }
 
 /// Outcome of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Whether the task's functional success check held at the end.
     pub success: bool,
@@ -71,6 +71,11 @@ pub struct RunResult {
     pub actions_attempted: usize,
     /// Actions whose grounding or actuation failed (before retries).
     pub failures: usize,
+    /// Failed actions that subsequently recovered (popup escape and/or a
+    /// successful in-step retry). `failures - recoveries` is the count of
+    /// actions that stayed failed — the substrate fleet-level retry
+    /// accounting is built on.
+    pub recoveries: usize,
     /// Human-readable narration of the run.
     pub log: Vec<String>,
 }
@@ -98,6 +103,7 @@ pub fn run_on_session(
     let mut state = SuggestState::new();
     let mut history: Vec<String> = Vec::new();
     let mut failures = 0usize;
+    let mut recoveries = 0usize;
     let mut attempted = 0usize;
     // The narration that used to accumulate in a local Vec<String> now
     // lives in the trace as Note events; the returned log is rendered back
@@ -167,7 +173,9 @@ pub fn run_on_session(
                         recovered = true;
                     }
                 }
-                let _ = recovered;
+                if recovered {
+                    recoveries += 1;
+                }
             }
         }
         model.trace_mut().close(step_span);
@@ -178,6 +186,7 @@ pub fn run_on_session(
         success: false,
         actions_attempted: attempted,
         failures,
+        recoveries,
         log,
     }
 }

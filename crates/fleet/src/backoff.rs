@@ -1,0 +1,125 @@
+//! Retry policy: exponential backoff with seeded, subtractive jitter.
+//!
+//! Delays are measured in *simulated steps* (the fleet's virtual clock),
+//! so they participate in p50/p95 latency accounting without introducing
+//! wall-clock into any deterministic output. Jitter is drawn from an RNG
+//! derived from the run seed, making the full schedule reproducible.
+//!
+//! Two invariants the property tests pin down:
+//! * the nominal schedule is monotone non-decreasing and capped at
+//!   `max_delay_steps`;
+//! * jitter only ever *shortens* a delay (subtractive, at most
+//!   `jitter * nominal`), so jittered delays stay within
+//!   `[nominal * (1 - jitter), nominal]` — bounded and never below the
+//!   fraction of the base the policy promises.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a fleet retries failed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per run (1 = no retries).
+    pub max_attempts: u32,
+    /// Nominal delay before the first retry, in simulated steps.
+    pub base_delay_steps: u64,
+    /// Ceiling on any single delay.
+    pub max_delay_steps: u64,
+    /// Geometric growth factor between consecutive retries (>= 1).
+    pub multiplier: f64,
+    /// Subtractive jitter fraction in `[0, 1)`: the drawn delay lies in
+    /// `[nominal * (1 - jitter), nominal]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay_steps: 4,
+            max_delay_steps: 64,
+            multiplier: 2.0,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The nominal (pre-jitter) delay before retry `retry` (1-based):
+    /// `base * multiplier^(retry-1)`, clamped to `max_delay_steps`.
+    pub fn nominal_delay(&self, retry: u32) -> u64 {
+        let exp = retry.saturating_sub(1).min(62);
+        let d = self.base_delay_steps as f64 * self.multiplier.max(1.0).powi(exp as i32);
+        if !d.is_finite() || d >= self.max_delay_steps as f64 {
+            self.max_delay_steps
+        } else {
+            (d.round() as u64).min(self.max_delay_steps)
+        }
+    }
+
+    /// Draw the actual delay before retry `retry` from `rng`: the nominal
+    /// delay minus up to `jitter * nominal` steps.
+    pub fn jittered_delay(&self, retry: u32, rng: &mut StdRng) -> u64 {
+        let nominal = self.nominal_delay(retry);
+        let spread = (nominal as f64 * self.jitter.clamp(0.0, 1.0)).floor() as u64;
+        if spread == 0 {
+            return nominal;
+        }
+        nominal - rng.gen_range(0..=spread)
+    }
+
+    /// The full nominal schedule for this policy (`max_attempts - 1`
+    /// entries, one per possible retry).
+    pub fn nominal_schedule(&self) -> Vec<u64> {
+        (1..self.max_attempts)
+            .map(|r| self.nominal_delay(r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_schedule_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 7,
+            base_delay_steps: 4,
+            max_delay_steps: 20,
+            multiplier: 2.0,
+            jitter: 0.0,
+        };
+        assert_eq!(p.nominal_schedule(), vec![4, 8, 16, 20, 20, 20]);
+    }
+
+    #[test]
+    fn jitter_is_subtractive_and_seeded() {
+        let p = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for retry in 1..=4 {
+            let d1 = p.jittered_delay(retry, &mut a);
+            let d2 = p.jittered_delay(retry, &mut b);
+            assert_eq!(d1, d2, "same seed, same schedule");
+            let nominal = p.nominal_delay(retry);
+            assert!(d1 <= nominal);
+            assert!(d1 as f64 >= nominal as f64 * (1.0 - p.jitter) - 1.0);
+        }
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        assert!(RetryPolicy::none().nominal_schedule().is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! A bounded MPMC submission queue with blocking backpressure.
+//!
+//! The submitter thread pushes [`crate::RunSpec`]s in run-id order;
+//! `push` blocks while the queue is at capacity, so a fleet fed faster
+//! than its workers drain applies backpressure to the producer instead of
+//! growing without bound. Workers block in `pop` until an item arrives or
+//! the queue is closed and drained. Built on `Mutex` + two `Condvar`s —
+//! no dependency beyond `std`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Counters the scheduler reports in its (non-deterministic) timing
+/// section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// High-water mark of queued items.
+    pub max_depth: usize,
+    /// Number of `push` calls that had to wait for capacity (backpressure
+    /// applications).
+    pub push_waits: u64,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// The queue. Shared by reference across scoped threads.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueue, blocking while full. Returns the item back if the queue
+    /// was closed before it could be accepted.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().unwrap();
+        if s.items.len() >= self.capacity && !s.closed {
+            s.stats.push_waits += 1;
+            while s.items.len() >= self.capacity && !s.closed {
+                s = self.not_full.wait(s).unwrap();
+            }
+        }
+        if s.closed {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        s.stats.max_depth = s.stats.max_depth.max(depth);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while empty. `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap();
+        }
+    }
+
+    /// Close the queue: pending items still drain, further pushes fail,
+    /// and blocked poppers wake up.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Backpressure counters so far.
+    pub fn stats(&self) -> QueueStats {
+        self.state.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.stats().push_waits, 0);
+        assert_eq!(q.stats().max_depth, 2);
+    }
+
+    #[test]
+    fn push_blocks_until_a_worker_drains() {
+        let q = BoundedQueue::new(1);
+        let drained = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while let Some(v) = q.pop() {
+                    drained.fetch_add(v, Ordering::SeqCst);
+                }
+            });
+            for v in 1..=50u64 {
+                q.push(v).unwrap();
+            }
+            q.close();
+        });
+        assert_eq!(drained.load(Ordering::SeqCst), (1..=50).sum::<u64>());
+        let stats = q.stats();
+        assert!(stats.max_depth <= 1);
+        assert!(
+            stats.push_waits > 0,
+            "a 1-slot queue under 50 pushes must have applied backpressure"
+        );
+    }
+
+    #[test]
+    fn close_rejects_new_items_but_drains_old() {
+        let q = BoundedQueue::new(2);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+}

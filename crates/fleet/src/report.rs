@@ -1,0 +1,272 @@
+//! Per-run records and the fleet-level rollup.
+//!
+//! Everything in [`RunRecord`] and [`FleetOutcome`] is deterministic from
+//! the specs — these types serialize and are what the determinism CI job
+//! byte-compares. Wall-clock measurements live exclusively in
+//! [`FleetTiming`], which never serializes.
+
+use eclair_core::execute::executor::RunResult;
+use eclair_fm::{FmProfile, TokenMeter};
+use eclair_trace::{merge_event_streams, merged_jsonl, RunSummary, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The task's success predicate held after some attempt.
+    Success,
+    /// All attempts exhausted without success.
+    Failed,
+    /// The cumulative token budget was exceeded; retrying stopped.
+    BudgetExceeded,
+    /// The final attempt hit the per-attempt step deadline.
+    DeadlineExceeded,
+    /// The fleet was cancelled before this run finished.
+    Cancelled,
+}
+
+/// The deterministic record of one run (all attempts included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Merge key; equals the spec's `run_id`.
+    pub run_id: u64,
+    /// The task the run executed.
+    pub task_id: String,
+    /// Model preset the run used.
+    pub profile: FmProfile,
+    /// The run seed (attempt seeds derive from it).
+    pub seed: u64,
+    /// Attempts actually made (1 = first try succeeded or no retries).
+    pub attempts: u32,
+    /// Scheduler-level retries (`attempts - 1`).
+    pub retries: u32,
+    /// Final disposition.
+    pub outcome: RunOutcome,
+    /// The final attempt's executor result (`failures`/`recoveries` are
+    /// the in-run counters; `retries` above is the fleet's own count).
+    pub result: RunResult,
+    /// Trace rollup merged across all attempts.
+    pub summary: RunSummary,
+    /// Token usage across all attempts.
+    pub tokens: TokenMeter,
+    /// Dollar cost of `tokens` under the profile's pricing.
+    pub cost_usd: f64,
+    /// Simulated steps spent executing (all attempts).
+    pub exec_steps: u64,
+    /// Simulated steps spent waiting in backoff between attempts.
+    pub backoff_steps: u64,
+    /// Total simulated latency: `exec_steps + backoff_steps`.
+    pub latency_steps: u64,
+}
+
+/// Latency distribution over simulated steps (nearest-rank percentiles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencyStats {
+    /// Compute from unordered samples.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: u64| sorted[((p * sorted.len() as u64).div_ceil(100) as usize).max(1) - 1];
+        Self {
+            p50: rank(50),
+            p95: rank(95),
+            max: *sorted.last().unwrap(),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+        }
+    }
+}
+
+/// The deterministic fleet-level rollup: per-run records in run-id order
+/// plus aggregates derived from them. Byte-identical across worker
+/// counts for the same specs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// The seed every run id was derived from.
+    pub fleet_seed: u64,
+    /// Runs that ended `Success`.
+    pub succeeded: u64,
+    /// Runs that ended `Failed`, `BudgetExceeded`, or `DeadlineExceeded`.
+    pub failed: u64,
+    /// Runs cancelled before finishing.
+    pub cancelled: u64,
+    /// Scheduler-level retries summed over runs.
+    pub retries_total: u64,
+    /// Latency distribution over `latency_steps`.
+    pub latency_steps: LatencyStats,
+    /// Trace rollup over every run and attempt.
+    pub totals: RunSummary,
+    /// Tokens over every run and attempt.
+    pub tokens: TokenMeter,
+    /// Dollar cost over every run.
+    pub cost_usd: f64,
+    /// One record per run, sorted by `run_id`.
+    pub records: Vec<RunRecord>,
+}
+
+impl FleetOutcome {
+    /// Aggregate records (must already be sorted by `run_id`).
+    pub fn from_records(fleet_seed: u64, records: Vec<RunRecord>) -> Self {
+        let mut totals = RunSummary::default();
+        let mut tokens = TokenMeter::default();
+        let (mut succeeded, mut failed, mut cancelled) = (0u64, 0u64, 0u64);
+        let mut retries_total = 0u64;
+        let mut cost_usd = 0.0;
+        let mut latencies = Vec::with_capacity(records.len());
+        for r in &records {
+            totals.merge(&r.summary);
+            tokens.merge(&r.tokens);
+            retries_total += r.retries as u64;
+            cost_usd += r.cost_usd;
+            latencies.push(r.latency_steps);
+            match r.outcome {
+                RunOutcome::Success => succeeded += 1,
+                RunOutcome::Cancelled => cancelled += 1,
+                _ => failed += 1,
+            }
+        }
+        Self {
+            fleet_seed,
+            succeeded,
+            failed,
+            cancelled,
+            retries_total,
+            latency_steps: LatencyStats::from_samples(&latencies),
+            totals,
+            tokens,
+            cost_usd,
+            records,
+        }
+    }
+
+    /// Serialize the deterministic section as JSON (the byte-comparable
+    /// artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("fleet outcome serializes")
+    }
+}
+
+/// Wall-clock measurements. Deliberately not serializable so they can
+/// never leak into a determinism comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetTiming {
+    /// Worker threads the fleet ran on.
+    pub workers: usize,
+    /// End-to-end wall time, nanoseconds.
+    pub wall_nanos: u128,
+    /// Completed runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Queue high-water mark.
+    pub queue_max_depth: usize,
+    /// Submissions that blocked on a full queue (backpressure count).
+    pub submit_waits: u64,
+}
+
+/// What a fleet execution returns: the deterministic outcome, the merged
+/// trace (per-run streams spliced in run-id order), and the wall-clock
+/// timing.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Deterministic rollup (serializable, byte-comparable).
+    pub outcome: FleetOutcome,
+    /// Per-run event streams merged in run-id order with renumbered
+    /// sequence numbers and span ids.
+    pub merged_trace: Vec<TraceEvent>,
+    /// Wall-clock section (never serialized).
+    pub timing: FleetTiming,
+}
+
+impl FleetReport {
+    /// Assemble from executed runs; `runs` need not be sorted.
+    pub fn assemble(
+        fleet_seed: u64,
+        mut runs: Vec<(RunRecord, Vec<TraceEvent>)>,
+        timing: FleetTiming,
+    ) -> Self {
+        runs.sort_by_key(|(r, _)| r.run_id);
+        let merged_trace =
+            merge_event_streams(runs.iter().map(|(_, ev)| ev.as_slice()).collect::<Vec<_>>());
+        let records = runs.into_iter().map(|(r, _)| r).collect();
+        Self {
+            outcome: FleetOutcome::from_records(fleet_seed, records),
+            merged_trace,
+            timing,
+        }
+    }
+
+    /// The merged trace as JSON Lines.
+    pub fn merged_trace_jsonl(&self) -> String {
+        merged_jsonl(&self.merged_trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let s = LatencyStats::from_samples(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 100);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 55.0).abs() < 1e-9);
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+        let one = LatencyStats::from_samples(&[7]);
+        assert_eq!((one.p50, one.p95, one.max), (7, 7, 7));
+    }
+
+    #[test]
+    fn outcome_counts_partition_runs() {
+        let rec = |id: u64, outcome| RunRecord {
+            run_id: id,
+            task_id: format!("t-{id}"),
+            profile: FmProfile::Oracle,
+            seed: id,
+            attempts: 2,
+            retries: 1,
+            outcome,
+            result: RunResult {
+                success: outcome == RunOutcome::Success,
+                actions_attempted: 3,
+                failures: 1,
+                recoveries: 1,
+                log: vec![],
+            },
+            summary: RunSummary::default(),
+            tokens: TokenMeter::default(),
+            cost_usd: 0.0,
+            exec_steps: 3,
+            backoff_steps: 4,
+            latency_steps: 7,
+        };
+        let o = FleetOutcome::from_records(
+            1,
+            vec![
+                rec(0, RunOutcome::Success),
+                rec(1, RunOutcome::Failed),
+                rec(2, RunOutcome::BudgetExceeded),
+                rec(3, RunOutcome::Cancelled),
+            ],
+        );
+        assert_eq!((o.succeeded, o.failed, o.cancelled), (1, 2, 1));
+        assert_eq!(o.retries_total, 4);
+        assert_eq!(o.latency_steps.p50, 7);
+        let json = o.to_json();
+        let back: FleetOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+    }
+}

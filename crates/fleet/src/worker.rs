@@ -1,0 +1,242 @@
+//! Executing one [`RunSpec`] to completion: attempt loop, backoff,
+//! budget/deadline enforcement, cancellation.
+//!
+//! This function is the unit of work a fleet worker thread runs. It is
+//! deliberately free of shared state: a fresh `FmModel` per attempt
+//! (seeded from `(run_seed, attempt)`), a private backoff RNG (its own
+//! stream of the run seed), and a private trace recorder per attempt —
+//! so its outputs depend only on the spec, never on scheduling.
+
+use eclair_core::execute::executor::{run_task, RunResult};
+use eclair_fm::tokens::Pricing;
+use eclair_fm::{FmProfile, TokenMeter};
+use eclair_trace::{RunSummary, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backoff::RetryPolicy;
+use crate::report::{RunOutcome, RunRecord};
+use crate::scheduler::CancelToken;
+use crate::spec::{derive_seed, RunSpec};
+
+/// Stream index reserved for the backoff-jitter RNG (attempt seeds use
+/// streams `1..=max_attempts`).
+const BACKOFF_STREAM: u64 = u64::MAX;
+
+/// Pricing schedule for a preset (self-hosted rate for the GUI-tuned
+/// model, GPT-4 Turbo list price otherwise).
+pub fn pricing_for(profile: FmProfile) -> Pricing {
+    match profile {
+        FmProfile::CogAgent18b => Pricing::self_hosted_18b(),
+        _ => Pricing::gpt4_turbo(),
+    }
+}
+
+/// Execute one spec: up to `policy.max_attempts` attempts with jittered
+/// exponential backoff between them, a cumulative token budget, a
+/// per-attempt step deadline, and a cancellation check before each
+/// attempt. Returns the deterministic record plus the run's trace events
+/// (all attempts, in order).
+pub fn execute_spec(
+    spec: &RunSpec,
+    policy: &RetryPolicy,
+    cancel: &CancelToken,
+) -> (RunRecord, Vec<TraceEvent>) {
+    let mut summary = RunSummary::default();
+    let mut tokens = TokenMeter::default();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut jitter_rng = StdRng::seed_from_u64(derive_seed(spec.seed, BACKOFF_STREAM));
+    let max_attempts = policy.max_attempts.max(1);
+
+    let mut cfg = spec.config.clone();
+    if let Some(d) = spec.deadline_steps {
+        cfg.max_steps = cfg.max_steps.min(d);
+    }
+
+    let mut attempts = 0u32;
+    let mut exec_steps = 0u64;
+    let mut backoff_steps = 0u64;
+    let mut outcome = RunOutcome::Cancelled;
+    let mut last: Option<RunResult> = None;
+
+    for attempt in 1..=max_attempts {
+        if cancel.is_cancelled() {
+            break;
+        }
+        attempts = attempt;
+        let mut model = spec
+            .profile
+            .instantiate(derive_seed(spec.seed, attempt as u64));
+        let result = run_task(&mut model, &spec.task, &cfg);
+        exec_steps += result.actions_attempted as u64;
+        summary.merge(&model.trace().summary());
+        tokens.merge(model.meter());
+        events.extend(model.trace_mut().take_events());
+
+        let over_budget = spec.token_budget.is_some_and(|b| tokens.total_tokens() > b);
+        let deadline_hit = spec
+            .deadline_steps
+            .is_some_and(|d| result.actions_attempted >= d);
+        let success = result.success;
+        last = Some(result);
+
+        if success {
+            outcome = RunOutcome::Success;
+            break;
+        }
+        if over_budget {
+            outcome = RunOutcome::BudgetExceeded;
+            break;
+        }
+        if attempt == max_attempts {
+            outcome = if deadline_hit {
+                RunOutcome::DeadlineExceeded
+            } else {
+                RunOutcome::Failed
+            };
+        } else {
+            backoff_steps += policy.jittered_delay(attempt, &mut jitter_rng);
+        }
+    }
+
+    let result = last.unwrap_or(RunResult {
+        success: false,
+        actions_attempted: 0,
+        failures: 0,
+        recoveries: 0,
+        log: vec![],
+    });
+    let cost_usd = tokens.cost_usd(pricing_for(spec.profile));
+    let record = RunRecord {
+        run_id: spec.run_id,
+        task_id: spec.task.id.clone(),
+        profile: spec.profile,
+        seed: spec.seed,
+        attempts,
+        retries: attempts.saturating_sub(1),
+        outcome,
+        result,
+        summary,
+        tokens,
+        cost_usd,
+        exec_steps,
+        backoff_steps,
+        latency_steps: exec_steps + backoff_steps,
+    };
+    (record, events)
+}
+
+/// The record a spec gets when the fleet is cancelled before any attempt.
+pub fn cancelled_record(spec: &RunSpec) -> (RunRecord, Vec<TraceEvent>) {
+    let record = RunRecord {
+        run_id: spec.run_id,
+        task_id: spec.task.id.clone(),
+        profile: spec.profile,
+        seed: spec.seed,
+        attempts: 0,
+        retries: 0,
+        outcome: RunOutcome::Cancelled,
+        result: RunResult {
+            success: false,
+            actions_attempted: 0,
+            failures: 0,
+            recoveries: 0,
+            log: vec![],
+        },
+        summary: RunSummary::default(),
+        tokens: TokenMeter::default(),
+        cost_usd: 0.0,
+        exec_steps: 0,
+        backoff_steps: 0,
+        latency_steps: 0,
+    };
+    (record, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_sites::all_tasks;
+
+    fn spec(run_id: u64) -> RunSpec {
+        let task = all_tasks().remove(2); // close-issue: short and robust
+        RunSpec::for_task(11, run_id, task, FmProfile::Oracle)
+    }
+
+    #[test]
+    fn oracle_succeeds_first_attempt() {
+        let (rec, events) = execute_spec(&spec(0), &RetryPolicy::default(), &CancelToken::new());
+        assert_eq!(rec.outcome, RunOutcome::Success);
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.retries, 0);
+        assert_eq!(rec.backoff_steps, 0);
+        assert!(rec.result.success);
+        assert!(!events.is_empty());
+        assert_eq!(rec.summary.fm_calls(), rec.tokens.calls);
+        assert!(rec.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn token_budget_stops_retrying() {
+        let s = spec(1).with_token_budget(1); // everything blows this budget
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let mut s2 = s.clone();
+        // Make the run unable to succeed so the budget is what stops it:
+        // an impossible success predicate.
+        s2.task.success = eclair_sites::SuccessCheck::probes(&[("never", "true")]);
+        let (rec, _) = execute_spec(&s2, &policy, &CancelToken::new());
+        assert_eq!(rec.outcome, RunOutcome::BudgetExceeded);
+        assert_eq!(rec.attempts, 1, "budget exhaustion must stop retries");
+    }
+
+    #[test]
+    fn failed_runs_retry_and_accumulate_backoff() {
+        let mut s = spec(2);
+        s.task.success = eclair_sites::SuccessCheck::probes(&[("never", "true")]);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_steps: 4,
+            max_delay_steps: 64,
+            multiplier: 2.0,
+            jitter: 0.0,
+        };
+        let (rec, _) = execute_spec(&s, &policy, &CancelToken::new());
+        assert_eq!(rec.outcome, RunOutcome::Failed);
+        assert_eq!(rec.attempts, 3);
+        assert_eq!(rec.retries, 2);
+        assert_eq!(rec.backoff_steps, 4 + 8);
+        assert_eq!(rec.latency_steps, rec.exec_steps + 12);
+    }
+
+    #[test]
+    fn deadline_is_enforced_and_reported() {
+        let mut s = spec(3).with_deadline_steps(1);
+        s.task.success = eclair_sites::SuccessCheck::probes(&[("never", "true")]);
+        let (rec, _) = execute_spec(&s, &RetryPolicy::none(), &CancelToken::new());
+        assert_eq!(rec.outcome, RunOutcome::DeadlineExceeded);
+        assert!(rec.result.actions_attempted <= 1);
+    }
+
+    #[test]
+    fn cancelled_before_start_yields_cancelled_record() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (rec, events) = execute_spec(&spec(4), &RetryPolicy::default(), &cancel);
+        assert_eq!(rec.outcome, RunOutcome::Cancelled);
+        assert_eq!(rec.attempts, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn execution_is_a_pure_function_of_the_spec() {
+        let s = spec(5);
+        let p = RetryPolicy::default();
+        let a = execute_spec(&s, &p, &CancelToken::new());
+        let b = execute_spec(&s, &p, &CancelToken::new());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -40,6 +40,6 @@ pub mod tokens;
 pub use ground::GroundingOutcome;
 pub use model::FmModel;
 pub use percept::{PerceivedElement, ScenePercept};
-pub use profile::ModelProfile;
+pub use profile::{FmProfile, ModelProfile};
 pub use prompt::{Part, Prompt};
 pub use tokens::TokenMeter;

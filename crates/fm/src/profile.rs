@@ -63,6 +63,52 @@ pub struct ModelProfile {
     pub icon_literacy: f64,
 }
 
+/// A named preset profile — the `Copy`/`Serialize` handle fleet schedulers
+/// pass around instead of a full [`ModelProfile`]. A `RunSpec` carries one
+/// of these plus a seed; the worker thread expands it into a fresh
+/// [`crate::FmModel`] at run start, so no model state is ever shared
+/// between concurrent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FmProfile {
+    /// [`ModelProfile::gpt4v`].
+    Gpt4V,
+    /// [`ModelProfile::gpt4_text`].
+    Gpt4Text,
+    /// [`ModelProfile::cogagent_18b`].
+    CogAgent18b,
+    /// [`ModelProfile::oracle`].
+    Oracle,
+}
+
+impl FmProfile {
+    /// Expand into the full capability profile.
+    pub fn to_profile(self) -> ModelProfile {
+        match self {
+            FmProfile::Gpt4V => ModelProfile::gpt4v(),
+            FmProfile::Gpt4Text => ModelProfile::gpt4_text(),
+            FmProfile::CogAgent18b => ModelProfile::cogagent_18b(),
+            FmProfile::Oracle => ModelProfile::oracle(),
+        }
+    }
+
+    /// Instantiate a fresh model from this preset and a seed. Construction
+    /// is cheap (a profile clone plus an RNG seed), so per-run
+    /// instantiation is the norm, not an optimization target.
+    pub fn instantiate(self, seed: u64) -> crate::FmModel {
+        crate::FmModel::new(self.to_profile(), seed)
+    }
+
+    /// Display name (matches the expanded profile's name).
+    pub fn name(self) -> &'static str {
+        match self {
+            FmProfile::Gpt4V => "GPT-4",
+            FmProfile::Gpt4Text => "GPT-4 (text-only)",
+            FmProfile::CogAgent18b => "CogAgent",
+            FmProfile::Oracle => "Oracle",
+        }
+    }
+}
+
 impl ModelProfile {
     /// GPT-4 with vision, as evaluated throughout the paper: strong
     /// language/reasoning, good perception, *poor native localization*
@@ -186,5 +232,19 @@ mod tests {
     fn text_only_flag() {
         assert!(!ModelProfile::gpt4_text().multimodal);
         assert!(ModelProfile::gpt4v().multimodal);
+    }
+
+    #[test]
+    fn presets_expand_to_matching_profiles() {
+        for p in [
+            FmProfile::Gpt4V,
+            FmProfile::Gpt4Text,
+            FmProfile::CogAgent18b,
+            FmProfile::Oracle,
+        ] {
+            assert_eq!(p.to_profile().name, p.name());
+            let m = p.instantiate(7);
+            assert_eq!(m.profile().name, p.name());
+        }
     }
 }

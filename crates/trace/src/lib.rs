@@ -13,14 +13,18 @@
 //! * [`render_log`] recovers the legacy human-readable narration (every
 //!   `Note` event, verbatim);
 //! * [`FlightRecorder`] keeps a bounded ring of the most recent events
-//!   for post-mortem dumps after a failed run.
+//!   for post-mortem dumps after a failed run;
+//! * [`merge_event_streams`] splices many per-run streams into one
+//!   fleet-level trace in run-id order (see `eclair-fleet`).
 
 mod event;
 mod flight;
+mod merge;
 mod recorder;
 mod summary;
 
 pub use event::{EventKind, GroundingOutcome, SpanKind, TraceEvent};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use merge::{merge_event_streams, merged_jsonl};
 pub use recorder::{read_jsonl, render_log, SpanId, TraceRecorder};
 pub use summary::{PhaseStats, RunSummary, TokenHistogram, HIST_BOUNDS};

@@ -1,0 +1,130 @@
+//! Merging per-run traces into one fleet-level stream.
+//!
+//! A fleet executes many runs concurrently, each on its own
+//! [`crate::TraceRecorder`]. Concurrency must never show up in the trace:
+//! the merged stream is defined as the concatenation of the per-run
+//! streams *in run-id order*, with sequence numbers and span ids
+//! renumbered so the result is a single well-formed trace (globally
+//! monotone `seq`, globally unique span ids). Because each per-run stream
+//! is deterministic from its seed and the merge order is deterministic
+//! from the run ids, the merged export is byte-identical whether the runs
+//! executed on one worker or eight.
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Merge event streams (already ordered by run id by the caller) into one
+/// well-formed stream. Sequence numbers are renumbered from 0; span ids
+/// and parent references are offset so ids stay unique across runs.
+pub fn merge_event_streams<'a, I>(streams: I) -> Vec<TraceEvent>
+where
+    I: IntoIterator<Item = &'a [TraceEvent]>,
+{
+    let mut out = Vec::new();
+    let mut next_seq = 0u64;
+    let mut span_base = 0u64;
+    for events in streams {
+        let mut max_span = span_base;
+        for e in events {
+            let mut e = e.clone();
+            e.seq = next_seq;
+            next_seq += 1;
+            if e.parent != 0 {
+                e.parent += span_base;
+            }
+            match &mut e.kind {
+                EventKind::SpanStart { id, .. } | EventKind::SpanEnd { id, .. } => {
+                    *id += span_base;
+                    max_span = max_span.max(*id);
+                }
+                _ => {}
+            }
+            out.push(e);
+        }
+        span_base = max_span;
+    }
+    out
+}
+
+/// Serialize a merged stream as JSON Lines (same format as
+/// [`crate::TraceRecorder::to_jsonl`]).
+pub fn merged_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanKind;
+    use crate::recorder::TraceRecorder;
+    use crate::summary::RunSummary;
+
+    fn one_run(notes: &[&str]) -> Vec<TraceEvent> {
+        let mut t = TraceRecorder::new();
+        let s = t.open(SpanKind::Execute, "run");
+        for n in notes {
+            t.note(*n);
+        }
+        t.event(EventKind::FmCall {
+            purpose: "suggest".into(),
+            prompt_tokens: 10,
+            completion_tokens: 2,
+        });
+        t.close(s);
+        t.take_events()
+    }
+
+    #[test]
+    fn merged_stream_is_monotone_with_unique_span_ids() {
+        let a = one_run(&["a1", "a2"]);
+        let b = one_run(&["b1"]);
+        let merged = merge_event_streams([a.as_slice(), b.as_slice()]);
+        assert_eq!(merged.len(), a.len() + b.len());
+        let seqs: Vec<u64> = merged.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        let starts: Vec<u64> = merged
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SpanStart { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        let mut dedup = starts.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(starts.len(), dedup.len(), "span ids must stay unique");
+    }
+
+    #[test]
+    fn rollup_of_merge_equals_sum_of_rollups() {
+        let a = one_run(&["x"]);
+        let b = one_run(&["y", "z"]);
+        let merged = merge_event_streams([a.as_slice(), b.as_slice()]);
+        let mut summed = RunSummary::from_events(&a);
+        summed.merge(&RunSummary::from_events(&b));
+        assert_eq!(RunSummary::from_events(&merged), summed);
+    }
+
+    #[test]
+    fn merge_order_determines_bytes() {
+        let a = one_run(&["x"]);
+        let b = one_run(&["y"]);
+        let ab = merged_jsonl(&merge_event_streams([a.as_slice(), b.as_slice()]));
+        let ab2 = merged_jsonl(&merge_event_streams([a.as_slice(), b.as_slice()]));
+        let ba = merged_jsonl(&merge_event_streams([b.as_slice(), a.as_slice()]));
+        assert_eq!(ab, ab2);
+        assert_ne!(ab, ba, "order is part of the contract");
+    }
+
+    #[test]
+    fn merged_jsonl_round_trips() {
+        let a = one_run(&["only"]);
+        let merged = merge_event_streams([a.as_slice()]);
+        let text = merged_jsonl(&merged);
+        assert_eq!(crate::recorder::read_jsonl(&text).unwrap(), merged);
+    }
+}

@@ -27,8 +27,10 @@
 //! | [`sites`] | GitLab / Magento / ERP / payer-portal apps + the 30 tasks |
 //! | [`rpa`] | the rule-based RPA baseline, drift study, economics |
 //! | [`core`] | ECLAIR itself: Demonstrate / Execute / Validate + experiments |
+//! | [`fleet`] | concurrent multi-workflow scheduler (retries, budgets, backpressure) |
 
 pub use eclair_core as core;
+pub use eclair_fleet as fleet;
 pub use eclair_fm as fm;
 pub use eclair_gui as gui;
 pub use eclair_metrics as metrics;
@@ -42,7 +44,8 @@ pub mod prelude {
     pub use eclair_core::agent::{Eclair, EclairConfig, WorkflowReport};
     pub use eclair_core::demonstrate::EvidenceLevel;
     pub use eclair_core::execute::{ExecConfig, GroundingStrategy};
-    pub use eclair_fm::{FmModel, ModelProfile};
+    pub use eclair_fleet::{Fleet, FleetConfig, RetryPolicy, RunSpec};
+    pub use eclair_fm::{FmModel, FmProfile, ModelProfile};
     pub use eclair_sites::{Site, TaskSpec};
     pub use eclair_workflow::{Action, Sop, TargetRef};
 }
