@@ -1,0 +1,295 @@
+//! Chaos bench: sweep fault rate x model profile over the task suite and
+//! emit completion/recovery-rate curves as `BENCH_chaos.json`.
+//!
+//! Usage:
+//!   chaos_bench [--out BENCH_chaos.json] [--determinism-out PATH]
+//!
+//! Each point runs the suite as a chaos fleet (single-attempt, so the
+//! curve measures executor robustness rather than scheduler retries) and
+//! records how often workflows still complete and how often in-run
+//! recoveries land. Two invariants the artifact carries:
+//!
+//! * `determinism`: the canonical point re-run sequentially and on a
+//!   4-worker pool must serialize byte-identically (`--determinism-out`
+//!   writes the dump the CI `chaos-smoke` job diffs across invocations);
+//! * `shape`: per profile, completion must be monotone non-increasing in
+//!   the fault rate, and the oracle must degrade least.
+//!
+//! `ECLAIR_FAST=1` shrinks the sweep for CI.
+
+use eclair_bench::fast_mode;
+use eclair_chaos::ChaosProfile;
+use eclair_fleet::{Fleet, FleetConfig, FleetReport, RetryPolicy, RunSpec};
+use eclair_fm::FmProfile;
+use eclair_sites::all_tasks;
+use serde::Serialize;
+
+const FLEET_SEED: u64 = 2025;
+const CHAOS_SEED: u64 = 777;
+
+/// One (profile, fault-rate) point of the sweep.
+#[derive(Debug, Serialize)]
+struct ChaosPoint {
+    profile: String,
+    fault_rate: f64,
+    runs: usize,
+    completed: u64,
+    completion_rate: f64,
+    failures_total: u64,
+    recoveries_total: u64,
+    /// Recoveries per failure (how often the upgraded recovery path
+    /// turns a failed step into a landed one).
+    recovery_rate: f64,
+    faults_injected_total: u64,
+    mean_faults_per_run: f64,
+    /// Of the runs this profile completes fault-free, the fraction still
+    /// completed at this fault rate (run-matched: same task, same seed).
+    /// This conditions out tasks the profile fails regardless of chaos,
+    /// so it compares recovery ability rather than baseline skill.
+    survival_of_baseline: f64,
+}
+
+/// The whole artifact.
+#[derive(Debug, Serialize)]
+struct ChaosBenchJson {
+    suite_tasks: usize,
+    reps: usize,
+    fleet_seed: u64,
+    chaos_seed: u64,
+    fault_rates: Vec<f64>,
+    profiles: Vec<String>,
+    determinism: String,
+    shape: String,
+    points: Vec<ChaosPoint>,
+}
+
+fn specs(profile: FmProfile, rate: f64, tasks: usize, reps: usize) -> Vec<RunSpec> {
+    let suite = all_tasks();
+    let mut out = Vec::with_capacity(tasks * reps);
+    for rep in 0..reps {
+        for (i, task) in suite.iter().take(tasks).enumerate() {
+            let run_id = (rep * tasks + i) as u64;
+            let mut spec = RunSpec::for_task(FLEET_SEED, run_id, task.clone(), profile);
+            if rate > 0.0 {
+                spec = spec.with_chaos(ChaosProfile::full(CHAOS_SEED, rate));
+                // Fault handling consumes steps (modal dismissal, stale
+                // re-suggestions, dropped actions), so extend the step
+                // budget by the expected injection count — the curve
+                // should measure recovery ability, not budget starvation.
+                let base = spec.config.max_steps;
+                spec.config.max_steps = base + (base as f64 * rate).ceil() as usize;
+            }
+            out.push(spec);
+        }
+    }
+    out
+}
+
+fn fleet(workers: usize) -> Fleet {
+    Fleet::new(FleetConfig {
+        workers,
+        queue_capacity: 2 * workers.max(1),
+        // Single attempt: the curves measure in-run robustness, not how
+        // many scheduler retries it takes to luck past the faults.
+        retry: RetryPolicy::none(),
+        fleet_seed: FLEET_SEED,
+    })
+}
+
+fn point(
+    profile: FmProfile,
+    rate: f64,
+    report: &FleetReport,
+    baseline_wins: &std::collections::HashSet<u64>,
+) -> ChaosPoint {
+    let o = &report.outcome;
+    let runs = o.records.len();
+    let surviving = o
+        .records
+        .iter()
+        .filter(|r| r.result.success && baseline_wins.contains(&r.run_id))
+        .count();
+    let failures_total: u64 = o.records.iter().map(|r| r.result.failures as u64).sum();
+    let recoveries_total: u64 = o.records.iter().map(|r| r.result.recoveries as u64).sum();
+    let faults_total: u64 = o.records.iter().map(|r| r.faults_injected).sum();
+    ChaosPoint {
+        profile: profile.name().to_string(),
+        fault_rate: rate,
+        runs,
+        completed: o.succeeded,
+        completion_rate: o.succeeded as f64 / runs.max(1) as f64,
+        failures_total,
+        recoveries_total,
+        recovery_rate: if failures_total > 0 {
+            recoveries_total as f64 / failures_total as f64
+        } else {
+            0.0
+        },
+        faults_injected_total: faults_total,
+        mean_faults_per_run: faults_total as f64 / runs.max(1) as f64,
+        survival_of_baseline: surviving as f64 / baseline_wins.len().max(1) as f64,
+    }
+}
+
+/// FNV-1a digest of the merged trace (same construction as fleet_bench):
+/// covers every trace byte while keeping the determinism dump small.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Per profile: completion monotone non-increasing in fault rate; across
+/// profiles: the oracle loses the least completion end-to-end.
+fn shape_check(points: &[ChaosPoint], profiles: &[FmProfile], rates: &[f64]) -> Result<(), String> {
+    let get = |p: FmProfile, r: f64| {
+        points
+            .iter()
+            .find(|pt| pt.profile == p.name() && pt.fault_rate == r)
+            .expect("sweep covers the grid")
+    };
+    for &p in profiles {
+        let mut prev = f64::INFINITY;
+        for &r in rates {
+            let c = get(p, r).completion_rate;
+            if c > prev + 1e-9 {
+                return Err(format!(
+                    "{} completion rose from {prev:.3} to {c:.3} at rate {r}",
+                    p.name()
+                ));
+            }
+            prev = c;
+        }
+    }
+    // "Degrades least" is judged run-matched: of the runs a profile wins
+    // fault-free, how many does it keep at the top fault rate? Raw
+    // completion drop would punish the oracle for starting at the
+    // ceiling — a profile that fails a task with or without chaos tells
+    // us nothing about its recovery ability on that task.
+    let survival_of = |p: FmProfile| get(p, *rates.last().unwrap()).survival_of_baseline;
+    let oracle_survival = survival_of(FmProfile::Oracle);
+    for &p in profiles {
+        if p != FmProfile::Oracle && survival_of(p) > oracle_survival + 1e-9 {
+            return Err(format!(
+                "oracle should degrade least: oracle keeps {oracle_survival:.3} of its wins, {} keeps {:.3}",
+                p.name(),
+                survival_of(p)
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let (tasks, reps, rates): (usize, usize, Vec<f64>) = if fast_mode() {
+        (8, 1, vec![0.0, 0.3])
+    } else {
+        (30, 3, vec![0.0, 0.1, 0.25, 0.5])
+    };
+    let profiles = [FmProfile::Oracle, FmProfile::CogAgent18b, FmProfile::Gpt4V];
+    println!(
+        "chaos_bench: {} tasks x {} reps, rates {:?}, seeds fleet={} chaos={}",
+        tasks, reps, rates, FLEET_SEED, CHAOS_SEED
+    );
+
+    // Determinism gate on the canonical point (GPT-4 at the top rate):
+    // sequential vs 4-worker pool must serialize byte-identically.
+    let top_rate = *rates.last().unwrap();
+    let canon_seq = fleet(1).run_sequential(specs(FmProfile::Gpt4V, top_rate, tasks, reps));
+    let canon_par = fleet(4).run(specs(FmProfile::Gpt4V, top_rate, tasks, reps));
+    let determinism_ok = canon_seq.outcome.to_json() == canon_par.outcome.to_json()
+        && canon_seq.merged_trace_jsonl() == canon_par.merged_trace_jsonl();
+    println!(
+        "determinism (gpt-4v @ {top_rate}): {}",
+        if determinism_ok { "ok" } else { "MISMATCH" }
+    );
+
+    let mut points = Vec::new();
+    for &profile in &profiles {
+        let mut baseline_wins = std::collections::HashSet::new();
+        for &rate in &rates {
+            let report = fleet(4).run(specs(profile, rate, tasks, reps));
+            if rate == rates[0] {
+                baseline_wins = report
+                    .outcome
+                    .records
+                    .iter()
+                    .filter(|r| r.result.success)
+                    .map(|r| r.run_id)
+                    .collect();
+            }
+            let pt = point(profile, rate, &report, &baseline_wins);
+            println!(
+                "{:<12} rate {:.2}: completion {:.2} ({}/{}), survival {:.2}, recovery {:.2} ({}/{}), {:.1} faults/run",
+                pt.profile,
+                rate,
+                pt.completion_rate,
+                pt.completed,
+                pt.runs,
+                pt.survival_of_baseline,
+                pt.recovery_rate,
+                pt.recoveries_total,
+                pt.failures_total,
+                pt.mean_faults_per_run,
+            );
+            points.push(pt);
+        }
+    }
+
+    let shape = shape_check(&points, &profiles, &rates);
+    if let Err(e) = &shape {
+        eprintln!("shape violation: {e}");
+    }
+
+    let artifact = ChaosBenchJson {
+        suite_tasks: tasks,
+        reps,
+        fleet_seed: FLEET_SEED,
+        chaos_seed: CHAOS_SEED,
+        fault_rates: rates.clone(),
+        profiles: profiles.iter().map(|p| p.name().to_string()).collect(),
+        determinism: if determinism_ok { "ok" } else { "MISMATCH" }.to_string(),
+        shape: match &shape {
+            Ok(()) => "ok".to_string(),
+            Err(e) => format!("VIOLATED: {e}"),
+        },
+        points,
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    std::fs::write(
+        &out_path,
+        serde_json::to_string(&artifact).expect("bench artifact serializes"),
+    )
+    .expect("write bench artifact");
+    println!("wrote {out_path}");
+
+    if let Some(path) = arg_value("--determinism-out") {
+        let det = format!(
+            "{}\ntrace_fnv1a={:016x}\n",
+            canon_seq.outcome.to_json(),
+            fnv1a(&canon_seq.merged_trace_jsonl())
+        );
+        std::fs::write(&path, det).expect("write determinism artifact");
+        println!("wrote {path}");
+    }
+
+    if !determinism_ok {
+        eprintln!("FAIL: chaos fleet diverged between sequential and concurrent execution");
+        std::process::exit(1);
+    }
+    if shape.is_err() {
+        eprintln!("FAIL: completion/recovery curves violate the expected shape");
+        std::process::exit(1);
+    }
+}

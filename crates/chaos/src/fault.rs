@@ -1,0 +1,101 @@
+//! The fault vocabulary: what can go wrong at the GUI boundary.
+//!
+//! Each variant models a perturbation the paper's agents meet in the wild
+//! (§4.2's "common sense to error correct"; SmartFlow/EntWorld-style GUI
+//! perturbations): surprise dialogs, layout drift between observation and
+//! actuation, stale frames, session resets, and unreliable event delivery.
+
+use serde::{Deserialize, Serialize};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// An irrelevant promotional modal opens over the page. It blocks all
+    /// input until dismissed (Escape or its "No thanks" button).
+    PromoModal,
+    /// A blocking confirmation dialog opens over the page ("Your session
+    /// will expire soon. Stay signed in?"). Same input capture as
+    /// [`FaultKind::PromoModal`] with different text.
+    ConfirmModal,
+    /// The page shifts under the agent between screenshot and click: the
+    /// next click is translated vertically by the spec's `shift_px`, so a
+    /// point grounded on the pre-shift frame lands off-target.
+    LayoutShift,
+    /// Screenshot delivery lags the true page by one dispatch: the next
+    /// capture returns the previous frame.
+    StaleFrame,
+    /// The session expires: the app redirects to a login interstitial and
+    /// stays there until the agent re-authenticates.
+    SessionExpiry,
+    /// The next raw event is silently dropped (never reaches the app).
+    DropEvent,
+    /// The next raw event is delivered twice (double click, doubled
+    /// keystrokes).
+    DuplicateEvent,
+}
+
+impl FaultKind {
+    /// Every injectable kind (the default chaos mix).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::PromoModal,
+        FaultKind::ConfirmModal,
+        FaultKind::LayoutShift,
+        FaultKind::StaleFrame,
+        FaultKind::SessionExpiry,
+        FaultKind::DropEvent,
+        FaultKind::DuplicateEvent,
+    ];
+
+    /// Stable kebab-case name (used in trace events and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::PromoModal => "promo-modal",
+            FaultKind::ConfirmModal => "confirm-modal",
+            FaultKind::LayoutShift => "layout-shift",
+            FaultKind::StaleFrame => "stale-frame",
+            FaultKind::SessionExpiry => "session-expiry",
+            FaultKind::DropEvent => "drop-event",
+            FaultKind::DuplicateEvent => "duplicate-event",
+        }
+    }
+}
+
+/// One scheduled injection: at the start of executor step `step`, arm
+/// `kind`. `shift_px` is the vertical displacement for
+/// [`FaultKind::LayoutShift`] (0 for every other kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// 1-based executor step the fault fires at.
+    pub step: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Vertical click displacement in pixels (layout shift only).
+    pub shift_px: i32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        assert_eq!(FaultKind::StaleFrame.name(), "stale-frame");
+    }
+
+    #[test]
+    fn specs_serialize() {
+        let s = FaultSpec {
+            step: 3,
+            kind: FaultKind::LayoutShift,
+            shift_px: 48,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

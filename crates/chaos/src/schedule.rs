@@ -1,0 +1,174 @@
+//! Deterministic fault scheduling.
+//!
+//! The chaos layer's determinism contract mirrors the fleet's: *every
+//! fault is a pure function of `(chaos_seed, run_id, step)`*. No
+//! wall-clock, no global RNG — the schedule for a run can be enumerated
+//! before the run starts, and two executions of the same seeded suite
+//! inject byte-identical fault sequences regardless of worker count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::fault::{FaultKind, FaultSpec};
+
+/// SplitMix64-style finalizer mixing a parent seed and a stream index
+/// (same construction as `eclair_fleet::derive_seed`, duplicated here so
+/// the chaos crate stays a leaf dependency of `eclair-gui` only).
+fn mix(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounds of the layout-shift displacement draw, in pixels.
+pub const SHIFT_PX_RANGE: (i32, i32) = (24, 96);
+
+/// The fault-injection configuration a fleet attaches to a run: the
+/// chaos seed, the per-step injection probability, and the fault mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    /// Seed all per-step draws derive from (independent of the fleet
+    /// seed, so the fault environment and the model noise can be varied
+    /// separately).
+    pub chaos_seed: u64,
+    /// Probability that any given executor step gets a fault, in [0, 1].
+    pub fault_rate: f64,
+    /// The kinds eligible for injection (drawn uniformly).
+    pub kinds: Vec<FaultKind>,
+}
+
+impl ChaosProfile {
+    /// The full fault mix at `fault_rate`.
+    pub fn full(chaos_seed: u64, fault_rate: f64) -> Self {
+        Self {
+            chaos_seed,
+            fault_rate,
+            kinds: FaultKind::ALL.to_vec(),
+        }
+    }
+
+    /// A single-kind profile (targeted regression harnesses).
+    pub fn only(chaos_seed: u64, fault_rate: f64, kind: FaultKind) -> Self {
+        Self {
+            chaos_seed,
+            fault_rate,
+            kinds: vec![kind],
+        }
+    }
+}
+
+/// A run's fault schedule: the profile bound to one `run_id`. Stateless —
+/// [`ChaosSchedule::fault_at`] is a pure function, so the schedule can be
+/// queried out of order, re-queried, or enumerated for audit dumps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSchedule {
+    profile: ChaosProfile,
+    run_id: u64,
+}
+
+impl ChaosSchedule {
+    /// Bind a profile to a run.
+    pub fn new(profile: ChaosProfile, run_id: u64) -> Self {
+        Self { profile, run_id }
+    }
+
+    /// The profile this schedule draws from.
+    pub fn profile(&self) -> &ChaosProfile {
+        &self.profile
+    }
+
+    /// The fault (if any) scheduled at 1-based executor step `step` —
+    /// a pure function of `(chaos_seed, run_id, step)`.
+    pub fn fault_at(&self, step: u64) -> Option<FaultSpec> {
+        if self.profile.kinds.is_empty() || self.profile.fault_rate <= 0.0 {
+            return None;
+        }
+        let seed = mix(mix(self.profile.chaos_seed, self.run_id), step);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if !rng.gen_bool(self.profile.fault_rate.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let kind = self.profile.kinds[rng.gen_range(0..self.profile.kinds.len())];
+        let shift_px = if kind == FaultKind::LayoutShift {
+            rng.gen_range(SHIFT_PX_RANGE.0..=SHIFT_PX_RANGE.1)
+        } else {
+            0
+        };
+        Some(FaultSpec {
+            step,
+            kind,
+            shift_px,
+        })
+    }
+
+    /// Enumerate the schedule for steps `1..=max_steps` (audit dumps and
+    /// determinism artifacts).
+    pub fn enumerate(&self, max_steps: u64) -> Vec<FaultSpec> {
+        (1..=max_steps).filter_map(|s| self.fault_at(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fault_at_is_pure() {
+        let sched = ChaosSchedule::new(ChaosProfile::full(7, 0.5), 3);
+        for step in 1..=40 {
+            assert_eq!(sched.fault_at(step), sched.fault_at(step));
+        }
+        assert_eq!(sched.enumerate(40), sched.enumerate(40));
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing_and_full_rate_everything() {
+        let none = ChaosSchedule::new(ChaosProfile::full(7, 0.0), 0);
+        assert!(none.enumerate(50).is_empty());
+        let all = ChaosSchedule::new(ChaosProfile::full(7, 1.0), 0);
+        assert_eq!(all.enumerate(50).len(), 50);
+    }
+
+    #[test]
+    fn seeds_and_run_ids_separate_schedules() {
+        let a = ChaosSchedule::new(ChaosProfile::full(1, 0.5), 0).enumerate(64);
+        let b = ChaosSchedule::new(ChaosProfile::full(2, 0.5), 0).enumerate(64);
+        let c = ChaosSchedule::new(ChaosProfile::full(1, 0.5), 1).enumerate(64);
+        assert_ne!(a, b, "chaos seed must matter");
+        assert_ne!(a, c, "run id must matter");
+    }
+
+    #[test]
+    fn single_kind_profile_only_draws_that_kind() {
+        let sched = ChaosSchedule::new(ChaosProfile::only(9, 1.0, FaultKind::StaleFrame), 0);
+        for f in sched.enumerate(30) {
+            assert_eq!(f.kind, FaultKind::StaleFrame);
+            assert_eq!(f.shift_px, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn rate_bounds_the_injection_frequency(seed in 0u64..1000, rate in 0.05f64..0.95) {
+            let sched = ChaosSchedule::new(ChaosProfile::full(seed, rate), 0);
+            let n = sched.enumerate(400).len() as f64 / 400.0;
+            // Loose CLT band: observed frequency within ±0.15 of the rate.
+            prop_assert!((n - rate).abs() < 0.15, "rate {rate}, observed {n}");
+        }
+
+        #[test]
+        fn shift_px_is_set_iff_layout_shift(seed in 0u64..500) {
+            let sched = ChaosSchedule::new(ChaosProfile::full(seed, 0.8), 1);
+            for f in sched.enumerate(60) {
+                if f.kind == FaultKind::LayoutShift {
+                    prop_assert!(f.shift_px >= SHIFT_PX_RANGE.0 && f.shift_px <= SHIFT_PX_RANGE.1);
+                } else {
+                    prop_assert_eq!(f.shift_px, 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! The fault-injecting surface: a [`ChaosSession`] wraps a plain
+//! [`Session`] (whose app is wrapped in a [`ChaosApp`]) and perturbs what
+//! crosses the GUI boundary according to a [`ChaosSchedule`].
+//!
+//! Faults split into two families:
+//!
+//! * **Page faults** (injected modals, session expiry) live in the shared
+//!   control block the [`ChaosApp`] consults on every `build()`. They
+//!   persist until the agent deals with them — dismisses the dialog,
+//!   clicks the re-login button.
+//! * **Channel faults** (layout shift, stale frame, drop, duplicate) are
+//!   one-shot flags armed at [`GuiSurface::begin_step`] and consumed by
+//!   the next matching `screenshot`/`dispatch`. Unconsumed flags are
+//!   cleared at the next `begin_step`, so each step sees at most its own
+//!   scheduled fault.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eclair_gui::event::{Dispatch, EffectKind};
+use eclair_gui::{
+    FaultNote, GuiApp, GuiSurface, Page, PageBuilder, Screenshot, SemanticEvent, Session, Theme,
+    UserEvent,
+};
+
+use crate::fault::FaultKind;
+use crate::schedule::ChaosSchedule;
+
+/// Programmatic name of the injected chaos modal (what
+/// `SemanticEvent::Dismissed` carries when Escape closes it).
+pub const CHAOS_MODAL_NAME: &str = "chaos-modal";
+/// Name of the injected modal's dismiss button.
+pub const CHAOS_DISMISS_NAME: &str = "chaos-dismiss";
+/// Name of the login button on the session-expiry interstitial.
+pub const CHAOS_LOGIN_NAME: &str = "chaos-login";
+
+/// Shared control block: the page faults currently in force.
+#[derive(Debug, Default)]
+struct Ctl {
+    /// Which injected modal (if any) is open over the page.
+    modal: Option<FaultKind>,
+    /// Whether the session has been expired to the login interstitial.
+    expired: bool,
+    /// Set when a page fault is armed/cleared; `tick` consumes it to
+    /// force a rebuild.
+    dirty: bool,
+}
+
+/// A [`GuiApp`] wrapper that overlays chaos page faults on an inner app:
+/// while `expired`, every route renders the login interstitial; while a
+/// modal fault is in force, the inner page gets a blocking dialog
+/// appended. Everything else — events, ticks, probes — forwards.
+pub struct ChaosApp {
+    inner: Box<dyn GuiApp>,
+    ctl: Rc<RefCell<Ctl>>,
+}
+
+impl ChaosApp {
+    fn modal_copy(kind: FaultKind) -> (&'static str, &'static str) {
+        match kind {
+            FaultKind::ConfirmModal => (
+                "Your session will expire soon. Stay signed in?",
+                "Stay signed in",
+            ),
+            // PromoModal is the default flavour; other kinds never reach
+            // the modal slot.
+            _ => (
+                "Limited time offer! Subscribe to our newsletter for 20% off.",
+                "No thanks",
+            ),
+        }
+    }
+}
+
+impl GuiApp for ChaosApp {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn url(&self) -> String {
+        if self.ctl.borrow().expired {
+            "/login".into()
+        } else {
+            self.inner.url()
+        }
+    }
+
+    fn build(&self) -> Page {
+        let ctl = self.ctl.borrow();
+        if ctl.expired {
+            let mut b = PageBuilder::new("Signed out", "/login");
+            b.heading(1, "Session expired");
+            b.text("Your session has expired. Please log in again.");
+            b.button(CHAOS_LOGIN_NAME, "Log in");
+            return b.finish();
+        }
+        let mut page = self.inner.build();
+        if let Some(kind) = ctl.modal {
+            let (text, label) = Self::modal_copy(kind);
+            page.inject_modal(CHAOS_MODAL_NAME, text, CHAOS_DISMISS_NAME, label);
+        }
+        page
+    }
+
+    fn on_event(&mut self, ev: SemanticEvent) -> bool {
+        let mut ctl = self.ctl.borrow_mut();
+        if ctl.expired {
+            // The interstitial swallows everything except the login button.
+            if matches!(&ev, SemanticEvent::Activated { name, .. } if name == CHAOS_LOGIN_NAME) {
+                ctl.expired = false;
+                return true;
+            }
+            return false;
+        }
+        if ctl.modal.is_some() {
+            // The dialog captures input until dismissed (button or Escape).
+            let dismissed = matches!(
+                &ev,
+                SemanticEvent::Activated { name, .. } if name == CHAOS_DISMISS_NAME
+            ) || matches!(
+                &ev,
+                SemanticEvent::Dismissed { name } if name == CHAOS_MODAL_NAME
+            );
+            if dismissed {
+                ctl.modal = None;
+                return true;
+            }
+            return false;
+        }
+        drop(ctl);
+        self.inner.on_event(ev)
+    }
+
+    fn tick(&mut self) -> bool {
+        let dirty = {
+            let mut ctl = self.ctl.borrow_mut();
+            std::mem::take(&mut ctl.dirty)
+        };
+        // Inner timers keep advancing under chaos.
+        let inner = self.inner.tick();
+        dirty || inner
+    }
+
+    fn probe(&self, key: &str) -> Option<String> {
+        // Success predicates and oracles must see through the wrapper.
+        self.inner.probe(key)
+    }
+}
+
+/// A [`GuiSurface`] that injects scheduled faults around a real session.
+pub struct ChaosSession {
+    session: Session,
+    ctl: Rc<RefCell<Ctl>>,
+    schedule: ChaosSchedule,
+    /// Frame captured just before the most recent dispatch (what a
+    /// stale-frame fault serves).
+    prev_frame: Option<Screenshot>,
+    stale_next: bool,
+    drop_next: bool,
+    dup_next: bool,
+    /// Vertical displacement applied to the next click (0 = none).
+    pending_shift: i32,
+    notes: Vec<FaultNote>,
+    faults_injected: u64,
+}
+
+impl ChaosSession {
+    /// Wrap `app` and start a session with the default theme.
+    pub fn new(app: Box<dyn GuiApp>, schedule: ChaosSchedule) -> Self {
+        Self::with_theme(app, schedule, Theme::default())
+    }
+
+    /// Wrap `app` with an explicit theme (drift studies under chaos).
+    pub fn with_theme(app: Box<dyn GuiApp>, schedule: ChaosSchedule, theme: Theme) -> Self {
+        let ctl = Rc::new(RefCell::new(Ctl::default()));
+        let wrapped = ChaosApp {
+            inner: app,
+            ctl: Rc::clone(&ctl),
+        };
+        Self {
+            session: Session::with_theme(Box::new(wrapped), theme),
+            ctl,
+            schedule,
+            prev_frame: None,
+            stale_next: false,
+            drop_next: false,
+            dup_next: false,
+            pending_shift: 0,
+            notes: Vec::new(),
+            faults_injected: 0,
+        }
+    }
+
+    /// The wrapped session (success predicates evaluate against it; its
+    /// `app().probe(..)` forwards through the chaos wrapper).
+    pub fn inner(&self) -> &Session {
+        &self.session
+    }
+
+    /// The schedule driving this surface.
+    pub fn schedule(&self) -> &ChaosSchedule {
+        &self.schedule
+    }
+
+    /// Total faults armed so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Whether the session is currently expired to the login interstitial.
+    pub fn expired(&self) -> bool {
+        self.ctl.borrow().expired
+    }
+
+    /// Whether an injected chaos modal is currently open.
+    pub fn modal_open(&self) -> bool {
+        self.ctl.borrow().modal.is_some()
+    }
+}
+
+impl GuiSurface for ChaosSession {
+    fn begin_step(&mut self, step: u64) {
+        // One-shot channel faults not consumed by the previous step are
+        // disarmed: each step sees at most its own scheduled fault.
+        self.stale_next = false;
+        self.drop_next = false;
+        self.dup_next = false;
+        self.pending_shift = 0;
+        let Some(spec) = self.schedule.fault_at(step) else {
+            return;
+        };
+        match spec.kind {
+            FaultKind::PromoModal | FaultKind::ConfirmModal => {
+                let mut ctl = self.ctl.borrow_mut();
+                ctl.modal = Some(spec.kind);
+                ctl.dirty = true;
+            }
+            FaultKind::SessionExpiry => {
+                let mut ctl = self.ctl.borrow_mut();
+                ctl.expired = true;
+                ctl.dirty = true;
+            }
+            FaultKind::LayoutShift => self.pending_shift = spec.shift_px,
+            FaultKind::StaleFrame => self.stale_next = true,
+            FaultKind::DropEvent => self.drop_next = true,
+            FaultKind::DuplicateEvent => self.dup_next = true,
+        }
+        if self.ctl.borrow().dirty {
+            // Let the page fault take effect before the step observes.
+            self.session.tick();
+        }
+        self.notes.push(FaultNote {
+            step,
+            fault: spec.kind.name().to_string(),
+        });
+        self.faults_injected += 1;
+    }
+
+    fn screenshot(&mut self) -> Screenshot {
+        if self.stale_next {
+            self.stale_next = false;
+            if let Some(frame) = self.prev_frame.clone() {
+                return frame;
+            }
+            // Nothing dispatched yet: the "previous" frame is the current
+            // one, so fall through.
+        }
+        self.session.screenshot()
+    }
+
+    fn dispatch(&mut self, event: UserEvent) -> Dispatch {
+        // Remember the pre-dispatch frame so a later stale-frame fault can
+        // serve a capture that lags the true page by one dispatch.
+        self.prev_frame = Some(self.session.screenshot());
+        if self.drop_next {
+            self.drop_next = false;
+            // Swallowed before it reaches the session: nothing happens.
+            return Dispatch {
+                event,
+                hit: None,
+                effect: EffectKind::NoOp,
+                url_after: self.session.url(),
+            };
+        }
+        if self.dup_next {
+            self.dup_next = false;
+            let first = self.session.dispatch(event.clone());
+            // Second delivery is silent — its effect never reaches the
+            // agent, exactly like a bouncing switch.
+            let _ = self.session.dispatch(event);
+            return first;
+        }
+        let event = match event {
+            UserEvent::Click(p) if self.pending_shift != 0 => {
+                let shift = std::mem::take(&mut self.pending_shift);
+                UserEvent::Click(p.offset(0, shift))
+            }
+            other => other,
+        };
+        self.session.dispatch(event)
+    }
+
+    fn page(&self) -> &Page {
+        self.session.page()
+    }
+
+    fn scroll_y(&self) -> i32 {
+        self.session.scroll_y()
+    }
+
+    fn url(&self) -> String {
+        self.session.url()
+    }
+
+    fn drain_fault_notes(&mut self) -> Vec<FaultNote> {
+        std::mem::take(&mut self.notes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ChaosProfile;
+    use eclair_gui::VisualClass;
+
+    /// A deterministic little app: a counter with an increment button and
+    /// a note field, probe-able for oracle checks.
+    struct Counter {
+        n: u32,
+    }
+
+    impl GuiApp for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn url(&self) -> String {
+            "/counter".into()
+        }
+        fn build(&self) -> Page {
+            let mut b = PageBuilder::new("Counter", "/counter");
+            b.heading(1, "Counter");
+            b.text(format!("count: {}", self.n));
+            b.text_input("note", "Note", "type here");
+            b.button("inc", "Increment");
+            b.finish()
+        }
+        fn on_event(&mut self, ev: SemanticEvent) -> bool {
+            if matches!(&ev, SemanticEvent::Activated { name, .. } if name == "inc") {
+                self.n += 1;
+                return true;
+            }
+            false
+        }
+        fn probe(&self, key: &str) -> Option<String> {
+            (key == "count").then(|| self.n.to_string())
+        }
+    }
+
+    fn chaos(kind: FaultKind) -> ChaosSession {
+        let sched = ChaosSchedule::new(ChaosProfile::only(42, 1.0, kind), 0);
+        ChaosSession::new(Box::new(Counter { n: 0 }), sched)
+    }
+
+    fn click_by_label(s: &mut ChaosSession, label: &str) -> Dispatch {
+        let shot = s.screenshot();
+        let item = shot
+            .items
+            .iter()
+            .find(|i| i.text == label)
+            .unwrap_or_else(|| panic!("no item labelled {label:?}"))
+            .clone();
+        s.dispatch(UserEvent::Click(item.rect.center()))
+    }
+
+    #[test]
+    fn no_fault_without_a_schedule_hit() {
+        let sched = ChaosSchedule::new(ChaosProfile::full(42, 0.0), 0);
+        let mut s = ChaosSession::new(Box::new(Counter { n: 0 }), sched);
+        s.begin_step(1);
+        assert!(s.drain_fault_notes().is_empty());
+        assert_eq!(s.faults_injected(), 0);
+        assert_eq!(
+            click_by_label(&mut s, "Increment").effect,
+            EffectKind::Activated
+        );
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn promo_modal_blocks_input_until_dismissed() {
+        let mut s = chaos(FaultKind::PromoModal);
+        s.begin_step(1);
+        assert!(s.modal_open());
+        let notes = s.drain_fault_notes();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].fault, "promo-modal");
+        // The dialog captures the click aimed at the button underneath.
+        let blocked = click_by_label(&mut s, "Increment");
+        assert_ne!(blocked.effect, EffectKind::Activated);
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("0"));
+        // Escape dismisses it; the app sees the Dismissed event.
+        let esc = s.dispatch(UserEvent::Press(eclair_gui::Key::Escape));
+        assert_eq!(esc.effect, EffectKind::Dismissed);
+        assert!(!s.modal_open());
+        assert_eq!(
+            click_by_label(&mut s, "Increment").effect,
+            EffectKind::Activated
+        );
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn confirm_modal_dismisses_via_its_button() {
+        let mut s = chaos(FaultKind::ConfirmModal);
+        s.begin_step(1);
+        assert!(s.modal_open());
+        let d = click_by_label(&mut s, "Stay signed in");
+        assert_eq!(d.effect, EffectKind::Activated);
+        assert!(!s.modal_open());
+    }
+
+    #[test]
+    fn session_expiry_redirects_until_relogin() {
+        let mut s = chaos(FaultKind::SessionExpiry);
+        s.begin_step(1);
+        assert!(s.expired());
+        assert_eq!(GuiSurface::url(&s), "/login");
+        let shot = s.screenshot();
+        assert!(shot.items.iter().any(|i| i.text == "Session expired"));
+        // Probes still reach the real app while expired.
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("0"));
+        let d = click_by_label(&mut s, "Log in");
+        assert_eq!(d.effect, EffectKind::Activated);
+        assert!(!s.expired());
+        assert_eq!(GuiSurface::url(&s), "/counter");
+        assert_eq!(
+            click_by_label(&mut s, "Increment").effect,
+            EffectKind::Activated
+        );
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn stale_frame_serves_the_pre_dispatch_capture() {
+        let mut s = chaos(FaultKind::StaleFrame);
+        assert_eq!(
+            click_by_label(&mut s, "Increment").effect,
+            EffectKind::Activated
+        );
+        s.begin_step(1);
+        let stale = s.screenshot();
+        assert!(
+            stale.items.iter().any(|i| i.text == "count: 0"),
+            "stale frame must lag the increment"
+        );
+        let fresh = s.screenshot();
+        assert!(fresh.items.iter().any(|i| i.text == "count: 1"));
+    }
+
+    #[test]
+    fn drop_event_swallows_the_next_dispatch() {
+        let mut s = chaos(FaultKind::DropEvent);
+        s.begin_step(1);
+        let d = click_by_label(&mut s, "Increment");
+        assert_eq!(d.effect, EffectKind::NoOp);
+        assert!(d.hit.is_none());
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("0"));
+        // One-shot: the next event goes through.
+        assert_eq!(
+            click_by_label(&mut s, "Increment").effect,
+            EffectKind::Activated
+        );
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn duplicate_event_delivers_twice() {
+        let mut s = chaos(FaultKind::DuplicateEvent);
+        s.begin_step(1);
+        let d = click_by_label(&mut s, "Increment");
+        // The agent sees one activation; the app saw two.
+        assert_eq!(d.effect, EffectKind::Activated);
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn duplicate_typing_doubles_text() {
+        let mut s = chaos(FaultKind::DuplicateEvent);
+        // Focus the note field first (no fault armed yet).
+        let shot = s.screenshot();
+        let field = shot
+            .items
+            .iter()
+            .find(|i| i.visual == VisualClass::InputBox)
+            .unwrap()
+            .clone();
+        s.dispatch(UserEvent::Click(field.rect.center()));
+        s.begin_step(1);
+        s.dispatch(UserEvent::Type("ab".into()));
+        let page = s.page();
+        let id = page.find_by_name("note").unwrap();
+        assert_eq!(page.get(id).value, "abab");
+    }
+
+    #[test]
+    fn layout_shift_translates_the_next_click() {
+        let mut s = chaos(FaultKind::LayoutShift);
+        let shift = s.schedule().fault_at(1).unwrap().shift_px;
+        assert!(shift > 0);
+        let shot = s.screenshot();
+        let btn = shot
+            .items
+            .iter()
+            .find(|i| i.text == "Increment")
+            .unwrap()
+            .clone();
+        s.begin_step(1);
+        // A click grounded on the pre-shift frame lands off-target...
+        let miss = s.dispatch(UserEvent::Click(btn.rect.center()));
+        assert_ne!(miss.effect, EffectKind::Activated);
+        // ...and the shift is consumed: aiming normally works again.
+        let hit = s.dispatch(UserEvent::Click(btn.rect.center()));
+        assert_eq!(hit.effect, EffectKind::Activated);
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn unconsumed_one_shots_clear_at_the_next_step() {
+        let profile = ChaosProfile::only(11, 0.5, FaultKind::DropEvent);
+        let sched = ChaosSchedule::new(profile, 0);
+        let armed = (1..200).find(|&s| sched.fault_at(s).is_some()).unwrap();
+        let clear = (armed + 1..200)
+            .find(|&s| sched.fault_at(s).is_none())
+            .unwrap();
+        let mut s = ChaosSession::new(Box::new(Counter { n: 0 }), sched);
+        s.begin_step(armed);
+        s.begin_step(clear);
+        // The drop armed at `armed` must not leak into this step.
+        assert_eq!(
+            click_by_label(&mut s, "Increment").effect,
+            EffectKind::Activated
+        );
+        assert_eq!(s.inner().app().probe("count").as_deref(), Some("1"));
+    }
+}

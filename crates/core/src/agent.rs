@@ -96,6 +96,7 @@ impl Eclair {
             max_steps: 0,
             retry_failed: true,
             escape_popups: true,
+            relogin_expired: true,
         }
         .budgeted(task.gold_trace.len());
         run_task(&mut self.model, task, &cfg)

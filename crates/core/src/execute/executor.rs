@@ -4,7 +4,7 @@
 
 use eclair_fm::FmModel;
 use eclair_gui::event::EffectKind;
-use eclair_gui::{Key, Session, UserEvent, VisualClass};
+use eclair_gui::{GuiSurface, Key, UserEvent, VisualClass};
 use eclair_sites::TaskSpec;
 use eclair_trace::{render_log, EventKind, SpanKind};
 use eclair_workflow::Sop;
@@ -30,6 +30,9 @@ pub struct ExecConfig {
     /// Press Escape when an unexpected modal blocks progress (the paper's
     /// "common sense to error correct").
     pub escape_popups: bool,
+    /// Click through a login interstitial when the session expires
+    /// mid-run (the chaos layer's session-expiry fault).
+    pub relogin_expired: bool,
 }
 
 impl ExecConfig {
@@ -41,6 +44,7 @@ impl ExecConfig {
             max_steps: 24,
             retry_failed: true,
             escape_popups: true,
+            relogin_expired: true,
         }
     }
 
@@ -52,6 +56,7 @@ impl ExecConfig {
             max_steps: 24,
             retry_failed: true,
             escape_popups: true,
+            relogin_expired: true,
         }
     }
 
@@ -71,10 +76,12 @@ pub struct RunResult {
     pub actions_attempted: usize,
     /// Actions whose grounding or actuation failed (before retries).
     pub failures: usize,
-    /// Failed actions that subsequently recovered (popup escape and/or a
-    /// successful in-step retry). `failures - recoveries` is the count of
-    /// actions that stayed failed — the substrate fleet-level retry
-    /// accounting is built on.
+    /// Failed actions whose in-step retry subsequently *succeeded* (after
+    /// popup escape / re-login, where those applied). A recovery is only
+    /// counted when the intent was actually re-performed and landed, so
+    /// `recoveries <= failures` and `failures - recoveries` is exactly the
+    /// count of actions that stayed failed — the substrate fleet-level
+    /// retry accounting is built on.
     pub recoveries: usize,
     /// Human-readable narration of the run.
     pub log: Vec<String>,
@@ -91,12 +98,12 @@ pub fn run_task(model: &mut FmModel, task: &TaskSpec, cfg: &ExecConfig) -> RunRe
     }
 }
 
-/// Run against an existing session (used by the agent orchestrator and the
-/// drift studies). `success` in the result is left `false`; callers check
-/// their own predicate.
-pub fn run_on_session(
+/// Run against an existing surface (used by the agent orchestrator, the
+/// drift studies, and the chaos harness). `success` in the result is left
+/// `false`; callers check their own predicate.
+pub fn run_on_session<S: GuiSurface>(
     model: &mut FmModel,
-    session: &mut Session,
+    session: &mut S,
     workflow_description: &str,
     cfg: &ExecConfig,
 ) -> RunResult {
@@ -105,6 +112,7 @@ pub fn run_on_session(
     let mut failures = 0usize;
     let mut recoveries = 0usize;
     let mut attempted = 0usize;
+    let mut step_no = 0u64;
     // The narration that used to accumulate in a local Vec<String> now
     // lives in the trace as Note events; the returned log is rendered back
     // from the slice this run appended.
@@ -113,9 +121,33 @@ pub fn run_on_session(
         .trace_mut()
         .open(SpanKind::Execute, workflow_description);
     while attempted < cfg.max_steps {
+        step_no += 1;
         let step_span = model
             .trace_mut()
-            .open(SpanKind::Step, &format!("step {}", attempted + 1));
+            .open(SpanKind::Step, &format!("step {step_no}"));
+        // Let a perturbing surface arm its scheduled fault, and record
+        // whatever it injected before the step observes.
+        session.begin_step(step_no);
+        for note in session.drain_fault_notes() {
+            model.trace_mut().note(format!(
+                "chaos: {} injected at step {}",
+                note.fault, note.step
+            ));
+            model.trace_mut().event(EventKind::FaultInjected {
+                step: note.step,
+                fault: note.fault,
+            });
+        }
+        // A session that expired under the agent redirects every route to
+        // a login interstitial; click through it *before* observing, so
+        // the step's perception and grounding work on the real page.
+        if cfg.relogin_expired && relogin_if_expired(session) {
+            let rec_span = model.trace_mut().open(SpanKind::Recover, "re-login");
+            model
+                .trace_mut()
+                .note("re-authenticated after session expiry");
+            model.trace_mut().close(rec_span);
+        }
         let obs_span = model.trace_mut().open(SpanKind::Observe, "screenshot");
         let shot = session.screenshot();
         model.trace_mut().close(obs_span);
@@ -146,21 +178,24 @@ pub fn run_on_session(
             Err(e) => {
                 failures += 1;
                 model.trace_mut().note(format!("fail: {text} ({e})"));
-                let mut recovered = false;
+                // Recovery handling may clear the obstacle (dismiss a
+                // dialog, re-authenticate), but the step only *recovers*
+                // if the intent is then re-performed successfully — an
+                // escaped popup with the action still undone is not a
+                // recovered action.
+                let mut cleared_obstacle = false;
                 if cfg.escape_popups {
                     let rec_span = model.trace_mut().open(SpanKind::Recover, "popup escape");
                     if escape_if_irrelevant_modal(model, session, &intent) {
                         model.trace_mut().event(EventKind::PopupEscape {
                             url: session.url().to_string(),
                         });
-                        model
-                            .trace_mut()
-                            .note("recovered: dismissed unexpected dialog");
-                        recovered = true;
+                        model.trace_mut().note("dismissed unexpected dialog");
+                        cleared_obstacle = true;
                     }
                     model.trace_mut().close(rec_span);
                 }
-                if cfg.retry_failed {
+                if cfg.retry_failed || cleared_obstacle {
                     model
                         .trace_mut()
                         .event(EventKind::Retry { what: text.clone() });
@@ -170,11 +205,8 @@ pub fn run_on_session(
                     if retried.is_ok() {
                         model.trace_mut().note(format!("retry ok: {text}"));
                         history.push(text.clone());
-                        recovered = true;
+                        recoveries += 1;
                     }
-                }
-                if recovered {
-                    recoveries += 1;
                 }
             }
         }
@@ -191,11 +223,31 @@ pub fn run_on_session(
     }
 }
 
+/// Dispatch a click and confirm it landed where it was aimed. A layout
+/// shift between grounding and actuation displaces the event in flight;
+/// an agent can see its click land somewhere else on screen, so a
+/// displaced click is a grounding failure to retry, never a success.
+fn click_at<S: GuiSurface>(
+    session: &mut S,
+    pt: eclair_gui::Point,
+) -> Result<eclair_gui::event::Dispatch, String> {
+    let d = session.dispatch(UserEvent::Click(pt));
+    if let UserEvent::Click(landed) = &d.event {
+        if *landed != pt {
+            return Err(format!(
+                "click aimed at ({}, {}) landed at ({}, {})",
+                pt.x, pt.y, landed.x, landed.y
+            ));
+        }
+    }
+    Ok(d)
+}
+
 /// Ground and actuate one intent. Errors describe what went wrong (for the
 /// run log and the failure taxonomy in the benches).
-fn perform(
+fn perform<S: GuiSurface>(
     model: &mut FmModel,
-    session: &mut Session,
+    session: &mut S,
     intent: &StepIntent,
     cfg: &ExecConfig,
 ) -> Result<(), String> {
@@ -210,7 +262,7 @@ fn perform(
         }
         StepIntent::Click { target } => {
             let pt = locate(model, session, cfg, target)?;
-            let d = session.dispatch(UserEvent::Click(pt));
+            let d = click_at(session, pt)?;
             if d.effect == EffectKind::NoOp {
                 Err(format!("click on '{target}' hit nothing"))
             } else {
@@ -219,7 +271,7 @@ fn perform(
         }
         StepIntent::Check { target } => {
             let pt = locate(model, session, cfg, target)?;
-            let d = session.dispatch(UserEvent::Click(pt));
+            let d = click_at(session, pt)?;
             if d.effect == EffectKind::Toggled {
                 Ok(())
             } else {
@@ -235,7 +287,7 @@ fn perform(
                 if !model.rng().gen_bool(skip_p.clamp(0.0, 1.0)) {
                     let query = format!("the {field} field");
                     let pt = locate(model, session, cfg, &query)?;
-                    let d = session.dispatch(UserEvent::Click(pt));
+                    let d = click_at(session, pt)?;
                     if d.effect != EffectKind::Focused {
                         return Err(format!("'{field}' is not an editable field"));
                     }
@@ -251,7 +303,7 @@ fn perform(
         StepIntent::Set { field, value } => {
             let query = format!("the {field} field");
             let pt = locate(model, session, cfg, &query)?;
-            let d = session.dispatch(UserEvent::Click(pt));
+            let d = click_at(session, pt)?;
             if d.effect != EffectKind::Focused {
                 return Err(format!("'{field}' is not an editable field"));
             }
@@ -268,7 +320,7 @@ fn perform(
         StepIntent::Select { option, field } => {
             let query = format!("the {field} dropdown");
             let pt = locate(model, session, cfg, &query)?;
-            let d = session.dispatch(UserEvent::Click(pt));
+            let d = click_at(session, pt)?;
             if d.effect != EffectKind::Focused {
                 return Err(format!("'{field}' is not a dropdown"));
             }
@@ -282,7 +334,7 @@ fn perform(
         StepIntent::ClickPoint(pt) => {
             // The step gives literal viewport coordinates (recorded
             // demonstrations): replay them as-is.
-            let d = session.dispatch(UserEvent::Click(*pt));
+            let d = click_at(session, *pt)?;
             if d.effect == EffectKind::NoOp {
                 Err(format!("click at ({}, {}) hit nothing", pt.x, pt.y))
             } else {
@@ -290,7 +342,7 @@ fn perform(
             }
         }
         StepIntent::TypeAt { point, value } => {
-            let d = session.dispatch(UserEvent::Click(*point));
+            let d = click_at(session, *point)?;
             if d.effect != EffectKind::Focused {
                 return Err(format!(
                     "({}, {}) is not an editable field",
@@ -308,11 +360,11 @@ fn perform(
     }
 }
 
-/// Ground a query to a click point, scrolling once if nothing matches the
-/// current viewport.
-fn locate(
+/// Ground a query to a click point, probing one page down and one page up
+/// if nothing matches the current viewport.
+fn locate<S: GuiSurface>(
     model: &mut FmModel,
-    session: &mut Session,
+    session: &mut S,
     cfg: &ExecConfig,
     query: &str,
 ) -> Result<eclair_gui::Point, String> {
@@ -322,13 +374,28 @@ fn locate(
     found
 }
 
-fn locate_inner(
+fn locate_inner<S: GuiSurface>(
     model: &mut FmModel,
-    session: &mut Session,
+    session: &mut S,
     cfg: &ExecConfig,
     query: &str,
 ) -> Result<eclair_gui::Point, String> {
-    for attempt in 0..2 {
+    let home = session.scroll_y();
+    // Probe the current viewport first, then one page down, then one page
+    // up — the target may sit on either side of where the agent last
+    // scrolled. Clamping can land two probes on the same viewport; those
+    // are grounded once.
+    let mut probed: Vec<i32> = Vec::new();
+    for target in [home, home + 400, home - 400] {
+        let delta = target - session.scroll_y();
+        if delta != 0 {
+            session.dispatch(UserEvent::Scroll(delta));
+        }
+        let at = session.scroll_y();
+        if probed.contains(&at) {
+            continue;
+        }
+        probed.push(at);
         let shot = session.screenshot();
         let page_snapshot;
         let view = GroundView {
@@ -345,19 +412,71 @@ fn locate_inner(
         if let Some(pt) = pt {
             return Ok(pt);
         }
-        if attempt == 0 {
-            session.dispatch(UserEvent::Scroll(400));
-        }
+    }
+    // Nothing matched anywhere: put the viewport back where the step
+    // started instead of leaving the session scrolled somewhere random
+    // (the next step's observation should see what this one saw).
+    let back = home - session.scroll_y();
+    if back != 0 {
+        session.dispatch(UserEvent::Scroll(back));
     }
     Err(format!("could not ground '{query}'"))
+}
+
+/// If the surface landed on a login interstitial (a chaos session-expiry
+/// fault, or any app that signs the agent out), click its login button to
+/// re-authenticate. Returns whether the click re-activated the session.
+fn relogin_if_expired<S: GuiSurface>(session: &mut S) -> bool {
+    if session.url() != "/login" {
+        return false;
+    }
+    let pt = {
+        let page = session.page();
+        let Some(id) = page.find_by_label("Log in", true) else {
+            return false;
+        };
+        page.get(id).bounds.center().offset(0, -session.scroll_y())
+    };
+    session.dispatch(UserEvent::Click(pt)).effect == EffectKind::Activated
 }
 
 /// If a modal is open and none of its text relates to the current intent,
 /// press Escape ("hitting escape when an irrelevant pop-up appears").
 /// Returns whether an escape was issued.
-fn escape_if_irrelevant_modal(
+///
+/// A dialog can sit above the current viewport — the agent scrolled down,
+/// then an overlay appeared anchored near the top of the page, swallowing
+/// every click while staying invisible at this scroll. When nothing
+/// modal-looking is in view, probe the top of the page before giving up,
+/// and restore the scroll either way so the retry re-grounds from where
+/// the step started.
+fn escape_if_irrelevant_modal<S: GuiSurface>(
     model: &mut FmModel,
-    session: &mut Session,
+    session: &mut S,
+    intent: &StepIntent,
+) -> bool {
+    if escape_modal_in_view(model, session, intent) {
+        return true;
+    }
+    let home = session.scroll_y();
+    if home == 0 {
+        return false;
+    }
+    session.dispatch(UserEvent::Scroll(-home));
+    let dismissed = escape_modal_in_view(model, session, intent);
+    let back = home - session.scroll_y();
+    if back != 0 {
+        session.dispatch(UserEvent::Scroll(back));
+    }
+    dismissed
+}
+
+/// One viewport's worth of the escape check: perceive the current frame,
+/// find the topmost modal panel, and Escape it if its text is unrelated
+/// to the intent.
+fn escape_modal_in_view<S: GuiSurface>(
+    model: &mut FmModel,
+    session: &mut S,
     intent: &StepIntent,
 ) -> bool {
     let shot = session.screenshot();
@@ -370,11 +489,19 @@ fn escape_if_irrelevant_modal(
         other => crate::execute::suggest::intent_text(other),
     };
     // Texts plausibly inside the modal: elements overlapping the modal
-    // panel region.
+    // panel region. The dialog panel is the *topmost* wide text-free panel
+    // edge (modals paint last); no height floor beyond excluding hairline
+    // dividers — a short dialog (one line and a button) is still a dialog.
     let panel = shot
         .items
         .iter()
-        .find(|i| i.visual == VisualClass::PanelEdge && i.rect.w >= 300 && i.rect.h >= 100)
+        .rev()
+        .find(|i| {
+            i.visual == VisualClass::PanelEdge
+                && i.text.is_empty()
+                && i.rect.w >= 300
+                && i.rect.h > 12
+        })
         .map(|i| i.rect);
     let Some(panel) = panel else { return false };
     let relevant = percept
@@ -556,6 +683,7 @@ mod tests {
             max_steps: 8,
             retry_failed: true,
             escape_popups: true,
+            relogin_expired: true,
         };
         let r = run_on_session(&mut model, &mut session, "Enter the amount", &cfg);
         assert!(
@@ -566,6 +694,438 @@ mod tests {
             r.log
         );
         assert_eq!(session.url(), "/done", "{:#?}", r.log);
+    }
+
+    /// A page ~2 viewports tall with one button at the very top — the
+    /// grounding-probe regression fixture.
+    struct TallApp {
+        clicked: bool,
+    }
+    impl eclair_gui::GuiApp for TallApp {
+        fn name(&self) -> &str {
+            "tall"
+        }
+        fn url(&self) -> String {
+            "/tall".into()
+        }
+        fn build(&self) -> eclair_gui::Page {
+            use eclair_gui::PageBuilder;
+            let mut b = PageBuilder::new("Tall", "/tall");
+            b.button("top", "Top action");
+            for i in 0..40 {
+                b.text(format!("filler line {i}"));
+            }
+            b.finish()
+        }
+        fn on_event(&mut self, ev: eclair_gui::SemanticEvent) -> bool {
+            if matches!(&ev, eclair_gui::SemanticEvent::Activated { name, .. } if name == "top") {
+                self.clicked = true;
+            }
+            false
+        }
+        fn probe(&self, key: &str) -> Option<String> {
+            (key == "clicked").then(|| self.clicked.to_string())
+        }
+    }
+
+    #[test]
+    fn grounding_probes_upward_for_targets_above_the_viewport() {
+        use eclair_gui::{Session, UserEvent};
+
+        let mut session = Session::new(Box::new(TallApp { clicked: false }));
+        // The agent scrolled past the target on an earlier step.
+        session.dispatch(UserEvent::Scroll(400));
+        assert_eq!(session.scroll_y(), 400, "fixture must start scrolled");
+        let mut model = FmModel::new(ModelProfile::oracle(), 7);
+        let cfg = ExecConfig::without_sop();
+        let pt = locate(&mut model, &mut session, &cfg, "Top action")
+            .expect("a target one page above the viewport must be groundable");
+        let d = session.dispatch(UserEvent::Click(pt));
+        assert_eq!(d.effect, eclair_gui::event::EffectKind::Activated, "{d:?}");
+        assert_eq!(session.app().probe("clicked").as_deref(), Some("true"));
+    }
+
+    #[test]
+    fn failed_grounding_restores_the_scroll_position() {
+        use eclair_gui::{Session, UserEvent};
+
+        /// A long read-only page: no interactive widgets anywhere, so
+        /// grounding has no candidates and must fail at every probe.
+        struct ProseApp;
+        impl eclair_gui::GuiApp for ProseApp {
+            fn name(&self) -> &str {
+                "prose"
+            }
+            fn url(&self) -> String {
+                "/prose".into()
+            }
+            fn build(&self) -> eclair_gui::Page {
+                let mut b = eclair_gui::PageBuilder::new("Prose", "/prose");
+                b.heading(1, "Release notes");
+                for i in 0..40 {
+                    b.text(format!("paragraph {i}"));
+                }
+                b.finish()
+            }
+            fn on_event(&mut self, _: eclair_gui::SemanticEvent) -> bool {
+                false
+            }
+        }
+
+        let mut session = Session::new(Box::new(ProseApp));
+        session.dispatch(UserEvent::Scroll(400));
+        let before = session.scroll_y();
+        let mut model = FmModel::new(ModelProfile::oracle(), 7);
+        let cfg = ExecConfig::without_sop();
+        let err = locate(&mut model, &mut session, &cfg, "the Publish button");
+        assert!(err.is_err(), "{err:?}");
+        assert_eq!(
+            session.scroll_y(),
+            before,
+            "a failed probe must not leave the session scrolled somewhere random"
+        );
+    }
+
+    /// An app whose form opens under a *short* modal (a bar with a single
+    /// button, well under the old 100 px panel floor). `save_enabled`
+    /// controls whether the underlying action can succeed at all.
+    struct ShortModalApp {
+        notice_open: bool,
+        saved: bool,
+        save_enabled: bool,
+    }
+    impl eclair_gui::GuiApp for ShortModalApp {
+        fn name(&self) -> &str {
+            "short-modal"
+        }
+        fn url(&self) -> String {
+            if self.saved {
+                "/done".into()
+            } else {
+                "/form".into()
+            }
+        }
+        fn build(&self) -> eclair_gui::Page {
+            use eclair_gui::PageBuilder;
+            if self.saved {
+                let mut b = PageBuilder::new("Done", "/done");
+                b.heading(1, "Saved");
+                return b.finish();
+            }
+            let mut b = PageBuilder::new("Form", "/form");
+            b.heading(1, "Entry form");
+            let save = b.button("save", "Save entry");
+            if self.notice_open {
+                // A one-button cookie bar: height ≈ padding + button only.
+                b.modal("cookie-bar", |b| {
+                    b.button("cookie-ok", "OK");
+                });
+            }
+            let mut page = b.finish();
+            page.get_mut(save).enabled = self.save_enabled;
+            page
+        }
+        fn on_event(&mut self, ev: eclair_gui::SemanticEvent) -> bool {
+            match ev {
+                eclair_gui::SemanticEvent::Activated { name, .. } => match name.as_str() {
+                    "save" => {
+                        self.saved = true;
+                        true
+                    }
+                    "cookie-ok" => {
+                        self.notice_open = false;
+                        true
+                    }
+                    _ => false,
+                },
+                eclair_gui::SemanticEvent::Dismissed { name } if name == "cookie-bar" => {
+                    self.notice_open = false;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    #[test]
+    fn short_modal_is_detected_and_escaped() {
+        use eclair_gui::Session;
+
+        // Pre-fix, the 100 px height floor (in both perception and the
+        // escape panel lookup) made this dialog invisible to recovery.
+        let modal_h = {
+            use eclair_gui::GuiApp;
+            let app = ShortModalApp {
+                notice_open: true,
+                saved: false,
+                save_enabled: true,
+            };
+            let page = app.build();
+            let id = page.find_by_name("cookie-bar").unwrap();
+            page.get(id).bounds.h
+        };
+        assert!(
+            modal_h < 100,
+            "fixture must stay under the old floor (got {modal_h})"
+        );
+        let sop =
+            eclair_workflow::Sop::from_texts("Save the entry", &["Click the 'Save entry' button"]);
+        let mut model = FmModel::new(ModelProfile::oracle(), 4);
+        let mut session = Session::new(Box::new(ShortModalApp {
+            notice_open: true,
+            saved: false,
+            save_enabled: true,
+        }));
+        let cfg = ExecConfig::with_sop(sop);
+        let r = run_on_session(&mut model, &mut session, "Save the entry", &cfg);
+        assert!(
+            r.log
+                .iter()
+                .any(|l| l.contains("dismissed unexpected dialog")),
+            "the short dialog must be escaped: {:#?}",
+            r.log
+        );
+        assert_eq!(session.url(), "/done", "{:#?}", r.log);
+        assert!(r.recoveries <= r.failures);
+    }
+
+    #[test]
+    fn escape_without_successful_retry_is_not_a_recovery() {
+        use eclair_gui::Session;
+
+        // The dialog blocks a step whose target is permanently disabled:
+        // escaping clears the obstacle, but the retry still cannot land,
+        // so nothing recovered.
+        let sop =
+            eclair_workflow::Sop::from_texts("Save the entry", &["Click the 'Save entry' button"]);
+        let mut model = FmModel::new(ModelProfile::oracle(), 5);
+        let mut session = Session::new(Box::new(ShortModalApp {
+            notice_open: true,
+            saved: false,
+            save_enabled: false,
+        }));
+        let mut cfg = ExecConfig::with_sop(sop);
+        cfg.max_steps = 2;
+        let r = run_on_session(&mut model, &mut session, "Save the entry", &cfg);
+        assert!(
+            r.log
+                .iter()
+                .any(|l| l.contains("dismissed unexpected dialog")),
+            "{:#?}",
+            r.log
+        );
+        assert!(r.failures >= 1, "{:#?}", r.log);
+        assert_eq!(
+            r.recoveries, 0,
+            "an escape whose retry fails must not count as recovered: {:#?}",
+            r.log
+        );
+        assert!(r.recoveries <= r.failures);
+    }
+
+    #[test]
+    fn executor_relogins_after_chaos_session_expiry() {
+        use eclair_chaos::{ChaosProfile, ChaosSchedule, ChaosSession, FaultKind};
+
+        let t = task("gitlab-03");
+        // Expire the session at *every* step: each action first fails on
+        // the login interstitial, re-authenticates, then retries.
+        let schedule = ChaosSchedule::new(ChaosProfile::only(13, 1.0, FaultKind::SessionExpiry), 0);
+        let mut surface = ChaosSession::new(t.site.app(), schedule);
+        let mut model = FmModel::new(ModelProfile::oracle(), 1);
+        let cfg = ExecConfig::with_sop(t.gold_sop.clone()).budgeted(t.gold_trace.len());
+        let r = run_on_session(&mut model, &mut surface, &t.intent, &cfg);
+        assert!(
+            r.log.iter().any(|l| l.contains("re-authenticated")),
+            "{:#?}",
+            r.log
+        );
+        assert!(
+            t.success.evaluate(surface.inner()),
+            "the oracle must complete through constant expiry: {:#?}",
+            r.log
+        );
+        assert!(surface.faults_injected() > 0);
+        assert!(r.recoveries <= r.failures);
+    }
+
+    /// Archive button with a decoy button right under it, tall enough to
+    /// catch any chaos layout-shift displacement. Pre-fix, a shifted click
+    /// activated the decoy and the step reported "ok"; the run ended with
+    /// the wrong action taken and no failure on record.
+    struct DecoyApp {
+        archived: bool,
+        decoy_hits: u32,
+    }
+    impl eclair_gui::GuiApp for DecoyApp {
+        fn name(&self) -> &str {
+            "decoy"
+        }
+        fn url(&self) -> String {
+            "/ledger".into()
+        }
+        fn build(&self) -> eclair_gui::Page {
+            use eclair_gui::PageBuilder;
+            let mut b = PageBuilder::new("Ledger", "/ledger");
+            b.heading(1, "Ledger");
+            b.button("archive", "Archive now");
+            let decoy = b.button("decoy", "Discard ledger");
+            let mut page = b.finish();
+            page.get_mut(decoy).fixed_h = Some(160);
+            page.relayout();
+            page
+        }
+        fn on_event(&mut self, ev: eclair_gui::SemanticEvent) -> bool {
+            if let eclair_gui::SemanticEvent::Activated { name, .. } = &ev {
+                match name.as_str() {
+                    "archive" => self.archived = true,
+                    "decoy" => self.decoy_hits += 1,
+                    _ => {}
+                }
+            }
+            false
+        }
+        fn probe(&self, key: &str) -> Option<String> {
+            match key {
+                "archived" => Some(self.archived.to_string()),
+                "decoy_hits" => Some(self.decoy_hits.to_string()),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn displaced_click_is_a_failure_to_retry_not_a_silent_success() {
+        use eclair_chaos::{ChaosProfile, ChaosSchedule, ChaosSession, FaultKind};
+        use eclair_gui::GuiApp;
+
+        let schedule = ChaosSchedule::new(ChaosProfile::only(29, 1.0, FaultKind::LayoutShift), 0);
+        // Fixture self-check: the step-1 shift must carry the click from
+        // the archive button's center into the decoy, so the displaced
+        // click *activates* something (the silent-wrong-click case, not
+        // the easier click-hit-nothing one).
+        let shift = schedule.fault_at(1).expect("rate 1.0 fires").shift_px;
+        let page = DecoyApp {
+            archived: false,
+            decoy_hits: 0,
+        }
+        .build();
+        let target = page.get(page.find_by_name("archive").unwrap()).bounds;
+        let decoy = page.get(page.find_by_name("decoy").unwrap()).bounds;
+        assert!(
+            decoy.contains(target.center().offset(0, shift)),
+            "seed 29's step-1 shift ({shift}px) must land in the decoy"
+        );
+
+        let mut surface = ChaosSession::new(
+            Box::new(DecoyApp {
+                archived: false,
+                decoy_hits: 0,
+            }),
+            schedule,
+        );
+        let sop = eclair_workflow::Sop::from_texts(
+            "Archive the ledger",
+            &["Click the 'Archive now' button"],
+        );
+        let mut model = FmModel::new(ModelProfile::oracle(), 1);
+        let cfg = ExecConfig::with_sop(sop);
+        let r = run_on_session(&mut model, &mut surface, "Archive the ledger", &cfg);
+        assert!(
+            r.log.iter().any(|l| l.contains("landed at")),
+            "a displaced click must surface as a failure, not a silent success: {:#?}",
+            r.log
+        );
+        let app = surface.inner().app();
+        assert_eq!(
+            app.probe("decoy_hits").as_deref(),
+            Some("1"),
+            "the displaced click really did land on the decoy: {:#?}",
+            r.log
+        );
+        assert_eq!(
+            app.probe("archived").as_deref(),
+            Some("true"),
+            "the in-step retry must re-ground and land the intended click: {:#?}",
+            r.log
+        );
+        assert!(r.failures >= 1 && r.recoveries >= 1, "{:#?}", r.log);
+        assert!(surface.faults_injected() > 0);
+        assert!(r.recoveries <= r.failures);
+    }
+
+    /// A long page whose single action button sits at the bottom — when a
+    /// chaos modal (anchored near the top of the page) appears, the agent
+    /// has scrolled past it, so the dialog blocks input from *above* the
+    /// viewport.
+    struct BottomApp {
+        done: bool,
+    }
+    impl eclair_gui::GuiApp for BottomApp {
+        fn name(&self) -> &str {
+            "bottom"
+        }
+        fn url(&self) -> String {
+            "/bottom".into()
+        }
+        fn build(&self) -> eclair_gui::Page {
+            use eclair_gui::PageBuilder;
+            let mut b = PageBuilder::new("Bottom", "/bottom");
+            b.heading(1, "Archive report");
+            for i in 0..40 {
+                b.text(format!("ledger row {i}"));
+            }
+            b.button("finish", "Archive now");
+            b.finish()
+        }
+        fn on_event(&mut self, ev: eclair_gui::SemanticEvent) -> bool {
+            if matches!(&ev, eclair_gui::SemanticEvent::Activated { name, .. } if name == "finish")
+            {
+                self.done = true;
+                return true;
+            }
+            false
+        }
+        fn probe(&self, key: &str) -> Option<String> {
+            (key == "done").then(|| self.done.to_string())
+        }
+    }
+
+    #[test]
+    fn modal_above_the_viewport_is_found_by_the_scroll_probe() {
+        use eclair_chaos::{ChaosProfile, ChaosSchedule, ChaosSession, FaultKind};
+
+        let schedule = ChaosSchedule::new(ChaosProfile::only(7, 1.0, FaultKind::PromoModal), 0);
+        let mut surface = ChaosSession::new(Box::new(BottomApp { done: false }), schedule);
+        // The agent is already deep in the page when the dialog appears:
+        // its target is in view, the dialog (page y = 140) is not.
+        surface.dispatch(UserEvent::Scroll(10_000));
+        assert!(surface.scroll_y() > 400, "fixture must start scrolled");
+        let sop = eclair_workflow::Sop::from_texts(
+            "Archive the report",
+            &["Click the 'Archive now' button"],
+        );
+        let mut model = FmModel::new(ModelProfile::oracle(), 11);
+        let cfg = ExecConfig::with_sop(sop);
+        let r = run_on_session(&mut model, &mut surface, "Archive the report", &cfg);
+        // Pre-fix, the escape check only perceived the current (scrolled)
+        // viewport, never saw the dialog, and the run burned its budget
+        // clicking into a glass wall.
+        assert!(
+            r.log
+                .iter()
+                .any(|l| l.contains("dismissed unexpected dialog")),
+            "the out-of-view dialog must be found and escaped: {:#?}",
+            r.log
+        );
+        assert_eq!(
+            surface.inner().app().probe("done").as_deref(),
+            Some("true"),
+            "the blocked action must land after the escape: {:#?}",
+            r.log
+        );
+        assert!(surface.faults_injected() > 0);
+        assert!(r.recoveries <= r.failures);
     }
 
     #[test]

@@ -79,6 +79,7 @@ fn sop_correct(
         max_steps: (sop.len() * 2).max(8),
         retry_failed: true,
         escape_popups: true,
+        relogin_expired: true,
     };
     let ok = run_task(&mut model, task, &cfg).success;
     trace.merge(&model.trace().summary());

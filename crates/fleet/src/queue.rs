@@ -145,6 +145,32 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_a_blocked_pusher() {
+        // Regression: a pusher parked in the not-full wait must observe
+        // `closed` when it wakes, not re-park forever. Fill the queue,
+        // block a second push on capacity, then close with no consumer —
+        // the pusher must return promptly with its item.
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        std::thread::scope(|s| {
+            let blocked = s.spawn(|| q.push(2));
+            // The wait counter increments under the same lock the pusher
+            // parks with, so seeing it means the pusher reached the wait.
+            while q.stats().push_waits == 0 {
+                std::thread::yield_now();
+            }
+            q.close();
+            assert_eq!(
+                blocked.join().unwrap(),
+                Err(2),
+                "a pusher blocked at close() must get its item back"
+            );
+        });
+        assert_eq!(q.pop(), Some(1), "items accepted before close still drain");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn close_rejects_new_items_but_drains_old() {
         let q = BoundedQueue::new(2);
         q.push(7).unwrap();

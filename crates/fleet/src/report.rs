@@ -51,6 +51,9 @@ pub struct RunRecord {
     pub tokens: TokenMeter,
     /// Dollar cost of `tokens` under the profile's pricing.
     pub cost_usd: f64,
+    /// Faults the chaos layer injected across all attempts (0 when the
+    /// spec carries no chaos profile).
+    pub faults_injected: u64,
     /// Simulated steps spent executing (all attempts).
     pub exec_steps: u64,
     /// Simulated steps spent waiting in backoff between attempts.
@@ -249,6 +252,7 @@ mod tests {
             summary: RunSummary::default(),
             tokens: TokenMeter::default(),
             cost_usd: 0.0,
+            faults_injected: 0,
             exec_steps: 3,
             backoff_steps: 4,
             latency_steps: 7,

@@ -246,6 +246,56 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_mid_flight_keeps_the_record_partition_intact() {
+        // Cancel from another thread while the fleet is mid-run: retries
+        // are armed (impossible success predicate, several attempts with
+        // backoff), so cancellation lands between attempts or between
+        // runs non-deterministically. Whatever the interleaving, the
+        // report invariants must hold: one record per spec, run-id
+        // sorted, outcome counts partitioning the total, and cancelled
+        // records never having exhausted their retries.
+        let mut specs = small_specs(8, 13);
+        for s in &mut specs {
+            s.task.success = eclair_sites::SuccessCheck::probes(&[("never", "true")]);
+        }
+        let fleet = Fleet::new(FleetConfig {
+            workers: 2,
+            queue_capacity: 1,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                ..RetryPolicy::default()
+            },
+            fleet_seed: 13,
+        });
+        let token = fleet.cancel_token();
+        let report = std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                token.cancel();
+            });
+            fleet.run(specs)
+        });
+        let o = &report.outcome;
+        assert_eq!(o.records.len(), 8, "every spec must produce a record");
+        let ids: Vec<u64> = o.records.iter().map(|r| r.run_id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+        assert_eq!(o.succeeded, 0, "the success predicate is impossible");
+        assert_eq!(o.failed + o.cancelled, 8);
+        for r in &o.records {
+            match r.outcome {
+                RunOutcome::Cancelled => {
+                    // Cut short before exhausting retries: either never
+                    // started (drained from the queue) or interrupted
+                    // between attempts, mid-backoff.
+                    assert!(r.attempts < 4, "cancelled runs never exhaust retries");
+                    assert!(r.attempts > 0 || r.result.log.is_empty());
+                }
+                _ => assert_eq!(r.attempts, 4, "uncancelled runs retry to exhaustion"),
+            }
+        }
+    }
+
+    #[test]
     fn tiny_queue_applies_backpressure_but_not_to_results() {
         let fleet = Fleet::new(FleetConfig {
             workers: 2,

@@ -7,6 +7,7 @@
 //! no shared mutable state, so which worker executes which run (and in
 //! what order) cannot influence any result.
 
+use eclair_chaos::ChaosProfile;
 use eclair_core::execute::executor::ExecConfig;
 use eclair_fm::FmProfile;
 use eclair_sites::TaskSpec;
@@ -47,6 +48,12 @@ pub struct RunSpec {
     pub deadline_steps: Option<usize>,
     /// Executor configuration for each attempt.
     pub config: ExecConfig,
+    /// Optional fault-injection profile. When set, every attempt runs
+    /// against a `ChaosSession` whose schedule is
+    /// `ChaosSchedule::new(profile, run_id)` — pure in
+    /// `(chaos_seed, run_id, step)`, so the fault environment is as
+    /// deterministic as the model noise and independent of it.
+    pub chaos: Option<ChaosProfile>,
 }
 
 impl RunSpec {
@@ -62,6 +69,7 @@ impl RunSpec {
             token_budget: None,
             deadline_steps: None,
             config,
+            chaos: None,
         }
     }
 
@@ -80,6 +88,12 @@ impl RunSpec {
     /// Replace the executor configuration.
     pub fn with_config(mut self, config: ExecConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attach a fault-injection profile; attempts will run under chaos.
+    pub fn with_chaos(mut self, chaos: ChaosProfile) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -124,5 +138,15 @@ mod tests {
         seeds.sort();
         seeds.dedup();
         assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn chaos_profile_is_off_by_default_and_attaches_via_builder() {
+        let task = all_tasks().remove(0);
+        let spec = RunSpec::for_task(1, 0, task, FmProfile::Oracle);
+        assert!(spec.chaos.is_none());
+        let profile = ChaosProfile::full(99, 0.25);
+        let spec = spec.with_chaos(profile.clone());
+        assert_eq!(spec.chaos, Some(profile));
     }
 }

@@ -7,7 +7,8 @@
 //! stream of the run seed), and a private trace recorder per attempt —
 //! so its outputs depend only on the spec, never on scheduling.
 
-use eclair_core::execute::executor::{run_task, RunResult};
+use eclair_chaos::{ChaosSchedule, ChaosSession};
+use eclair_core::execute::executor::{run_on_session, run_task, RunResult};
 use eclair_fm::tokens::Pricing;
 use eclair_fm::{FmProfile, TokenMeter};
 use eclair_trace::{RunSummary, TraceEvent};
@@ -55,6 +56,7 @@ pub fn execute_spec(
 
     let mut attempts = 0u32;
     let mut exec_steps = 0u64;
+    let mut faults_injected = 0u64;
     let mut backoff_steps = 0u64;
     let mut outcome = RunOutcome::Cancelled;
     let mut last: Option<RunResult> = None;
@@ -67,7 +69,21 @@ pub fn execute_spec(
         let mut model = spec
             .profile
             .instantiate(derive_seed(spec.seed, attempt as u64));
-        let result = run_task(&mut model, &spec.task, &cfg);
+        let result = match &spec.chaos {
+            Some(profile) => {
+                // Chaos path: the same executor, but the session is
+                // wrapped in a fault injector scheduled purely from
+                // `(chaos_seed, run_id, step)` — retrying an attempt
+                // replays the identical fault sequence.
+                let schedule = ChaosSchedule::new(profile.clone(), spec.run_id);
+                let mut surface = ChaosSession::new(spec.task.site.app(), schedule);
+                let mut r = run_on_session(&mut model, &mut surface, &spec.task.intent, &cfg);
+                r.success = spec.task.success.evaluate(surface.inner());
+                faults_injected += surface.faults_injected();
+                r
+            }
+            None => run_task(&mut model, &spec.task, &cfg),
+        };
         exec_steps += result.actions_attempted as u64;
         summary.merge(&model.trace().summary());
         tokens.merge(model.meter());
@@ -119,6 +135,7 @@ pub fn execute_spec(
         summary,
         tokens,
         cost_usd,
+        faults_injected,
         exec_steps,
         backoff_steps,
         latency_steps: exec_steps + backoff_steps,
@@ -146,6 +163,7 @@ pub fn cancelled_record(spec: &RunSpec) -> (RunRecord, Vec<TraceEvent>) {
         summary: RunSummary::default(),
         tokens: TokenMeter::default(),
         cost_usd: 0.0,
+        faults_injected: 0,
         exec_steps: 0,
         backoff_steps: 0,
         latency_steps: 0,
@@ -228,6 +246,32 @@ mod tests {
         assert_eq!(rec.outcome, RunOutcome::Cancelled);
         assert_eq!(rec.attempts, 0);
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn chaos_attempts_inject_faults_and_stay_deterministic() {
+        use eclair_chaos::ChaosProfile;
+        let s = spec(6).with_chaos(ChaosProfile::full(17, 1.0));
+        let p = RetryPolicy::default();
+        let (rec_a, ev_a) = execute_spec(&s, &p, &CancelToken::new());
+        let (rec_b, ev_b) = execute_spec(&s, &p, &CancelToken::new());
+        assert_eq!(rec_a, rec_b, "chaos runs are pure functions of the spec");
+        assert_eq!(ev_a, ev_b);
+        assert!(
+            rec_a.faults_injected > 0,
+            "a fault rate of 1.0 must inject at every step"
+        );
+        assert!(
+            ev_a.iter()
+                .any(|e| matches!(e.kind, eclair_trace::EventKind::FaultInjected { .. })),
+            "injections must surface in the trace"
+        );
+    }
+
+    #[test]
+    fn chaos_free_runs_report_zero_faults() {
+        let (rec, _) = execute_spec(&spec(7), &RetryPolicy::default(), &CancelToken::new());
+        assert_eq!(rec.faults_injected, 0);
     }
 
     #[test]

@@ -114,8 +114,10 @@ pub fn perceive<R: Rng>(shot: &Screenshot, profile: &ModelProfile, rng: &mut R) 
                 continue;
             }
             VisualClass::PanelEdge
-                // A large centered panel edge reads as a modal.
-                if item.rect.w >= 300 && item.rect.h >= 100 && item.text.is_empty() => {
+                // A wide text-free panel edge reads as a modal. Only
+                // hairline dividers are excluded by height — short dialogs
+                // (a single line plus a button) are still dialogs.
+                if item.rect.w >= 300 && item.rect.h > 12 && item.text.is_empty() => {
                     modal_seen = true;
                 }
             _ => {}

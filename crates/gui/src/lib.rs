@@ -33,6 +33,7 @@ pub mod html;
 pub mod layout;
 pub mod screenshot;
 pub mod session;
+pub mod surface;
 pub mod theme;
 pub mod tree;
 pub mod widget;
@@ -41,6 +42,7 @@ pub use event::{Key, SemanticEvent, UserEvent};
 pub use geometry::{Point, Rect, Size, SizeBucket};
 pub use screenshot::{PaintItem, Screenshot, VisualClass};
 pub use session::{GuiApp, Session};
+pub use surface::{FaultNote, GuiSurface};
 pub use theme::{DriftOp, Theme};
 pub use tree::{Page, PageBuilder};
 pub use widget::{Widget, WidgetId, WidgetKind};

@@ -74,6 +74,11 @@ pub struct Session {
     /// Monotonic event counter; drives caret blink phase.
     frame: u64,
     nav_count: u32,
+    /// Names of editable widgets holding uncommitted edits. Rebuilds on
+    /// the same URL transplant these values unconditionally — a re-render
+    /// (a popup appearing, a widget toggling) must not revert what the
+    /// user has typed, even over a prefilled value.
+    edited: std::collections::HashSet<String>,
 }
 
 impl Session {
@@ -94,6 +99,7 @@ impl Session {
             focus: None,
             frame: 0,
             nav_count: 0,
+            edited: std::collections::HashSet::new(),
         }
     }
 
@@ -143,10 +149,16 @@ impl Session {
         self.theme.apply(&mut self.page);
         self.focus = None;
         if url_changed {
+            // Navigation unloads the page; drafts do not survive it.
             self.scroll_y = 0;
+            self.edited.clear();
         } else {
             // Same screen re-rendered: keep scroll position and transplant
             // uncommitted form values the rebuild would otherwise wipe.
+            // Fields the user actively edited carry over unconditionally
+            // (their draft beats whatever the app re-renders, prefilled or
+            // not); untouched fields only fill in where the rebuild left
+            // them empty.
             self.scroll_y = self.scroll_y.clamp(0, self.max_scroll());
             let names: Vec<(String, String)> = old
                 .iter()
@@ -156,7 +168,7 @@ impl Session {
             for (name, value) in names {
                 if let Some(id) = self.page.find_by_name(&name) {
                     let w = self.page.get_mut(id);
-                    if w.value.is_empty() && !value.is_empty() {
+                    if self.edited.contains(&name) || (w.value.is_empty() && !value.is_empty()) {
                         w.value = value;
                     }
                 }
@@ -267,6 +279,7 @@ impl Session {
                 label,
                 fields,
             });
+            self.edited.clear();
             if rebuild {
                 self.after_app_event();
             }
@@ -315,6 +328,10 @@ impl Session {
         } else {
             w.value.push_str(text);
         }
+        let name = w.name.clone();
+        if !name.is_empty() {
+            self.edited.insert(name);
+        }
         EffectKind::Typed
     }
 
@@ -324,6 +341,10 @@ impl Session {
                 if let Some(id) = self.focus {
                     let w = self.page.get_mut(id);
                     if w.kind.is_editable() && w.value.pop().is_some() {
+                        let name = w.name.clone();
+                        if !name.is_empty() {
+                            self.edited.insert(name);
+                        }
                         return (self.focus_hit(), EffectKind::Typed);
                     }
                 }
@@ -667,6 +688,68 @@ mod tests {
         s.dispatch(UserEvent::Press(Key::Backspace));
         let title = s.page().find_by_name("title").unwrap();
         assert_eq!(s.page().get(title).value, "ab");
+    }
+
+    #[test]
+    fn draft_in_a_prefilled_field_survives_a_same_url_rebuild() {
+        /// Settings screen with a prefilled field; a banner appears on
+        /// tick — a same-URL re-render, like a chaos modal or a toast
+        /// expiring mid-edit.
+        struct PrefilledApp {
+            banner: bool,
+        }
+        impl GuiApp for PrefilledApp {
+            fn name(&self) -> &str {
+                "prefilled"
+            }
+            fn url(&self) -> String {
+                "/settings".into()
+            }
+            fn build(&self) -> Page {
+                let mut b = PageBuilder::new("Settings", "/settings");
+                let mut rate = None;
+                b.form("settings", |b| {
+                    rate = Some(b.text_input("rate", "Tax rate", ""));
+                    b.button("apply", "Apply");
+                });
+                if self.banner {
+                    b.toast("Connection restored");
+                }
+                let mut page = b.finish();
+                page.get_mut(rate.unwrap()).value = "0.00".into();
+                page
+            }
+            fn on_event(&mut self, _: SemanticEvent) -> bool {
+                false
+            }
+            fn tick(&mut self) -> bool {
+                if !self.banner {
+                    self.banner = true;
+                    return true;
+                }
+                false
+            }
+        }
+
+        let mut s = Session::new(Box::new(PrefilledApp { banner: false }));
+        let rate = s.page().find_by_name("rate").unwrap();
+        assert_eq!(
+            s.page().get(rate).value,
+            "0.00",
+            "fixture prefills the field"
+        );
+        click_widget(&mut s, "rate");
+        for _ in 0..4 {
+            s.dispatch(UserEvent::Press(Key::Backspace));
+        }
+        s.dispatch(UserEvent::Type("7.25".into()));
+        s.tick(); // banner appears: same-URL rebuild mid-edit
+        let rate = s.page().find_by_name("rate").unwrap();
+        assert_eq!(
+            s.page().get(rate).value,
+            "7.25",
+            "a same-URL re-render must not revert an actively edited field to its prefill"
+        );
     }
 
     #[test]

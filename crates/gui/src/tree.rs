@@ -246,6 +246,42 @@ impl Page {
     pub(crate) fn push_widget(&mut self, w: Widget) {
         self.widgets.push(w);
     }
+
+    /// Overlay a modal dialog (one text line plus a dismiss button) onto
+    /// an already-built page and re-run layout. Used by fault injectors
+    /// (`eclair-chaos`) to reproduce the paper's "irrelevant pop-up
+    /// appears" scenario on arbitrary screens; the modal captures input
+    /// exactly like a builder-made one (see [`Page::hit_test`]).
+    pub fn inject_modal(
+        &mut self,
+        name: &str,
+        text: &str,
+        button_name: &str,
+        button_label: &str,
+    ) -> WidgetId {
+        let root = self.root();
+        let mut attach = |mut w: Widget, parent: WidgetId| {
+            let id = WidgetId(self.len() as u32);
+            w.id = id;
+            w.parent = Some(parent);
+            self.push_widget(w);
+            id
+        };
+        let mut modal = Widget::new(WidgetKind::Modal);
+        modal.name = name.into();
+        let modal_id = attach(modal, root);
+        let mut body = Widget::new(WidgetKind::Text);
+        body.label = text.into();
+        let body_id = attach(body, modal_id);
+        let mut btn = Widget::new(WidgetKind::Button);
+        btn.name = button_name.into();
+        btn.label = button_label.into();
+        let btn_id = attach(btn, modal_id);
+        self.get_mut(modal_id).children = vec![body_id, btn_id];
+        self.get_mut(root).children.push(modal_id);
+        self.relayout();
+        modal_id
+    }
 }
 
 /// Builder DSL for pages. Containers nest through closures:

@@ -22,24 +22,26 @@ pub enum Site {
 }
 
 impl Site {
+    /// A fresh instance of this site's application on its standard
+    /// fixture. Harnesses that need to wrap the app before building a
+    /// session (fault injection, instrumentation) start here.
+    pub fn app(&self) -> Box<dyn eclair_gui::GuiApp> {
+        match self {
+            Site::Gitlab => Box::new(GitlabApp::new()),
+            Site::Magento => Box::new(MagentoApp::new()),
+            Site::Erp => Box::new(ErpApp::new()),
+            Site::Payer => Box::new(PayerApp::new()),
+        }
+    }
+
     /// Launch a fresh session on this site's standard fixture.
     pub fn launch(&self) -> Session {
-        match self {
-            Site::Gitlab => Session::new(Box::new(GitlabApp::new())),
-            Site::Magento => Session::new(Box::new(MagentoApp::new())),
-            Site::Erp => Session::new(Box::new(ErpApp::new())),
-            Site::Payer => Session::new(Box::new(PayerApp::new())),
-        }
+        Session::new(self.app())
     }
 
     /// Launch with a theme (for drift studies).
     pub fn launch_with_theme(&self, theme: eclair_gui::Theme) -> Session {
-        match self {
-            Site::Gitlab => Session::with_theme(Box::new(GitlabApp::new()), theme),
-            Site::Magento => Session::with_theme(Box::new(MagentoApp::new()), theme),
-            Site::Erp => Session::with_theme(Box::new(ErpApp::new()), theme),
-            Site::Payer => Session::with_theme(Box::new(PayerApp::new()), theme),
-        }
+        Session::with_theme(self.app(), theme)
     }
 
     /// Display name.

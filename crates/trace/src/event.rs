@@ -81,6 +81,10 @@ pub enum EventKind {
     Retry { what: String },
     /// An unexpected modal/popup was dismissed.
     PopupEscape { url: String },
+    /// A chaos fault was injected at the GUI boundary (`eclair-chaos`).
+    /// `step` is the 1-based executor step the fault was armed at; `fault`
+    /// is the stable kind name (e.g. `"stale-frame"`).
+    FaultInjected { step: u64, fault: String },
     /// A validator produced a verdict.
     ValidatorVerdict { validator: String, passed: bool },
     /// Free-text narration (renders verbatim into the legacy log).

@@ -89,6 +89,9 @@ fn describe(kind: &EventKind) -> String {
         }
         EventKind::Retry { what } => format!("retry {what}"),
         EventKind::PopupEscape { url } => format!("popup escaped at {url}"),
+        EventKind::FaultInjected { step, fault } => {
+            format!("fault injected at step {step}: {fault}")
+        }
         EventKind::ValidatorVerdict { validator, passed } => {
             format!(
                 "verdict {validator}: {}",

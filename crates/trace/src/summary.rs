@@ -24,6 +24,8 @@ pub struct PhaseStats {
     pub retries: u64,
     /// Unexpected popups dismissed.
     pub popup_escapes: u64,
+    /// Chaos faults injected at the GUI boundary.
+    pub faults_injected: u64,
 }
 
 impl PhaseStats {
@@ -42,6 +44,7 @@ impl PhaseStats {
         self.grounding_resolved += other.grounding_resolved;
         self.retries += other.retries;
         self.popup_escapes += other.popup_escapes;
+        self.faults_injected += other.faults_injected;
     }
 }
 
@@ -152,6 +155,7 @@ impl RunSummary {
                 }
                 EventKind::Retry { .. } => s.phase_mut(&stack).retries += 1,
                 EventKind::PopupEscape { .. } => s.phase_mut(&stack).popup_escapes += 1,
+                EventKind::FaultInjected { .. } => s.phase_mut(&stack).faults_injected += 1,
                 EventKind::ValidatorVerdict { passed, .. } => {
                     if *passed {
                         s.verdicts_pass += 1;

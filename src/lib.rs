@@ -29,6 +29,7 @@
 //! | [`core`] | ECLAIR itself: Demonstrate / Execute / Validate + experiments |
 //! | [`fleet`] | concurrent multi-workflow scheduler (retries, budgets, backpressure) |
 
+pub use eclair_chaos as chaos;
 pub use eclair_core as core;
 pub use eclair_fleet as fleet;
 pub use eclair_fm as fm;
