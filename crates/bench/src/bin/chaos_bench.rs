@@ -109,15 +109,15 @@ fn point(
         .iter()
         .filter(|r| r.result.success && baseline_wins.contains(&r.run_id))
         .count();
-    let failures_total: u64 = o.records.iter().map(|r| r.result.failures as u64).sum();
-    let recoveries_total: u64 = o.records.iter().map(|r| r.result.recoveries as u64).sum();
-    let faults_total: u64 = o.records.iter().map(|r| r.faults_injected).sum();
+    let failures_total = o.failures_total();
+    let recoveries_total = o.recoveries_total();
+    let faults_total = o.faults_injected_total();
     ChaosPoint {
         profile: profile.name().to_string(),
         fault_rate: rate,
         runs,
         completed: o.succeeded,
-        completion_rate: o.succeeded as f64 / runs.max(1) as f64,
+        completion_rate: o.completion_rate(),
         failures_total,
         recoveries_total,
         recovery_rate: if failures_total > 0 {
@@ -206,10 +206,15 @@ fn main() {
     // Determinism gate on the canonical point (GPT-4 at the top rate):
     // sequential vs 4-worker pool must serialize byte-identically.
     let top_rate = *rates.last().unwrap();
-    let canon_seq = fleet(1).run_sequential(specs(FmProfile::Gpt4V, top_rate, tasks, reps));
-    let canon_par = fleet(4).run(specs(FmProfile::Gpt4V, top_rate, tasks, reps));
+    let canon_seq = fleet(1)
+        .run_sequential(specs(FmProfile::Gpt4V, top_rate, tasks, reps))
+        .expect("sequential canonical point");
+    let canon_par = fleet(4)
+        .run(specs(FmProfile::Gpt4V, top_rate, tasks, reps))
+        .expect("parallel canonical point");
     let determinism_ok = canon_seq.outcome.to_json() == canon_par.outcome.to_json()
-        && canon_seq.merged_trace_jsonl() == canon_par.merged_trace_jsonl();
+        && canon_seq.merged_trace_jsonl().expect("merged trace")
+            == canon_par.merged_trace_jsonl().expect("merged trace");
     println!(
         "determinism (gpt-4v @ {top_rate}): {}",
         if determinism_ok { "ok" } else { "MISMATCH" }
@@ -219,7 +224,9 @@ fn main() {
     for &profile in &profiles {
         let mut baseline_wins = std::collections::HashSet::new();
         for &rate in &rates {
-            let report = fleet(4).run(specs(profile, rate, tasks, reps));
+            let report = fleet(4)
+                .run(specs(profile, rate, tasks, reps))
+                .expect("sweep point");
             if rate == rates[0] {
                 baseline_wins = report
                     .outcome
@@ -278,7 +285,7 @@ fn main() {
         let det = format!(
             "{}\ntrace_fnv1a={:016x}\n",
             canon_seq.outcome.to_json(),
-            fnv1a(&canon_seq.merged_trace_jsonl())
+            fnv1a(&canon_seq.merged_trace_jsonl().expect("merged trace"))
         );
         std::fs::write(&path, det).expect("write determinism artifact");
         println!("wrote {path}");

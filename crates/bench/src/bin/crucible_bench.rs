@@ -1,0 +1,152 @@
+//! Crucible sweep: run a fixed grid of generated scenarios through the
+//! fleet, evaluate the full oracle registry on each, and emit a
+//! byte-reproducible `BENCH_crucible.json`.
+//!
+//! Usage:
+//!   crucible_bench [--out BENCH_crucible.json]
+//!
+//! The artifact carries no wall-clock — scenario counts, oracle-check
+//! counts, violations, and an FNV-1a digest over every scenario's
+//! serialized outcome — so two back-to-back invocations must produce
+//! byte-identical files (the CI `crucible-smoke` job diffs them).
+//! `ECLAIR_FAST=1` shrinks the sweep from 64 to 16 scenarios. Any oracle
+//! violation exits 1 after printing the shrunk reproduction.
+
+use eclair_bench::fast_mode;
+use eclair_crucible::{evaluate, repro_snippet, run_scenario, shrink, Scenario};
+use serde::Serialize;
+
+/// The sweep's master seed: every scenario derives from it, so this one
+/// number pins the whole artifact.
+const MASTER_SEED: u64 = 0xEC1A_12C7_0C1B_1E00;
+
+/// One scenario's row in the artifact.
+#[derive(Debug, Serialize)]
+struct ScenarioRow {
+    id: u64,
+    seed: u64,
+    tasks: usize,
+    profile: String,
+    chaos_rate: f64,
+    workers: usize,
+    succeeded: u64,
+    failed: u64,
+    faults_injected: u64,
+    oracle_checks: usize,
+    violations: usize,
+}
+
+/// The whole artifact. Deliberately wall-clock-free: byte-reproducible.
+#[derive(Debug, Serialize)]
+struct CrucibleBenchJson {
+    master_seed: u64,
+    scenarios_explored: usize,
+    oracle_checks_evaluated: usize,
+    violations: usize,
+    violation_details: Vec<String>,
+    /// FNV-1a over every scenario's serialized fleet outcome, in id
+    /// order — two invocations of the same sweep must agree on every
+    /// byte of every outcome, not just on the counters.
+    outcome_digest: String,
+    rows: Vec<ScenarioRow>,
+}
+
+/// FNV-1a digest (same construction as fleet_bench / chaos_bench).
+fn fnv1a_extend(h: &mut u64, text: &str) {
+    for b in text.as_bytes() {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let sweep = if fast_mode() { 16u64 } else { 64u64 };
+    println!("crucible_bench: {sweep}-scenario sweep, master seed 0x{MASTER_SEED:016x}");
+
+    let mut rows = Vec::with_capacity(sweep as usize);
+    let mut total_checks = 0usize;
+    let mut violation_details = Vec::new();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+
+    for id in 0..sweep {
+        let scenario = Scenario::generate(MASTER_SEED, id);
+        let run = match run_scenario(&scenario) {
+            Ok(run) => run,
+            Err(e) => {
+                // A malformed trace is itself a harness-level violation.
+                violation_details.push(format!("scenario {id}: merge failed: {e}"));
+                continue;
+            }
+        };
+        let eval = evaluate(&run);
+        total_checks += eval.checks;
+        fnv1a_extend(&mut digest, &run.report.outcome.to_json());
+        let o = &run.report.outcome;
+        rows.push(ScenarioRow {
+            id,
+            seed: scenario.seed,
+            tasks: scenario.task_indices.len(),
+            profile: scenario.profile.name().to_string(),
+            chaos_rate: scenario.chaos_rate,
+            workers: scenario.workers,
+            succeeded: o.succeeded,
+            failed: o.failed,
+            faults_injected: o.faults_injected_total(),
+            oracle_checks: eval.checks,
+            violations: eval.violations.len(),
+        });
+        for v in &eval.violations {
+            println!("VIOLATION scenario {id}: [{}] {}", v.oracle, v.detail);
+            violation_details.push(format!("scenario {id}: [{}] {}", v.oracle, v.detail));
+            // Shrink against the specific oracle that fired, then print
+            // the paste-ready regression test.
+            let oracle = v.oracle;
+            let mut still_fires = |s: &Scenario| {
+                run_scenario(s)
+                    .map(|r| evaluate(&r).violations.iter().any(|w| w.oracle == oracle))
+                    .unwrap_or(false)
+            };
+            let minimal = shrink(&scenario, &mut still_fires, 100).minimal;
+            println!("shrunk reproduction:");
+            println!("{}", repro_snippet(&minimal, oracle, Some(MASTER_SEED)));
+        }
+    }
+
+    let violations = violation_details.len();
+    println!(
+        "{} scenarios, {} oracle checks, {} violations, outcome digest {digest:016x}",
+        rows.len(),
+        total_checks,
+        violations
+    );
+
+    let artifact = CrucibleBenchJson {
+        master_seed: MASTER_SEED,
+        scenarios_explored: rows.len(),
+        oracle_checks_evaluated: total_checks,
+        violations,
+        violation_details,
+        outcome_digest: format!("{digest:016x}"),
+        rows,
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_crucible.json".to_string());
+    std::fs::write(
+        &out_path,
+        serde_json::to_string(&artifact).expect("bench artifact serializes"),
+    )
+    .expect("write bench artifact");
+    println!("wrote {out_path}");
+
+    if violations > 0 {
+        eprintln!("FAIL: {violations} oracle violations across the sweep");
+        std::process::exit(1);
+    }
+}

@@ -113,10 +113,12 @@ fn main() {
         fleet_seed,
         ..FleetConfig::default()
     });
-    let baseline = baseline_fleet.run_sequential(specs(fleet_seed, tasks, reps));
+    let baseline = baseline_fleet
+        .run_sequential(specs(fleet_seed, tasks, reps))
+        .expect("sequential baseline");
     let baseline_ms = wall_ms(&baseline);
     let baseline_json = baseline.outcome.to_json();
-    let baseline_trace = baseline.merged_trace_jsonl();
+    let baseline_trace = baseline.merged_trace_jsonl().expect("baseline trace");
     println!(
         "sequential baseline: {:.1} ms, {:.1} runs/s, {} succeeded, {} retries",
         baseline_ms,
@@ -134,9 +136,11 @@ fn main() {
             retry,
             fleet_seed,
         });
-        let report = fleet.run(specs(fleet_seed, tasks, reps));
+        let report = fleet
+            .run(specs(fleet_seed, tasks, reps))
+            .expect("fleet run");
         let ok = report.outcome.to_json() == baseline_json
-            && report.merged_trace_jsonl() == baseline_trace;
+            && report.merged_trace_jsonl().expect("merged trace") == baseline_trace;
         determinism_ok &= ok;
         let ms = wall_ms(&report);
         println!(

@@ -15,6 +15,8 @@
 //! | `case_study` | Section 3 — RPA deployment dynamics vs ECLAIR |
 //! | `repro_all` | everything above, with a paper-vs-measured summary |
 //! | `fleet_bench` | fleet-mode worker sweep (1/2/4/8) over the 30-task suite → `BENCH_fleet.json` |
+//! | `chaos_bench` | fault-rate × profile completion/recovery curves → `BENCH_chaos.json` |
+//! | `crucible_bench` | 64-scenario simulation sweep under the oracle registry → `BENCH_crucible.json` |
 //!
 //! Every binary prints the paper's layout followed by a
 //! [`eclair_metrics::PaperComparison`] block. Results are deterministic

@@ -160,6 +160,52 @@ mod tests {
         }
 
         #[test]
+        fn fault_at_is_query_order_independent(
+            seed in 0u64..u64::MAX,
+            run_id in 0u64..64,
+            rate in 0.0f64..1.0,
+        ) {
+            // The schedule is stateless: querying steps forwards,
+            // backwards, repeatedly, or interleaved must yield the same
+            // fault for the same (chaos_seed, run_id, step) triple.
+            let sched = ChaosSchedule::new(ChaosProfile::full(seed, rate), run_id);
+            let forward: Vec<_> = (1..=40u64).map(|s| sched.fault_at(s)).collect();
+            let mut backward: Vec<_> = (1..=40u64).rev().map(|s| sched.fault_at(s)).collect();
+            backward.reverse();
+            prop_assert_eq!(&forward, &backward);
+            for &s in &[7u64, 3, 7, 40, 1, 3] {
+                prop_assert_eq!(sched.fault_at(s), forward[(s - 1) as usize].clone());
+            }
+        }
+
+        #[test]
+        fn lower_rates_nest_inside_higher_rates(
+            seed in 0u64..u64::MAX,
+            run_id in 0u64..32,
+            lo in 0.05f64..0.5,
+            bump in 0.05f64..0.5,
+        ) {
+            // Metamorphic nesting: every fault scheduled at rate `lo` is
+            // also scheduled — with an identical FaultSpec, displacement
+            // included — at any higher rate, because the accept draw and
+            // the kind/shift draws come from the same per-step stream.
+            let hi = (lo + bump).min(1.0);
+            let low = ChaosSchedule::new(ChaosProfile::full(seed, lo), run_id);
+            let high = ChaosSchedule::new(ChaosProfile::full(seed, hi), run_id);
+            for step in 1..=80u64 {
+                if let Some(f) = low.fault_at(step) {
+                    prop_assert_eq!(
+                        high.fault_at(step),
+                        Some(f),
+                        "fault at rate {} must persist identically at rate {}",
+                        lo,
+                        hi
+                    );
+                }
+            }
+        }
+
+        #[test]
         fn shift_px_is_set_iff_layout_shift(seed in 0u64..500) {
             let sched = ChaosSchedule::new(ChaosProfile::full(seed, 0.8), 1);
             for f in sched.enumerate(60) {

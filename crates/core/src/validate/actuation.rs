@@ -80,6 +80,23 @@ mod tests {
     }
 
     #[test]
+    fn blank_frame_pair_judged_not_executed() {
+        // Degenerate input: a page with no elements at all on both sides
+        // of the action. Nothing changed, so nothing executed.
+        let blank = PageBuilder::new("empty", "/empty")
+            .finish()
+            .screenshot_at(0);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 7);
+        let mut false_pos = 0;
+        for _ in 0..200 {
+            if check_actuation(&mut model, &blank, "click anything", &blank).verdict {
+                false_pos += 1;
+            }
+        }
+        assert!(false_pos < 10, "blank identical frames: {false_pos}/200");
+    }
+
+    #[test]
     fn visible_change_judged_executed() {
         let mut p = page();
         let before = p.screenshot_at(0);

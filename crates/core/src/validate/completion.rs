@@ -158,6 +158,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_and_single_action_recordings_read_incomplete() {
+        // Degenerate trajectories: a recording cut to its opening frame
+        // (no actions) and one cut to a single action are both still on
+        // the start screen with no confirmation — the checker should
+        // call them unfinished for most tasks.
+        let tasks: Vec<_> = all_tasks().into_iter().take(8).collect();
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 5);
+        let mut fp = 0;
+        for t in &tasks {
+            let rec = record_gold_demo(t);
+            let n = rec.num_actions();
+            let zero = rec.truncated(n);
+            assert_eq!(zero.num_actions(), 0);
+            assert_eq!(zero.frames.len(), 1, "opening frame survives the cut");
+            if check_completion(&mut model, &zero, &t.intent).verdict {
+                fp += 1;
+            }
+            let single = rec.truncated(n - 1);
+            assert_eq!(single.num_actions(), 1);
+            if check_completion(&mut model, &single, &t.intent).verdict {
+                fp += 1;
+            }
+        }
+        assert!(
+            fp <= 4,
+            "degenerate traces mostly judged incomplete: {fp}/16"
+        );
+    }
+
+    #[test]
     fn quoted_extraction() {
         assert_eq!(
             quoted_strings("Create an issue titled 'A b' with label 'c'"),

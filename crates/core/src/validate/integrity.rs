@@ -143,6 +143,62 @@ mod tests {
     }
 
     #[test]
+    fn vacuous_constraint_is_viable_even_on_a_blank_page() {
+        // Edge case: an action with no preconditions. The evidence floor
+        // (0.8) clears the viability bar regardless of what's on screen,
+        // including nothing at all.
+        let blank = PageBuilder::new("empty", "/empty")
+            .finish()
+            .screenshot_at(0);
+        let ic = IntegrityConstraint {
+            action_desc: "wait".into(),
+            preds: vec![],
+        };
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 8);
+        let mut yes = 0;
+        for _ in 0..100 {
+            if check_integrity(&mut model, &ic, &blank).verdict {
+                yes += 1;
+            }
+        }
+        assert!(yes > 75, "vacuous constraint is viable: {yes}/100");
+    }
+
+    #[test]
+    fn single_predicate_is_the_whole_verdict() {
+        // A one-predicate constraint stands or falls on that predicate
+        // alone: a decisive URL check should dominate the judge's noise.
+        let s = Session::new(Box::new(FormApp));
+        let shot = s.screenshot_at_phase(false);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 9);
+        let hold = IntegrityConstraint {
+            action_desc: "submit".into(),
+            preds: vec![Constraint::UrlContains("form".into())],
+        };
+        let broken = IntegrityConstraint {
+            action_desc: "submit".into(),
+            preds: vec![Constraint::UrlContains("checkout".into())],
+        };
+        let (mut yes_hold, mut yes_broken) = (0, 0);
+        for _ in 0..100 {
+            if check_integrity(&mut model, &hold, &shot).verdict {
+                yes_hold += 1;
+            }
+            if check_integrity(&mut model, &broken, &shot).verdict {
+                yes_broken += 1;
+            }
+        }
+        assert!(
+            yes_hold > 60,
+            "matching URL predicate holds: {yes_hold}/100"
+        );
+        assert!(
+            yes_broken < 10,
+            "failing URL predicate sinks it: {yes_broken}/100"
+        );
+    }
+
+    #[test]
     fn focus_constraint_fails_without_caret() {
         // The field IS focused (oracle truth) but the frame caught the
         // blink-off phase: the model cannot confirm and says not-viable.

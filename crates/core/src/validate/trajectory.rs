@@ -153,4 +153,46 @@ mod tests {
         assert!(alignment_score(&reversed, &sop) < 0.5);
         assert_eq!(alignment_score(&[], &sop), 0.0);
     }
+
+    #[test]
+    fn alignment_score_single_step_and_empty_sop_edges() {
+        let one = Sop::from_texts("t", &["Click the 'Save' button"]);
+        // One observed step matching a one-step SOP: perfect alignment.
+        let obs = vec!["Click the 'Save' button".to_string()];
+        assert!((alignment_score(&obs, &one) - 1.0).abs() < 1e-9);
+        // The same single step against a longer SOP covers 1 of 3.
+        let three = Sop::from_texts(
+            "t",
+            &[
+                "Click the 'Save' button",
+                "Type \"x\" into the B field",
+                "Click the 'C' button",
+            ],
+        );
+        assert!((alignment_score(&obs, &three) - 1.0 / 3.0).abs() < 1e-9);
+        // An empty SOP can never be aligned with, even by empty input.
+        let empty = Sop::from_texts("t", &[]);
+        assert_eq!(alignment_score(&obs, &empty), 0.0);
+        assert_eq!(alignment_score(&[], &empty), 0.0);
+    }
+
+    #[test]
+    fn empty_recording_fails_trajectory_check() {
+        // Degenerate trajectory: no frames, no actions — nothing aligns,
+        // so the verdict should be a near-certain rejection.
+        let rec = Recording {
+            workflow_description: "x".into(),
+            frames: vec![],
+            log: vec![],
+        };
+        let sop = Sop::from_texts("t", &["Click the 'Save' button"]);
+        let mut model = FmModel::new(ModelProfile::gpt4v(), 4);
+        let mut accepted = 0;
+        for _ in 0..100 {
+            if check_trajectory(&mut model, &rec, &sop).verdict {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 10, "empty recording rejected: {accepted}/100");
+    }
 }

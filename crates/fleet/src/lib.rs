@@ -32,7 +32,7 @@
 //!
 //! let tasks: Vec<_> = eclair_sites::all_tasks().into_iter().take(4).collect();
 //! let fleet = Fleet::new(FleetConfig { workers: 2, fleet_seed: 7, ..Default::default() });
-//! let report = fleet.run(specs_for_tasks(7, tasks, FmProfile::Oracle));
+//! let report = fleet.run(specs_for_tasks(7, tasks, FmProfile::Oracle)).unwrap();
 //! assert_eq!(report.outcome.records.len(), 4);
 //! assert!(report.outcome.succeeded >= 3);
 //! ```
@@ -50,3 +50,5 @@ pub use report::{FleetOutcome, FleetReport, FleetTiming, LatencyStats, RunOutcom
 pub use scheduler::{CancelToken, Fleet, FleetConfig};
 pub use spec::{derive_seed, specs_for_tasks, RunSpec};
 pub use worker::{execute_spec, pricing_for};
+
+pub use eclair_trace::MergeError;

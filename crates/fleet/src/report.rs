@@ -7,7 +7,7 @@
 
 use eclair_core::execute::executor::RunResult;
 use eclair_fm::{FmProfile, TokenMeter};
-use eclair_trace::{merge_event_streams, merged_jsonl, RunSummary, TraceEvent};
+use eclair_trace::{merge_event_streams, merged_jsonl, MergeError, RunSummary, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// How a run ended.
@@ -160,6 +160,38 @@ impl FleetOutcome {
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("fleet outcome serializes")
     }
+
+    /// The record for `run_id`, if present (records are run-id sorted, so
+    /// this is a binary search).
+    pub fn record(&self, run_id: u64) -> Option<&RunRecord> {
+        self.records
+            .binary_search_by_key(&run_id, |r| r.run_id)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Fraction of runs that succeeded.
+    pub fn completion_rate(&self) -> f64 {
+        self.succeeded as f64 / self.records.len().max(1) as f64
+    }
+
+    /// In-run action failures summed over runs (final attempts).
+    pub fn failures_total(&self) -> u64 {
+        self.records.iter().map(|r| r.result.failures as u64).sum()
+    }
+
+    /// In-run recoveries summed over runs (final attempts).
+    pub fn recoveries_total(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.result.recoveries as u64)
+            .sum()
+    }
+
+    /// Chaos faults injected summed over runs (all attempts).
+    pub fn faults_injected_total(&self) -> u64 {
+        self.records.iter().map(|r| r.faults_injected).sum()
+    }
 }
 
 /// Wall-clock measurements. Deliberately not serializable so they can
@@ -193,25 +225,27 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
-    /// Assemble from executed runs; `runs` need not be sorted.
+    /// Assemble from executed runs; `runs` need not be sorted. Fails if
+    /// any run's event stream is structurally malformed (a recorder bug —
+    /// worker streams are well-formed by construction).
     pub fn assemble(
         fleet_seed: u64,
         mut runs: Vec<(RunRecord, Vec<TraceEvent>)>,
         timing: FleetTiming,
-    ) -> Self {
+    ) -> Result<Self, MergeError> {
         runs.sort_by_key(|(r, _)| r.run_id);
         let merged_trace =
-            merge_event_streams(runs.iter().map(|(_, ev)| ev.as_slice()).collect::<Vec<_>>());
+            merge_event_streams(runs.iter().map(|(_, ev)| ev.as_slice()).collect::<Vec<_>>())?;
         let records = runs.into_iter().map(|(r, _)| r).collect();
-        Self {
+        Ok(Self {
             outcome: FleetOutcome::from_records(fleet_seed, records),
             merged_trace,
             timing,
-        }
+        })
     }
 
     /// The merged trace as JSON Lines.
-    pub fn merged_trace_jsonl(&self) -> String {
+    pub fn merged_trace_jsonl(&self) -> Result<String, MergeError> {
         merged_jsonl(&self.merged_trace)
     }
 }

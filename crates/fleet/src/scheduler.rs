@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use eclair_trace::TraceEvent;
+use eclair_trace::{MergeError, TraceEvent};
 
 use crate::backoff::RetryPolicy;
 use crate::queue::BoundedQueue;
@@ -70,6 +70,32 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// Set the worker count (scenario harnesses sweep this knob).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the submission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set the fleet seed.
+    pub fn with_seed(mut self, fleet_seed: u64) -> Self {
+        self.fleet_seed = fleet_seed;
+        self
+    }
+}
+
 /// The scheduler handle.
 #[derive(Debug, Default)]
 pub struct Fleet {
@@ -97,7 +123,9 @@ impl Fleet {
     }
 
     /// Execute every spec on the worker pool and aggregate the report.
-    pub fn run(&self, specs: Vec<RunSpec>) -> FleetReport {
+    /// Fails only if a worker produced a structurally malformed trace
+    /// stream (a recorder bug, surfaced instead of panicking).
+    pub fn run(&self, specs: Vec<RunSpec>) -> Result<FleetReport, MergeError> {
         let started = Instant::now();
         let total = specs.len();
         let workers = self.config.workers.max(1);
@@ -141,7 +169,7 @@ impl Fleet {
 
     /// Execute every spec in submission order on the calling thread — the
     /// baseline the concurrent path must match byte-for-byte.
-    pub fn run_sequential(&self, specs: Vec<RunSpec>) -> FleetReport {
+    pub fn run_sequential(&self, specs: Vec<RunSpec>) -> Result<FleetReport, MergeError> {
         let started = Instant::now();
         let runs: Vec<_> = specs
             .iter()
@@ -163,7 +191,7 @@ impl Fleet {
         started: Instant,
         queue_max_depth: usize,
         submit_waits: u64,
-    ) -> FleetReport {
+    ) -> Result<FleetReport, MergeError> {
         let completed = runs.len();
         let wall = started.elapsed();
         let timing = FleetTiming {
@@ -205,10 +233,15 @@ mod tests {
             fleet_seed: 21,
             ..FleetConfig::default()
         });
-        let par = fleet.run(small_specs(6, 21));
-        let seq = fleet.run_sequential(small_specs(6, 21));
+        let par = fleet.run(small_specs(6, 21)).expect("parallel run");
+        let seq = fleet
+            .run_sequential(small_specs(6, 21))
+            .expect("sequential run");
         assert_eq!(par.outcome.to_json(), seq.outcome.to_json());
-        assert_eq!(par.merged_trace_jsonl(), seq.merged_trace_jsonl());
+        assert_eq!(
+            par.merged_trace_jsonl().unwrap(),
+            seq.merged_trace_jsonl().unwrap()
+        );
         assert_eq!(par.timing.workers, 4);
         assert_eq!(seq.timing.workers, 1);
     }
@@ -220,7 +253,7 @@ mod tests {
             fleet_seed: 9,
             ..FleetConfig::default()
         });
-        let report = fleet.run(small_specs(5, 9));
+        let report = fleet.run(small_specs(5, 9)).expect("run");
         let ids: Vec<u64> = report.outcome.records.iter().map(|r| r.run_id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
         assert_eq!(report.outcome.succeeded, 5, "oracle completes these");
@@ -234,7 +267,7 @@ mod tests {
             ..FleetConfig::default()
         });
         fleet.cancel_token().cancel();
-        let report = fleet.run(small_specs(4, 3));
+        let report = fleet.run(small_specs(4, 3)).expect("run");
         assert_eq!(report.outcome.cancelled, 4);
         assert_eq!(report.outcome.succeeded, 0);
         assert!(report
@@ -274,7 +307,8 @@ mod tests {
                 token.cancel();
             });
             fleet.run(specs)
-        });
+        })
+        .expect("run");
         let o = &report.outcome;
         assert_eq!(o.records.len(), 8, "every spec must produce a record");
         let ids: Vec<u64> = o.records.iter().map(|r| r.run_id).collect();
@@ -303,7 +337,7 @@ mod tests {
             fleet_seed: 5,
             ..FleetConfig::default()
         });
-        let report = fleet.run(small_specs(6, 5));
+        let report = fleet.run(small_specs(6, 5)).expect("run");
         assert_eq!(report.outcome.records.len(), 6);
         assert!(report.timing.queue_max_depth <= 1);
     }

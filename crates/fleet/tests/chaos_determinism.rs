@@ -35,7 +35,7 @@ fn run_with_workers(workers: usize) -> FleetReport {
         retry: RetryPolicy::default(),
         fleet_seed: FLEET_SEED,
     });
-    fleet.run(chaos_specs(FmProfile::Gpt4V))
+    fleet.run(chaos_specs(FmProfile::Gpt4V)).expect("run")
 }
 
 #[test]
@@ -45,9 +45,10 @@ fn chaos_fleet_is_byte_identical_across_runs_and_worker_counts() {
         fleet_seed: FLEET_SEED,
         ..FleetConfig::default()
     })
-    .run_sequential(chaos_specs(FmProfile::Gpt4V));
+    .run_sequential(chaos_specs(FmProfile::Gpt4V))
+    .expect("sequential run");
     let json = sequential.outcome.to_json();
-    let trace = sequential.merged_trace_jsonl();
+    let trace = sequential.merged_trace_jsonl().unwrap();
 
     for workers in [1, 4] {
         let report = run_with_workers(workers);
@@ -57,7 +58,7 @@ fn chaos_fleet_is_byte_identical_across_runs_and_worker_counts() {
             "chaos outcome must not depend on {workers}-worker scheduling"
         );
         assert_eq!(
-            report.merged_trace_jsonl(),
+            report.merged_trace_jsonl().unwrap(),
             trace,
             "chaos merged trace must not depend on {workers}-worker scheduling"
         );
@@ -66,18 +67,13 @@ fn chaos_fleet_is_byte_identical_across_runs_and_worker_counts() {
     // Same config run again: byte-identical, not merely equivalent.
     let again = run_with_workers(4);
     assert_eq!(again.outcome.to_json(), json);
-    assert_eq!(again.merged_trace_jsonl(), trace);
+    assert_eq!(again.merged_trace_jsonl().unwrap(), trace);
 }
 
 #[test]
 fn chaos_fleet_records_injections_in_records_and_trace() {
     let report = run_with_workers(4);
-    let total_faults: u64 = report
-        .outcome
-        .records
-        .iter()
-        .map(|r| r.faults_injected)
-        .sum();
+    let total_faults = report.outcome.faults_injected_total();
     assert!(
         total_faults > 0,
         "a 0.35 fault rate over 6 runs must inject something"
@@ -102,7 +98,7 @@ fn oracle_under_chaos_still_completes_most_tasks() {
         fleet_seed: FLEET_SEED,
         ..FleetConfig::default()
     });
-    let report = fleet.run(chaos_specs(FmProfile::Oracle));
+    let report = fleet.run(chaos_specs(FmProfile::Oracle)).expect("run");
     assert!(
         report.outcome.succeeded >= 4,
         "oracle under 0.35 chaos: {}/6 succeeded",

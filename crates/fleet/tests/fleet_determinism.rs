@@ -39,14 +39,19 @@ fn eight_workers_match_sequential_byte_for_byte() {
         retry: RetryPolicy::default(),
         fleet_seed: 2024,
     });
-    let par = fleet.run(suite_specs(2024));
-    let seq = fleet.run_sequential(suite_specs(2024));
+    let par = fleet.run(suite_specs(2024)).expect("parallel run");
+    let seq = fleet
+        .run_sequential(suite_specs(2024))
+        .expect("sequential run");
 
     assert_eq!(par.outcome.records.len(), all_tasks().len());
     // Per-run records, including RunResult/summary/tokens, byte-identical.
     assert_eq!(par.outcome.to_json(), seq.outcome.to_json());
     // Merged trace JSONL byte-identical.
-    assert_eq!(par.merged_trace_jsonl(), seq.merged_trace_jsonl());
+    assert_eq!(
+        par.merged_trace_jsonl().unwrap(),
+        seq.merged_trace_jsonl().unwrap()
+    );
     // And the fleet actually exercised concurrency metadata.
     assert_eq!(par.timing.workers, 8);
     // A GPT-4 fleet over the full suite both succeeds and retries.
@@ -69,10 +74,13 @@ fn repeated_concurrent_runs_are_identical() {
         all_tasks().into_iter().take(10).collect(),
         FmProfile::Gpt4V,
     );
-    let a = fleet.run(specs.clone());
-    let b = fleet.run(specs);
+    let a = fleet.run(specs.clone()).expect("first run");
+    let b = fleet.run(specs).expect("second run");
     assert_eq!(a.outcome.to_json(), b.outcome.to_json());
-    assert_eq!(a.merged_trace_jsonl(), b.merged_trace_jsonl());
+    assert_eq!(
+        a.merged_trace_jsonl().unwrap(),
+        b.merged_trace_jsonl().unwrap()
+    );
 }
 
 #[test]
@@ -89,6 +97,7 @@ fn different_fleet_seeds_change_outputs() {
                 all_tasks().into_iter().take(6).collect(),
                 FmProfile::Gpt4V,
             ))
+            .expect("run")
             .outcome
             .to_json()
     };
@@ -118,8 +127,8 @@ fn budget_and_deadline_outcomes_survive_concurrency() {
         fleet_seed: 77,
         ..FleetConfig::default()
     });
-    let par = fleet.run(specs.clone());
-    let seq = fleet.run_sequential(specs);
+    let par = fleet.run(specs.clone()).expect("parallel run");
+    let seq = fleet.run_sequential(specs).expect("sequential run");
     assert_eq!(par.outcome.to_json(), seq.outcome.to_json());
     for (i, r) in par.outcome.records.iter().enumerate() {
         let expect = if i % 2 == 0 {

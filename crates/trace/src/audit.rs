@@ -1,0 +1,325 @@
+//! Stream auditing: the structural invariants a well-formed event stream
+//! satisfies, plus the oracle-facing iterators `eclair-crucible` checks
+//! traces with.
+//!
+//! A stream produced by one [`crate::TraceRecorder`] obeys three rules by
+//! construction, and this module makes them checkable after the fact:
+//!
+//! 1. **Span ends match opens.** Every `SpanEnd` closes exactly the
+//!    innermost open span (the recorder's `close` unwinds children with
+//!    explicit end events, so ends are strictly LIFO).
+//! 2. **No id is open twice.** A span id may be *reused* once closed
+//!    (fleet workers concatenate one fresh recorder per attempt), but two
+//!    simultaneously open spans never share an id.
+//! 3. **Parents resolve.** Every event's `parent` is the id of the
+//!    innermost open span at emission time, or 0 outside any span.
+//!
+//! Merged fleet streams additionally renumber `seq` from 0 with no gaps —
+//! [`audit_seq_gapless`] checks that contract separately, because raw
+//! per-run streams legitimately reset `seq` at attempt boundaries.
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Why a stream failed the structural audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// A `SpanEnd` that does not close the innermost open span (either no
+    /// span is open, a different one is, or the id was never opened).
+    MismatchedSpanEnd {
+        /// `seq` of the offending event.
+        seq: u64,
+        /// The id the event tried to close.
+        id: u64,
+        /// The innermost open span at that point (`None` = stack empty).
+        innermost: Option<u64>,
+    },
+    /// A `SpanStart` reusing an id that is still open.
+    DuplicateOpenSpan {
+        /// `seq` of the offending event.
+        seq: u64,
+        /// The doubly-opened id.
+        id: u64,
+    },
+    /// An event whose `parent` is neither 0 nor the innermost open span.
+    OrphanParent {
+        /// `seq` of the offending event.
+        seq: u64,
+        /// The parent the event claims.
+        parent: u64,
+        /// The innermost open span at that point (`None` = stack empty).
+        innermost: Option<u64>,
+    },
+    /// `seq` numbering has a gap or regression (merged streams only).
+    SeqGap {
+        /// Position in the slice.
+        index: usize,
+        /// The `seq` the gapless contract requires there.
+        expected: u64,
+        /// The `seq` actually found.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::MismatchedSpanEnd { seq, id, innermost } => write!(
+                f,
+                "event seq {seq}: SpanEnd for id {id} but innermost open span is {innermost:?}"
+            ),
+            AuditError::DuplicateOpenSpan { seq, id } => {
+                write!(f, "event seq {seq}: SpanStart reopens still-open id {id}")
+            }
+            AuditError::OrphanParent {
+                seq,
+                parent,
+                innermost,
+            } => write!(
+                f,
+                "event seq {seq}: parent {parent} but innermost open span is {innermost:?}"
+            ),
+            AuditError::SeqGap {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "event at index {index}: expected seq {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// What [`audit_spans`] learned from a structurally valid stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAudit {
+    /// Spans opened over the stream.
+    pub opened: u64,
+    /// Spans closed over the stream.
+    pub closed: u64,
+    /// Deepest nesting observed.
+    pub max_depth: usize,
+    /// Spans still open when the stream ended.
+    pub unclosed: usize,
+}
+
+/// Walk the stream checking the span-tree rules (ends LIFO-match opens,
+/// no id open twice, parents resolve). Returns counters on success.
+pub fn audit_spans(events: &[TraceEvent]) -> Result<SpanAudit, AuditError> {
+    let mut stack: Vec<u64> = Vec::new();
+    let mut audit = SpanAudit::default();
+    for e in events {
+        match &e.kind {
+            EventKind::SpanStart { id, .. } => {
+                if e.parent != stack.last().copied().unwrap_or(0) {
+                    return Err(AuditError::OrphanParent {
+                        seq: e.seq,
+                        parent: e.parent,
+                        innermost: stack.last().copied(),
+                    });
+                }
+                if stack.contains(id) {
+                    return Err(AuditError::DuplicateOpenSpan {
+                        seq: e.seq,
+                        id: *id,
+                    });
+                }
+                stack.push(*id);
+                audit.opened += 1;
+                audit.max_depth = audit.max_depth.max(stack.len());
+            }
+            EventKind::SpanEnd { id, .. } => {
+                if stack.last() != Some(id) {
+                    return Err(AuditError::MismatchedSpanEnd {
+                        seq: e.seq,
+                        id: *id,
+                        innermost: stack.last().copied(),
+                    });
+                }
+                stack.pop();
+                audit.closed += 1;
+                if e.parent != stack.last().copied().unwrap_or(0) {
+                    return Err(AuditError::OrphanParent {
+                        seq: e.seq,
+                        parent: e.parent,
+                        innermost: stack.last().copied(),
+                    });
+                }
+            }
+            _ => {
+                if e.parent != stack.last().copied().unwrap_or(0) {
+                    return Err(AuditError::OrphanParent {
+                        seq: e.seq,
+                        parent: e.parent,
+                        innermost: stack.last().copied(),
+                    });
+                }
+            }
+        }
+    }
+    audit.unclosed = stack.len();
+    Ok(audit)
+}
+
+/// Check that `seq` runs 0, 1, 2, … with no gaps — the contract of a
+/// merged stream (raw per-run streams reset at attempt boundaries and
+/// should use [`audit_spans`] only).
+pub fn audit_seq_gapless(events: &[TraceEvent]) -> Result<(), AuditError> {
+    for (i, e) in events.iter().enumerate() {
+        if e.seq != i as u64 {
+            return Err(AuditError::SeqGap {
+                index: i,
+                expected: i as u64,
+                found: e.seq,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Token totals recomputed from the raw `FmCall` events:
+/// `(prompt_tokens, completion_tokens, calls)`. Oracles compare this
+/// against the `TokenMeter` the model kept — the two are accounted at
+/// the same funnel and must agree.
+pub fn fm_token_totals(events: &[TraceEvent]) -> (u64, u64, u64) {
+    let mut totals = (0u64, 0u64, 0u64);
+    for e in events {
+        if let EventKind::FmCall {
+            prompt_tokens,
+            completion_tokens,
+            ..
+        } = &e.kind
+        {
+            totals.0 += prompt_tokens;
+            totals.1 += completion_tokens;
+            totals.2 += 1;
+        }
+    }
+    totals
+}
+
+/// Iterator over chaos injections in the stream: `(step, fault name)` per
+/// `FaultInjected` event, in order.
+pub fn fault_injections(events: &[TraceEvent]) -> impl Iterator<Item = (u64, &str)> {
+    events.iter().filter_map(|e| match &e.kind {
+        EventKind::FaultInjected { step, fault } => Some((*step, fault.as_str())),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanKind;
+    use crate::recorder::TraceRecorder;
+
+    fn recorded() -> Vec<TraceEvent> {
+        let mut t = TraceRecorder::new();
+        let run = t.open(SpanKind::Execute, "run");
+        let step = t.open(SpanKind::Step, "1");
+        t.event(EventKind::FmCall {
+            purpose: "suggest".into(),
+            prompt_tokens: 100,
+            completion_tokens: 10,
+        });
+        t.event(EventKind::FaultInjected {
+            step: 1,
+            fault: "stale-frame".into(),
+        });
+        t.close(step);
+        t.close(run);
+        t.take_events()
+    }
+
+    #[test]
+    fn recorder_streams_pass_the_audit() {
+        let events = recorded();
+        let audit = audit_spans(&events).expect("recorder output is well-formed");
+        assert_eq!(audit.opened, 2);
+        assert_eq!(audit.closed, 2);
+        assert_eq!(audit.max_depth, 2);
+        assert_eq!(audit.unclosed, 0);
+        audit_seq_gapless(&events).expect("single stream is gapless");
+    }
+
+    #[test]
+    fn attempt_concatenation_with_reused_ids_passes() {
+        // Fleet workers concatenate one fresh recorder per attempt: span
+        // ids restart at 1 and seq restarts at 0. Reuse after close is
+        // legal; the seq check is a merged-stream-only contract.
+        let mut both = recorded();
+        both.extend(recorded());
+        let audit = audit_spans(&both).expect("reuse after close is fine");
+        assert_eq!(audit.opened, 4);
+        assert!(audit_seq_gapless(&both).is_err());
+    }
+
+    #[test]
+    fn mismatched_end_is_rejected() {
+        let mut events = recorded();
+        // Swap the two SpanEnds so the outer closes before the inner.
+        let n = events.len();
+        events.swap(n - 1, n - 2);
+        assert!(matches!(
+            audit_spans(&events),
+            Err(AuditError::MismatchedSpanEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn doubly_open_id_is_rejected() {
+        let mut t = TraceRecorder::new();
+        let _a = t.open(SpanKind::Execute, "run");
+        let mut events = t.take_events();
+        let mut dup = events[0].clone();
+        dup.seq = 1;
+        dup.parent = 1;
+        events.push(dup);
+        assert!(matches!(
+            audit_spans(&events),
+            Err(AuditError::DuplicateOpenSpan { seq: 1, id: 1 })
+        ));
+    }
+
+    #[test]
+    fn orphan_parent_is_rejected() {
+        let mut events = recorded();
+        events[2].parent = 99;
+        assert!(matches!(
+            audit_spans(&events),
+            Err(AuditError::OrphanParent { parent: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_spans_are_counted_not_rejected() {
+        let mut t = TraceRecorder::new();
+        let _leak = t.open(SpanKind::Execute, "run");
+        let audit = audit_spans(t.events()).unwrap();
+        assert_eq!(audit.unclosed, 1);
+    }
+
+    #[test]
+    fn token_totals_and_fault_iterator() {
+        let events = recorded();
+        assert_eq!(fm_token_totals(&events), (100, 10, 1));
+        let faults: Vec<_> = fault_injections(&events).collect();
+        assert_eq!(faults, vec![(1, "stale-frame")]);
+    }
+
+    #[test]
+    fn seq_gap_reports_position() {
+        let mut events = recorded();
+        events[3].seq = 7;
+        assert_eq!(
+            audit_seq_gapless(&events),
+            Err(AuditError::SeqGap {
+                index: 3,
+                expected: 3,
+                found: 7
+            })
+        );
+    }
+}

@@ -15,16 +15,23 @@
 //! * [`FlightRecorder`] keeps a bounded ring of the most recent events
 //!   for post-mortem dumps after a failed run;
 //! * [`merge_event_streams`] splices many per-run streams into one
-//!   fleet-level trace in run-id order (see `eclair-fleet`).
+//!   fleet-level trace in run-id order (see `eclair-fleet`), refusing
+//!   structurally invalid input with a [`MergeError`];
+//! * [`audit_spans`] / [`audit_seq_gapless`] check the structural
+//!   invariants oracles rely on (see `eclair-crucible`).
 
+mod audit;
 mod event;
 mod flight;
 mod merge;
 mod recorder;
 mod summary;
 
+pub use audit::{
+    audit_seq_gapless, audit_spans, fault_injections, fm_token_totals, AuditError, SpanAudit,
+};
 pub use event::{EventKind, GroundingOutcome, SpanKind, TraceEvent};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
-pub use merge::{merge_event_streams, merged_jsonl};
+pub use merge::{merge_event_streams, merged_jsonl, MergeError};
 pub use recorder::{read_jsonl, render_log, SpanId, TraceRecorder};
 pub use summary::{PhaseStats, RunSummary, TokenHistogram, HIST_BOUNDS};
