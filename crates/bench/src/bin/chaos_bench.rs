@@ -13,7 +13,8 @@
 //!   4-worker pool must serialize byte-identically (`--determinism-out`
 //!   writes the dump the CI `chaos-smoke` job diffs across invocations);
 //! * `shape`: per profile, completion must be monotone non-increasing in
-//!   the fault rate, and the oracle must degrade least.
+//!   the fault rate (with one rescued run of slack per point — faults can
+//!   legitimately rescue a run), and the oracle must degrade least.
 //!
 //! `ECLAIR_FAST=1` shrinks the sweep for CI.
 
@@ -150,20 +151,31 @@ fn arg_value(flag: &str) -> Option<String> {
         .cloned()
 }
 
-/// Per profile: completion monotone non-increasing in fault rate; across
-/// profiles: the oracle loses the least completion end-to-end.
-fn shape_check(points: &[ChaosPoint], profiles: &[FmProfile], rates: &[f64]) -> Result<(), String> {
+/// Per profile: completion monotone non-increasing in fault rate — up to
+/// one rescued run of slack per point, because a fault can legitimately
+/// *rescue* a run (an injected session expiry forces a re-login that
+/// fixes a task the fault-free trajectory fails; the crucible's
+/// chaos-isolation oracle documents the same finding, which is why it
+/// never asserts naive monotonicity). Across profiles: the oracle loses
+/// the least completion end-to-end.
+fn shape_check(
+    points: &[ChaosPoint],
+    profiles: &[FmProfile],
+    rates: &[f64],
+    runs_per_point: usize,
+) -> Result<(), String> {
     let get = |p: FmProfile, r: f64| {
         points
             .iter()
             .find(|pt| pt.profile == p.name() && pt.fault_rate == r)
             .expect("sweep covers the grid")
     };
+    let rescue_slack = 1.0 / runs_per_point as f64 + 1e-9;
     for &p in profiles {
         let mut prev = f64::INFINITY;
         for &r in rates {
             let c = get(p, r).completion_rate;
-            if c > prev + 1e-9 {
+            if c > prev + rescue_slack {
                 return Err(format!(
                     "{} completion rose from {prev:.3} to {c:.3} at rate {r}",
                     p.name()
@@ -254,7 +266,7 @@ fn main() {
         }
     }
 
-    let shape = shape_check(&points, &profiles, &rates);
+    let shape = shape_check(&points, &profiles, &rates, tasks * reps);
     if let Err(e) = &shape {
         eprintln!("shape violation: {e}");
     }

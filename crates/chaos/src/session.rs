@@ -16,6 +16,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use eclair_gui::event::{Dispatch, EffectKind};
 use eclair_gui::{
@@ -153,8 +154,9 @@ pub struct ChaosSession {
     ctl: Rc<RefCell<Ctl>>,
     schedule: ChaosSchedule,
     /// Frame captured just before the most recent dispatch (what a
-    /// stale-frame fault serves).
-    prev_frame: Option<Screenshot>,
+    /// stale-frame fault serves). Shared with the session's frame cache —
+    /// holding it costs an `Arc` bump, not a deep copy.
+    prev_frame: Option<Arc<Screenshot>>,
     stale_next: bool,
     drop_next: bool,
     dup_next: bool,
@@ -240,8 +242,18 @@ impl GuiSurface for ChaosSession {
                 ctl.expired = true;
                 ctl.dirty = true;
             }
-            FaultKind::LayoutShift => self.pending_shift = spec.shift_px,
-            FaultKind::StaleFrame => self.stale_next = true,
+            FaultKind::LayoutShift => {
+                // The shift displaces what the agent is about to do
+                // relative to what it last saw: nothing the cache holds
+                // describes the frame the next observation must show, so
+                // dirty it rather than trust the keying.
+                self.session.invalidate_frames();
+                self.pending_shift = spec.shift_px;
+            }
+            FaultKind::StaleFrame => {
+                self.session.invalidate_frames();
+                self.stale_next = true;
+            }
             FaultKind::DropEvent => self.drop_next = true,
             FaultKind::DuplicateEvent => self.dup_next = true,
         }
@@ -256,16 +268,20 @@ impl GuiSurface for ChaosSession {
         self.faults_injected += 1;
     }
 
-    fn screenshot(&mut self) -> Screenshot {
+    fn screenshot(&mut self) -> Arc<Screenshot> {
         if self.stale_next {
             self.stale_next = false;
-            if let Some(frame) = self.prev_frame.clone() {
-                return frame;
+            if let Some(frame) = &self.prev_frame {
+                return Arc::clone(frame);
             }
             // Nothing dispatched yet: the "previous" frame is the current
             // one, so fall through.
         }
         self.session.screenshot()
+    }
+
+    fn set_cache_enabled(&mut self, on: bool) {
+        self.session.set_cache_enabled(on);
     }
 
     fn dispatch(&mut self, event: UserEvent) -> Dispatch {
@@ -522,6 +538,45 @@ mod tests {
         let hit = s.dispatch(UserEvent::Click(btn.rect.center()));
         assert_eq!(hit.effect, EffectKind::Activated);
         assert_eq!(s.inner().app().probe("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn shifted_page_never_serves_a_pre_shift_cached_frame() {
+        // Regression: the frame cache must not survive a layout-shift
+        // fault. Pre-fix risk: the pre-shift frame stays cached, the
+        // displaced click mutates the page, and the next observation is
+        // served from the stale cache entry.
+        let mut s = chaos(FaultKind::LayoutShift);
+        let pre = s.screenshot(); // cached at (scroll 0, no caret)
+        let shift = s.schedule().fault_at(1).unwrap().shift_px;
+        assert!(shift > 0);
+        let inc = pre.items.iter().find(|i| i.text == "Increment").unwrap();
+        // Aim at the point the *shifted* click will carry into the button:
+        // the displaced click activates it and the page re-renders.
+        let aim = inc.rect.center().offset(0, -shift);
+        s.begin_step(1);
+        let d = s.dispatch(UserEvent::Click(aim));
+        assert_eq!(d.effect, EffectKind::Activated, "shifted click must land");
+        let post = s.screenshot();
+        assert!(
+            post.items.iter().any(|i| i.text == "count: 1"),
+            "post-shift observation must show the mutated page, not the cached pre-shift frame"
+        );
+        assert!(!Arc::ptr_eq(&pre, &post));
+    }
+
+    #[test]
+    fn stale_frame_fault_dirties_the_frame_cache() {
+        eclair_trace::perf::reset();
+        let mut s = chaos(FaultKind::StaleFrame);
+        let _ = s.screenshot(); // populate the cache
+        let before = eclair_trace::perf::snapshot().frame_cache_invalidations;
+        s.begin_step(1);
+        assert_eq!(
+            eclair_trace::perf::snapshot().frame_cache_invalidations,
+            before + 1,
+            "arming a stale-frame fault must invalidate cached frames"
+        );
     }
 
     #[test]

@@ -97,6 +97,7 @@ impl Eclair {
             retry_failed: true,
             escape_popups: true,
             relogin_expired: true,
+            use_cache: true,
         }
         .budgeted(task.gold_trace.len());
         run_task(&mut self.model, task, &cfg)

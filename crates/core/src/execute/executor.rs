@@ -33,6 +33,12 @@ pub struct ExecConfig {
     /// Click through a login interstitial when the session expires
     /// mid-run (the chaos layer's session-expiry fault).
     pub relogin_expired: bool,
+    /// Whether the caching layer (frame cache, incremental relayout,
+    /// perception memo) runs underneath this execution. Combined with the
+    /// `ECLAIR_NO_CACHE=1` kill switch; flipping either must not change a
+    /// single serialized byte (the transparency invariant the crucible's
+    /// `cache-transparent` oracle enforces).
+    pub use_cache: bool,
 }
 
 impl ExecConfig {
@@ -45,6 +51,7 @@ impl ExecConfig {
             retry_failed: true,
             escape_popups: true,
             relogin_expired: true,
+            use_cache: true,
         }
     }
 
@@ -57,6 +64,7 @@ impl ExecConfig {
             retry_failed: true,
             escape_popups: true,
             relogin_expired: true,
+            use_cache: true,
         }
     }
 
@@ -107,6 +115,13 @@ pub fn run_on_session<S: GuiSurface>(
     workflow_description: &str,
     cfg: &ExecConfig,
 ) -> RunResult {
+    // Resolve the caching layer once per run: the per-run config AND the
+    // global kill switch must both allow it. Transparency means this is
+    // the only place the flag matters — nothing downstream may behave
+    // differently because of it.
+    let cache_on = cfg.use_cache && !eclair_gui::no_cache_env();
+    session.set_cache_enabled(cache_on);
+    model.set_cache_enabled(cache_on);
     let mut state = SuggestState::new();
     let mut history: Vec<String> = Vec::new();
     let mut failures = 0usize;
@@ -684,6 +699,7 @@ mod tests {
             retry_failed: true,
             escape_popups: true,
             relogin_expired: true,
+            use_cache: true,
         };
         let r = run_on_session(&mut model, &mut session, "Enter the amount", &cfg);
         assert!(

@@ -80,6 +80,7 @@ fn sop_correct(
         retry_failed: true,
         escape_popups: true,
         relogin_expired: true,
+        use_cache: true,
     };
     let ok = run_task(&mut model, task, &cfg).success;
     trace.merge(&model.trace().summary());

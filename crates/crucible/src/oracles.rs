@@ -222,6 +222,25 @@ fn faults_iff_chaos(run: &ScenarioRun) -> Verdict {
     })
 }
 
+fn cache_transparent(run: &ScenarioRun) -> Verdict {
+    // The frame cache and perception memo are optimizations, never
+    // observables: a cache hit re-accounts the identical tokens and the
+    // skipped relayout reproduces the page a full rebuild would have
+    // built. The runner re-executed the scenario with the caches toggled
+    // the other way; any drift in outcome or trace means a cache served
+    // stale state or leaked its existence into the record.
+    let flip = &run.cache_flip;
+    if flip.outcome.to_json() != run.report.outcome.to_json() {
+        return Verdict::Fail(format!(
+            "outcome diverged when the cache toggled {}",
+            if run.scenario.use_cache { "off" } else { "on" }
+        ));
+    }
+    fail(flip.merged_trace != run.report.merged_trace, || {
+        "merged trace diverged when the cache toggled".to_string()
+    })
+}
+
 fn budgets_respected(run: &ScenarioRun) -> Verdict {
     use eclair_fleet::RunOutcome;
     let s = &run.scenario;
@@ -315,6 +334,12 @@ pub fn registry() -> Vec<Oracle> {
             name: "faults-iff-chaos",
             contract: "FaultInjected events match the counters and only occur under chaos",
             check: faults_iff_chaos,
+        },
+        Oracle {
+            name: "cache-transparent",
+            contract:
+                "toggling the frame cache + perception memo leaves outcome and trace byte-identical",
+            check: cache_transparent,
         },
         Oracle {
             name: "budgets-respected",

@@ -11,6 +11,11 @@
 //! legitimately *rescue* a run — e.g. a session-expiry injection forces a
 //! re-login that fixes a task the fault-free trajectory fails — so runs
 //! that did take faults are unconstrained across rungs.)
+//!
+//! Every run also gathers a sequential re-execution with the frame cache
+//! and perception memo toggled the other way, feeding the
+//! cache-transparent oracle: caching is an optimization, never an
+//! observable, so the flipped evidence must be byte-identical.
 
 use eclair_fleet::{Fleet, FleetConfig, FleetReport, MergeError};
 
@@ -39,6 +44,10 @@ pub struct ScenarioRun {
     /// The same scenario at rates `[0, rate/2, rate]`, present when
     /// chaos is armed.
     pub ladder: Option<Vec<LadderPoint>>,
+    /// Sequential execution with the frame cache + perception memo
+    /// toggled the other way. Always gathered: the cache-transparent
+    /// oracle demands it be byte-identical to `report`.
+    pub cache_flip: FleetReport,
 }
 
 fn fleet_for(scenario: &Scenario, workers: usize) -> Fleet {
@@ -72,11 +81,14 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, MergeError> {
     } else {
         None
     };
+    let flipped = scenario.with_cache(!scenario.use_cache);
+    let cache_flip = fleet_for(&flipped, 1).run_sequential(flipped.specs())?;
     Ok(ScenarioRun {
         scenario: scenario.clone(),
         report,
         parallel,
         ladder,
+        cache_flip,
     })
 }
 
@@ -96,6 +108,11 @@ mod tests {
             run.report.outcome.records.len(),
             s.task_indices.len(),
             "one record per drawn task"
+        );
+        assert_eq!(
+            run.cache_flip.outcome.to_json(),
+            run.report.outcome.to_json(),
+            "the opposite-cache re-run is always gathered and transparent"
         );
     }
 

@@ -53,6 +53,12 @@ pub struct Scenario {
     pub max_attempts: u32,
     /// Worker threads; > 1 arms the parallel-vs-sequential oracle.
     pub workers: usize,
+    /// Whether runs use the frame cache + perception memo. Caching is
+    /// contractually invisible — the runner always gathers an
+    /// opposite-cache re-run and the cache-transparent oracle demands
+    /// byte-identical evidence — so this knob only decides which side
+    /// is the baseline.
+    pub use_cache: bool,
 }
 
 impl Scenario {
@@ -101,6 +107,9 @@ impl Scenario {
             deadline_steps,
             max_attempts: 1 + rng.next_below(3) as u32,
             workers: 1 + rng.next_below(4) as usize,
+            // Mostly on (the production default); off often enough that
+            // sweeps exercise the uncached baseline as the ground truth.
+            use_cache: !rng.chance(1, 8),
         }
     }
 
@@ -140,7 +149,7 @@ impl Scenario {
                 if self.chaos_enabled() {
                     spec = spec.with_chaos(ChaosProfile::full(self.chaos_seed, self.chaos_rate));
                 }
-                spec
+                spec.with_cache(self.use_cache)
             })
             .collect()
     }
@@ -158,6 +167,14 @@ impl Scenario {
     pub fn with_profile(&self, profile: FmProfile) -> Self {
         Self {
             profile,
+            ..self.clone()
+        }
+    }
+
+    /// A copy with the caches toggled (the runner's transparency re-run).
+    pub fn with_cache(&self, on: bool) -> Self {
+        Self {
+            use_cache: on,
             ..self.clone()
         }
     }
@@ -221,6 +238,8 @@ mod tests {
         assert!(sweep.iter().any(|s| s.max_attempts > 1));
         assert!(sweep.iter().any(|s| s.workers > 1));
         assert!(sweep.iter().any(|s| s.workers == 1));
+        assert!(sweep.iter().any(|s| s.use_cache));
+        assert!(sweep.iter().any(|s| !s.use_cache));
     }
 
     #[test]
@@ -236,6 +255,7 @@ mod tests {
             deadline_steps: Some(9),
             max_attempts: 2,
             workers: 3,
+            use_cache: false,
         };
         let specs = s.specs();
         assert_eq!(specs.len(), 2);
@@ -245,6 +265,7 @@ mod tests {
             assert_eq!(spec.token_budget, Some(5_000));
             assert_eq!(spec.deadline_steps, Some(9));
             assert_eq!(spec.chaos, Some(ChaosProfile::full(77, 0.3)));
+            assert!(!spec.config.use_cache, "the cache knob reaches the spec");
         }
         assert_eq!(specs[0].task.id, all_tasks()[2].id);
         assert_eq!(specs[1].task.id, all_tasks()[5].id);

@@ -177,6 +177,7 @@ fn {test_name}() {{
         deadline_steps: {deadline_steps:?},
         max_attempts: {max_attempts},
         workers: {workers},
+        use_cache: {use_cache},
     }};
     let run = eclair_crucible::run_scenario(&scenario).expect("scenario executes");
     let eval = eclair_crucible::evaluate(&run);
@@ -193,6 +194,7 @@ fn {test_name}() {{
         deadline_steps = scenario.deadline_steps,
         max_attempts = scenario.max_attempts,
         workers = scenario.workers,
+        use_cache = scenario.use_cache,
     )
 }
 

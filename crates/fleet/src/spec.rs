@@ -96,6 +96,15 @@ impl RunSpec {
         self.chaos = Some(chaos);
         self
     }
+
+    /// Toggle the frame cache and perception memo for every attempt of
+    /// this run. Caching is transparent (identical records and traces
+    /// either way), so this only changes wall-clock; `ECLAIR_NO_CACHE=1`
+    /// still force-disables both at execution time.
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.config.use_cache = on;
+        self
+    }
 }
 
 /// Build one standard spec per task, run ids following task order.
@@ -138,6 +147,15 @@ mod tests {
         seeds.sort();
         seeds.dedup();
         assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn cache_is_on_by_default_and_toggles_via_builder() {
+        let task = all_tasks().remove(0);
+        let spec = RunSpec::for_task(1, 0, task, FmProfile::Oracle);
+        assert!(spec.config.use_cache);
+        let spec = spec.with_cache(false);
+        assert!(!spec.config.use_cache);
     }
 
     #[test]

@@ -35,10 +35,47 @@ use crate::tokens::TokenMeter;
 #[derive(Debug)]
 pub struct FmModel {
     profile: ModelProfile,
+    /// The construction seed, kept so per-frame perception streams can be
+    /// derived from it (see [`Self::perceive`]).
+    seed: u64,
     rng: StdRng,
     meter: TokenMeter,
     sampling: Sampling,
     trace: TraceRecorder,
+    /// Whether perception memoization is on (`ECLAIR_NO_CACHE=1` turns it
+    /// off globally). Flipping it must be unobservable outside
+    /// `eclair_trace::perf`.
+    cache_enabled: bool,
+    /// Bounded memo of perception results keyed by frame content hash.
+    percept_memo: std::collections::HashMap<u64, ScenePercept>,
+    /// Insertion order of `percept_memo` keys, for eviction.
+    percept_order: std::collections::VecDeque<u64>,
+}
+
+/// Most perception results kept in the memo. Executors revisit a handful
+/// of frames per task (probe loops, validators re-reading the screen);
+/// the cap just bounds memory on long sessions.
+const PERCEPT_MEMO_CAP: usize = 64;
+
+/// SplitMix64 finalizer-style mixer (same construction as
+/// `eclair_fleet::derive_seed` / the chaos schedule): derives the seed of
+/// an independent per-frame perception stream from the model seed, the
+/// profile, and the frame hash.
+fn mix(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a string (keys the profile into the perception stream).
+fn fnv_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl FmModel {
@@ -46,10 +83,23 @@ impl FmModel {
     pub fn new(profile: ModelProfile, seed: u64) -> Self {
         Self {
             profile,
+            seed,
             rng: StdRng::seed_from_u64(seed),
             meter: TokenMeter::default(),
             sampling: Sampling::greedy(),
             trace: TraceRecorder::new(),
+            cache_enabled: !eclair_gui::no_cache_env(),
+            percept_memo: std::collections::HashMap::new(),
+            percept_order: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Turn perception memoization on or off for this model instance.
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        if self.cache_enabled != on {
+            self.cache_enabled = on;
+            self.percept_memo.clear();
+            self.percept_order.clear();
         }
     }
 
@@ -111,13 +161,49 @@ impl FmModel {
     /// Parse a screenshot into the model's internal scene representation.
     /// Priced like one image-bearing prompt (the [`crate::prompt::Part`]
     /// schedule) with a completion proportional to the elements read out.
+    ///
+    /// Perception noise draws from a *pure* per-frame stream seeded by
+    /// `(model seed, profile, frame hash)` — never from the model's main
+    /// RNG — so perceiving the same frame twice yields the same percept
+    /// and perturbs nothing downstream. That purity is what licenses the
+    /// bounded memo: a hit returns the stored percept *and accounts the
+    /// exact tokens the recompute would have*, keeping the meter and the
+    /// trace byte-identical with the memo off. The tokens a provider-side
+    /// cache would have saved are reported only through the quarantined
+    /// `eclair_trace::perf::cached_tokens` counter.
     pub fn perceive(&mut self, shot: &Screenshot) -> ScenePercept {
-        let percept = perceive(shot, &self.profile, &mut self.rng);
+        let frame = shot.frame_hash();
+        let prompt_tokens = 85 + 4 * shot.items.len() as u64;
+        if self.cache_enabled {
+            if let Some(percept) = self.percept_memo.get(&frame).cloned() {
+                let completion_tokens = 2 + 4 * percept.elements.len() as u64;
+                self.account("perceive", prompt_tokens, completion_tokens);
+                eclair_trace::perf::record(|c| {
+                    c.perceive_memo_hits += 1;
+                    c.cached_tokens += prompt_tokens + completion_tokens;
+                });
+                return percept;
+            }
+            eclair_trace::perf::record(|c| c.perceive_memo_misses += 1);
+        }
+        let stream_seed = mix(mix(self.seed, fnv_str(&self.profile.name)), frame);
+        let mut stream = StdRng::seed_from_u64(stream_seed);
+        let percept = perceive(shot, &self.profile, &mut stream);
         self.account(
             "perceive",
-            85 + 4 * shot.items.len() as u64,
+            prompt_tokens,
             2 + 4 * percept.elements.len() as u64,
         );
+        if self.cache_enabled {
+            if self.percept_memo.len() >= PERCEPT_MEMO_CAP {
+                if let Some(oldest) = self.percept_order.pop_front() {
+                    self.percept_memo.remove(&oldest);
+                }
+            }
+            if self.percept_memo.insert(frame, percept.clone()).is_none() {
+                self.percept_order.push_back(frame);
+            }
+        }
         percept
     }
 
@@ -236,6 +322,54 @@ mod tests {
         m.set_sampling(Sampling::vote(5, 0.3));
         assert_eq!(m.sampling().self_consistency, 5);
         let _ = m.judge(0.5);
+    }
+
+    #[test]
+    fn perceive_draws_from_a_pure_stream_not_the_main_rng() {
+        use rand::Rng;
+        let s = shot();
+        // Same seed, different number of perceives: the main RNG must be
+        // in the same state either way.
+        let mut a = FmModel::new(ModelProfile::gpt4v(), 11);
+        let mut b = FmModel::new(ModelProfile::gpt4v(), 11);
+        let _ = a.perceive(&s);
+        let _ = a.perceive(&s);
+        let _ = a.perceive(&s);
+        let _ = b.perceive(&s);
+        assert_eq!(
+            a.rng().gen::<u64>(),
+            b.rng().gen::<u64>(),
+            "perceive must not consume main-RNG draws"
+        );
+        // And perceiving the same frame is idempotent.
+        let mut c = FmModel::new(ModelProfile::gpt4v(), 11);
+        assert_eq!(c.perceive(&s), c.perceive(&s));
+    }
+
+    #[test]
+    fn memoized_perceive_is_transparent_to_meter_and_trace() {
+        eclair_trace::perf::reset();
+        let s = shot();
+        let run = |cache: bool| {
+            let mut m = FmModel::new(ModelProfile::gpt4v(), 23);
+            m.set_cache_enabled(cache);
+            let p1 = m.perceive(&s);
+            let p2 = m.perceive(&s);
+            (p1, p2, *m.meter(), m.trace().to_jsonl())
+        };
+        let (on1, on2, on_meter, on_trace) = run(true);
+        let (off1, off2, off_meter, off_trace) = run(false);
+        assert_eq!(on1, off1);
+        assert_eq!(on2, off2);
+        assert_eq!(on_meter, off_meter, "memo hits account identical tokens");
+        assert_eq!(on_trace, off_trace, "trace bytes identical either way");
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!(c.perceive_memo_hits, 1, "second cache-on perceive hit");
+        assert_eq!(c.perceive_memo_misses, 1);
+        assert!(
+            c.cached_tokens > 0,
+            "hit tokens land in the perf quarantine"
+        );
     }
 
     #[test]

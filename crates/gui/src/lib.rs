@@ -41,7 +41,7 @@ pub mod widget;
 pub use event::{Key, SemanticEvent, UserEvent};
 pub use geometry::{Point, Rect, Size, SizeBucket};
 pub use screenshot::{PaintItem, Screenshot, VisualClass};
-pub use session::{GuiApp, Session};
+pub use session::{no_cache_env, GuiApp, Session};
 pub use surface::{FaultNote, GuiSurface};
 pub use theme::{DriftOp, Theme};
 pub use tree::{Page, PageBuilder};

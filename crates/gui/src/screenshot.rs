@@ -176,6 +176,45 @@ impl Screenshot {
         })
     }
 
+    /// Stable FNV-1a content hash of the frame: every byte of pixel-visible
+    /// state (chrome, geometry, visual class, text, styling) feeds the
+    /// digest, so two frames hash equal iff they would rasterize to the
+    /// same pixels. This is the content-address the session frame cache and
+    /// the perception memo key on; it is computed on demand (not stored) so
+    /// a mutated clone can never carry a stale hash.
+    pub fn frame_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |b: u64| {
+            h ^= b;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.viewport.w as u64);
+        mix(self.viewport.h as u64);
+        mix(self.scroll_y as u32 as u64);
+        for by in self.url.bytes() {
+            mix(by as u64);
+        }
+        mix(0xFF); // field separator (URL is free text)
+        for by in self.title.bytes() {
+            mix(by as u64);
+        }
+        mix(0xFF);
+        mix(self.items.len() as u64);
+        for item in &self.items {
+            mix(item.rect.x as u32 as u64);
+            mix(item.rect.y as u32 as u64);
+            mix(item.rect.w as u64);
+            mix(item.rect.h as u64);
+            mix(item.visual as u64);
+            mix(item.emphasis as u64 | (item.grayed as u64) << 1);
+            mix(item.text.len() as u64);
+            for by in item.text.bytes() {
+                mix(by as u64);
+            }
+        }
+        h
+    }
+
     /// Items whose rect contains `p` (topmost last).
     pub fn items_at(&self, p: Point) -> Vec<&PaintItem> {
         self.items.iter().filter(|i| i.rect.contains(p)).collect()
@@ -390,6 +429,34 @@ mod tests {
     }
 
     #[test]
+    fn frame_hash_is_content_addressed() {
+        let p = sample();
+        // Two independent renders of the same page state hash equal.
+        assert_eq!(shoot(&p, 0).frame_hash(), shoot(&p, 0).frame_hash());
+        // Scroll, URL, text, and styling changes all move the hash.
+        let base = shoot(&p, 0);
+        assert_ne!(base.frame_hash(), shoot(&p, 50).frame_hash());
+        let mut relabeled = base.clone();
+        relabeled.url = "/elsewhere".into();
+        assert_ne!(base.frame_hash(), relabeled.frame_hash());
+        let mut edited = base.clone();
+        edited.items[0].text.push('!');
+        assert_ne!(base.frame_hash(), edited.frame_hash());
+        let mut styled = base.clone();
+        styled.items[0].grayed = !styled.items[0].grayed;
+        assert_ne!(base.frame_hash(), styled.frame_hash());
+    }
+
+    #[test]
+    fn frame_hash_matches_structural_equality() {
+        let p = sample();
+        let a = shoot(&p, 0);
+        let b = shoot(&p, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.frame_hash(), b.frame_hash());
+    }
+
+    #[test]
     fn disabled_widgets_render_grayed() {
         let mut b = PageBuilder::new("g", "/g");
         let id = b.button("save", "Save");
@@ -398,5 +465,110 @@ mod tests {
         let s = shoot(&p, 0);
         let item = s.items.iter().find(|i| i.text == "Save").unwrap();
         assert!(item.grayed);
+    }
+
+    mod hash_soundness {
+        use super::*;
+        use proptest::prelude::*;
+
+        const VISUALS: [VisualClass; 10] = [
+            VisualClass::Text,
+            VisualClass::TextLink,
+            VisualClass::BoxButton,
+            VisualClass::InputBox,
+            VisualClass::CheckGlyph,
+            VisualClass::RadioGlyph,
+            VisualClass::IconGlyph,
+            VisualClass::ImageBlob,
+            VisualClass::PanelEdge,
+            VisualClass::CaretBar,
+        ];
+
+        fn arb_item() -> impl Strategy<Value = PaintItem> {
+            (
+                (-40..1280i32, -40..720i32, 1..400u32, 1..80u32),
+                0..VISUALS.len(),
+                "[a-z •]{0,12}",
+                0..4u8,
+            )
+                .prop_map(|((x, y, w, h), v, text, style)| PaintItem {
+                    rect: Rect { x, y, w, h },
+                    visual: VISUALS[v],
+                    text,
+                    emphasis: style & 1 != 0,
+                    grayed: style & 2 != 0,
+                })
+        }
+
+        fn arb_shot() -> impl Strategy<Value = Screenshot> {
+            (
+                proptest::collection::vec(arb_item(), 0..14),
+                0..600i32,
+                "/[a-z/]{0,10}",
+                "[A-Za-z ]{0,10}",
+            )
+                .prop_map(|(items, scroll_y, url, title)| Screenshot {
+                    viewport: VIEWPORT,
+                    url,
+                    title,
+                    scroll_y,
+                    items,
+                })
+        }
+
+        proptest! {
+            // Completeness: equal content always hashes equal (the cache
+            // may only ever *reuse*; it can never wrongly split).
+            #[test]
+            fn equal_frames_hash_equal(shot in arb_shot()) {
+                prop_assert_eq!(shot.frame_hash(), shot.clone().frame_hash());
+            }
+
+            // Soundness over randomized frames: every kind of visible
+            // perturbation — chrome, scroll, text, styling, geometry,
+            // paint order, item count — moves the content address, so a
+            // cached frame can never be served for a frame that would
+            // rasterize differently.
+            #[test]
+            fn any_visible_perturbation_moves_the_hash(
+                shot in arb_shot(),
+                which in 0usize..7,
+            ) {
+                let base = shot.frame_hash();
+                let mut m = shot.clone();
+                match which {
+                    0 => m.scroll_y += 1,
+                    1 => m.url.push('x'),
+                    2 => m.title.push('x'),
+                    3 => m.items.push(PaintItem {
+                        rect: Rect { x: 5, y: 5, w: 9, h: 9 },
+                        visual: VisualClass::Text,
+                        text: "q".into(),
+                        emphasis: false,
+                        grayed: false,
+                    }),
+                    4 if !m.items.is_empty() => m.items[0].grayed = !m.items[0].grayed,
+                    5 if !m.items.is_empty() => m.items[0].rect.x += 1,
+                    6 if m.items.len() >= 2 && m.items[0] != m.items[1] => m.items.swap(0, 1),
+                    _ => m.title.push('y'),
+                }
+                prop_assert_ne!(base, m.frame_hash());
+            }
+
+            // Field separators hold: bytes sliding between adjacent free-text
+            // fields (url/title) must not alias into the same digest.
+            #[test]
+            fn adjacent_text_fields_do_not_alias(a in "[a-z]{0,6}", b in "[a-z]{0,6}") {
+                prop_assume!(a != b);
+                let mk = |url: &str, title: &str| Screenshot {
+                    viewport: VIEWPORT,
+                    url: url.to_string(),
+                    title: title.to_string(),
+                    scroll_y: 0,
+                    items: vec![],
+                };
+                prop_assert_ne!(mk(&a, &b).frame_hash(), mk(&b, &a).frame_hash());
+            }
+        }
     }
 }

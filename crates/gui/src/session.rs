@@ -2,6 +2,8 @@
 //! the dispatch loop translating raw pixel-level events into application
 //! semantics.
 
+use std::sync::Arc;
+
 use crate::event::{Dispatch, EffectKind, Key, SemanticEvent, UserEvent};
 use crate::geometry::{Point, Rect};
 use crate::screenshot::Screenshot;
@@ -9,6 +11,23 @@ use crate::theme::Theme;
 use crate::tree::Page;
 use crate::widget::{WidgetId, WidgetKind};
 use crate::VIEWPORT;
+
+use eclair_trace::perf;
+
+/// Whether `ECLAIR_NO_CACHE=1` is set: the global kill switch that turns
+/// off the frame cache, incremental relayout, and perception memoization
+/// everywhere. The cache-transparency invariant says flipping this must
+/// not change a single serialized byte.
+pub fn no_cache_env() -> bool {
+    std::env::var("ECLAIR_NO_CACHE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Most distinct `(scroll, caret)` frames kept per page epoch. Probing
+/// loops revisit only a handful of scroll offsets; the cap just bounds
+/// memory on pathological drivers.
+const FRAME_CACHE_CAP: usize = 32;
 
 /// A simulated application. Implementations hold their domain state (issues,
 /// products, invoices, ...) and rebuild their current screen on demand.
@@ -79,6 +98,23 @@ pub struct Session {
     /// (a popup appearing, a widget toggling) must not revert what the
     /// user has typed, even over a prefilled value.
     edited: std::collections::HashSet<String>,
+    /// Whether the frame cache and incremental relayout are on. Defaults
+    /// to `!no_cache_env()`; flipping it must be unobservable in any
+    /// serialized artifact (the transparency invariant).
+    cache_enabled: bool,
+    /// Bumped every time the live page is mutated in place or replaced.
+    /// Scroll-only dispatches leave it alone — the dirty-tracking signal
+    /// the frame cache and the tests key off.
+    page_epoch: u64,
+    /// FNV signature of the last *un-themed* `app.build()` output that the
+    /// live page was produced from. `None` means the live page has local
+    /// mutations a fresh build would not reproduce (typed drafts, locally
+    /// toggled widgets, locally hidden toasts), so the next rebuild must
+    /// take the full transplant path.
+    build_sig: Option<u64>,
+    /// Rendered frames for the current page epoch, keyed by what else
+    /// feeds `Screenshot::render`: scroll offset and caret rect.
+    frame_cache: std::collections::HashMap<(i32, Option<Rect>), Arc<Screenshot>>,
 }
 
 impl Session {
@@ -90,6 +126,7 @@ impl Session {
     /// Start a session with an explicit theme (used by the drift studies).
     pub fn with_theme(app: Box<dyn GuiApp>, theme: Theme) -> Self {
         let mut page = app.build();
+        let sig = page_structural_sig(&page);
         theme.apply(&mut page);
         Self {
             app,
@@ -100,6 +137,10 @@ impl Session {
             frame: 0,
             nav_count: 0,
             edited: std::collections::HashSet::new(),
+            cache_enabled: !no_cache_env(),
+            page_epoch: 0,
+            build_sig: Some(sig),
+            frame_cache: std::collections::HashMap::new(),
         }
     }
 
@@ -144,8 +185,68 @@ impl Session {
         (self.page.content_height as i32 - VIEWPORT.h as i32).max(0)
     }
 
+    /// Turn the frame cache and incremental relayout on or off for this
+    /// session (the `ECLAIR_NO_CACHE=1` path, and per-run toggles).
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        if self.cache_enabled != on {
+            self.cache_enabled = on;
+            self.invalidate_frames();
+            self.build_sig = None;
+        }
+    }
+
+    /// Whether the frame cache and incremental relayout are on.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Dirty-tracking epoch: bumped by every page mutation, untouched by
+    /// scroll-only dispatches and skipped relayouts.
+    pub fn page_epoch(&self) -> u64 {
+        self.page_epoch
+    }
+
+    /// Drop every cached frame. Called on page mutation, and by fault
+    /// injectors whose faults displace the page out from under the cache
+    /// (layout shifts, stale-frame delivery).
+    pub fn invalidate_frames(&mut self) {
+        if !self.frame_cache.is_empty() {
+            perf::record(|c| c.frame_cache_invalidations += 1);
+            self.frame_cache.clear();
+        }
+    }
+
+    /// Record an in-place mutation of the live page: bump the epoch, drop
+    /// cached frames, and forget the build signature so the next rebuild
+    /// takes the full transplant path (a fresh build no longer reproduces
+    /// the live page).
+    fn touch_page(&mut self) {
+        self.page_epoch += 1;
+        self.build_sig = None;
+        self.invalidate_frames();
+    }
+
     fn rebuild(&mut self, url_changed: bool) {
-        let old = std::mem::replace(&mut self.page, self.app.build());
+        let fresh = self.app.build();
+        let sig = page_structural_sig(&fresh);
+        if self.cache_enabled && !url_changed && self.build_sig == Some(sig) {
+            // Incremental relayout: the app re-rendered a structurally
+            // identical screen and the live page has no local mutations a
+            // transplant would need to reconcile (`build_sig` is `Some`),
+            // so layout, theming, and transplanting would reproduce the
+            // page we already hold. Mirror only the session-state
+            // transitions a full rebuild performs so the skip is
+            // unobservable.
+            self.focus = None;
+            self.scroll_y = self.scroll_y.clamp(0, self.max_scroll());
+            perf::record(|c| c.relayouts_avoided += 1);
+            return;
+        }
+        perf::record(|c| c.relayouts_full += 1);
+        self.page_epoch += 1;
+        self.invalidate_frames();
+        self.build_sig = Some(sig);
+        let old = std::mem::replace(&mut self.page, fresh);
         self.theme.apply(&mut self.page);
         self.focus = None;
         if url_changed {
@@ -256,6 +357,7 @@ impl Session {
                     self.page.get_mut(o).value = "false".into();
                 }
             }
+            self.touch_page();
             let rebuild = self.app.on_event(SemanticEvent::Toggled {
                 name,
                 label,
@@ -332,6 +434,7 @@ impl Session {
         if !name.is_empty() {
             self.edited.insert(name);
         }
+        self.touch_page();
         EffectKind::Typed
     }
 
@@ -345,6 +448,7 @@ impl Session {
                         if !name.is_empty() {
                             self.edited.insert(name);
                         }
+                        self.touch_page();
                         return (self.focus_hit(), EffectKind::Typed);
                     }
                 }
@@ -395,6 +499,7 @@ impl Session {
                     // App does not track it; hide locally.
                     self.page.get_mut(id).visible = false;
                     self.page.relayout();
+                    self.touch_page();
                 }
                 (Some((name, label)), EffectKind::Dismissed)
             }
@@ -404,6 +509,7 @@ impl Session {
                 };
                 if self.page.get(focused).kind == WidgetKind::TextArea {
                     self.page.get_mut(focused).value.push('\n');
+                    self.touch_page();
                     return (self.focus_hit(), EffectKind::Typed);
                 }
                 // Submit: activate the enclosing form's first enabled button.
@@ -451,8 +557,30 @@ impl Session {
     /// every dispatched event, like a ~2 Hz caret under a steady action
     /// rate). A *static* screenshot therefore may or may not show the caret
     /// — the paper's stated reason step-level integrity checking is hard.
-    pub fn screenshot(&self) -> Screenshot {
-        self.screenshot_at_phase(self.frame.is_multiple_of(2))
+    ///
+    /// Frames are content-addressed and shared: re-observing an unchanged
+    /// page at a scroll/caret state seen this epoch returns the same
+    /// `Arc` without re-rendering. The cached frame is byte-identical to
+    /// a fresh render (`screenshot_at_phase` is a pure function of page,
+    /// scroll, and caret, and every page mutation drops the cache), so
+    /// the cache is unobservable except through [`perf`] counters.
+    pub fn screenshot(&mut self) -> Arc<Screenshot> {
+        let caret_on = self.frame.is_multiple_of(2);
+        if !self.cache_enabled {
+            return Arc::new(self.screenshot_at_phase(caret_on));
+        }
+        let key = (self.scroll_y, self.caret(caret_on));
+        if let Some(shot) = self.frame_cache.get(&key) {
+            perf::record(|c| c.frame_cache_hits += 1);
+            return Arc::clone(shot);
+        }
+        perf::record(|c| c.frame_cache_misses += 1);
+        let shot = Arc::new(self.screenshot_at_phase(caret_on));
+        if self.frame_cache.len() >= FRAME_CACHE_CAP {
+            self.frame_cache.clear();
+        }
+        self.frame_cache.insert(key, Arc::clone(&shot));
+        shot
     }
 
     /// Capture with an explicit caret phase (tests and the oracle use this).
@@ -494,6 +622,57 @@ impl Session {
             self.scroll_y = (b.bottom() - VIEWPORT.h as i32 + 20).clamp(0, self.max_scroll());
         }
     }
+}
+
+/// FNV-1a signature over everything layout and theming consume from a
+/// freshly built (un-themed) page. Two builds with equal signatures laid
+/// out and themed under the same theme produce identical pages, which is
+/// what licenses [`Session::rebuild`] to skip the reconstruction.
+fn page_structural_sig(page: &Page) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let eat_u64 = |h: &mut u64, v: u64| {
+        for b in v.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+    };
+    fn eat_str(h: &mut u64, s: &str) {
+        for &b in s.as_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+        // Separator so ("ab","c") and ("a","bc") differ.
+        *h ^= 0xFF;
+        *h = h.wrapping_mul(PRIME);
+    }
+    eat_str(&mut h, &page.url);
+    eat_str(&mut h, &page.title);
+    for w in page.iter() {
+        eat_u64(&mut h, w.kind as u64);
+        eat_str(&mut h, &w.tag);
+        eat_str(&mut h, &w.label);
+        eat_str(&mut h, &w.name);
+        eat_str(&mut h, &w.value);
+        eat_str(&mut h, &w.placeholder);
+        eat_u64(&mut h, w.options.len() as u64);
+        for o in &w.options {
+            eat_str(&mut h, o);
+        }
+        eat_u64(
+            &mut h,
+            w.level as u64 | (w.enabled as u64) << 8 | (w.visible as u64) << 9,
+        );
+        eat_u64(&mut h, w.parent.map_or(u64::MAX, |p| p.0 as u64));
+        eat_u64(&mut h, w.children.len() as u64);
+        for c in &w.children {
+            eat_u64(&mut h, c.0 as u64);
+        }
+        eat_u64(&mut h, w.fixed_w.map_or(u64::MAX, u64::from));
+        eat_u64(&mut h, w.fixed_h.map_or(u64::MAX, u64::from));
+    }
+    h
 }
 
 #[cfg(test)]
@@ -750,6 +929,129 @@ mod tests {
             "7.25",
             "a same-URL re-render must not revert an actively edited field to its prefill"
         );
+    }
+
+    /// App whose `tick` always requests a rebuild but whose screen never
+    /// changes — the pattern (polling re-render) incremental relayout
+    /// exists for.
+    struct SteadyApp;
+    impl GuiApp for SteadyApp {
+        fn name(&self) -> &str {
+            "steady"
+        }
+        fn url(&self) -> String {
+            "/steady".into()
+        }
+        fn build(&self) -> Page {
+            let mut b = PageBuilder::new("Steady", "/steady");
+            b.form("f", |b| {
+                b.text_input("q", "Query", "type here");
+                b.button("go", "Go");
+            });
+            for i in 0..60 {
+                b.text(format!("row {i}"));
+            }
+            b.finish()
+        }
+        fn on_event(&mut self, _: SemanticEvent) -> bool {
+            false
+        }
+        fn tick(&mut self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn unchanged_rebuild_is_skipped_but_edit_dirties_it() {
+        eclair_trace::perf::reset();
+        let mut s = Session::new(Box::new(SteadyApp));
+        assert!(s.cache_enabled());
+        let epoch = s.page_epoch();
+        s.tick(); // app requests a rebuild; nothing changed
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!(c.relayouts_avoided, 1, "identical build skips relayout");
+        assert_eq!(c.relayouts_full, 0);
+        assert_eq!(s.page_epoch(), epoch, "skip leaves the epoch alone");
+
+        // Scroll-only dispatch stays clean: the next rebuild still skips.
+        s.dispatch(UserEvent::Scroll(120));
+        s.tick();
+        assert_eq!(eclair_trace::perf::snapshot().relayouts_avoided, 2);
+        assert_eq!(s.page_epoch(), epoch, "scrolling does not dirty the page");
+
+        // An edit dirties the subtree: the next rebuild must transplant.
+        click_widget(&mut s, "q");
+        s.dispatch(UserEvent::Type("draft".into()));
+        assert!(s.page_epoch() > epoch, "typing dirties the page");
+        s.tick();
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!(c.relayouts_full, 1, "dirty page forces a full rebuild");
+        let q = s.page().find_by_name("q").unwrap();
+        assert_eq!(s.page().get(q).value, "draft", "transplant kept the draft");
+        // ... and once reconciled, the next identical build skips again.
+        s.tick();
+        assert_eq!(eclair_trace::perf::snapshot().relayouts_avoided, 3);
+    }
+
+    #[test]
+    fn repeated_screenshots_share_one_frame() {
+        eclair_trace::perf::reset();
+        let mut s = Session::new(Box::new(SteadyApp));
+        let a = s.screenshot();
+        let b = s.screenshot();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged page re-serves the frame");
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!((c.frame_cache_hits, c.frame_cache_misses), (1, 1));
+
+        // Scrolling away misses, scrolling back hits the cached frame.
+        s.dispatch(UserEvent::Scroll(200));
+        let far = s.screenshot();
+        assert!(!Arc::ptr_eq(&a, &far));
+        s.dispatch(UserEvent::Scroll(-200));
+        let back = s.screenshot();
+        assert_eq!(*back, *a, "same state renders the same bytes");
+        assert!(eclair_trace::perf::snapshot().frame_cache_hits >= 2);
+    }
+
+    #[test]
+    fn cached_frames_match_fresh_renders_and_die_with_mutations() {
+        let mut s = Session::new(Box::new(MiniApp::new()));
+        let cached = s.screenshot();
+        assert_eq!(
+            *cached,
+            s.screenshot_at_phase(true),
+            "cache serves exactly what a fresh render produces"
+        );
+        // Mutate the page (type into the form): the cache must not serve
+        // the pre-edit frame.
+        click_widget(&mut s, "title");
+        s.dispatch(UserEvent::Type("x".into()));
+        let after = s.screenshot();
+        assert!(
+            after.contains_text("x"),
+            "post-mutation screenshot reflects the edit"
+        );
+    }
+
+    #[test]
+    fn disabling_the_cache_renders_every_frame() {
+        eclair_trace::perf::reset();
+        let mut s = Session::new(Box::new(SteadyApp));
+        s.set_cache_enabled(false);
+        let a = s.screenshot();
+        let b = s.screenshot();
+        assert!(!Arc::ptr_eq(&a, &b), "cache off: every frame is fresh");
+        assert_eq!(*a, *b, "but the bytes are identical either way");
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!(
+            (c.frame_cache_hits, c.frame_cache_misses),
+            (0, 0),
+            "cache-off lookups never touch the counters"
+        );
+        // And rebuilds always take the full path.
+        s.tick();
+        assert_eq!(eclair_trace::perf::snapshot().relayouts_avoided, 0);
+        assert_eq!(eclair_trace::perf::snapshot().relayouts_full, 1);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! is written against this trait so the same loop runs on a pristine
 //! session and on an adversarially perturbed one.
 
+use std::sync::Arc;
+
 use crate::event::{Dispatch, UserEvent};
 use crate::screenshot::Screenshot;
 use crate::session::Session;
@@ -35,7 +37,15 @@ pub trait GuiSurface {
     fn begin_step(&mut self, _step: u64) {}
 
     /// Capture the current frame (or, under fault injection, a stale one).
-    fn screenshot(&mut self) -> Screenshot;
+    /// Frames are shared (`Arc`): an unchanged page re-observed at the
+    /// same scroll/caret state may return the same allocation.
+    fn screenshot(&mut self) -> Arc<Screenshot>;
+
+    /// Turn the caching layer (frame cache, incremental relayout) on or
+    /// off beneath this surface. Must be observationally transparent:
+    /// only `eclair_trace::perf` counters may notice. Wrappers forward to
+    /// the inner session.
+    fn set_cache_enabled(&mut self, _on: bool) {}
 
     /// Deliver one raw user event (or drop/duplicate/translate it, under
     /// fault injection).
@@ -58,8 +68,12 @@ pub trait GuiSurface {
 }
 
 impl GuiSurface for Session {
-    fn screenshot(&mut self) -> Screenshot {
+    fn screenshot(&mut self) -> Arc<Screenshot> {
         Session::screenshot(self)
+    }
+
+    fn set_cache_enabled(&mut self, on: bool) {
+        Session::set_cache_enabled(self, on)
     }
 
     fn dispatch(&mut self, event: UserEvent) -> Dispatch {

@@ -19,11 +19,17 @@
 //!   structurally invalid input with a [`MergeError`];
 //! * [`audit_spans`] / [`audit_seq_gapless`] check the structural
 //!   invariants oracles rely on (see `eclair-crucible`).
+//!
+//! The [`perf`] module holds the caching layer's hit/miss/invalidation
+//! counters. They are deliberately *not* events: cache effectiveness must
+//! never appear in the byte-compared stream, or cache-on and cache-off
+//! runs could not be byte-identical (the PR 5 transparency invariant).
 
 mod audit;
 mod event;
 mod flight;
 mod merge;
+pub mod perf;
 mod recorder;
 mod summary;
 

@@ -63,7 +63,11 @@ pub fn merge_event_streams<'a, I>(streams: I) -> Result<Vec<TraceEvent>, MergeEr
 where
     I: IntoIterator<Item = &'a [TraceEvent]>,
 {
-    let mut out = Vec::new();
+    // Collect once to size the output exactly: growth-reallocation would
+    // move every already-spliced event (and its heap strings) each time
+    // the vector doubled.
+    let streams: Vec<&'a [TraceEvent]> = streams.into_iter().collect();
+    let mut out = Vec::with_capacity(streams.iter().map(|s| s.len()).sum());
     let mut next_seq = 0u64;
     let mut span_base = 0u64;
     for (stream, events) in streams.into_iter().enumerate() {
@@ -91,18 +95,11 @@ where
 }
 
 /// Serialize a merged stream as JSON Lines (same format as
-/// [`crate::TraceRecorder::to_jsonl`]).
+/// [`crate::TraceRecorder::to_jsonl`]): one pre-sized output buffer, no
+/// per-event `String`.
 pub fn merged_jsonl(events: &[TraceEvent]) -> Result<String, MergeError> {
-    let mut out = String::new();
-    for e in events {
-        let line = serde_json::to_string(e).map_err(|err| MergeError::Serialize {
-            seq: e.seq,
-            message: err.to_string(),
-        })?;
-        out.push_str(&line);
-        out.push('\n');
-    }
-    Ok(out)
+    crate::recorder::events_to_jsonl(events)
+        .map_err(|(seq, message)| MergeError::Serialize { seq, message })
 }
 
 #[cfg(test)]

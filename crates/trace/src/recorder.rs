@@ -129,13 +129,10 @@ impl TraceRecorder {
     }
 
     /// Serialize the whole trace as JSON Lines (one event per line).
+    /// Events serialize straight into one pre-sized output buffer — no
+    /// per-event `String` on this hot path (see `perf` counters).
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        for e in &self.events {
-            out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
-            out.push('\n');
-        }
-        out
+        events_to_jsonl(&self.events).expect("trace events serialize")
     }
 
     /// Move the events out, resetting the recorder for the next run.
@@ -153,14 +150,41 @@ impl TraceRecorder {
 }
 
 /// Render the narration log from an event stream: each `Note` verbatim.
+/// A counting pass sizes the output vector exactly, so the only
+/// allocations are the returned lines themselves (no growth-reallocation
+/// shuffling every `String` already pushed).
 pub fn render_log(events: &[TraceEvent]) -> Vec<String> {
-    events
+    let notes = events
         .iter()
-        .filter_map(|e| match &e.kind {
-            EventKind::Note { text } => Some(text.clone()),
-            _ => None,
-        })
-        .collect()
+        .filter(|e| matches!(e.kind, EventKind::Note { .. }))
+        .count();
+    let mut out = Vec::with_capacity(notes);
+    for e in events {
+        if let EventKind::Note { text } = &e.kind {
+            out.push(text.clone());
+        }
+    }
+    crate::perf::record(|c| {
+        c.log_events_rendered += notes as u64;
+        c.log_allocations += 1 + notes as u64; // the vec + one String per line
+    });
+    out
+}
+
+/// Serialize an event stream as JSON Lines into one pre-sized buffer —
+/// events append through `serde_json::to_string_into`, so no per-event
+/// output `String` is allocated. Errors carry the failing event's `seq`.
+pub(crate) fn events_to_jsonl(events: &[TraceEvent]) -> Result<String, (u64, String)> {
+    let mut buf = String::with_capacity(events.len() * 96);
+    for e in events {
+        serde_json::to_string_into(e, &mut buf).map_err(|err| (e.seq, err.to_string()))?;
+        buf.push('\n');
+    }
+    crate::perf::record(|c| {
+        c.jsonl_events_rendered += events.len() as u64;
+        c.jsonl_allocations += 1; // the single output buffer
+    });
+    Ok(buf)
 }
 
 /// Parse a JSONL trace back into events (inverse of

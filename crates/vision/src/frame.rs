@@ -126,9 +126,11 @@ impl Recording {
 /// first event and after every event — the recorder the paper's annotators
 /// ran while demonstrating workflows.
 pub fn record(session: &mut Session, wd: &str, events: Vec<UserEvent>) -> Recording {
+    // Frames are archived (serialized, mutated by corruption studies), so
+    // the recording deep-copies out of the session's shared frame cache.
     let mut frames = vec![Frame {
         index: 0,
-        shot: session.screenshot(),
+        shot: (*session.screenshot()).clone(),
     }];
     let mut log = Vec::with_capacity(events.len());
     for (i, event) in events.into_iter().enumerate() {
@@ -149,7 +151,7 @@ pub fn record(session: &mut Session, wd: &str, events: Vec<UserEvent>) -> Record
         });
         frames.push(Frame {
             index: i + 1,
-            shot: session.screenshot(),
+            shot: (*session.screenshot()).clone(),
         });
     }
     Recording {

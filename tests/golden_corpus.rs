@@ -40,6 +40,7 @@ fn corpus() -> Vec<(&'static str, Scenario)> {
         deadline_steps: None,
         max_attempts: 1,
         workers: 1,
+        use_cache: true,
     };
     vec![
         (

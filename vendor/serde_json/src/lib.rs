@@ -16,6 +16,18 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Serialize a value as compact JSON appended to an existing buffer: the
+/// allocation-reusing counterpart of [`to_string`], for callers emitting
+/// many values into one output (JSONL exporters). Produces exactly the
+/// bytes [`to_string`] would.
+pub fn to_string_into<T: serde::Serialize + ?Sized>(
+    value: &T,
+    out: &mut String,
+) -> Result<(), Error> {
+    write_value(&value.to_value(), out);
+    Ok(())
+}
+
 /// Parse JSON text into any deserializable type.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
     let value = parse_value_complete(s)?;
@@ -366,6 +378,16 @@ mod tests {
         assert_eq!(v, vec![1, 2, 3]);
         let s: String = from_str("\"h\\u00e9llo\"").unwrap();
         assert_eq!(s, "héllo");
+    }
+
+    #[test]
+    fn to_string_into_appends_identical_bytes() {
+        let mut buf = String::from("prefix ");
+        to_string_into(&vec![1i64, 2, 3], &mut buf).unwrap();
+        assert_eq!(
+            buf,
+            format!("prefix {}", to_string(&vec![1i64, 2, 3]).unwrap())
+        );
     }
 
     #[test]
