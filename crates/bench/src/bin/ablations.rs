@@ -8,7 +8,9 @@
 //!   actuation-validation dataset (§5's "repeatedly querying and
 //!   ensembling predictions").
 
-use eclair_bench::{automate_sweep, fast_mode, render_trace_rollup, trace_out_arg};
+use eclair_bench::{
+    automate_sweep, emit_metrics, fast_mode, render_trace_rollup, summary_snapshot, trace_out_arg,
+};
 use eclair_core::demonstrate::record_gold_demo;
 use eclair_core::execute::executor::{run_task, ExecConfig};
 use eclair_core::execute::GroundingStrategy;
@@ -52,6 +54,7 @@ fn accuracy_with_detector(
 }
 
 fn main() {
+    eclair_trace::perf::reset();
     let n_tasks = if fast_mode() { 6 } else { 15 };
     let tasks: Vec<_> = all_tasks().into_iter().take(n_tasks).collect();
     let mut trace = RunSummary::default();
@@ -177,4 +180,5 @@ fn main() {
             }
         }
     }
+    emit_metrics(&summary_snapshot(&trace));
 }

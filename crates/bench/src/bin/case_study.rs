@@ -1,12 +1,15 @@
 //! Regenerate the Section 3 case-study dynamics: an RPA deployment under
 //! quarterly UI drift with bounded maintenance, vs ECLAIR's day-one agent.
 
-use eclair_bench::{automate_sweep, fast_mode, render_trace_rollup, trace_out_arg};
+use eclair_bench::{
+    automate_sweep, emit_metrics, fast_mode, render_trace_rollup, summary_snapshot, trace_out_arg,
+};
 use eclair_core::experiments::case_study;
 use eclair_metrics::table::fmt2;
 use eclair_metrics::Table;
 
 fn main() {
+    eclair_trace::perf::reset();
     let cfg = case_study::CaseStudyConfig {
         months: if fast_mode() { 6 } else { 12 },
         eclair_reps: if fast_mode() { 1 } else { 3 },
@@ -60,4 +63,5 @@ fn main() {
         Ok(()) => println!("\nshape check: PASS (60%→95% ramp; agent viable from day one)"),
         Err(e) => println!("\nshape check: FAIL — {e}"),
     }
+    emit_metrics(&summary_snapshot(&result.trace));
 }

@@ -3,6 +3,7 @@
 //!
 //! Usage:
 //!   chaos_bench [--out BENCH_chaos.json] [--determinism-out PATH]
+//!               [--metrics-out PATH]
 //!
 //! Each point runs the suite as a chaos fleet (single-attempt, so the
 //! curve measures executor robustness rather than scheduler retries) and
@@ -18,7 +19,7 @@
 //!
 //! `ECLAIR_FAST=1` shrinks the sweep for CI.
 
-use eclair_bench::fast_mode;
+use eclair_bench::{emit_metrics, fast_mode, fleet_metrics};
 use eclair_chaos::ChaosProfile;
 use eclair_fleet::{Fleet, FleetConfig, FleetReport, RetryPolicy, RunSpec};
 use eclair_fm::FmProfile;
@@ -204,6 +205,7 @@ fn shape_check(
 }
 
 fn main() {
+    eclair_trace::perf::reset();
     let (tasks, reps, rates): (usize, usize, Vec<f64>) = if fast_mode() {
         (8, 1, vec![0.0, 0.3])
     } else {
@@ -231,6 +233,10 @@ fn main() {
         "determinism (gpt-4v @ {top_rate}): {}",
         if determinism_ok { "ok" } else { "MISMATCH" }
     );
+    // Metrics come from the sequential canonical point, which ran on
+    // this thread — pure in the seeds, byte-stable across invocations.
+    let mut metrics = fleet_metrics(&canon_seq.outcome, &canon_seq.merged_trace);
+    metrics.absorb_perf(&eclair_trace::perf::snapshot());
 
     let mut points = Vec::new();
     for &profile in &profiles {
@@ -302,6 +308,7 @@ fn main() {
         std::fs::write(&path, det).expect("write determinism artifact");
         println!("wrote {path}");
     }
+    emit_metrics(&metrics);
 
     if !determinism_ok {
         eprintln!("FAIL: chaos fleet diverged between sequential and concurrent execution");

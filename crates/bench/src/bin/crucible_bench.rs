@@ -12,8 +12,9 @@
 //! `ECLAIR_FAST=1` shrinks the sweep from 64 to 16 scenarios. Any oracle
 //! violation exits 1 after printing the shrunk reproduction.
 
-use eclair_bench::fast_mode;
+use eclair_bench::{emit_metrics, fast_mode};
 use eclair_crucible::{evaluate, repro_snippet, run_scenario, shrink, Scenario};
+use eclair_obs::MetricsRegistry;
 use serde::Serialize;
 
 /// The sweep's master seed: every scenario derives from it, so this one
@@ -75,6 +76,7 @@ fn main() {
     let mut total_checks = 0usize;
     let mut violation_details = Vec::new();
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut metrics = MetricsRegistry::new();
 
     for id in 0..sweep {
         let scenario = Scenario::generate(MASTER_SEED, id);
@@ -90,6 +92,12 @@ fn main() {
         total_checks += eval.checks;
         fnv1a_extend(&mut digest, &run.report.outcome.to_json());
         let o = &run.report.outcome;
+        metrics.inc("crucible.scenarios", 1);
+        metrics.inc("crucible.oracle_checks", eval.checks as u64);
+        metrics.inc("crucible.violations", eval.violations.len() as u64);
+        metrics.inc("fleet.succeeded", o.succeeded);
+        metrics.inc("fleet.failed", o.failed);
+        metrics.inc("chaos.faults_injected", o.faults_injected_total());
         rows.push(ScenarioRow {
             id,
             seed: scenario.seed,
@@ -144,6 +152,7 @@ fn main() {
     )
     .expect("write bench artifact");
     println!("wrote {out_path}");
+    emit_metrics(&metrics);
 
     if violations > 0 {
         eprintln!("FAIL: {violations} oracle violations across the sweep");

@@ -1,6 +1,8 @@
 //! Regenerate the paper's Figure 2 (workflow-automatability taxonomy).
 
+use eclair_bench::emit_metrics;
 use eclair_core::experiments::fig2;
+use eclair_obs::MetricsRegistry;
 use eclair_workflow::category::figure2_examples;
 
 fn main() {
@@ -18,4 +20,14 @@ fn main() {
         Ok(()) => println!("shape check: PASS (ECLAIR strictly extends RPA coverage)"),
         Err(e) => println!("shape check: FAIL — {e}"),
     }
+    // No trace here — the taxonomy is a static analysis — so the
+    // snapshot carries the coverage figures as basis-point gauges.
+    let mut metrics = MetricsRegistry::new();
+    metrics.set_gauge("fig2.coverage_rpa_bp", (rpa * 10_000.0).round() as i64);
+    metrics.set_gauge(
+        "fig2.coverage_eclair_bp",
+        (eclair * 10_000.0).round() as i64,
+    );
+    metrics.set_gauge("fig2.workflows", figure2_examples().len() as i64);
+    emit_metrics(&metrics);
 }

@@ -4,13 +4,17 @@
 //!
 //! Usage:
 //!   fleet_bench [--out BENCH_fleet.json] [--determinism-out PATH]
+//!               [--trace-out PATH] [--metrics-out PATH]
 //!
 //! `--determinism-out` writes the deterministic fleet outcome (records +
 //! merged-trace digest) to a file; two back-to-back invocations must
 //! produce byte-identical files (the CI smoke job diffs them).
-//! `ECLAIR_FAST=1` shrinks the sweep for CI.
+//! `--trace-out` exports the merged flight record as JSONL (the input
+//! `eclair-analyze` consumes); `--metrics-out` writes the byte-stable
+//! `eclair-obs/v1` metrics snapshot CI gates against a committed
+//! baseline. `ECLAIR_FAST=1` shrinks the sweep for CI.
 
-use eclair_bench::fast_mode;
+use eclair_bench::{emit_metrics, fast_mode, fleet_metrics, trace_out_arg};
 use eclair_fleet::{Fleet, FleetConfig, FleetReport, RetryPolicy, RunSpec};
 use eclair_fm::FmProfile;
 use eclair_sites::all_tasks;
@@ -26,6 +30,11 @@ struct WorkerPoint {
     p50_latency_steps: u64,
     p95_latency_steps: u64,
     mean_latency_steps: f64,
+    /// Virtual-time makespan under greedy list scheduling — pure in the
+    /// specs and worker count, byte-stable across hosts.
+    vt_makespan_us: u64,
+    /// Virtual-time speedup vs the summed per-run virtual latency.
+    vt_speedup: f64,
     retries: u64,
     succeeded: u64,
     failed: u64,
@@ -91,6 +100,7 @@ fn arg_value(flag: &str) -> Option<String> {
 }
 
 fn main() {
+    eclair_trace::perf::reset();
     let fleet_seed = 2024u64;
     let (tasks, reps, worker_counts): (usize, usize, Vec<usize>) = if fast_mode() {
         (8, 1, vec![1, 4])
@@ -126,6 +136,15 @@ fn main() {
         baseline.outcome.succeeded,
         baseline.outcome.retries_total
     );
+    // The sequential baseline ran on this thread, so its perf counters
+    // are in scope here; the worker sweep below runs on other threads
+    // and cannot pollute the snapshot.
+    let mut metrics = fleet_metrics(&baseline.outcome, &baseline.merged_trace);
+    metrics.absorb_perf(&eclair_trace::perf::snapshot());
+    if let Some(path) = trace_out_arg() {
+        std::fs::write(&path, &baseline_trace).expect("write flight record");
+        println!("flight record -> {}", path.display());
+    }
 
     let mut determinism_ok = true;
     let mut points = Vec::new();
@@ -144,10 +163,11 @@ fn main() {
         determinism_ok &= ok;
         let ms = wall_ms(&report);
         println!(
-            "workers={workers}: {:.1} ms, {:.1} runs/s, speedup {:.2}x, p50 {} steps, p95 {} steps, backpressure waits {}, deterministic: {}",
+            "workers={workers}: {:.1} ms, {:.1} runs/s, speedup {:.2}x (virtual {:.2}x), p50 {} steps, p95 {} steps, backpressure waits {}, deterministic: {}",
             ms,
             report.timing.runs_per_sec,
             baseline_ms / ms.max(1e-9),
+            report.timing.vt_speedup,
             report.outcome.latency_steps.p50,
             report.outcome.latency_steps.p95,
             report.timing.submit_waits,
@@ -161,6 +181,8 @@ fn main() {
             p50_latency_steps: report.outcome.latency_steps.p50,
             p95_latency_steps: report.outcome.latency_steps.p95,
             mean_latency_steps: report.outcome.latency_steps.mean,
+            vt_makespan_us: report.timing.vt_makespan_us,
+            vt_speedup: report.timing.vt_speedup,
             retries: report.outcome.retries_total,
             succeeded: report.outcome.succeeded,
             failed: report.outcome.failed,
@@ -197,6 +219,7 @@ fn main() {
         std::fs::write(&path, det).expect("write determinism artifact");
         println!("wrote {path}");
     }
+    emit_metrics(&metrics);
 
     if !determinism_ok {
         eprintln!("FAIL: concurrent fleet diverged from the sequential baseline");

@@ -1,0 +1,210 @@
+//! Virtual-time observability bench: run the 30-task suite once,
+//! sequentially, then compute what the fleet's virtual clock says the
+//! same work costs on 1/2/4/8 workers — no threads involved, so the
+//! speedup curve is pure in the seed and identical on every host.
+//!
+//! Usage:
+//!   obs_bench [--out BENCH_obs.json] [--trace-out PATH] [--metrics-out PATH]
+//!
+//! The artifact carries per-worker virtual makespans and speedups plus
+//! per-span-kind latency percentiles (p50/p95/p99 over inclusive virtual
+//! time). It is byte-reproducible: two back-to-back invocations must
+//! produce identical files. Two shape gates exit 1 when violated:
+//!
+//! * `additive`: the span profiler's exclusive times telescope back to
+//!   the root total (same invariant the crucible's `vt-additive` oracle
+//!   pins);
+//! * `speedup_shape`: virtual speedup strictly increases with the worker
+//!   count (non-strict in `ECLAIR_FAST=1`, where the tiny suite can
+//!   saturate early).
+
+use std::collections::BTreeMap;
+
+use eclair_bench::{emit_metrics, fast_mode, fleet_metrics, trace_out_arg};
+use eclair_fleet::{virtual_makespan, Fleet, FleetConfig, LatencyStats, RetryPolicy, RunSpec};
+use eclair_fm::FmProfile;
+use eclair_obs::{profile_spans, span_inclusive_durations};
+use eclair_sites::all_tasks;
+use serde::Serialize;
+
+/// One worker count's virtual-time point.
+#[derive(Debug, Serialize)]
+struct ObsPoint {
+    workers: usize,
+    /// Makespan under greedy list scheduling of the per-run virtual
+    /// durations onto `workers` lanes.
+    vt_makespan_us: u64,
+    /// `Σ vt_total_us / vt_makespan_us`.
+    vt_speedup: f64,
+}
+
+/// The whole artifact. No wall-clock anywhere: byte-reproducible.
+#[derive(Debug, Serialize)]
+struct ObsBenchJson {
+    suite_tasks: usize,
+    reps: usize,
+    runs: usize,
+    fleet_seed: u64,
+    profile: String,
+    /// Σ per-run `vt_total_us` — the 1-worker makespan.
+    vt_total_us: u64,
+    /// Per-run virtual latency distribution.
+    run_latency_vt_us: LatencyStats,
+    /// Inclusive virtual-time percentiles per span kind.
+    phase_latency_vt_us: BTreeMap<String, LatencyStats>,
+    additive: String,
+    speedup_shape: String,
+    points: Vec<ObsPoint>,
+}
+
+fn specs(fleet_seed: u64, tasks: usize, reps: usize) -> Vec<RunSpec> {
+    let suite = all_tasks();
+    let mut out = Vec::with_capacity(tasks * reps);
+    for rep in 0..reps {
+        for (i, task) in suite.iter().take(tasks).enumerate() {
+            let run_id = (rep * tasks + i) as u64;
+            out.push(RunSpec::for_task(
+                fleet_seed,
+                run_id,
+                task.clone(),
+                FmProfile::Gpt4V,
+            ));
+        }
+    }
+    out
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    eclair_trace::perf::reset();
+    let fleet_seed = 2024u64;
+    let (tasks, reps, worker_counts): (usize, usize, Vec<usize>) = if fast_mode() {
+        (8, 1, vec![1, 4])
+    } else {
+        (30, 2, vec![1, 2, 4, 8])
+    };
+    println!(
+        "obs_bench: {} tasks x {} reps = {} runs, GPT-4 profile, seed {}",
+        tasks,
+        reps,
+        tasks * reps,
+        fleet_seed
+    );
+
+    // One sequential execution yields everything: per-run virtual
+    // durations are worker-independent, so every worker count's makespan
+    // is a scheduling computation over the same numbers.
+    let report = Fleet::new(FleetConfig {
+        workers: 1,
+        retry: RetryPolicy::default(),
+        fleet_seed,
+        ..FleetConfig::default()
+    })
+    .run_sequential(specs(fleet_seed, tasks, reps))
+    .expect("sequential fleet run");
+
+    let durations: Vec<u64> = report
+        .outcome
+        .records
+        .iter()
+        .map(|r| r.vt_total_us)
+        .collect();
+    let vt_total_us: u64 = durations.iter().sum();
+
+    let mut points = Vec::new();
+    let mut speedup_shape_ok = true;
+    let mut prev_speedup = 0.0f64;
+    for &workers in &worker_counts {
+        let vt_makespan_us = virtual_makespan(&durations, workers);
+        let vt_speedup = vt_total_us as f64 / vt_makespan_us.max(1) as f64;
+        let ok = if fast_mode() {
+            vt_speedup >= prev_speedup
+        } else {
+            vt_speedup > prev_speedup
+        };
+        speedup_shape_ok &= ok;
+        println!(
+            "workers={workers}: virtual makespan {:.1} s, virtual speedup {vt_speedup:.2}x{}",
+            vt_makespan_us as f64 / 1e6,
+            if ok { "" } else { "  <- NOT INCREASING" },
+        );
+        points.push(ObsPoint {
+            workers,
+            vt_makespan_us,
+            vt_speedup,
+        });
+        prev_speedup = vt_speedup;
+    }
+
+    let profile = profile_spans(&report.merged_trace);
+    let additive_ok = profile.is_additive();
+    println!(
+        "span additivity: {} ({} us exclusive over {} root-us, {} paths)",
+        if additive_ok { "ok" } else { "VIOLATED" },
+        profile.exclusive_sum_us,
+        profile.total_root_us,
+        profile.paths.len(),
+    );
+
+    let mut phase_latency_vt_us = BTreeMap::new();
+    for (kind, samples) in span_inclusive_durations(&report.merged_trace) {
+        let stats = LatencyStats::from_samples(&samples);
+        println!(
+            "{kind:<10} n={:<5} p50 {:>9} us  p95 {:>9} us  p99 {:>9} us",
+            samples.len(),
+            stats.p50,
+            stats.p95,
+            stats.p99,
+        );
+        phase_latency_vt_us.insert(kind, stats);
+    }
+
+    let artifact = ObsBenchJson {
+        suite_tasks: tasks,
+        reps,
+        runs: tasks * reps,
+        fleet_seed,
+        profile: FmProfile::Gpt4V.name().to_string(),
+        vt_total_us,
+        run_latency_vt_us: report.outcome.latency_vt_us,
+        phase_latency_vt_us,
+        additive: if additive_ok { "ok" } else { "VIOLATED" }.to_string(),
+        speedup_shape: if speedup_shape_ok { "ok" } else { "VIOLATED" }.to_string(),
+        points,
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_obs.json".to_string());
+    std::fs::write(
+        &out_path,
+        serde_json::to_string(&artifact).expect("bench artifact serializes"),
+    )
+    .expect("write bench artifact");
+    println!("wrote {out_path}");
+
+    // Snapshot perf before the optional JSONL export below — rendering
+    // the flight record bumps the export counters, and the snapshot must
+    // not depend on which flags were passed.
+    let mut metrics = fleet_metrics(&report.outcome, &report.merged_trace);
+    metrics.absorb_perf(&eclair_trace::perf::snapshot());
+    if let Some(path) = trace_out_arg() {
+        std::fs::write(&path, report.merged_trace_jsonl().expect("merged trace"))
+            .expect("write flight record");
+        println!("flight record -> {}", path.display());
+    }
+    emit_metrics(&metrics);
+
+    if !additive_ok {
+        eprintln!("FAIL: virtual-time accounting is not additive over the span tree");
+        std::process::exit(1);
+    }
+    if !speedup_shape_ok {
+        eprintln!("FAIL: virtual speedup does not increase with worker count");
+        std::process::exit(1);
+    }
+}

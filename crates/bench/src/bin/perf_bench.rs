@@ -16,7 +16,7 @@
 //! speedup is printed to stdout and deliberately never serialized.
 //! `ECLAIR_FAST=1` shrinks the suite for CI.
 
-use eclair_bench::{fast_mode, SweepResult};
+use eclair_bench::{emit_metrics, fast_mode, fleet_metrics, summary_metrics, SweepResult};
 use eclair_core::demonstrate::EvidenceLevel;
 use eclair_core::{Eclair, EclairConfig};
 use eclair_fleet::{Fleet, FleetConfig, FleetReport, RetryPolicy, RunSpec};
@@ -266,6 +266,12 @@ fn main() {
     )
     .expect("write bench artifact");
     println!("wrote {out_path}");
+    // Snapshot the cache-on leg: fleet + pipeline totals plus the leg's
+    // own perf counters (pure in the seed either way).
+    let mut metrics = fleet_metrics(&on.fleet.outcome, &on.fleet.merged_trace);
+    summary_metrics(&mut metrics, &on.pipeline.summary);
+    metrics.absorb_perf(&on.counters);
+    emit_metrics(&metrics);
 
     if !outcomes_identical || !traces_identical {
         eprintln!("FAIL: caching changed observable behavior");

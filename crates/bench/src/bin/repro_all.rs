@@ -6,10 +6,12 @@ use eclair_core::experiments::{case_study, fig2, table1, table2, table3, table4}
 use eclair_workflow::category::figure2_examples;
 
 fn main() {
+    eclair_trace::perf::reset();
     let fast = fast_mode();
     let mut passed = 0usize;
     let mut total = 0usize;
     let mut shapes: Vec<(String, Result<(), String>)> = Vec::new();
+    let mut rollup = eclair_trace::RunSummary::default();
 
     println!("=== Table 1 ===\n");
     let t1 = table1::run(table1::Table1Config {
@@ -23,6 +25,7 @@ fn main() {
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 1".into(), t1.shape_holds()));
+    rollup.merge(&t1.trace);
 
     println!("=== Table 2 ===\n");
     let t2 = table2::run(table2::Table2Config {
@@ -37,6 +40,7 @@ fn main() {
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 2".into(), t2.shape_holds()));
+    rollup.merge(&t2.trace);
 
     println!("=== Table 3 ===\n");
     let t3 = table3::run(table3::Table3Config {
@@ -50,6 +54,7 @@ fn main() {
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 3".into(), t3.shape_holds()));
+    rollup.merge(&t3.trace);
 
     println!("=== Table 4 ===\n");
     let t4 = table4::run(table4::Table4Config {
@@ -63,6 +68,7 @@ fn main() {
     passed += c.passed();
     total += c.rows.len();
     shapes.push(("Table 4".into(), t4.shape_holds()));
+    rollup.merge(&t4.trace);
 
     println!("=== Figure 2 ===\n");
     let f2 = fig2::run();
@@ -89,6 +95,7 @@ fn main() {
     );
     println!("trace rollup:\n{}", render_trace_rollup(&cs.trace));
     shapes.push(("Case study".into(), cs.shape_holds()));
+    rollup.merge(&cs.trace);
 
     println!("\n=== End-to-end sweep ===\n");
     let sweep = automate_sweep(if fast { 3 } else { 10 }, eclair_core::calibration::SEED);
@@ -110,6 +117,8 @@ fn main() {
             }
         }
     }
+    rollup.merge(&sweep.summary);
+    emit_metrics(&summary_snapshot(&rollup));
 
     println!("\n=== Summary ===");
     println!("paper-vs-measured cells within band: {passed}/{total}");

@@ -1,9 +1,10 @@
 //! Regenerate the paper's Table 1 (Demonstrate: SOP generation).
 
-use eclair_bench::{fast_mode, render_table1, render_trace_rollup};
+use eclair_bench::{emit_metrics, fast_mode, render_table1, render_trace_rollup, summary_snapshot};
 use eclair_core::experiments::table1;
 
 fn main() {
+    eclair_trace::perf::reset();
     let cfg = table1::Table1Config {
         tasks: if fast_mode() { 8 } else { 30 },
         ..Default::default()
@@ -21,4 +22,5 @@ fn main() {
         Ok(()) => println!("shape check: PASS (evidence monotonicity holds)"),
         Err(e) => println!("shape check: FAIL — {e}"),
     }
+    emit_metrics(&summary_snapshot(&result.trace));
 }

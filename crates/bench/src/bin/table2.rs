@@ -1,9 +1,10 @@
 //! Regenerate the paper's Table 2 (Execute: suggestion & completion).
 
-use eclair_bench::{fast_mode, render_table2, render_trace_rollup};
+use eclair_bench::{emit_metrics, fast_mode, render_table2, render_trace_rollup, summary_snapshot};
 use eclair_core::experiments::table2;
 
 fn main() {
+    eclair_trace::perf::reset();
     let cfg = table2::Table2Config {
         tasks: if fast_mode() { 8 } else { 30 },
         reps: if fast_mode() { 1 } else { 3 },
@@ -24,4 +25,5 @@ fn main() {
         }
         Err(e) => println!("shape check: FAIL — {e}"),
     }
+    emit_metrics(&summary_snapshot(&result.trace));
 }

@@ -1,9 +1,10 @@
 //! Regenerate the paper's Table 3 (Execute: grounding accuracy).
 
-use eclair_bench::{fast_mode, render_table3, render_trace_rollup};
+use eclair_bench::{emit_metrics, fast_mode, render_table3, render_trace_rollup, summary_snapshot};
 use eclair_core::experiments::table3;
 
 fn main() {
+    eclair_trace::perf::reset();
     let cfg = table3::Table3Config {
         pages: if fast_mode() { Some(40) } else { None },
         ..Default::default()
@@ -21,4 +22,5 @@ fn main() {
         ),
         Err(e) => println!("shape check: FAIL — {e}"),
     }
+    emit_metrics(&summary_snapshot(&result.trace));
 }

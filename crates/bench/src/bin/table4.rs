@@ -1,9 +1,10 @@
 //! Regenerate the paper's Table 4 (Validate: self-monitoring).
 
-use eclair_bench::{fast_mode, render_table4, render_trace_rollup};
+use eclair_bench::{emit_metrics, fast_mode, render_table4, render_trace_rollup, summary_snapshot};
 use eclair_core::experiments::table4;
 
 fn main() {
+    eclair_trace::perf::reset();
     let cfg = table4::Table4Config {
         tasks: if fast_mode() { 8 } else { 30 },
         ..Default::default()
@@ -20,4 +21,5 @@ fn main() {
         }
         Err(e) => println!("shape check: FAIL — {e}"),
     }
+    emit_metrics(&summary_snapshot(&result.trace));
 }

@@ -88,6 +88,26 @@ mod tests {
     }
 
     #[test]
+    fn every_fault_kind_has_a_virtual_cost_weight() {
+        // The virtual clock charges each injected fault by name (see
+        // `eclair_trace::fault_cost_weight`); keep the table in sync with
+        // the fault vocabulary so no kind silently costs nothing.
+        for k in FaultKind::ALL {
+            assert!(
+                eclair_trace::fault_cost_weight(k.name()) > 0,
+                "{} must carry a nonzero virtual-time cost",
+                k.name()
+            );
+        }
+        // Pin the relative ordering the bands encode: a session expiry is
+        // the most disruptive fault, an event-level glitch the least.
+        assert!(
+            eclair_trace::fault_cost_weight(FaultKind::SessionExpiry.name())
+                > eclair_trace::fault_cost_weight(FaultKind::StaleFrame.name())
+        );
+    }
+
+    #[test]
     fn specs_serialize() {
         let s = FaultSpec {
             step: 3,

@@ -6,7 +6,7 @@ use eclair_fm::FmModel;
 use eclair_gui::event::EffectKind;
 use eclair_gui::{GuiSurface, Key, UserEvent, VisualClass};
 use eclair_sites::TaskSpec;
-use eclair_trace::{render_log, EventKind, SpanKind};
+use eclair_trace::{fault_cost_weight, render_log, CostKind, EventKind, SpanKind};
 use eclair_workflow::Sop;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -140,10 +140,18 @@ pub fn run_on_session<S: GuiSurface>(
         let step_span = model
             .trace_mut()
             .open(SpanKind::Step, &format!("step {step_no}"));
+        // Re-anchor the virtual clock's draw stream to this step (latency
+        // draws are pure in `(seed, run_id, step)`), then charge the
+        // fixed per-step overhead.
+        model.trace_mut().clock_begin_step(step_no);
+        model.trace_mut().advance(CostKind::StepInit, 0);
         // Let a perturbing surface arm its scheduled fault, and record
         // whatever it injected before the step observes.
         session.begin_step(step_no);
         for note in session.drain_fault_notes() {
+            model
+                .trace_mut()
+                .advance(CostKind::FaultImpact, fault_cost_weight(&note.fault));
             model.trace_mut().note(format!(
                 "chaos: {} injected at step {}",
                 note.fault, note.step
@@ -158,12 +166,14 @@ pub fn run_on_session<S: GuiSurface>(
         // the step's perception and grounding work on the real page.
         if cfg.relogin_expired && relogin_if_expired(session) {
             let rec_span = model.trace_mut().open(SpanKind::Recover, "re-login");
+            model.trace_mut().advance(CostKind::Recover, 0);
             model
                 .trace_mut()
                 .note("re-authenticated after session expiry");
             model.trace_mut().close(rec_span);
         }
         let obs_span = model.trace_mut().open(SpanKind::Observe, "screenshot");
+        model.trace_mut().advance(CostKind::Observe, 0);
         let shot = session.screenshot();
         model.trace_mut().close(obs_span);
         let sug_span = model.trace_mut().open(SpanKind::Suggest, "next action");
@@ -183,6 +193,7 @@ pub fn run_on_session<S: GuiSurface>(
         };
         attempted += 1;
         let act_span = model.trace_mut().open(SpanKind::Actuate, &text);
+        model.trace_mut().advance(CostKind::Actuate, 0);
         let first_try = perform(model, session, &intent, cfg);
         model.trace_mut().close(act_span);
         match first_try {
@@ -202,6 +213,7 @@ pub fn run_on_session<S: GuiSurface>(
                 if cfg.escape_popups {
                     let rec_span = model.trace_mut().open(SpanKind::Recover, "popup escape");
                     if escape_if_irrelevant_modal(model, session, &intent) {
+                        model.trace_mut().advance(CostKind::Recover, 0);
                         model.trace_mut().event(EventKind::PopupEscape {
                             url: session.url().to_string(),
                         });
@@ -215,6 +227,7 @@ pub fn run_on_session<S: GuiSurface>(
                         .trace_mut()
                         .event(EventKind::Retry { what: text.clone() });
                     let retry_span = model.trace_mut().open(SpanKind::Actuate, &text);
+                    model.trace_mut().advance(CostKind::Actuate, 0);
                     let retried = perform(model, session, &intent, cfg);
                     model.trace_mut().close(retry_span);
                     if retried.is_ok() {

@@ -121,7 +121,8 @@ fn tokens_account(run: &ScenarioRun) -> Verdict {
     let t = &run.report.outcome.tokens;
     let traced = fm_token_totals(&run.report.merged_trace);
     fail(
-        traced != (t.prompt_tokens, t.completion_tokens, t.calls),
+        (traced.prompt, traced.completion, traced.calls)
+            != (t.prompt_tokens, t.completion_tokens, t.calls),
         || {
             format!(
                 "trace accounts {traced:?}, meters say ({}, {}, {})",
@@ -282,6 +283,31 @@ fn budgets_respected(run: &ScenarioRun) -> Verdict {
     Verdict::Pass
 }
 
+fn vt_additive(run: &ScenarioRun) -> Verdict {
+    // Virtual-time accounting must be additive over the span tree: the
+    // exclusive times of all spans telescope back to exactly the summed
+    // inclusive time of the root spans, with no negative-duration and no
+    // unclosed spans. A violation means an event was stamped outside its
+    // span's lifetime — i.e. the virtual clock ran backwards or a span
+    // leaked. Never skips: every scenario produces a merged trace.
+    let p = eclair_obs::profile_spans(&run.report.merged_trace);
+    if !p.is_additive() {
+        return Verdict::Fail(format!(
+            "exclusive sum {} vs root total {} ({} negative, {} unclosed spans)",
+            p.exclusive_sum_us, p.total_root_us, p.negative_spans, p.unclosed
+        ));
+    }
+    for r in &run.report.outcome.records {
+        if r.vt_total_us != r.vt_exec_us + r.vt_backoff_us {
+            return Verdict::Fail(format!(
+                "run {}: vt_total {} != exec {} + backoff {}",
+                r.run_id, r.vt_total_us, r.vt_exec_us, r.vt_backoff_us
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
 /// The full registry, in evaluation order.
 pub fn registry() -> Vec<Oracle> {
     vec![
@@ -345,6 +371,11 @@ pub fn registry() -> Vec<Oracle> {
             name: "budgets-respected",
             contract: "attempt, token, and deadline budgets are enforced as specified",
             check: budgets_respected,
+        },
+        Oracle {
+            name: "vt-additive",
+            contract: "virtual-time accounting is additive: span exclusive times telescope to the root total",
+            check: vt_additive,
         },
     ]
 }

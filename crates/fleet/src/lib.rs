@@ -46,7 +46,9 @@ mod worker;
 
 pub use backoff::RetryPolicy;
 pub use queue::{BoundedQueue, QueueStats};
-pub use report::{FleetOutcome, FleetReport, FleetTiming, LatencyStats, RunOutcome, RunRecord};
+pub use report::{
+    virtual_makespan, FleetOutcome, FleetReport, FleetTiming, LatencyStats, RunOutcome, RunRecord,
+};
 pub use scheduler::{CancelToken, Fleet, FleetConfig};
 pub use spec::{derive_seed, specs_for_tasks, RunSpec};
 pub use worker::{execute_spec, pricing_for};

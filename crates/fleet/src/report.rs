@@ -60,6 +60,15 @@ pub struct RunRecord {
     pub backoff_steps: u64,
     /// Total simulated latency: `exec_steps + backoff_steps`.
     pub latency_steps: u64,
+    /// Virtual-clock microseconds spent executing (all attempts; see
+    /// `eclair_trace::VirtualClock`). Pure in the spec, identical across
+    /// worker counts — safe to serialize.
+    pub vt_exec_us: u64,
+    /// Virtual-clock microseconds spent in backoff waits between
+    /// attempts (`backoff_steps · BACKOFF_STEP_US`).
+    pub vt_backoff_us: u64,
+    /// Total virtual latency: `vt_exec_us + vt_backoff_us`.
+    pub vt_total_us: u64,
 }
 
 /// Latency distribution over simulated steps (nearest-rank percentiles).
@@ -69,6 +78,8 @@ pub struct LatencyStats {
     pub p50: u64,
     /// 95th percentile.
     pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
     /// Maximum.
     pub max: u64,
     /// Arithmetic mean.
@@ -87,10 +98,31 @@ impl LatencyStats {
         Self {
             p50: rank(50),
             p95: rank(95),
+            p99: rank(99),
             max: *sorted.last().unwrap(),
             mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
         }
     }
+}
+
+/// Virtual makespan of scheduling `durations` (in run-id order) onto
+/// `workers` identical workers: greedy list scheduling, each run placed
+/// on the earliest-free worker (ties broken by lowest worker index).
+/// This mirrors the fleet's actual work-stealing order closely enough to
+/// make speedup curves meaningful, while being a pure function of the
+/// per-run virtual durations — so the curve is identical on every host.
+pub fn virtual_makespan(durations: &[u64], workers: usize) -> u64 {
+    let workers = workers.max(1);
+    let mut free_at = vec![0u64; workers.min(durations.len().max(1))];
+    for &d in durations {
+        let (idx, _) = free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("at least one worker");
+        free_at[idx] += d;
+    }
+    free_at.into_iter().max().unwrap_or(0)
 }
 
 /// The deterministic fleet-level rollup: per-run records in run-id order
@@ -110,6 +142,9 @@ pub struct FleetOutcome {
     pub retries_total: u64,
     /// Latency distribution over `latency_steps`.
     pub latency_steps: LatencyStats,
+    /// Latency distribution over per-run `vt_total_us` (virtual-clock
+    /// microseconds; meaningful across hosts and worker counts).
+    pub latency_vt_us: LatencyStats,
     /// Trace rollup over every run and attempt.
     pub totals: RunSummary,
     /// Tokens over every run and attempt.
@@ -129,12 +164,14 @@ impl FleetOutcome {
         let mut retries_total = 0u64;
         let mut cost_usd = 0.0;
         let mut latencies = Vec::with_capacity(records.len());
+        let mut vt_latencies = Vec::with_capacity(records.len());
         for r in &records {
             totals.merge(&r.summary);
             tokens.merge(&r.tokens);
             retries_total += r.retries as u64;
             cost_usd += r.cost_usd;
             latencies.push(r.latency_steps);
+            vt_latencies.push(r.vt_total_us);
             match r.outcome {
                 RunOutcome::Success => succeeded += 1,
                 RunOutcome::Cancelled => cancelled += 1,
@@ -148,6 +185,7 @@ impl FleetOutcome {
             cancelled,
             retries_total,
             latency_steps: LatencyStats::from_samples(&latencies),
+            latency_vt_us: LatencyStats::from_samples(&vt_latencies),
             totals,
             tokens,
             cost_usd,
@@ -208,6 +246,16 @@ pub struct FleetTiming {
     pub queue_max_depth: usize,
     /// Submissions that blocked on a full queue (backpressure count).
     pub submit_waits: u64,
+    /// Virtual makespan of the fleet's runs on `workers` virtual workers
+    /// (microseconds; see [`virtual_makespan`]). Lives here rather than
+    /// in [`FleetOutcome`] because it depends on the worker count, which
+    /// the byte-compared artifact must not.
+    pub vt_makespan_us: u64,
+    /// Sum of per-run virtual latencies (= 1-worker makespan).
+    pub vt_total_us: u64,
+    /// `vt_total_us / vt_makespan_us` — the simulated-time speedup the
+    /// worker overlap buys.
+    pub vt_speedup: f64,
 }
 
 /// What a fleet execution returns: the deterministic outcome, the merged
@@ -259,11 +307,30 @@ mod tests {
         let s = LatencyStats::from_samples(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
         assert_eq!(s.p50, 50);
         assert_eq!(s.p95, 100);
+        assert_eq!(s.p99, 100);
         assert_eq!(s.max, 100);
         assert!((s.mean - 55.0).abs() < 1e-9);
         assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
         let one = LatencyStats::from_samples(&[7]);
-        assert_eq!((one.p50, one.p95, one.max), (7, 7, 7));
+        assert_eq!((one.p50, one.p95, one.p99, one.max), (7, 7, 7, 7));
+        // p99 separates from p95 once there are >20 samples.
+        let many: Vec<u64> = (1..=100).collect();
+        let m = LatencyStats::from_samples(&many);
+        assert_eq!((m.p50, m.p95, m.p99, m.max), (50, 95, 99, 100));
+    }
+
+    #[test]
+    fn virtual_makespan_schedules_greedily() {
+        // One worker: the sum. Enough workers: the max.
+        assert_eq!(virtual_makespan(&[5, 3, 8], 1), 16);
+        assert_eq!(virtual_makespan(&[5, 3, 8], 3), 8);
+        assert_eq!(virtual_makespan(&[5, 3, 8], 99), 8);
+        // Two workers, run-id order: w0 takes 5, w1 takes 3, then 8 goes
+        // to the earlier-free w1 → w0=5, w1=11.
+        assert_eq!(virtual_makespan(&[5, 3, 8], 2), 11);
+        assert_eq!(virtual_makespan(&[], 4), 0);
+        // workers=0 is clamped to 1 rather than panicking.
+        assert_eq!(virtual_makespan(&[2, 2], 0), 4);
     }
 
     #[test]
@@ -290,6 +357,9 @@ mod tests {
             exec_steps: 3,
             backoff_steps: 4,
             latency_steps: 7,
+            vt_exec_us: 3_000_000,
+            vt_backoff_us: 1_000_000,
+            vt_total_us: 4_000_000,
         };
         let o = FleetOutcome::from_records(
             1,
@@ -303,6 +373,7 @@ mod tests {
         assert_eq!((o.succeeded, o.failed, o.cancelled), (1, 2, 1));
         assert_eq!(o.retries_total, 4);
         assert_eq!(o.latency_steps.p50, 7);
+        assert_eq!(o.latency_vt_us.p50, 4_000_000);
         let json = o.to_json();
         let back: FleetOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(back, o);

@@ -194,6 +194,18 @@ impl Fleet {
     ) -> Result<FleetReport, MergeError> {
         let completed = runs.len();
         let wall = started.elapsed();
+        // Virtual-time view of the same schedule: per-run durations in
+        // run-id order onto `workers` virtual workers. Unlike the wall
+        // fields this is deterministic, but it still depends on the
+        // worker count, so it belongs in the timing section.
+        let mut durations: Vec<(u64, u64)> = runs
+            .iter()
+            .map(|(r, _)| (r.run_id, r.vt_total_us))
+            .collect();
+        durations.sort_unstable();
+        let vt_durations: Vec<u64> = durations.into_iter().map(|(_, d)| d).collect();
+        let vt_makespan_us = crate::report::virtual_makespan(&vt_durations, workers);
+        let vt_total_us: u64 = vt_durations.iter().sum();
         let timing = FleetTiming {
             workers,
             wall_nanos: wall.as_nanos(),
@@ -204,6 +216,13 @@ impl Fleet {
             },
             queue_max_depth,
             submit_waits,
+            vt_makespan_us,
+            vt_total_us,
+            vt_speedup: if vt_makespan_us > 0 {
+                vt_total_us as f64 / vt_makespan_us as f64
+            } else {
+                0.0
+            },
         };
         FleetReport::assemble(self.config.fleet_seed, runs, timing)
     }

@@ -11,7 +11,7 @@ use eclair_chaos::{ChaosSchedule, ChaosSession};
 use eclair_core::execute::executor::{run_on_session, run_task, RunResult};
 use eclair_fm::tokens::Pricing;
 use eclair_fm::{FmProfile, TokenMeter};
-use eclair_trace::{RunSummary, TraceEvent};
+use eclair_trace::{RunSummary, TraceEvent, VirtualClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,6 +23,12 @@ use crate::spec::{derive_seed, RunSpec};
 /// Stream index reserved for the backoff-jitter RNG (attempt seeds use
 /// streams `1..=max_attempts`).
 const BACKOFF_STREAM: u64 = u64::MAX;
+
+/// Virtual microseconds one simulated backoff step costs. Backoff waits
+/// are accounted in abstract steps by [`RetryPolicy::jittered_delay`];
+/// this converts them onto the same virtual-time axis the executor's
+/// cost model uses (a step ≈ a 250 ms polling interval).
+pub const BACKOFF_STEP_US: u64 = 250_000;
 
 /// Pricing schedule for a preset (self-hosted rate for the GUI-tuned
 /// model, GPT-4 Turbo list price otherwise).
@@ -56,6 +62,7 @@ pub fn execute_spec(
 
     let mut attempts = 0u32;
     let mut exec_steps = 0u64;
+    let mut vt_exec_us = 0u64;
     let mut faults_injected = 0u64;
     let mut backoff_steps = 0u64;
     let mut outcome = RunOutcome::Cancelled;
@@ -69,6 +76,12 @@ pub fn execute_spec(
         let mut model = spec
             .profile
             .instantiate(derive_seed(spec.seed, attempt as u64));
+        // Re-seat the virtual clock on the *run* identity: latency draws
+        // are pure in `(run seed, run_id, step)`, shared by all attempts,
+        // so a retried step replays its attempt's latency exactly.
+        model
+            .trace_mut()
+            .set_clock(VirtualClock::new(spec.seed, spec.run_id));
         let result = match &spec.chaos {
             Some(profile) => {
                 // Chaos path: the same executor, but the session is
@@ -85,6 +98,7 @@ pub fn execute_spec(
             None => run_task(&mut model, &spec.task, &cfg),
         };
         exec_steps += result.actions_attempted as u64;
+        vt_exec_us += model.trace().clock().now_us();
         summary.merge(&model.trace().summary());
         tokens.merge(model.meter());
         events.extend(model.trace_mut().take_events());
@@ -139,6 +153,9 @@ pub fn execute_spec(
         exec_steps,
         backoff_steps,
         latency_steps: exec_steps + backoff_steps,
+        vt_exec_us,
+        vt_backoff_us: backoff_steps * BACKOFF_STEP_US,
+        vt_total_us: vt_exec_us + backoff_steps * BACKOFF_STEP_US,
     };
     (record, events)
 }
@@ -167,6 +184,9 @@ pub fn cancelled_record(spec: &RunSpec) -> (RunRecord, Vec<TraceEvent>) {
         exec_steps: 0,
         backoff_steps: 0,
         latency_steps: 0,
+        vt_exec_us: 0,
+        vt_backoff_us: 0,
+        vt_total_us: 0,
     };
     (record, Vec::new())
 }
@@ -192,6 +212,11 @@ mod tests {
         assert!(!events.is_empty());
         assert_eq!(rec.summary.fm_calls(), rec.tokens.calls);
         assert!(rec.cost_usd > 0.0);
+        assert!(rec.vt_exec_us > 0, "execution must consume virtual time");
+        assert_eq!(rec.vt_backoff_us, 0);
+        assert_eq!(rec.vt_total_us, rec.vt_exec_us);
+        // The final event's stamp is the clock's final reading.
+        assert_eq!(events.last().unwrap().vt, rec.vt_exec_us);
     }
 
     #[test]
@@ -227,6 +252,8 @@ mod tests {
         assert_eq!(rec.retries, 2);
         assert_eq!(rec.backoff_steps, 4 + 8);
         assert_eq!(rec.latency_steps, rec.exec_steps + 12);
+        assert_eq!(rec.vt_backoff_us, 12 * BACKOFF_STEP_US);
+        assert_eq!(rec.vt_total_us, rec.vt_exec_us + 12 * BACKOFF_STEP_US);
     }
 
     #[test]

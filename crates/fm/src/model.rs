@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use eclair_gui::Screenshot;
-use eclair_trace::{EventKind, TraceRecorder};
+use eclair_trace::{CostKind, EventKind, TraceRecorder, VirtualClock};
 use eclair_vision::marks::{Mark, MarkedScreenshot};
 
 use crate::ground::{native_ground, select_mark, GroundingOutcome};
@@ -81,13 +81,17 @@ fn fnv_str(s: &str) -> u64 {
 impl FmModel {
     /// Instantiate a model from a profile and a seed.
     pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        let mut trace = TraceRecorder::new();
+        // Run id 0 by default; the fleet re-seats the clock per run via
+        // `TraceRecorder::set_clock` before execution starts.
+        trace.set_clock(VirtualClock::new(seed, 0));
         Self {
             profile,
             seed,
             rng: StdRng::seed_from_u64(seed),
             meter: TokenMeter::default(),
             sampling: Sampling::greedy(),
-            trace: TraceRecorder::new(),
+            trace,
             cache_enabled: !eclair_gui::no_cache_env(),
             percept_memo: std::collections::HashMap::new(),
             percept_order: std::collections::VecDeque::new(),
@@ -129,6 +133,18 @@ impl FmModel {
     /// and token counts always agree with [`Self::meter`].
     pub fn account(&mut self, purpose: &str, prompt_tokens: u64, completion_tokens: u64) {
         self.meter.record(prompt_tokens, completion_tokens);
+        // Advance simulated time before emitting, so the event is stamped
+        // with the post-call clock. Decode dominates real FM latency,
+        // hence the 4× completion weight. This is the single advance
+        // point for FM work: a memoized perception accounts the same
+        // tokens as the recompute, so the clock stays cache-transparent.
+        let kind = if purpose == "perceive" {
+            CostKind::Perceive
+        } else {
+            CostKind::FmCall
+        };
+        self.trace
+            .advance(kind, prompt_tokens + 4 * completion_tokens);
         self.trace.event(EventKind::FmCall {
             purpose: purpose.to_string(),
             prompt_tokens,

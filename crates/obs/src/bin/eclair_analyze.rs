@@ -1,0 +1,164 @@
+//! `eclair-analyze` — query CLI over JSONL flight records and metrics
+//! snapshots.
+//!
+//! ```text
+//! eclair-analyze query <trace.jsonl> [--span-kind K] [--event-kind K]
+//!                                    [--run N] [--vt-min US] [--vt-max US]
+//!                                    [--limit N]
+//! eclair-analyze aggregate <trace.jsonl> [same filters]
+//! eclair-analyze profile <trace.jsonl>
+//! eclair-analyze diff <a.jsonl> <b.jsonl>
+//! eclair-analyze baseline check <metrics.json> --baseline <file> [--tol PCT]
+//! ```
+//!
+//! Output is deterministic: byte-identical traces produce byte-identical
+//! reports. Exit status is 0 on success, 1 on usage/IO errors, and 2
+//! when `diff` finds divergence or `baseline check` finds violations —
+//! so CI can gate directly on the exit code.
+
+use std::process::ExitCode;
+
+use eclair_obs::{
+    aggregate, baseline_check, diff_traces, parse_snapshot, profile_spans, render_aggregate,
+    render_diff, render_flamegraph, render_view, TraceQuery,
+};
+use eclair_trace::{read_jsonl, TraceEvent};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("eclair-analyze: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "query" => {
+            let (path, query) = parse_trace_args(&args[1..])?;
+            let events = load_trace(&path)?;
+            print!("{}", render_view(&events, &query.filter(&events)));
+            Ok(ExitCode::SUCCESS)
+        }
+        "aggregate" => {
+            let (path, query) = parse_trace_args(&args[1..])?;
+            let events = load_trace(&path)?;
+            let view = query.filter(&events);
+            print!("{}", render_aggregate(&aggregate(view.iter().copied())));
+            Ok(ExitCode::SUCCESS)
+        }
+        "profile" => {
+            let (path, _) = parse_trace_args(&args[1..])?;
+            let events = load_trace(&path)?;
+            print!("{}", render_flamegraph(&profile_spans(&events)));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let [a, b] = &args[1..] else {
+                return Err("diff takes exactly two trace paths".to_string());
+            };
+            let d = diff_traces(&load_trace(a)?, &load_trace(b)?);
+            print!("{}", render_diff(&d));
+            Ok(if d.identical() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            })
+        }
+        "baseline" => {
+            if args.get(1).map(String::as_str) != Some("check") {
+                return Err(
+                    "usage: baseline check <metrics.json> --baseline <file> [--tol PCT]"
+                        .to_string(),
+                );
+            }
+            let rest = &args[2..];
+            let path = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("baseline check needs a current metrics snapshot path")?;
+            let baseline_path =
+                flag_value(rest, "--baseline")?.ok_or("--baseline <file> is required")?;
+            let tol: f64 = match flag_value(rest, "--tol")? {
+                Some(t) => t.parse().map_err(|_| format!("bad --tol value {t:?}"))?,
+                None => 0.0,
+            };
+            let current = parse_snapshot(&read_file(path)?)?;
+            let baseline = parse_snapshot(&read_file(&baseline_path)?)?;
+            let violations = baseline_check(&current, &baseline, tol);
+            if violations.is_empty() {
+                println!(
+                    "baseline ok: {} counters, {} gauges, {} histograms within {tol}%",
+                    current.counters.len(),
+                    current.gauges.len(),
+                    current.histograms.len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for v in &violations {
+                    println!("violation: {v}");
+                }
+                println!("{} violation(s) against {baseline_path}", violations.len());
+                Ok(ExitCode::from(2))
+            }
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn usage() -> String {
+    "usage: eclair-analyze <query|aggregate|profile|diff|baseline> ...\n\
+     query/aggregate/profile <trace.jsonl> [--span-kind K] [--event-kind K] \
+     [--run N] [--vt-min US] [--vt-max US] [--limit N]\n\
+     diff <a.jsonl> <b.jsonl>\n\
+     baseline check <metrics.json> --baseline <file> [--tol PCT]"
+        .to_string()
+}
+
+fn parse_trace_args(args: &[String]) -> Result<(String, TraceQuery), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("a trace path is required")?
+        .clone();
+    let rest = &args[1..];
+    let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+        flag_value(rest, name)?
+            .map(|v| v.parse().map_err(|_| format!("bad {name} value {v:?}")))
+            .transpose()
+    };
+    let query = TraceQuery {
+        span_kind: flag_value(rest, "--span-kind")?,
+        event_kind: flag_value(rest, "--event-kind")?,
+        run: parse_u64("--run")?.map(|n| n as usize),
+        vt_min: parse_u64("--vt-min")?,
+        vt_max: parse_u64("--vt-max")?,
+        limit: parse_u64("--limit")?.map(|n| n as usize),
+    };
+    Ok((path, query))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or(format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
+    read_jsonl(&read_file(path)?)
+}

@@ -1,0 +1,262 @@
+//! The span profiler: rebuild the span tree from a flight record and
+//! attribute virtual time to it.
+//!
+//! Every [`TraceEvent`] carries a `vt` stamp (microseconds of simulated
+//! time; see `eclair_trace::vclock`). A span's **inclusive** time is the
+//! stamp difference between its `SpanEnd` and `SpanStart`; its
+//! **exclusive** time subtracts the inclusive time of its direct
+//! children. Exclusive times telescope: summed over all spans they equal
+//! the inclusive time of the roots exactly, which is the additivity
+//! invariant the crucible's `vt-additive` oracle pins across every
+//! chaos scenario.
+//!
+//! The profile renders as a deterministic text flamegraph — paths sorted
+//! by exclusive time (descending, then lexicographically), bar widths
+//! proportional to the root total — so two traces can be compared with
+//! `diff`.
+
+use std::collections::BTreeMap;
+
+use eclair_trace::{EventKind, TraceEvent};
+
+/// Virtual-time attribution for one span kind or one call path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Spans of this kind/path that closed.
+    pub count: u64,
+    /// Total inclusive virtual time, microseconds.
+    pub inclusive_us: u64,
+    /// Total exclusive virtual time (inclusive minus direct children).
+    pub exclusive_us: u64,
+}
+
+/// What the profiler recovered from one event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanProfile {
+    /// Attribution per span kind name (`"step"`, `"ground"`, …).
+    pub kinds: BTreeMap<String, SpanStat>,
+    /// Attribution per root-to-span path, `;`-joined
+    /// (`"execute;step;actuate"`).
+    pub paths: BTreeMap<String, SpanStat>,
+    /// Summed inclusive time of root spans (= total accounted time).
+    pub total_root_us: u64,
+    /// Summed exclusive time of all spans. Equals [`Self::total_root_us`]
+    /// whenever the stream is well-formed — the additivity invariant.
+    pub exclusive_sum_us: u64,
+    /// Spans whose end stamp preceded their start stamp (a virtual-clock
+    /// bug if ever nonzero; durations are clamped to 0 in the stats).
+    pub negative_spans: u64,
+    /// Spans still open when the stream ended.
+    pub unclosed: u64,
+}
+
+impl SpanProfile {
+    /// Whether exclusive times telescope back to the root total, i.e.
+    /// virtual-time accounting is additive over the span tree.
+    pub fn is_additive(&self) -> bool {
+        self.exclusive_sum_us == self.total_root_us
+            && self.negative_spans == 0
+            && self.unclosed == 0
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    kind_name: &'static str,
+    path: String,
+    start_vt: u64,
+    child_inclusive_us: u64,
+}
+
+/// Profile one event stream. Tolerates structurally odd streams (orphan
+/// ends are ignored, unclosed spans are counted) — auditing is
+/// `eclair_trace::audit_spans`'s job; the profiler extracts as much
+/// timing as the stream supports.
+pub fn profile_spans(events: &[TraceEvent]) -> SpanProfile {
+    let mut profile = SpanProfile::default();
+    let mut stack: Vec<OpenSpan> = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::SpanStart { id, kind, .. } => {
+                let path = match stack.last() {
+                    Some(parent) => format!("{};{}", parent.path, kind.name()),
+                    None => kind.name().to_string(),
+                };
+                stack.push(OpenSpan {
+                    id: *id,
+                    kind_name: kind.name(),
+                    path,
+                    start_vt: e.vt,
+                    child_inclusive_us: 0,
+                });
+            }
+            EventKind::SpanEnd { id, .. } => {
+                // Only close the innermost span when ids agree; anything
+                // else is malformed input the audit reports separately.
+                if stack.last().is_none_or(|s| s.id != *id) {
+                    continue;
+                }
+                let span = stack.pop().expect("non-empty checked above");
+                let inclusive = if e.vt < span.start_vt {
+                    profile.negative_spans += 1;
+                    0
+                } else {
+                    e.vt - span.start_vt
+                };
+                let exclusive = inclusive.saturating_sub(span.child_inclusive_us);
+                for stat in [
+                    profile.kinds.entry(span.kind_name.to_string()).or_default(),
+                    profile.paths.entry(span.path).or_default(),
+                ] {
+                    stat.count += 1;
+                    stat.inclusive_us += inclusive;
+                    stat.exclusive_us += exclusive;
+                }
+                profile.exclusive_sum_us += exclusive;
+                match stack.last_mut() {
+                    Some(parent) => parent.child_inclusive_us += inclusive,
+                    None => profile.total_root_us += inclusive,
+                }
+            }
+            _ => {}
+        }
+    }
+    profile.unclosed = stack.len() as u64;
+    profile
+}
+
+/// Inclusive virtual duration of every closed span, grouped by span-kind
+/// name in stream order — the raw samples behind per-phase latency
+/// percentiles (the aggregated [`SpanProfile`] keeps only totals).
+pub fn span_inclusive_durations(events: &[TraceEvent]) -> BTreeMap<String, Vec<u64>> {
+    let mut stack: Vec<(u64, &'static str, u64)> = Vec::new();
+    let mut out: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for e in events {
+        match &e.kind {
+            EventKind::SpanStart { id, kind, .. } => stack.push((*id, kind.name(), e.vt)),
+            EventKind::SpanEnd { id, .. }
+                if stack.last().is_some_and(|(open_id, _, _)| open_id == id) =>
+            {
+                let (_, kind_name, start_vt) = stack.pop().expect("non-empty checked above");
+                out.entry(kind_name.to_string())
+                    .or_default()
+                    .push(e.vt.saturating_sub(start_vt));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Width of the flamegraph bar column.
+const BAR_WIDTH: u64 = 40;
+
+/// Render a profile as a deterministic text flamegraph over call paths:
+/// one line per path, sorted by exclusive time descending (ties broken
+/// lexicographically), with a `#` bar proportional to the share of the
+/// root total.
+pub fn render_flamegraph(profile: &SpanProfile) -> String {
+    let mut rows: Vec<(&String, &SpanStat)> = profile.paths.iter().collect();
+    rows.sort_by(|a, b| b.1.exclusive_us.cmp(&a.1.exclusive_us).then(a.0.cmp(b.0)));
+    let total = profile.total_root_us.max(1);
+    let path_width = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<path_width$}  {:>6}  {:>12}  {:>12}  {:>6}\n",
+        "path", "count", "inclusive_us", "exclusive_us", "excl%"
+    ));
+    for (path, s) in rows {
+        let bar_len = (s.exclusive_us * BAR_WIDTH / total) as usize;
+        out.push_str(&format!(
+            "{:<path_width$}  {:>6}  {:>12}  {:>12}  {:>5.1}%  {}\n",
+            path,
+            s.count,
+            s.inclusive_us,
+            s.exclusive_us,
+            s.exclusive_us as f64 * 100.0 / total as f64,
+            "#".repeat(bar_len),
+        ));
+    }
+    out.push_str(&format!(
+        "total {} us over {} root-us ({} paths; additive: {})\n",
+        profile.exclusive_sum_us,
+        profile.total_root_us,
+        profile.paths.len(),
+        if profile.is_additive() { "yes" } else { "NO" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_trace::{CostKind, SpanKind, TraceRecorder, VirtualClock};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let mut t = TraceRecorder::new();
+        t.set_clock(VirtualClock::new(7, 0));
+        let exec = t.open(SpanKind::Execute, "wf");
+        t.clock_begin_step(1);
+        t.advance(CostKind::StepInit, 0);
+        let step = t.open(SpanKind::Step, "step 1");
+        let obs = t.open(SpanKind::Observe, "shot");
+        t.advance(CostKind::Observe, 0);
+        t.close(obs);
+        let act = t.open(SpanKind::Actuate, "click");
+        t.advance(CostKind::Actuate, 0);
+        t.close(act);
+        t.close(step);
+        t.close(exec);
+        t.take_events()
+    }
+
+    #[test]
+    fn exclusive_times_telescope_to_root_total() {
+        let p = profile_spans(&sample_events());
+        assert!(p.is_additive(), "{p:?}");
+        assert!(p.total_root_us > 0);
+        assert_eq!(p.kinds["observe"].count, 1);
+        assert_eq!(p.kinds["actuate"].count, 1);
+        // The execute span contains everything, so its inclusive time is
+        // the root total; its exclusive time excludes the step subtree.
+        assert_eq!(p.kinds["execute"].inclusive_us, p.total_root_us);
+        assert!(p.kinds["execute"].exclusive_us < p.total_root_us);
+        assert_eq!(p.paths["execute;step;observe"].count, 1);
+    }
+
+    #[test]
+    fn unclosed_and_orphan_spans_are_tolerated() {
+        let mut events = sample_events();
+        events.pop(); // drop the Execute SpanEnd → one unclosed span
+        let p = profile_spans(&events);
+        assert_eq!(p.unclosed, 1);
+        assert!(!p.is_additive());
+        // An orphan end (id never opened) is skipped, not a panic.
+        let only_end = &sample_events()[events.len()..];
+        let p2 = profile_spans(only_end);
+        assert_eq!(p2.total_root_us, 0);
+    }
+
+    #[test]
+    fn flamegraph_is_deterministic_and_ranked() {
+        let a = render_flamegraph(&profile_spans(&sample_events()));
+        let b = render_flamegraph(&profile_spans(&sample_events()));
+        assert_eq!(a, b);
+        assert!(a.contains("additive: yes"));
+        // Step init (≤12ms) is cheaper than any leaf advance (≥15ms), so
+        // the widest exclusive slice is a leaf under execute;step.
+        let first_data_line = a.lines().nth(1).unwrap();
+        assert!(
+            first_data_line.starts_with("execute;step;"),
+            "widest span first: {first_data_line}"
+        );
+    }
+
+    #[test]
+    fn empty_stream_profiles_to_zero() {
+        let p = profile_spans(&[]);
+        assert_eq!(p, SpanProfile::default());
+        assert!(p.is_additive());
+        assert!(render_flamegraph(&p).contains("additive: yes"));
+    }
+}

@@ -58,6 +58,17 @@ pub enum AuditError {
         /// The `seq` actually found.
         found: u64,
     },
+    /// `seq` failed to strictly increase *inside an open span*. Raw
+    /// per-run streams may reset `seq` at attempt boundaries, but an
+    /// attempt boundary always has an empty span stack — a duplicate or
+    /// out-of-order `seq` while any span is open means the stream was
+    /// reordered or doctored.
+    NonMonotoneSeq {
+        /// The offending event's `seq`.
+        seq: u64,
+        /// The previous event's `seq` (which `seq` failed to exceed).
+        prev: u64,
+    },
 }
 
 impl std::fmt::Display for AuditError {
@@ -86,6 +97,10 @@ impl std::fmt::Display for AuditError {
                 f,
                 "event at index {index}: expected seq {expected}, found {found}"
             ),
+            AuditError::NonMonotoneSeq { seq, prev } => write!(
+                f,
+                "event seq {seq} does not increase past {prev} inside an open span"
+            ),
         }
     }
 }
@@ -106,11 +121,22 @@ pub struct SpanAudit {
 }
 
 /// Walk the stream checking the span-tree rules (ends LIFO-match opens,
-/// no id open twice, parents resolve). Returns counters on success.
+/// no id open twice, parents resolve) plus in-span `seq` monotonicity
+/// (`seq` must strictly increase while any span is open; it may only
+/// reset at an attempt boundary, where the stack is empty). Returns
+/// counters on success.
 pub fn audit_spans(events: &[TraceEvent]) -> Result<SpanAudit, AuditError> {
     let mut stack: Vec<u64> = Vec::new();
     let mut audit = SpanAudit::default();
+    // `Some(prev_seq)` while inside a span run; cleared whenever the
+    // stack empties so legal attempt-boundary seq resets pass.
+    let mut prev_seq: Option<u64> = None;
     for e in events {
+        if let Some(prev) = prev_seq {
+            if !stack.is_empty() && e.seq <= prev {
+                return Err(AuditError::NonMonotoneSeq { seq: e.seq, prev });
+            }
+        }
         match &e.kind {
             EventKind::SpanStart { id, .. } => {
                 if e.parent != stack.last().copied().unwrap_or(0) {
@@ -158,6 +184,7 @@ pub fn audit_spans(events: &[TraceEvent]) -> Result<SpanAudit, AuditError> {
                 }
             }
         }
+        prev_seq = if stack.is_empty() { None } else { Some(e.seq) };
     }
     audit.unclosed = stack.len();
     Ok(audit)
@@ -179,12 +206,32 @@ pub fn audit_seq_gapless(events: &[TraceEvent]) -> Result<(), AuditError> {
     Ok(())
 }
 
-/// Token totals recomputed from the raw `FmCall` events:
-/// `(prompt_tokens, completion_tokens, calls)`. Oracles compare this
-/// against the `TokenMeter` the model kept — the two are accounted at
-/// the same funnel and must agree.
-pub fn fm_token_totals(events: &[TraceEvent]) -> (u64, u64, u64) {
-    let mut totals = (0u64, 0u64, 0u64);
+/// Token totals recomputed from the raw `FmCall` events. Oracles compare
+/// this against the `TokenMeter` the model kept — the two are accounted
+/// at the same funnel and must agree. (Tokens a provider-side cache
+/// would have served are *not* in here: the transparency invariant keeps
+/// them in the quarantined `crate::perf::PerfCounters::cached_tokens`
+/// counter, never in the event stream.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenTotals {
+    /// Prompt tokens summed over every `FmCall` event.
+    pub prompt: u64,
+    /// Completion tokens summed over every `FmCall` event.
+    pub completion: u64,
+    /// Number of `FmCall` events (one per metered model invocation).
+    pub calls: u64,
+}
+
+impl TokenTotals {
+    /// Prompt + completion tokens.
+    pub fn total(&self) -> u64 {
+        self.prompt + self.completion
+    }
+}
+
+/// Recompute [`TokenTotals`] from the raw `FmCall` events of a stream.
+pub fn fm_token_totals(events: &[TraceEvent]) -> TokenTotals {
+    let mut totals = TokenTotals::default();
     for e in events {
         if let EventKind::FmCall {
             prompt_tokens,
@@ -192,9 +239,9 @@ pub fn fm_token_totals(events: &[TraceEvent]) -> (u64, u64, u64) {
             ..
         } = &e.kind
         {
-            totals.0 += prompt_tokens;
-            totals.1 += completion_tokens;
-            totals.2 += 1;
+            totals.prompt += prompt_tokens;
+            totals.completion += completion_tokens;
+            totals.calls += 1;
         }
     }
     totals
@@ -304,9 +351,40 @@ mod tests {
     #[test]
     fn token_totals_and_fault_iterator() {
         let events = recorded();
-        assert_eq!(fm_token_totals(&events), (100, 10, 1));
+        let totals = fm_token_totals(&events);
+        assert_eq!(
+            totals,
+            TokenTotals {
+                prompt: 100,
+                completion: 10,
+                calls: 1
+            }
+        );
+        assert_eq!(totals.total(), 110);
         let faults: Vec<_> = fault_injections(&events).collect();
         assert_eq!(faults, vec![(1, "stale-frame")]);
+    }
+
+    #[test]
+    fn in_span_seq_regression_is_rejected() {
+        // Duplicate seq inside an open span: reordering/doctoring, not an
+        // attempt boundary.
+        let mut events = recorded();
+        events[2].seq = events[1].seq;
+        assert_eq!(
+            audit_spans(&events),
+            Err(AuditError::NonMonotoneSeq {
+                seq: events[1].seq,
+                prev: events[1].seq
+            })
+        );
+        // Out-of-order (decreasing) seq inside a span is equally rejected.
+        let mut events = recorded();
+        events[3].seq = 1;
+        assert!(matches!(
+            audit_spans(&events),
+            Err(AuditError::NonMonotoneSeq { seq: 1, .. })
+        ));
     }
 
     #[test]

@@ -102,13 +102,40 @@ pub enum GroundingOutcome {
 
 /// One record in the trace: a monotonically increasing sequence number
 /// (no wall-clock anywhere — runs are byte-reproducible), the id of the
-/// innermost enclosing span (0 = root), and the typed payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// innermost enclosing span (0 = root), the virtual-clock reading at
+/// emission, and the typed payload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceEvent {
     /// Strictly increasing, starting at 0, unique within a run.
     pub seq: u64,
     /// Enclosing span id at emission time; 0 when outside any span.
     pub parent: u64,
+    /// Simulated time at emission, microseconds since run start (see
+    /// [`crate::vclock::VirtualClock`]). Deterministic from the seeds —
+    /// never wall-clock — so it is safe inside the byte-compared stream.
+    /// Defaults to 0 when parsing traces that predate the field.
+    pub vt: u64,
     /// The payload.
     pub kind: EventKind,
+}
+
+// Hand-written (the derive stub has no `#[serde(default)]`) so traces
+// recorded before the `vt` field parse with `vt: 0` instead of erroring.
+impl serde::Deserialize for TraceEvent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            serde::Deserialize::from_value(v.field(name))
+                .map_err(|e| serde::Error::custom(format!("TraceEvent.{name}: {e}")))
+        };
+        Ok(TraceEvent {
+            seq: field("seq")?,
+            parent: field("parent")?,
+            vt: match v.field("vt") {
+                serde::Value::Null => 0,
+                _ => field("vt")?,
+            },
+            kind: serde::Deserialize::from_value(v.field("kind"))
+                .map_err(|e| serde::Error::custom(format!("TraceEvent.kind: {e}")))?,
+        })
+    }
 }

@@ -110,6 +110,7 @@ mod tests {
         TraceEvent {
             seq,
             parent: 0,
+            vt: 0,
             kind: EventKind::Note { text: text.into() },
         }
     }

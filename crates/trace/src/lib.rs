@@ -32,12 +32,15 @@ mod merge;
 pub mod perf;
 mod recorder;
 mod summary;
+pub mod vclock;
 
 pub use audit::{
     audit_seq_gapless, audit_spans, fault_injections, fm_token_totals, AuditError, SpanAudit,
+    TokenTotals,
 };
 pub use event::{EventKind, GroundingOutcome, SpanKind, TraceEvent};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use merge::{merge_event_streams, merged_jsonl, MergeError};
 pub use recorder::{read_jsonl, render_log, SpanId, TraceRecorder};
 pub use summary::{PhaseStats, RunSummary, TokenHistogram, HIST_BOUNDS};
+pub use vclock::{fault_cost_weight, CostKind, VirtualClock};

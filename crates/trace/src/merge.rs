@@ -196,4 +196,63 @@ mod tests {
             other => panic!("expected MalformedStream, got {other:?}"),
         }
     }
+
+    #[test]
+    fn duplicate_seq_inside_a_span_is_refused() {
+        let mut bad = one_run(&["a", "b"]);
+        let dup = bad[1].seq;
+        bad[2].seq = dup; // two events sharing a seq while Execute is open
+        let err = merge_event_streams([bad.as_slice()]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::MalformedStream {
+                stream: 0,
+                error: AuditError::NonMonotoneSeq {
+                    seq: dup,
+                    prev: dup
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn unsorted_stream_is_refused() {
+        let mut bad = one_run(&["a", "b"]);
+        bad[2].seq = 0; // regression: seq jumps backwards mid-span
+        let err = merge_event_streams([bad.as_slice()]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::MalformedStream {
+                stream: 0,
+                error: AuditError::NonMonotoneSeq { seq: 0, prev: 1 },
+            }
+        );
+    }
+
+    #[test]
+    fn orphan_span_close_is_refused() {
+        let mut bad = one_run(&["a"]);
+        let next_seq = bad.last().unwrap().seq + 1;
+        bad.push(TraceEvent {
+            seq: next_seq,
+            parent: 0,
+            vt: 0,
+            kind: EventKind::SpanEnd {
+                id: 999,
+                kind: SpanKind::Execute,
+            },
+        });
+        let err = merge_event_streams([bad.as_slice()]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::MalformedStream {
+                stream: 0,
+                error: AuditError::MismatchedSpanEnd {
+                    seq: next_seq,
+                    id: 999,
+                    innermost: None,
+                },
+            }
+        );
+    }
 }

@@ -4,6 +4,7 @@
 use crate::event::{EventKind, SpanKind, TraceEvent};
 use crate::flight::FlightRecorder;
 use crate::summary::RunSummary;
+use crate::vclock::{CostKind, VirtualClock};
 
 /// Handle returned by [`TraceRecorder::open`]; pass it back to
 /// [`TraceRecorder::close`]. Deliberately not `Copy` so a span is hard
@@ -28,6 +29,9 @@ pub struct TraceRecorder {
     next_span: u64,
     stack: Vec<(u64, SpanKind)>,
     flight: FlightRecorder,
+    /// Simulated time for this run; every pushed event is stamped with
+    /// its current reading.
+    clock: VirtualClock,
 }
 
 impl TraceRecorder {
@@ -96,6 +100,7 @@ impl TraceRecorder {
         let ev = TraceEvent {
             seq: self.next_seq,
             parent: self.stack.last().map_or(0, |&(id, _)| id),
+            vt: self.clock.now_us(),
             kind,
         };
         self.next_seq += 1;
@@ -106,6 +111,29 @@ impl TraceRecorder {
     /// Every event recorded so far, in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// The virtual clock stamping this recorder's events.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Replace the clock (fleet workers install one seeded from
+    /// `(run seed, run_id)` before an attempt records anything).
+    pub fn set_clock(&mut self, clock: VirtualClock) {
+        self.clock = clock;
+    }
+
+    /// Advance simulated time by one `kind` operation of `weight` units;
+    /// returns the microseconds added. See [`CostKind`] for the bands.
+    pub fn advance(&mut self, kind: CostKind, weight: u64) -> u64 {
+        self.clock.advance(kind, weight)
+    }
+
+    /// Enter executor step `step` on the clock (resets the per-step draw
+    /// counter — see the purity contract on [`VirtualClock::begin_step`]).
+    pub fn clock_begin_step(&mut self, step: u64) {
+        self.clock.begin_step(step);
     }
 
     /// How many spans are currently open.
@@ -143,9 +171,12 @@ impl TraceRecorder {
         std::mem::take(&mut self.events)
     }
 
-    /// Drop everything and start the numbering over.
+    /// Drop everything and start the numbering over. The clock restarts
+    /// at virtual time zero but keeps its `(seed, run_id)` identity.
     pub fn reset(&mut self) {
+        let clock = VirtualClock::new(self.clock.seed(), self.clock.run_id());
         *self = TraceRecorder::with_flight_capacity(self.flight.capacity());
+        self.clock = clock;
     }
 }
 
@@ -187,13 +218,39 @@ pub(crate) fn events_to_jsonl(events: &[TraceEvent]) -> Result<String, (u64, Str
     Ok(buf)
 }
 
+/// Longest offending-payload excerpt quoted in a parse error. Enough to
+/// identify the line, short enough that a megabyte of binary garbage on
+/// one line cannot balloon the error message.
+const READ_ERR_PAYLOAD_MAX: usize = 120;
+
 /// Parse a JSONL trace back into events (inverse of
-/// [`TraceRecorder::to_jsonl`]).
+/// [`TraceRecorder::to_jsonl`]). A malformed line fails with its 1-based
+/// line number and the offending payload, so a truncated download or a
+/// log line interleaved into the file is diagnosable from the error
+/// alone.
 pub fn read_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad trace line: {e}")))
-        .collect()
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(line) {
+            Ok(ev) => out.push(ev),
+            Err(e) => {
+                let mut payload = line;
+                if payload.len() > READ_ERR_PAYLOAD_MAX {
+                    // Cut on a char boundary so the excerpt stays valid UTF-8.
+                    let mut end = READ_ERR_PAYLOAD_MAX;
+                    while !payload.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    payload = &payload[..end];
+                }
+                return Err(format!("bad trace line {}: {e}: {payload}", i + 1));
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -268,6 +325,65 @@ mod tests {
         });
         t.note("two");
         assert_eq!(t.log(), vec!["one".to_string(), "two".to_string()]);
+    }
+
+    #[test]
+    fn read_jsonl_reports_line_number_of_truncated_input() {
+        let mut t = TraceRecorder::new();
+        t.note("one");
+        t.note("two");
+        t.note("three");
+        let text = t.to_jsonl();
+        // Chop the export mid-way through the last line, as a torn
+        // download or a crashed writer would.
+        let truncated = &text[..text.len() - 8];
+        let err = read_jsonl(truncated).unwrap_err();
+        assert!(err.starts_with("bad trace line 3:"), "{err}");
+        assert!(err.contains("three") || err.contains("{"), "{err}");
+    }
+
+    #[test]
+    fn read_jsonl_reports_interleaved_garbage_with_payload() {
+        let mut t = TraceRecorder::new();
+        t.note("ok");
+        t.note("also ok");
+        let mut lines: Vec<&str> = Vec::new();
+        let text = t.to_jsonl();
+        let mut it = text.lines();
+        lines.push(it.next().unwrap());
+        lines.push("WARN renderer: frame dropped"); // a stray log line
+        lines.push(it.next().unwrap());
+        let err = read_jsonl(&lines.join("\n")).unwrap_err();
+        assert!(err.starts_with("bad trace line 2:"), "{err}");
+        assert!(err.contains("WARN renderer: frame dropped"), "{err}");
+        // Blank lines are skipped but still counted for line numbers.
+        let err = read_jsonl("\n\nnot-json\n").unwrap_err();
+        assert!(err.starts_with("bad trace line 3:"), "{err}");
+    }
+
+    #[test]
+    fn read_jsonl_truncates_huge_offending_payloads() {
+        let garbage = format!("x{}", "y".repeat(4096));
+        let err = read_jsonl(&garbage).unwrap_err();
+        assert!(err.len() < 400, "payload must be excerpted: {}", err.len());
+        assert!(err.starts_with("bad trace line 1:"), "{err}");
+    }
+
+    #[test]
+    fn events_are_stamped_with_virtual_time() {
+        use crate::vclock::CostKind;
+        let mut t = TraceRecorder::new();
+        t.note("at zero");
+        let d = t.advance(CostKind::Actuate, 1);
+        t.note("after work");
+        assert_eq!(t.events()[0].vt, 0);
+        assert_eq!(t.events()[1].vt, d);
+        assert_eq!(t.clock().now_us(), d);
+        // vt round-trips through JSONL, and pre-vt traces parse as vt=0.
+        let back = read_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(back, t.events());
+        let legacy = r#"{"seq":0,"parent":0,"kind":{"Note":{"text":"old"}}}"#;
+        assert_eq!(read_jsonl(legacy).unwrap()[0].vt, 0);
     }
 
     #[test]
