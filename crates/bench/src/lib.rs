@@ -17,6 +17,7 @@
 //! | `fleet_bench` | fleet-mode worker sweep (1/2/4/8) over the 30-task suite → `BENCH_fleet.json` |
 //! | `chaos_bench` | fault-rate × profile completion/recovery curves → `BENCH_chaos.json` |
 //! | `crucible_bench` | 64-scenario simulation sweep under the oracle registry → `BENCH_crucible.json` |
+//! | `hybrid_bench` | pure-FM vs compiled-bot crossover + drift-epoch amortization → `BENCH_hybrid.json` |
 //! | `perf_bench` | cache-on vs `ECLAIR_NO_CACHE=1` over the 30-task suite; transparency proof + hit rates → `BENCH_perf.json` |
 //!
 //! Every binary prints the paper's layout followed by a

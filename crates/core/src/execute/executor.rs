@@ -255,7 +255,7 @@ pub fn run_on_session<S: GuiSurface>(
 /// shift between grounding and actuation displaces the event in flight;
 /// an agent can see its click land somewhere else on screen, so a
 /// displaced click is a grounding failure to retry, never a success.
-fn click_at<S: GuiSurface>(
+pub fn click_at<S: GuiSurface>(
     session: &mut S,
     pt: eclair_gui::Point,
 ) -> Result<eclair_gui::event::Dispatch, String> {
@@ -390,7 +390,7 @@ fn perform<S: GuiSurface>(
 
 /// Ground a query to a click point, probing one page down and one page up
 /// if nothing matches the current viewport.
-fn locate<S: GuiSurface>(
+pub(crate) fn locate<S: GuiSurface>(
     model: &mut FmModel,
     session: &mut S,
     cfg: &ExecConfig,
@@ -454,7 +454,7 @@ fn locate_inner<S: GuiSurface>(
 /// If the surface landed on a login interstitial (a chaos session-expiry
 /// fault, or any app that signs the agent out), click its login button to
 /// re-authenticate. Returns whether the click re-activated the session.
-fn relogin_if_expired<S: GuiSurface>(session: &mut S) -> bool {
+pub fn relogin_if_expired<S: GuiSurface>(session: &mut S) -> bool {
     if session.url() != "/login" {
         return false;
     }
@@ -478,7 +478,7 @@ fn relogin_if_expired<S: GuiSurface>(session: &mut S) -> bool {
 /// modal-looking is in view, probe the top of the page before giving up,
 /// and restore the scroll either way so the retry re-grounds from where
 /// the step started.
-fn escape_if_irrelevant_modal<S: GuiSurface>(
+pub(crate) fn escape_if_irrelevant_modal<S: GuiSurface>(
     model: &mut FmModel,
     session: &mut S,
     intent: &StepIntent,

@@ -12,14 +12,20 @@
 //! * [`ground`] — the grounding strategies of Table 3 (raw bbox emission,
 //!   set-of-marks over detector or HTML boxes, GUI-tuned native);
 //! * [`executor`] — the autonomous loop: observe → suggest → ground →
-//!   actuate → (optionally) validate and recover.
+//!   actuate → (optionally) validate and recover;
+//! * [`fallback`] — the step-scoped repair entry point the hybrid
+//!   executor (`eclair-hybrid`) calls when a compiled bot step drifts:
+//!   FM-ground one query, dispatch one operation, report the landed
+//!   anchor for recompilation.
 
 pub mod executor;
+pub mod fallback;
 pub mod ground;
 pub mod parse;
 pub mod suggest;
 
-pub use executor::{run_task, ExecConfig, RunResult};
+pub use executor::{click_at, relogin_if_expired, run_task, ExecConfig, RunResult};
+pub use fallback::{repair_step, RepairedAnchor};
 pub use ground::GroundingStrategy;
 pub use parse::{parse_step, StepIntent};
 pub use suggest::{suggest_next, Suggestion};

@@ -13,13 +13,14 @@
 //!    seed, derive randomized trials over the full configuration grammar:
 //!    task subset × model profile × chaos rate × token/step budgets ×
 //!    retry policy × worker count.
-//! 2. **Oracle registry** ([`registry`] / [`evaluate`]) — ~10 metamorphic
+//! 2. **Oracle registry** ([`registry`] / [`evaluate`]) — 14 metamorphic
 //!    and invariant checks over the fleet report and merged trace:
 //!    recoveries bounded by failures, trace token accounting closed
 //!    against the meters, span trees well-formed and gapless after merge,
 //!    N-worker runs byte-identical to sequential, oracle-pinned
 //!    completion monotone in the chaos rate, faults only under chaos,
-//!    budgets enforced.
+//!    budgets enforced, the compiled-bot hybrid twin completing every
+//!    task the pure-FM fleet completes.
 //! 3. **Shrinking** ([`shrink`]) — on violation, delta-debug the scenario
 //!    down (fewer tasks → lower chaos → no budgets → one attempt → one
 //!    worker) and print a paste-ready `#[test]` ([`repro_snippet`]) plus

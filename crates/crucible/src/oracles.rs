@@ -308,6 +308,35 @@ fn vt_additive(run: &ScenarioRun) -> Verdict {
     Verdict::Pass
 }
 
+fn hybrid_transparent(run: &ScenarioRun) -> Verdict {
+    // The compiled bot is a cost optimization, never a capability change:
+    // with the full-FM rescue on (the default the runner uses), a hybrid
+    // attempt that fails re-runs the exact pure-FM attempt at the same
+    // seed, so the twin must complete every task the pure fleet does. The
+    // one excused divergence is a budget trip — fallback plus rescue
+    // tokens accumulate against the same cumulative budget, so the twin
+    // may exhaust it on an earlier attempt than the pure run did. Never
+    // skips: the runner always gathers the twin.
+    use eclair_fleet::RunOutcome;
+    for r in &run.report.outcome.records {
+        let Some(twin) = run.hybrid.outcome.record(r.run_id) else {
+            return Verdict::Fail(format!("run {} has no hybrid twin record", r.run_id));
+        };
+        if r.outcome == RunOutcome::Success
+            && !matches!(
+                twin.outcome,
+                RunOutcome::Success | RunOutcome::BudgetExceeded
+            )
+        {
+            return Verdict::Fail(format!(
+                "run {} succeeds pure-FM but its hybrid twin reports {:?}",
+                r.run_id, twin.outcome
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
 /// The full registry, in evaluation order.
 pub fn registry() -> Vec<Oracle> {
     vec![
@@ -377,6 +406,11 @@ pub fn registry() -> Vec<Oracle> {
             contract: "virtual-time accounting is additive: span exclusive times telescope to the root total",
             check: vt_additive,
         },
+        Oracle {
+            name: "hybrid-transparent",
+            contract: "the compiled-bot twin completes every task the pure-FM fleet completes (budget trips excused)",
+            check: hybrid_transparent,
+        },
     ]
 }
 
@@ -443,6 +477,35 @@ mod tests {
             registry().len() - 2,
             "parallel and ladder oracles must skip"
         );
+    }
+
+    #[test]
+    fn a_regressed_hybrid_twin_breaks_transparency() {
+        let mut s = Scenario::generate(17, 8);
+        s.workers = 1;
+        s.chaos_rate = 0.0;
+        let mut run = run_scenario(&s).expect("runs");
+        let victim = run
+            .report
+            .outcome
+            .records
+            .iter()
+            .find(|r| r.outcome == eclair_fleet::RunOutcome::Success)
+            .map(|r| r.run_id)
+            .expect("a chaos-free scenario completes something");
+        // Doctor the twin: pretend the compiled bot lost a task the pure
+        // fleet wins, for a reason the budget excuse does not cover.
+        let twin = run
+            .hybrid
+            .outcome
+            .records
+            .iter_mut()
+            .find(|r| r.run_id == victim)
+            .expect("twin exists");
+        twin.outcome = eclair_fleet::RunOutcome::Failed;
+        let eval = evaluate(&run);
+        let fired: Vec<_> = eval.violations.iter().map(|v| v.oracle).collect();
+        assert!(fired.contains(&"hybrid-transparent"), "{fired:?}");
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! and perception memo toggled the other way, feeding the
 //! cache-transparent oracle: caching is an optimization, never an
 //! observable, so the flipped evidence must be byte-identical.
+//!
+//! Finally, every run gathers the scenario's *hybrid twin*: the same
+//! specs with the compiled-bot + FM-fallback policy attached. The
+//! hybrid-transparent oracle demands the twin complete every task the
+//! pure fleet completes — the compiled bot is a cost optimization, not a
+//! capability change — excusing only budget trips (fallback plus rescue
+//! tokens can exhaust a cumulative budget the pure run squeaked under).
 
 use eclair_fleet::{Fleet, FleetConfig, FleetReport, MergeError};
 
@@ -48,6 +55,12 @@ pub struct ScenarioRun {
     /// toggled the other way. Always gathered: the cache-transparent
     /// oracle demands it be byte-identical to `report`.
     pub cache_flip: FleetReport,
+    /// Sequential execution of the scenario's hybrid twin — the same
+    /// specs with the compiled-bot + FM-fallback policy attached. Always
+    /// gathered: the hybrid-transparent oracle demands every pure-FM
+    /// success also succeed here (a budget tripped earlier by fallback
+    /// tokens is the one excused divergence).
+    pub hybrid: FleetReport,
 }
 
 fn fleet_for(scenario: &Scenario, workers: usize) -> Fleet {
@@ -83,12 +96,14 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, MergeError> {
     };
     let flipped = scenario.with_cache(!scenario.use_cache);
     let cache_flip = fleet_for(&flipped, 1).run_sequential(flipped.specs())?;
+    let hybrid = fleet_for(scenario, 1).run_sequential(scenario.hybrid_specs())?;
     Ok(ScenarioRun {
         scenario: scenario.clone(),
         report,
         parallel,
         ladder,
         cache_flip,
+        hybrid,
     })
 }
 

@@ -179,6 +179,18 @@ impl Scenario {
         }
     }
 
+    /// The scenario's hybrid twin specs: identical in every knob, plus
+    /// the compiled-bot + FM-fallback policy. The runner always gathers a
+    /// twin execution; the hybrid-transparent oracle demands the twin
+    /// dominate the pure report (same successes or better, budget trips
+    /// excused).
+    pub fn hybrid_specs(&self) -> Vec<RunSpec> {
+        self.specs()
+            .into_iter()
+            .map(|s| s.with_hybrid(eclair_hybrid::HybridPolicy::default()))
+            .collect()
+    }
+
     /// The one-line replay coordinate for generated scenarios.
     pub fn seed_line(&self, master_seed: u64) -> String {
         format!(

@@ -10,6 +10,7 @@
 use eclair_chaos::ChaosProfile;
 use eclair_core::execute::executor::ExecConfig;
 use eclair_fm::FmProfile;
+use eclair_hybrid::HybridPolicy;
 use eclair_sites::TaskSpec;
 
 /// SplitMix64-style finalizer: mixes a parent seed and a stream index
@@ -54,6 +55,15 @@ pub struct RunSpec {
     /// `(chaos_seed, run_id, step)`, so the fault environment is as
     /// deterministic as the model noise and independent of it.
     pub chaos: Option<ChaosProfile>,
+    /// Optional hybrid execution policy. When set, each attempt first
+    /// compiles the task's validated trace into a selector bot and runs
+    /// it with step-scoped FM fallback (`eclair-hybrid`); with
+    /// `full_fm_fallback` on, a still-failing attempt is rescued by a
+    /// pure-FM run at the same attempt seed — byte-identical to what the
+    /// fleet would have executed without a bot. Chaos schedules, the
+    /// virtual clock, token budgets, and the metrics registry all thread
+    /// through unchanged.
+    pub hybrid: Option<HybridPolicy>,
 }
 
 impl RunSpec {
@@ -70,6 +80,7 @@ impl RunSpec {
             deadline_steps: None,
             config,
             chaos: None,
+            hybrid: None,
         }
     }
 
@@ -94,6 +105,12 @@ impl RunSpec {
     /// Attach a fault-injection profile; attempts will run under chaos.
     pub fn with_chaos(mut self, chaos: ChaosProfile) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Run attempts through the compiled bot + FM-fallback pipeline.
+    pub fn with_hybrid(mut self, policy: HybridPolicy) -> Self {
+        self.hybrid = Some(policy);
         self
     }
 

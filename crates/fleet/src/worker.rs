@@ -8,9 +8,10 @@
 //! so its outputs depend only on the spec, never on scheduling.
 
 use eclair_chaos::{ChaosSchedule, ChaosSession};
-use eclair_core::execute::executor::{run_on_session, run_task, RunResult};
+use eclair_core::execute::executor::{run_on_session, run_task, ExecConfig, RunResult};
 use eclair_fm::tokens::Pricing;
-use eclair_fm::{FmProfile, TokenMeter};
+use eclair_fm::{FmModel, FmProfile, TokenMeter};
+use eclair_hybrid::{compile_task, run_hybrid_on_session};
 use eclair_trace::{RunSummary, TraceEvent, VirtualClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,21 +83,36 @@ pub fn execute_spec(
         model
             .trace_mut()
             .set_clock(VirtualClock::new(spec.seed, spec.run_id));
-        let result = match &spec.chaos {
-            Some(profile) => {
-                // Chaos path: the same executor, but the session is
-                // wrapped in a fault injector scheduled purely from
-                // `(chaos_seed, run_id, step)` — retrying an attempt
-                // replays the identical fault sequence.
-                let schedule = ChaosSchedule::new(profile.clone(), spec.run_id);
-                let mut surface = ChaosSession::new(spec.task.site.app(), schedule);
-                let mut r = run_on_session(&mut model, &mut surface, &spec.task.intent, &cfg);
-                r.success = spec.task.success.evaluate(surface.inner());
-                faults_injected += surface.faults_injected();
-                r
-            }
-            None => run_task(&mut model, &spec.task, &cfg),
+        let (mut result, ran_pure) = match &spec.hybrid {
+            Some(_) => hybrid_attempt(spec, &cfg, &mut model, &mut faults_injected),
+            None => (
+                pure_attempt(spec, &cfg, &mut model, &mut faults_injected),
+                true,
+            ),
         };
+        if !result.success && !ran_pure && spec.hybrid.as_ref().is_some_and(|p| p.full_fm_fallback)
+        {
+            // Transparency rescue: bank the hybrid attempt's books, then
+            // run a pure-FM attempt on a *fresh* model at the same
+            // attempt seed and a re-seated clock — byte-identical to the
+            // attempt a hybrid-free spec would have executed, so hybrid
+            // mode can only add successes, never remove them.
+            exec_steps += result.actions_attempted as u64;
+            vt_exec_us += model.trace().clock().now_us();
+            summary.merge(&model.trace().summary());
+            tokens.merge(model.meter());
+            events.extend(model.trace_mut().take_events());
+            model = spec
+                .profile
+                .instantiate(derive_seed(spec.seed, attempt as u64));
+            model
+                .trace_mut()
+                .set_clock(VirtualClock::new(spec.seed, spec.run_id));
+            model
+                .trace_mut()
+                .note("hybrid: bot attempt failed; rescuing with a full FM run");
+            result = pure_attempt(spec, &cfg, &mut model, &mut faults_injected);
+        }
         exec_steps += result.actions_attempted as u64;
         vt_exec_us += model.trace().clock().now_us();
         summary.merge(&model.trace().summary());
@@ -158,6 +174,70 @@ pub fn execute_spec(
         vt_total_us: vt_exec_us + backoff_steps * BACKOFF_STEP_US,
     };
     (record, events)
+}
+
+/// One pure-FM attempt: the executor against the task's fixture, wrapped
+/// in a chaos injector when the spec carries a fault profile. Retrying an
+/// attempt replays the identical fault sequence — the schedule is pure in
+/// `(chaos_seed, run_id, step)`.
+fn pure_attempt(
+    spec: &RunSpec,
+    cfg: &ExecConfig,
+    model: &mut FmModel,
+    faults_injected: &mut u64,
+) -> RunResult {
+    match &spec.chaos {
+        Some(profile) => {
+            let schedule = ChaosSchedule::new(profile.clone(), spec.run_id);
+            let mut surface = ChaosSession::new(spec.task.site.app(), schedule);
+            let mut r = run_on_session(model, &mut surface, &spec.task.intent, cfg);
+            r.success = spec.task.success.evaluate(surface.inner());
+            *faults_injected += surface.faults_injected();
+            r
+        }
+        None => run_task(model, &spec.task, cfg),
+    }
+}
+
+/// One hybrid attempt: compile the task's validated trace into a bot and
+/// run it with step-scoped FM fallback, under the same chaos wrapping a
+/// pure attempt would get. Returns `(result, ran_pure)` — `ran_pure` is
+/// true when compilation failed and the attempt already fell through to
+/// a full FM run, so the caller must not rescue it a second time.
+fn hybrid_attempt(
+    spec: &RunSpec,
+    cfg: &ExecConfig,
+    model: &mut FmModel,
+    faults_injected: &mut u64,
+) -> (RunResult, bool) {
+    let mut script = match compile_task(&spec.task, model.trace_mut()) {
+        Ok(s) => s,
+        Err(e) => {
+            model
+                .trace_mut()
+                .note(format!("hybrid: compile failed ({e}); running pure FM"));
+            return (pure_attempt(spec, cfg, model, faults_injected), true);
+        }
+    };
+    let r = match &spec.chaos {
+        Some(profile) => {
+            let schedule = ChaosSchedule::new(profile.clone(), spec.run_id);
+            let mut surface = ChaosSession::new(spec.task.site.app(), schedule);
+            let report = run_hybrid_on_session(model, &mut surface, &mut script, cfg);
+            let mut r = report.result;
+            r.success = spec.task.success.evaluate(surface.inner());
+            *faults_injected += surface.faults_injected();
+            r
+        }
+        None => {
+            let mut session = spec.task.launch();
+            let report = run_hybrid_on_session(model, &mut session, &mut script, cfg);
+            let mut r = report.result;
+            r.success = spec.task.success.evaluate(&session);
+            r
+        }
+    };
+    (r, false)
 }
 
 /// The record a spec gets when the fleet is cancelled before any attempt.
@@ -299,6 +379,86 @@ mod tests {
     fn chaos_free_runs_report_zero_faults() {
         let (rec, _) = execute_spec(&spec(7), &RetryPolicy::default(), &CancelToken::new());
         assert_eq!(rec.faults_injected, 0);
+    }
+
+    #[test]
+    fn hybrid_runs_succeed_at_a_fraction_of_pure_fm_tokens() {
+        use eclair_hybrid::HybridPolicy;
+        let s = spec(8);
+        let (pure, _) = execute_spec(&s, &RetryPolicy::default(), &CancelToken::new());
+        let h = s.with_hybrid(HybridPolicy::default());
+        let (hybrid, _) = execute_spec(&h, &RetryPolicy::default(), &CancelToken::new());
+        assert_eq!(pure.outcome, RunOutcome::Success);
+        assert_eq!(hybrid.outcome, RunOutcome::Success);
+        assert_eq!(
+            hybrid.tokens.total_tokens(),
+            0,
+            "a driftless bot run costs zero tokens"
+        );
+        assert!(pure.tokens.total_tokens() > 0);
+    }
+
+    #[test]
+    fn uncompilable_tasks_fall_through_to_one_pure_attempt() {
+        use eclair_hybrid::HybridPolicy;
+        // An impossible success predicate also fails the compile gate
+        // (the replayed gold trace cannot demonstrate the outcome), so
+        // the attempt runs pure FM exactly once — no double rescue.
+        let mut s = spec(9);
+        s.task.success = eclair_sites::SuccessCheck::probes(&[("never", "true")]);
+        let policy = RetryPolicy::none();
+        let (pure, _) = execute_spec(&s, &policy, &CancelToken::new());
+        let h = s.with_hybrid(HybridPolicy::default());
+        let (hybrid, _) = execute_spec(&h, &policy, &CancelToken::new());
+        assert_eq!(pure.outcome, hybrid.outcome);
+        assert_eq!(
+            pure.result.actions_attempted, hybrid.result.actions_attempted,
+            "the fallthrough attempt is the exact pure attempt"
+        );
+        assert_eq!(
+            pure.exec_steps, hybrid.exec_steps,
+            "compile failure must not double-run the attempt"
+        );
+        assert_eq!(pure.tokens.total_tokens(), hybrid.tokens.total_tokens());
+    }
+
+    #[test]
+    fn hybrid_rescue_matches_the_pure_outcome_when_the_bot_cannot_win() {
+        use eclair_hybrid::HybridPolicy;
+        // A step deadline shorter than the script: the bot attempt runs
+        // out, and the rescue replays the exact pure attempt.
+        let s = spec(12).with_deadline_steps(1);
+        let policy = RetryPolicy::none();
+        let (pure, _) = execute_spec(&s, &policy, &CancelToken::new());
+        let h = s.with_hybrid(HybridPolicy::default());
+        let (hybrid, _) = execute_spec(&h, &policy, &CancelToken::new());
+        assert_eq!(pure.outcome, hybrid.outcome);
+        assert_eq!(
+            pure.result.actions_attempted, hybrid.result.actions_attempted,
+            "the rescue attempt is the exact pure attempt"
+        );
+        assert!(
+            hybrid.exec_steps > pure.exec_steps,
+            "hybrid books include the banked bot attempt"
+        );
+        assert!(
+            hybrid.tokens.total_tokens() >= pure.tokens.total_tokens(),
+            "rescue includes the full pure attempt"
+        );
+    }
+
+    #[test]
+    fn hybrid_execution_is_a_pure_function_of_the_spec() {
+        use eclair_chaos::ChaosProfile;
+        use eclair_hybrid::HybridPolicy;
+        let s = spec(10)
+            .with_chaos(ChaosProfile::full(23, 0.5))
+            .with_hybrid(HybridPolicy::default());
+        let p = RetryPolicy::default();
+        let a = execute_spec(&s, &p, &CancelToken::new());
+        let b = execute_spec(&s, &p, &CancelToken::new());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
     }
 
     #[test]

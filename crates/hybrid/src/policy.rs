@@ -1,0 +1,44 @@
+//! Fleet-facing policy knob for hybrid execution.
+
+use serde::{Deserialize, Serialize};
+
+/// How a fleet run uses a compiled bot. Attached to a `RunSpec` via
+/// `with_hybrid`; everything else — chaos schedules, the virtual clock,
+/// token budgets, the metrics registry — threads through unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridPolicy {
+    /// When the hybrid run still fails (a fallback step could not be
+    /// repaired, or the outcome check does not hold), rescue the attempt
+    /// with a full pure-FM run at the same attempt seed — byte-identical
+    /// to what the fleet would have done without a bot. This is what
+    /// makes hybrid execution *transparent*: it can only add successes,
+    /// never remove them.
+    pub full_fm_fallback: bool,
+}
+
+impl Default for HybridPolicy {
+    fn default() -> Self {
+        Self {
+            full_fm_fallback: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_keeps_the_transparency_rescue_on() {
+        assert!(HybridPolicy::default().full_fm_fallback);
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let p = HybridPolicy {
+            full_fm_fallback: false,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<HybridPolicy>(&json).unwrap(), p);
+    }
+}

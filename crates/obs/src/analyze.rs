@@ -43,6 +43,10 @@ pub fn event_kind_name(kind: &EventKind) -> &'static str {
         EventKind::PopupEscape { .. } => "popup_escape",
         EventKind::FaultInjected { .. } => "fault_injected",
         EventKind::ValidatorVerdict { .. } => "validator_verdict",
+        EventKind::CompiledStep { .. } => "compiled_step",
+        EventKind::DriftDetected { .. } => "drift_detected",
+        EventKind::FallbackStep { .. } => "fallback_step",
+        EventKind::Recompiled { .. } => "recompiled",
         EventKind::Note { .. } => "note",
     }
 }
@@ -195,6 +199,14 @@ pub fn render_event(e: &TraceEvent, depth: usize) -> String {
                 "verdict {validator}: {}",
                 if *passed { "pass" } else { "fail" }
             )
+        }
+        EventKind::CompiledStep { step, selector } => {
+            format!("compiled step {step} -> {selector}")
+        }
+        EventKind::DriftDetected { step, reason } => format!("drift @ step {step}: {reason}"),
+        EventKind::FallbackStep { step, query } => format!("fallback @ step {step}: {query}"),
+        EventKind::Recompiled { step, selector } => {
+            format!("recompiled step {step} -> {selector}")
         }
         EventKind::Note { text } => format!("note: {text}"),
     };

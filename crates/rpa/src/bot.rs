@@ -7,14 +7,25 @@ use eclair_gui::{Key, Session, UserEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::script::{RpaOp, RpaScript};
+use crate::selector::Selector;
+
+/// How many live-page anchors a [`RunOutcome::SelectorMiss`] reports.
+const CANDIDATE_LIMIT: usize = 5;
 
 /// Why (or that) a run ended.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RunOutcome {
     /// Every step executed (task success is checked separately).
     Completed,
-    /// A selector matched nothing.
-    SelectorMiss { step: usize, selector: String },
+    /// A selector matched nothing. `candidates` lists the closest anchors
+    /// on the live page (most similar first) so a maintainer — or the
+    /// hybrid recompiler's audit trail — can see what the screen offered
+    /// instead of the recorded anchor.
+    SelectorMiss {
+        step: usize,
+        selector: String,
+        candidates: Vec<String>,
+    },
     /// The element matched but the operation bounced off it (e.g. typing
     /// into a button).
     OpFailed { step: usize, selector: String },
@@ -52,6 +63,7 @@ impl RpaBot {
                     outcome: RunOutcome::SelectorMiss {
                         step: i,
                         selector: step.selector.describe(),
+                        candidates: candidate_anchors(session, &step.selector),
                     },
                     steps_done: i,
                     steps_total: total,
@@ -114,6 +126,71 @@ impl RpaBot {
             steps_total: total,
         }
     }
+}
+
+/// Rank the live page's interactive anchors by similarity to the missed
+/// selector: bigram overlap against the recorded name/label text, or
+/// proximity for coordinate/index anchors. Deterministic (ties break on
+/// page order) so failure reports stay byte-stable.
+fn candidate_anchors(session: &Session, missed: &Selector) -> Vec<String> {
+    let page = session.page();
+    let mut scored: Vec<(u64, usize, String)> = page
+        .interactive_widgets()
+        .iter()
+        .enumerate()
+        .map(|(idx, &id)| {
+            let w = page.get(id);
+            let affinity = match missed {
+                Selector::ByName(n) => {
+                    bigram_affinity(n, &w.name).max(bigram_affinity(n, &w.label))
+                }
+                Selector::ByLabel(l) => {
+                    bigram_affinity(l, &w.label).max(bigram_affinity(l, &w.name))
+                }
+                Selector::ByPoint(p) => {
+                    let c = w.bounds.center().offset(0, -session.scroll_y());
+                    let dist =
+                        (c.x - p.x).unsigned_abs() as u64 + (c.y - p.y).unsigned_abs() as u64;
+                    u64::MAX - dist
+                }
+                Selector::ByIndex(i) => u64::MAX - idx.abs_diff(*i) as u64,
+            };
+            let anchor = if w.name.is_empty() {
+                format!("label='{}'", w.label)
+            } else if w.label.is_empty() {
+                format!("name={}", w.name)
+            } else {
+                format!("name={} label='{}'", w.name, w.label)
+            };
+            (affinity, idx, anchor)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored
+        .into_iter()
+        .take(CANDIDATE_LIMIT)
+        .map(|(_, _, anchor)| anchor)
+        .collect()
+}
+
+/// Shared-bigram count between two strings, case-insensitive — a cheap,
+/// dependency-free similarity that ranks `"New issue"` near
+/// `"Create issue"` without pulling the FM crate's fuzzy matcher in.
+fn bigram_affinity(a: &str, b: &str) -> u64 {
+    let grams = |s: &str| -> Vec<(char, char)> {
+        let lower: Vec<char> = s.chars().flat_map(|c| c.to_lowercase()).collect();
+        lower.windows(2).map(|w| (w[0], w[1])).collect()
+    };
+    let ga = grams(a);
+    let mut gb = grams(b);
+    let mut shared = 0u64;
+    for g in ga {
+        if let Some(pos) = gb.iter().position(|&x| x == g) {
+            gb.swap_remove(pos);
+            shared += 1;
+        }
+    }
+    shared
 }
 
 #[cfg(test)]
@@ -179,6 +256,62 @@ mod tests {
         let report = RpaBot.run(&mut run, &script);
         assert!(!report.completed(), "relabel must break the label anchor");
         assert!(matches!(report.outcome, RunOutcome::SelectorMiss { .. }));
+    }
+
+    #[test]
+    fn selector_miss_reports_the_anchor_and_live_candidates() {
+        let task = all_tasks()
+            .into_iter()
+            .find(|t| t.id == "gitlab-01")
+            .unwrap();
+        let mut author = task.launch();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = AuthoringConfig {
+            point_anchor_fraction: 0.0,
+            label_anchor_fraction: 1.0,
+            authoring_error_rate: 0.0,
+        };
+        let script = compile(
+            &task.id,
+            &mut author,
+            &task.gold_trace.actions,
+            cfg,
+            &mut rng,
+        );
+        let theme = Theme::with_ops(vec![DriftOp::Relabel {
+            from: "New issue".into(),
+            to: "Create issue".into(),
+        }]);
+        let mut run = task.site.launch_with_theme(theme);
+        let report = RpaBot.run(&mut run, &script);
+        let RunOutcome::SelectorMiss {
+            selector,
+            candidates,
+            ..
+        } = &report.outcome
+        else {
+            panic!("expected a selector miss, got {:?}", report.outcome);
+        };
+        // The report names the missed anchor...
+        assert_eq!(selector, "label='New issue'");
+        // ...and the live page's closest anchors, most similar first: the
+        // relabeled button shares the most bigrams with the recorded label.
+        assert!(
+            (1..=5).contains(&candidates.len()),
+            "candidates: {candidates:?}"
+        );
+        assert!(
+            candidates[0].contains("Create issue"),
+            "the drifted twin should rank first: {candidates:?}"
+        );
+        // Determinism: the same miss renders the same report.
+        let mut rerun = task
+            .site
+            .launch_with_theme(Theme::with_ops(vec![DriftOp::Relabel {
+                from: "New issue".into(),
+                to: "Create issue".into(),
+            }]));
+        assert_eq!(report, RpaBot.run(&mut rerun, &script));
     }
 
     #[test]

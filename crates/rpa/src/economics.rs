@@ -78,6 +78,29 @@ impl CostModel {
         }
     }
 
+    /// The hybrid compile-then-heal deployment (`eclair-hybrid`): one
+    /// validated FM run is compiled into a selector bot, so "set-up" is
+    /// the token cost of that single run (`compile_cost_usd` — no
+    /// integration project, no consultants), the marginal item costs only
+    /// the FM fallbacks on drifted steps (`fallback_cost_per_item_usd`,
+    /// ~0 on the happy path and shrinking after each recompile), and
+    /// maintenance is a sliver of an FTE because the recompiler splices
+    /// repaired anchors back instead of paging a human. Accuracy matches
+    /// RPA's steady state — the bot replays a *validated* trace — while
+    /// the FM fallback absorbs the drift that would park an RPA script.
+    pub fn hybrid_compiled(compile_cost_usd: f64, fallback_cost_per_item_usd: f64) -> Self {
+        Self {
+            name: "Hybrid (compiled bot + FM fallback)".into(),
+            setup_months: 0.0,
+            setup_cost_usd: compile_cost_usd,
+            maintenance_ftes: 0.1,
+            fte_annual_usd: 120_000.0,
+            cost_per_item_usd: fallback_cost_per_item_usd,
+            steady_accuracy: 0.95,
+            error_cost_usd: 35.0, // same human-redo backstop as ECLAIR
+        }
+    }
+
     /// Cumulative cost after `months`, processing `items_per_month`.
     /// Before set-up completes, items are processed manually at
     /// `manual_cost_per_item` (the statu quo ante).
@@ -166,11 +189,38 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_undercuts_both_rpa_and_pure_fm() {
+        // Compile cost = one pure-FM run's tokens; fallback cost a tenth
+        // of the per-item FM spend (most steps replay for free).
+        let hybrid = CostModel::hybrid_compiled(0.50, 0.05);
+        let rpa = CostModel::rpa_b2b_case_study();
+        let eclair = CostModel::eclair_measured(0.50);
+        assert_eq!(hybrid.break_even_vs(&rpa, 1000.0, 25.0, 36), Some(1));
+        assert_eq!(hybrid.break_even_vs(&eclair, 1000.0, 25.0, 36), Some(1));
+        // And the gap widens: at 24 months hybrid has spent less than half
+        // of either alternative.
+        let at = |m: &CostModel| m.cumulative_cost(24.0, 1000.0, 25.0);
+        assert!(
+            at(&hybrid) < at(&rpa) / 2.0,
+            "{} vs {}",
+            at(&hybrid),
+            at(&rpa)
+        );
+        assert!(
+            at(&hybrid) < at(&eclair) / 2.0,
+            "{} vs {}",
+            at(&hybrid),
+            at(&eclair)
+        );
+    }
+
+    #[test]
     fn cumulative_cost_is_monotone_in_time() {
         for model in [
             CostModel::rpa_b2b_case_study(),
             CostModel::rpa_hospital_case_study(),
             CostModel::eclair_measured(0.5),
+            CostModel::hybrid_compiled(0.5, 0.05),
         ] {
             let mut prev = 0.0;
             for m in 1..=24 {

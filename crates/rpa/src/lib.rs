@@ -6,6 +6,9 @@
 //!
 //! * [`selector`] — the rule language: find-by-name, find-by-label,
 //!   find-by-position; exactly the brittle anchors real RPA toolkits use;
+//! * [`scoring`] — drift-resistance ranking of anchors (name > label >
+//!   index > point) and best-anchor choice, shared with the
+//!   `eclair-hybrid` trace→script compiler;
 //! * [`script`] — compiled scripts: ordered `(selector, operation)` steps,
 //!   authored from a gold trace with configurable authoring imperfections;
 //! * [`bot`] — the executor: resolves selectors against the live page and
@@ -20,9 +23,11 @@
 pub mod bot;
 pub mod drift;
 pub mod economics;
+pub mod scoring;
 pub mod script;
 pub mod selector;
 
 pub use bot::{RpaBot, RunOutcome, RunReport};
+pub use scoring::{best_selector, drift_resistance};
 pub use script::{RpaOp, RpaScript, RpaStep};
 pub use selector::Selector;

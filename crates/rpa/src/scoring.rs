@@ -1,0 +1,88 @@
+//! Drift-resistance scoring: which anchor survives a quarterly UI update.
+//!
+//! The paper's case studies rank the ways scripts die: coordinates break
+//! under *any* geometry change (banners, reshuffles, resizes), visible
+//! labels break under relabeling campaigns, and programmatic names break
+//! only when a field is actually renamed — the rarest drift. The hybrid
+//! compiler (`eclair-hybrid`) therefore anchors each compiled step with
+//! the best selector the recorded frame supports: name > label > point.
+//! Index anchors sit between label and point (they survive pure geometry
+//! but break on any insertion/reorder); the compiler never emits them,
+//! but the ordering covers hand-authored scripts too.
+
+use eclair_gui::{Page, WidgetId};
+
+use crate::selector::Selector;
+
+/// Relative drift resistance of a selector kind; higher survives more
+/// drift classes. The total order the compiler optimizes and the
+/// proptests in `tests/drift_resistance.rs` pin:
+/// name (3) > label (2) > index (1) > point (0).
+pub fn drift_resistance(s: &Selector) -> u8 {
+    match s {
+        Selector::ByName(_) => 3,
+        Selector::ByLabel(_) => 2,
+        Selector::ByIndex(_) => 1,
+        Selector::ByPoint(_) => 0,
+    }
+}
+
+/// Choose the most drift-resistant anchor for widget `id` as currently
+/// shown: its programmatic name when that name uniquely resolves back to
+/// it, else its visible label when *that* resolves back, else the
+/// recorded viewport coordinates (`scroll_y` converts page space to the
+/// viewport space [`Selector::ByPoint`] expects). The resolve-back check
+/// matters: an ambiguous label would silently anchor a different widget
+/// at run time, which is exactly the mis-authoring class the careful
+/// path exists to avoid.
+pub fn best_selector(page: &Page, scroll_y: i32, id: WidgetId) -> Selector {
+    let w = page.get(id);
+    if !w.name.is_empty() && page.find_by_name(&w.name) == Some(id) {
+        return Selector::ByName(w.name.clone());
+    }
+    if !w.label.is_empty() && page.find_by_label(&w.label, true) == Some(id) {
+        return Selector::ByLabel(w.label.clone());
+    }
+    Selector::ByPoint(w.bounds.center().offset(0, -scroll_y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::Point;
+    use eclair_sites::Site;
+
+    #[test]
+    fn resistance_ordering_is_name_label_index_point() {
+        let name = drift_resistance(&Selector::ByName("n".into()));
+        let label = drift_resistance(&Selector::ByLabel("l".into()));
+        let index = drift_resistance(&Selector::ByIndex(0));
+        let point = drift_resistance(&Selector::ByPoint(Point { x: 0, y: 0 }));
+        assert!(name > label && label > index && index > point);
+    }
+
+    #[test]
+    fn best_selector_prefers_unique_names() {
+        let s = Site::Gitlab.launch();
+        let id = s.page().find_by_name("nav-profile").unwrap();
+        let sel = best_selector(s.page(), s.scroll_y(), id);
+        assert_eq!(sel, Selector::ByName("nav-profile".into()));
+        assert_eq!(sel.resolve(&s), Some(id), "chosen anchor must resolve back");
+    }
+
+    #[test]
+    fn best_selector_always_resolves_back_to_its_widget() {
+        for site in [Site::Gitlab, Site::Magento, Site::Erp, Site::Payer] {
+            let s = site.launch();
+            for id in s.page().interactive_widgets() {
+                let sel = best_selector(s.page(), s.scroll_y(), id);
+                assert_eq!(
+                    sel.resolve(&s),
+                    Some(id),
+                    "{site:?}: {} must resolve back",
+                    sel.describe()
+                );
+            }
+        }
+    }
+}

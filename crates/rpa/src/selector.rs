@@ -6,7 +6,7 @@
 //! op: `ByName` under field renames, `ByLabel` under relabels, `ByPoint`
 //! under any geometry change (banners, reshuffles, input resizes).
 
-use eclair_gui::{Point, Session, WidgetId};
+use eclair_gui::{Page, Point, Session, WidgetId};
 use serde::{Deserialize, Serialize};
 
 /// One element anchor.
@@ -27,11 +27,18 @@ impl Selector {
     /// Resolve against the live session. `ByPoint` resolves to whatever is
     /// under the point *right now*.
     pub fn resolve(&self, session: &Session) -> Option<WidgetId> {
-        let page = session.page();
+        self.resolve_in(session.page(), session.scroll_y())
+    }
+
+    /// Resolve against a raw page at a given scroll offset. The session
+    /// variant above delegates here; wrappers that expose only
+    /// `page()`/`scroll_y()` (e.g. a chaos-instrumented surface) use this
+    /// directly.
+    pub fn resolve_in(&self, page: &Page, scroll_y: i32) -> Option<WidgetId> {
         match self {
             Selector::ByName(n) => page.find_by_name(n),
             Selector::ByLabel(l) => page.find_by_label(l, true),
-            Selector::ByPoint(p) => page.hit_test(p.offset(0, session.scroll_y())),
+            Selector::ByPoint(p) => page.hit_test(p.offset(0, scroll_y)),
             Selector::ByIndex(i) => page.interactive_widgets().get(*i).copied(),
         }
     }

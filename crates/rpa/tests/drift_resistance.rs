@@ -1,0 +1,201 @@
+//! Proptests pinning the drift-resistance ordering the hybrid compiler
+//! optimizes (`eclair_rpa::scoring`): name and label anchors survive
+//! layout drift — both the persistent kind (quarterly banners shifting
+//! every widget down) and the chaos `LayoutShift` fault (a one-shot
+//! click displacement) — while position anchors break as soon as the
+//! geometry moves under them.
+
+use eclair_chaos::{ChaosProfile, ChaosSchedule, ChaosSession, FaultKind};
+use eclair_gui::surface::GuiSurface;
+use eclair_gui::{DriftOp, Theme, UserEvent};
+use eclair_rpa::{best_selector, drift_resistance, Selector};
+use eclair_sites::Site;
+use proptest::prelude::*;
+
+/// Banner texts a "quarterly update" might ship (fixed pool keeps the
+/// generated themes deterministic and plausible).
+const BANNERS: [&str; 4] = [
+    "New: dark mode is here! Try it from your profile.",
+    "Scheduled maintenance this Saturday 02:00-04:00 UTC.",
+    "We've updated our terms of service. Review the changes.",
+    "Try the new navigation — switch back any time in settings.",
+];
+
+const SITES: [Site; 4] = [Site::Gitlab, Site::Magento, Site::Erp, Site::Payer];
+
+fn site_strategy() -> impl Strategy<Value = Site> {
+    (0..SITES.len()).prop_map(|i| SITES[i])
+}
+
+fn banner_theme(picks: &[usize]) -> Theme {
+    Theme::with_ops(
+        picks
+            .iter()
+            .map(|&i| DriftOp::InsertBanner {
+                text: BANNERS[i % BANNERS.len()].into(),
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    /// Name and label anchors recorded on the pristine UI keep resolving
+    /// to equivalent widgets after any stack of layout-shifting banners.
+    #[test]
+    fn name_and_label_anchors_survive_layout_shifting_banners(
+        site in site_strategy(),
+        picks in proptest::collection::vec(0..BANNERS.len(), 1..4),
+    ) {
+        let pristine = site.launch();
+        let anchors: Vec<(String, String)> = {
+            let page = pristine.page();
+            page.interactive_widgets()
+                .into_iter()
+                .filter(|&id| {
+                    let w = page.get(id);
+                    // Only anchors that resolved unambiguously on
+                    // authoring day are worth pinning.
+                    !w.name.is_empty() && page.find_by_name(&w.name) == Some(id)
+                })
+                .map(|id| {
+                    let w = page.get(id);
+                    (w.name.clone(), w.label.clone())
+                })
+                .collect()
+        };
+        prop_assert!(!anchors.is_empty());
+        let drifted = site.launch_with_theme(banner_theme(&picks));
+        for (name, label) in anchors {
+            let hit = Selector::ByName(name.clone()).resolve(&drifted);
+            prop_assert!(hit.is_some(), "{site:?}: name={name} lost under banners");
+            prop_assert_eq!(&drifted.page().get(hit.unwrap()).name, &name);
+            if !label.trim().is_empty() {
+                let hit = Selector::ByLabel(label.clone()).resolve(&drifted);
+                prop_assert!(hit.is_some(), "{site:?}: label='{label}' lost under banners");
+                let got = drifted.page().get(hit.unwrap()).label.trim().to_lowercase();
+                prop_assert_eq!(got, label.trim().to_lowercase());
+            }
+        }
+    }
+
+    /// Point anchors recorded on the pristine UI stop resolving to their
+    /// widget once a banner moves it: whenever the recorded point falls
+    /// outside the widget's drifted bounds the point anchor misses it,
+    /// and every banner stack breaks at least one point anchor that the
+    /// matching name anchor still resolves.
+    #[test]
+    fn point_anchors_break_when_banners_move_the_geometry(
+        site in site_strategy(),
+        picks in proptest::collection::vec(0..BANNERS.len(), 1..4),
+    ) {
+        let pristine = site.launch();
+        let recorded: Vec<(String, eclair_gui::Point)> = {
+            let page = pristine.page();
+            page.interactive_widgets()
+                .into_iter()
+                .filter(|&id| {
+                    let w = page.get(id);
+                    !w.name.is_empty() && page.find_by_name(&w.name) == Some(id)
+                })
+                .map(|id| {
+                    let w = page.get(id);
+                    // scroll_y is 0 at launch, so viewport == page space.
+                    (w.name.clone(), w.bounds.center())
+                })
+                .collect()
+        };
+        let drifted = site.launch_with_theme(banner_theme(&picks));
+        let mut broken = 0usize;
+        for (name, pt) in recorded {
+            let by_name = Selector::ByName(name.clone()).resolve(&drifted);
+            prop_assert!(by_name.is_some());
+            let id = by_name.unwrap();
+            let by_point = Selector::ByPoint(pt).resolve(&drifted);
+            if !drifted.page().get(id).bounds.contains(pt) {
+                prop_assert_ne!(
+                    by_point, Some(id),
+                    "{site:?}: point anchor for {name} must miss its moved widget"
+                );
+            }
+            if by_point != Some(id) {
+                broken += 1;
+            }
+        }
+        prop_assert!(broken > 0, "{site:?}: banners must break some point anchor");
+    }
+
+    /// The chaos `LayoutShift` fault displaces the next click without
+    /// touching the page, so name resolution (and the re-resolve + re-aim
+    /// a selector bot can do) survives while a blind click at recorded
+    /// coordinates lands off its widget.
+    #[test]
+    fn chaos_layout_shift_breaks_blind_clicks_but_not_name_resolution(
+        site in site_strategy(),
+        chaos_seed in 0u64..u64::MAX,
+        run_id in 0u64..64,
+    ) {
+        let schedule = ChaosSchedule::new(
+            ChaosProfile::only(chaos_seed, 1.0, FaultKind::LayoutShift),
+            run_id,
+        );
+        let mut s = ChaosSession::new(site.app(), schedule);
+        let shift = s.schedule().fault_at(1).expect("rate 1.0 always arms").shift_px;
+        prop_assert!(shift > 0);
+        // A short target: the displaced click must clear its bounds.
+        let target = {
+            let page = s.page();
+            page.interactive_widgets().into_iter().find_map(|id| {
+                let w = page.get(id);
+                (!w.name.is_empty()
+                    && page.find_by_name(&w.name) == Some(id)
+                    && (w.bounds.h as i32) < shift)
+                    .then(|| (w.name.clone(), w.bounds.center()))
+            })
+        };
+        prop_assume!(target.is_some());
+        let (name, center) = target.unwrap();
+        s.begin_step(1);
+        // The fault leaves the page untouched: the name anchor still
+        // resolves (this is what lets the hybrid executor re-aim).
+        let by_name = Selector::ByName(name.clone()).resolve_in(s.page(), s.scroll_y());
+        prop_assert!(by_name.is_some());
+        // ...but the blind click recorded pre-shift lands off the widget.
+        let d = s.dispatch(UserEvent::Click(center.offset(0, -s.scroll_y())));
+        let landed_on_target = d.hit.as_ref().is_some_and(|(n, _)| n == &name);
+        prop_assert!(
+            !landed_on_target,
+            "{site:?}: click displaced by {shift}px must miss {name}"
+        );
+    }
+
+    /// `best_selector` never settles for a less drift-resistant anchor
+    /// when a more resistant one would resolve back to the same widget.
+    #[test]
+    fn best_selector_maximizes_drift_resistance(site in site_strategy()) {
+        let s = site.launch();
+        let page = s.page();
+        for id in page.interactive_widgets() {
+            let w = page.get(id);
+            let chosen = best_selector(page, s.scroll_y(), id);
+            prop_assert_eq!(chosen.resolve(&s), Some(id));
+            for cand in [
+                (!w.name.is_empty()).then(|| Selector::ByName(w.name.clone())),
+                (!w.label.is_empty()).then(|| Selector::ByLabel(w.label.clone())),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if drift_resistance(&cand) > drift_resistance(&chosen) {
+                    prop_assert_ne!(
+                        cand.resolve(&s),
+                        Some(id),
+                        "{:?}: skipped a stronger anchor {} for {}",
+                        site,
+                        cand.describe(),
+                        chosen.describe()
+                    );
+                }
+            }
+        }
+    }
+}

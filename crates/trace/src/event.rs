@@ -87,6 +87,21 @@ pub enum EventKind {
     FaultInjected { step: u64, fault: String },
     /// A validator produced a verdict.
     ValidatorVerdict { validator: String, passed: bool },
+    /// The hybrid compiler lowered one validated-trace action into a bot
+    /// step anchored by `selector` (`eclair-hybrid`). `step` is the
+    /// 0-based script position.
+    CompiledStep { step: u64, selector: String },
+    /// The hybrid executor detected UI drift at script step `step`:
+    /// a selector miss, a displaced click, a swallowed effect, or an
+    /// unexpected redirect. `reason` is a stable short name.
+    DriftDetected { step: u64, reason: String },
+    /// The hybrid executor fell back to the FM executor for script step
+    /// `step`, grounding `query` (this is where a hybrid run spends
+    /// tokens).
+    FallbackStep { step: u64, query: String },
+    /// The recompiler spliced the FM-repaired anchor back into the
+    /// script at `step`; `selector` is the new anchor.
+    Recompiled { step: u64, selector: String },
     /// Free-text narration (renders verbatim into the legacy log).
     Note { text: String },
 }

@@ -98,6 +98,18 @@ fn describe(kind: &EventKind) -> String {
                 if *passed { "pass" } else { "fail" }
             )
         }
+        EventKind::CompiledStep { step, selector } => {
+            format!("compiled step {step} -> {selector}")
+        }
+        EventKind::DriftDetected { step, reason } => {
+            format!("drift detected at step {step}: {reason}")
+        }
+        EventKind::FallbackStep { step, query } => {
+            format!("fm fallback at step {step}: {query}")
+        }
+        EventKind::Recompiled { step, selector } => {
+            format!("recompiled step {step} -> {selector}")
+        }
         EventKind::Note { text } => format!("note: {text}"),
     }
 }

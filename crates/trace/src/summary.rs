@@ -163,6 +163,13 @@ impl RunSummary {
                         s.verdicts_fail += 1;
                     }
                 }
+                // Hybrid-bot lifecycle events carry no phase counters of
+                // their own; `hybrid.*` metrics are derived straight from
+                // the event stream (see `eclair-bench`).
+                EventKind::CompiledStep { .. }
+                | EventKind::DriftDetected { .. }
+                | EventKind::FallbackStep { .. }
+                | EventKind::Recompiled { .. } => {}
                 EventKind::Note { .. } => {}
             }
         }

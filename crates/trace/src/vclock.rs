@@ -58,6 +58,13 @@ pub enum CostKind {
     /// The disruption a chaos fault inflicts on the step it lands in;
     /// weight = [`fault_cost_weight`] of the fault kind.
     FaultImpact,
+    /// Lowering one validated-trace action into a compiled bot step
+    /// (`eclair-hybrid`): oracle replay plus anchor scoring, no FM.
+    Compile,
+    /// One compiled bot step: selector resolution + blind dispatch. An
+    /// order of magnitude under [`CostKind::FmCall`] — the latency side
+    /// of the RPA economics the hybrid executor earns on the happy path.
+    BotStep,
 }
 
 impl CostKind {
@@ -71,6 +78,8 @@ impl CostKind {
             CostKind::Actuate => "actuate",
             CostKind::Recover => "recover",
             CostKind::FaultImpact => "fault_impact",
+            CostKind::Compile => "compile",
+            CostKind::BotStep => "bot_step",
         }
     }
 
@@ -89,6 +98,8 @@ impl CostKind {
             CostKind::Actuate => (22_000, 0, 18_000),
             CostKind::Recover => (45_000, 0, 35_000),
             CostKind::FaultImpact => (18_000, 12_000, 9_000),
+            CostKind::Compile => (6_000, 0, 3_000),
+            CostKind::BotStep => (9_000, 0, 5_000),
         }
     }
 
@@ -102,6 +113,8 @@ impl CostKind {
             CostKind::Actuate => 5,
             CostKind::Recover => 6,
             CostKind::FaultImpact => 7,
+            CostKind::Compile => 8,
+            CostKind::BotStep => 9,
         }
     }
 }

@@ -28,15 +28,19 @@
 //! | [`rpa`] | the rule-based RPA baseline, drift study, economics |
 //! | [`core`] | ECLAIR itself: Demonstrate / Execute / Validate + experiments |
 //! | [`fleet`] | concurrent multi-workflow scheduler (retries, budgets, backpressure) |
+//! | [`hybrid`] | trace→script compiler, drift-detecting bot executor, recompiler |
+//! | [`trace`] | deterministic spans, virtual clock, JSONL flight records |
 
 pub use eclair_chaos as chaos;
 pub use eclair_core as core;
 pub use eclair_fleet as fleet;
 pub use eclair_fm as fm;
 pub use eclair_gui as gui;
+pub use eclair_hybrid as hybrid;
 pub use eclair_metrics as metrics;
 pub use eclair_rpa as rpa;
 pub use eclair_sites as sites;
+pub use eclair_trace as trace;
 pub use eclair_vision as vision;
 pub use eclair_workflow as workflow;
 
@@ -47,6 +51,7 @@ pub mod prelude {
     pub use eclair_core::execute::{ExecConfig, GroundingStrategy};
     pub use eclair_fleet::{Fleet, FleetConfig, RetryPolicy, RunSpec};
     pub use eclair_fm::{FmModel, FmProfile, ModelProfile};
+    pub use eclair_hybrid::{HybridPolicy, HybridScript};
     pub use eclair_sites::{Site, TaskSpec};
     pub use eclair_workflow::{Action, Sop, TargetRef};
 }
