@@ -19,6 +19,7 @@
 //! | `crucible_bench` | 64-scenario simulation sweep under the oracle registry → `BENCH_crucible.json` |
 //! | `hybrid_bench` | pure-FM vs compiled-bot crossover + drift-epoch amortization → `BENCH_hybrid.json` |
 //! | `perf_bench` | cache-on vs `ECLAIR_NO_CACHE=1` over the 30-task suite; transparency proof + hit rates → `BENCH_perf.json` |
+//! | `shared_bench` | fleet-wide shared percept cache vs per-instance baseline; cross-run hit rate + single-flight replicas → `BENCH_shared.json` |
 //!
 //! Every binary prints the paper's layout followed by a
 //! [`eclair_metrics::PaperComparison`] block. Results are deterministic

@@ -242,6 +242,27 @@ fn cache_transparent(run: &ScenarioRun) -> Verdict {
     })
 }
 
+fn shared_cache_transparent(run: &ScenarioRun) -> Verdict {
+    // The fleet-wide shared percept cache (and its single-flight dedup)
+    // is the same contract one level up: a shared hit re-accounts the
+    // identical tokens the local memo would have, so toggling the whole
+    // layer off must change nothing observable. The runner re-executed
+    // the scenario with the shared knob flipped; any drift means a shard
+    // cross-served a percept between streams or leaked a counter into
+    // the record. Never skips: the opposite-shared twin is always
+    // gathered.
+    let flip = &run.shared_flip;
+    if flip.outcome.to_json() != run.report.outcome.to_json() {
+        return Verdict::Fail(format!(
+            "outcome diverged when the shared cache toggled {}",
+            if run.scenario.use_shared { "off" } else { "on" }
+        ));
+    }
+    fail(flip.merged_trace != run.report.merged_trace, || {
+        "merged trace diverged when the shared cache toggled".to_string()
+    })
+}
+
 fn budgets_respected(run: &ScenarioRun) -> Verdict {
     use eclair_fleet::RunOutcome;
     let s = &run.scenario;
@@ -397,6 +418,12 @@ pub fn registry() -> Vec<Oracle> {
             check: cache_transparent,
         },
         Oracle {
+            name: "shared-cache-transparent",
+            contract:
+                "toggling the fleet-wide shared percept cache leaves outcome and trace byte-identical",
+            check: shared_cache_transparent,
+        },
+        Oracle {
             name: "budgets-respected",
             contract: "attempt, token, and deadline budgets are enforced as specified",
             check: budgets_respected,
@@ -506,6 +533,24 @@ mod tests {
         let eval = evaluate(&run);
         let fired: Vec<_> = eval.violations.iter().map(|v| v.oracle).collect();
         assert!(fired.contains(&"hybrid-transparent"), "{fired:?}");
+    }
+
+    #[test]
+    fn a_leaky_shared_cache_breaks_transparency() {
+        let mut s = Scenario::generate(17, 9);
+        s.workers = 1;
+        s.chaos_rate = 0.0;
+        let mut run = run_scenario(&s).expect("runs");
+        // Doctor the opposite-shared twin: pretend the shared layer
+        // changed an outcome when it toggled.
+        run.shared_flip.outcome.succeeded += 1;
+        let eval = evaluate(&run);
+        let fired: Vec<_> = eval.violations.iter().map(|v| v.oracle).collect();
+        assert!(fired.contains(&"shared-cache-transparent"), "{fired:?}");
+        assert!(
+            !fired.contains(&"cache-transparent"),
+            "the local-cache oracle must not fire for a shared-layer leak: {fired:?}"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! Every run also gathers a sequential re-execution with the frame cache
 //! and perception memo toggled the other way, feeding the
 //! cache-transparent oracle: caching is an optimization, never an
-//! observable, so the flipped evidence must be byte-identical.
+//! observable, so the flipped evidence must be byte-identical. The
+//! fleet-wide shared percept cache gets the same treatment — an
+//! opposite-shared twin feeding the shared-cache-transparent oracle.
 //!
 //! Finally, every run gathers the scenario's *hybrid twin*: the same
 //! specs with the compiled-bot + FM-fallback policy attached. The
@@ -55,6 +57,11 @@ pub struct ScenarioRun {
     /// toggled the other way. Always gathered: the cache-transparent
     /// oracle demands it be byte-identical to `report`.
     pub cache_flip: FleetReport,
+    /// Sequential execution with the fleet-wide shared percept cache
+    /// toggled the other way. Always gathered: the
+    /// shared-cache-transparent oracle demands it be byte-identical to
+    /// `report`.
+    pub shared_flip: FleetReport,
     /// Sequential execution of the scenario's hybrid twin — the same
     /// specs with the compiled-bot + FM-fallback policy attached. Always
     /// gathered: the hybrid-transparent oracle demands every pure-FM
@@ -96,6 +103,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, MergeError> {
     };
     let flipped = scenario.with_cache(!scenario.use_cache);
     let cache_flip = fleet_for(&flipped, 1).run_sequential(flipped.specs())?;
+    let sflipped = scenario.with_shared(!scenario.use_shared);
+    let shared_flip = fleet_for(&sflipped, 1).run_sequential(sflipped.specs())?;
     let hybrid = fleet_for(scenario, 1).run_sequential(scenario.hybrid_specs())?;
     Ok(ScenarioRun {
         scenario: scenario.clone(),
@@ -103,6 +112,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, MergeError> {
         parallel,
         ladder,
         cache_flip,
+        shared_flip,
         hybrid,
     })
 }
@@ -128,6 +138,11 @@ mod tests {
             run.cache_flip.outcome.to_json(),
             run.report.outcome.to_json(),
             "the opposite-cache re-run is always gathered and transparent"
+        );
+        assert_eq!(
+            run.shared_flip.outcome.to_json(),
+            run.report.outcome.to_json(),
+            "the opposite-shared re-run is always gathered and transparent"
         );
     }
 

@@ -51,6 +51,6 @@ pub use report::{
 };
 pub use scheduler::{CancelToken, Fleet, FleetConfig};
 pub use spec::{derive_seed, specs_for_tasks, RunSpec};
-pub use worker::{execute_spec, pricing_for};
+pub use worker::{execute_spec, execute_spec_shared, pricing_for};
 
 pub use eclair_trace::MergeError;

@@ -14,13 +14,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use eclair_fm::{shared_percept_cache, SharedPerceptCache};
 use eclair_trace::{MergeError, TraceEvent};
 
 use crate::backoff::RetryPolicy;
 use crate::queue::BoundedQueue;
 use crate::report::{FleetReport, FleetTiming, RunRecord};
 use crate::spec::RunSpec;
-use crate::worker::{cancelled_record, execute_spec};
+use crate::worker::{cancelled_record, execute_spec_shared};
 
 /// Cooperative cancellation flag, cloneable across threads. Cancelling
 /// stops new submissions and new attempts; runs mid-attempt finish their
@@ -57,6 +58,10 @@ pub struct FleetConfig {
     pub retry: RetryPolicy,
     /// Seed all run seeds derive from (via [`crate::spec::derive_seed`]).
     pub fleet_seed: u64,
+    /// Master switch for the fleet-wide shared percept cache. On by
+    /// default; individual runs can still opt out via
+    /// [`RunSpec::with_shared`]. Off, no run sees the shared handle.
+    pub use_shared: bool,
 }
 
 impl Default for FleetConfig {
@@ -66,6 +71,7 @@ impl Default for FleetConfig {
             queue_capacity: 16,
             retry: RetryPolicy::default(),
             fleet_seed: eclair_core::calibration::SEED,
+            use_shared: true,
         }
     }
 }
@@ -94,13 +100,29 @@ impl FleetConfig {
         self.fleet_seed = fleet_seed;
         self
     }
+
+    /// Toggle the fleet-wide shared percept cache.
+    pub fn with_shared(mut self, on: bool) -> Self {
+        self.use_shared = on;
+        self
+    }
 }
 
-/// The scheduler handle.
-#[derive(Debug, Default)]
+/// The scheduler handle. Owns the fleet-wide shared percept cache, which
+/// therefore persists across `run`/`run_sequential` invocations on the
+/// same `Fleet` — that persistence is where cross-run hits come from
+/// (re-executed suites, retry rescues, metamorphic re-runs).
+#[derive(Debug)]
 pub struct Fleet {
     config: FleetConfig,
     cancel: CancelToken,
+    shared: Arc<SharedPerceptCache>,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Self::new(FleetConfig::default())
+    }
 }
 
 impl Fleet {
@@ -109,12 +131,25 @@ impl Fleet {
         Self {
             config,
             cancel: CancelToken::new(),
+            shared: shared_percept_cache(),
         }
     }
 
     /// The fleet's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
+    }
+
+    /// The fleet's shared percept cache (benches read its quarantined
+    /// stats; harnesses may hand the same `Fleet` a second suite to
+    /// harvest cross-invocation hits).
+    pub fn shared_cache(&self) -> &Arc<SharedPerceptCache> {
+        &self.shared
+    }
+
+    /// The handle workers get: `Some` only under the config switch.
+    fn shared_handle(&self) -> Option<&Arc<SharedPerceptCache>> {
+        self.config.use_shared.then_some(&self.shared)
     }
 
     /// A token that cancels this fleet when triggered (from any thread).
@@ -139,7 +174,12 @@ impl Fleet {
                         let run = if self.cancel.is_cancelled() {
                             cancelled_record(&spec)
                         } else {
-                            execute_spec(&spec, &self.config.retry, &self.cancel)
+                            execute_spec_shared(
+                                &spec,
+                                &self.config.retry,
+                                &self.cancel,
+                                self.shared_handle(),
+                            )
                         };
                         results.lock().unwrap().push(run);
                     }
@@ -177,7 +217,12 @@ impl Fleet {
                 if self.cancel.is_cancelled() {
                     cancelled_record(spec)
                 } else {
-                    execute_spec(spec, &self.config.retry, &self.cancel)
+                    execute_spec_shared(
+                        spec,
+                        &self.config.retry,
+                        &self.cancel,
+                        self.shared_handle(),
+                    )
                 }
             })
             .collect();
@@ -318,6 +363,7 @@ mod tests {
                 ..RetryPolicy::default()
             },
             fleet_seed: 13,
+            use_shared: true,
         });
         let token = fleet.cancel_token();
         let report = std::thread::scope(|s| {

@@ -55,6 +55,11 @@ pub struct RunSpec {
     /// `(chaos_seed, run_id, step)`, so the fault environment is as
     /// deterministic as the model noise and independent of it.
     pub chaos: Option<ChaosProfile>,
+    /// Whether this run consults the fleet-wide shared percept cache
+    /// (`eclair_fm::SharedPerceptCache`). On by default; like the local
+    /// caches it is transparent — records and traces are byte-identical
+    /// either way — and `ECLAIR_NO_CACHE=1` still bypasses it entirely.
+    pub use_shared: bool,
     /// Optional hybrid execution policy. When set, each attempt first
     /// compiles the task's validated trace into a selector bot and runs
     /// it with step-scoped FM fallback (`eclair-hybrid`); with
@@ -79,6 +84,7 @@ impl RunSpec {
             token_budget: None,
             deadline_steps: None,
             config,
+            use_shared: true,
             chaos: None,
             hybrid: None,
         }
@@ -120,6 +126,15 @@ impl RunSpec {
     /// still force-disables both at execution time.
     pub fn with_cache(mut self, on: bool) -> Self {
         self.config.use_cache = on;
+        self
+    }
+
+    /// Toggle the fleet-wide shared percept cache for this run. Also
+    /// transparent: a shared hit re-accounts the exact tokens the
+    /// recompute would have, so flipping this changes only wall-clock
+    /// and the quarantined `shared.*` perf counters.
+    pub fn with_shared(mut self, on: bool) -> Self {
+        self.use_shared = on;
         self
     }
 }
@@ -171,8 +186,10 @@ mod tests {
         let task = all_tasks().remove(0);
         let spec = RunSpec::for_task(1, 0, task, FmProfile::Oracle);
         assert!(spec.config.use_cache);
-        let spec = spec.with_cache(false);
+        assert!(spec.use_shared, "shared layer is on by default");
+        let spec = spec.with_cache(false).with_shared(false);
         assert!(!spec.config.use_cache);
+        assert!(!spec.use_shared);
     }
 
     #[test]

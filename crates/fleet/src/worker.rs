@@ -7,10 +7,12 @@
 //! stream of the run seed), and a private trace recorder per attempt —
 //! so its outputs depend only on the spec, never on scheduling.
 
+use std::sync::Arc;
+
 use eclair_chaos::{ChaosSchedule, ChaosSession};
 use eclair_core::execute::executor::{run_on_session, run_task, ExecConfig, RunResult};
 use eclair_fm::tokens::Pricing;
-use eclair_fm::{FmModel, FmProfile, TokenMeter};
+use eclair_fm::{FmModel, FmProfile, SharedPerceptCache, TokenMeter};
 use eclair_hybrid::{compile_task, run_hybrid_on_session};
 use eclair_trace::{RunSummary, TraceEvent, VirtualClock};
 use rand::rngs::StdRng;
@@ -50,6 +52,23 @@ pub fn execute_spec(
     policy: &RetryPolicy,
     cancel: &CancelToken,
 ) -> (RunRecord, Vec<TraceEvent>) {
+    execute_spec_shared(spec, policy, cancel, None)
+}
+
+/// As [`execute_spec`], with a fleet-wide shared percept cache attached
+/// to every model the run instantiates (initial attempts *and* hybrid
+/// rescues — both must see the same cache, or a rescue would recompute
+/// percepts its bot attempt already published). The handle is ignored
+/// when the spec opts out via `use_shared: false`; caching stays
+/// transparent either way, so the record and events are byte-identical
+/// with and without the handle.
+pub fn execute_spec_shared(
+    spec: &RunSpec,
+    policy: &RetryPolicy,
+    cancel: &CancelToken,
+    shared: Option<&Arc<SharedPerceptCache>>,
+) -> (RunRecord, Vec<TraceEvent>) {
+    let shared = if spec.use_shared { shared } else { None };
     let mut summary = RunSummary::default();
     let mut tokens = TokenMeter::default();
     let mut events: Vec<TraceEvent> = Vec::new();
@@ -77,6 +96,9 @@ pub fn execute_spec(
         let mut model = spec
             .profile
             .instantiate(derive_seed(spec.seed, attempt as u64));
+        if let Some(cache) = shared {
+            model.attach_shared(Arc::clone(cache));
+        }
         // Re-seat the virtual clock on the *run* identity: latency draws
         // are pure in `(run seed, run_id, step)`, shared by all attempts,
         // so a retried step replays its attempt's latency exactly.
@@ -105,6 +127,9 @@ pub fn execute_spec(
             model = spec
                 .profile
                 .instantiate(derive_seed(spec.seed, attempt as u64));
+            if let Some(cache) = shared {
+                model.attach_shared(Arc::clone(cache));
+            }
             model
                 .trace_mut()
                 .set_clock(VirtualClock::new(spec.seed, spec.run_id));

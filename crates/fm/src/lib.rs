@@ -38,7 +38,7 @@ pub mod text;
 pub mod tokens;
 
 pub use ground::GroundingOutcome;
-pub use model::FmModel;
+pub use model::{shared_percept_cache, FmModel, PerceptKey, SharedPerceptCache};
 pub use percept::{PerceivedElement, ScenePercept};
 pub use profile::{FmProfile, ModelProfile};
 pub use prompt::{Part, Prompt};

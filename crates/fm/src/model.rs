@@ -4,10 +4,13 @@
 //! so experiments can (a) swap profiles (GPT-4 vs CogAgent vs oracle),
 //! (b) reproduce runs exactly from a seed, and (c) read off token costs.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use eclair_gui::Screenshot;
+use eclair_shared::{Outcome, ShardedCache};
 use eclair_trace::{CostKind, EventKind, TraceRecorder, VirtualClock};
 use eclair_vision::marks::{Mark, MarkedScreenshot};
 
@@ -17,6 +20,26 @@ use crate::profile::ModelProfile;
 use crate::prompt::Prompt;
 use crate::sampling::{judge_ensemble, Judgment, Sampling};
 use crate::tokens::TokenMeter;
+
+/// The full purity tuple a percept is keyed by, in any cache, local or
+/// shared: `(model seed, profile fingerprint, frame hash)`. Perception is
+/// a pure function of exactly this tuple — keying on anything less (the
+/// old memo used the bare frame hash) cross-serves percepts the moment a
+/// cache is shared between models with different seeds or profiles.
+pub type PerceptKey = (u64, u64, u64);
+
+/// A fleet-wide shared percept cache: every worker and every run of a
+/// fleet may hold a handle to the same instance (see `eclair-shared` for
+/// the lock-striping and single-flight protocol).
+pub type SharedPerceptCache = ShardedCache<PerceptKey, ScenePercept>;
+
+/// Build a shared percept cache at the fleet default geometry: 16 lock
+/// stripes × 256 percepts per stripe. Workers touching different stripes
+/// never serialize; 4096 resident percepts comfortably covers a 30-task
+/// suite's distinct frames.
+pub fn shared_percept_cache() -> Arc<SharedPerceptCache> {
+    Arc::new(ShardedCache::new(16, 256))
+}
 
 /// A live (simulated) foundation model.
 ///
@@ -46,10 +69,18 @@ pub struct FmModel {
     /// off globally). Flipping it must be unobservable outside
     /// `eclair_trace::perf`.
     cache_enabled: bool,
-    /// Bounded memo of perception results keyed by frame content hash.
-    percept_memo: std::collections::HashMap<u64, ScenePercept>,
+    /// FNV-1a fingerprint of the full profile (its `Debug` rendering, a
+    /// superset of the name): part of every percept key, so two profiles
+    /// that share a name but differ in any capability parameter still
+    /// key separately.
+    profile_fp: u64,
+    /// Bounded memo of perception results keyed by the full purity tuple.
+    percept_memo: std::collections::HashMap<PerceptKey, ScenePercept>,
     /// Insertion order of `percept_memo` keys, for eviction.
-    percept_order: std::collections::VecDeque<u64>,
+    percept_order: std::collections::VecDeque<PerceptKey>,
+    /// Fleet-wide shared cache, consulted when the per-instance memo
+    /// misses. `None` outside a fleet or under `ECLAIR_NO_CACHE=1`.
+    shared: Option<Arc<SharedPerceptCache>>,
 }
 
 /// Most perception results kept in the memo. Executors revisit a handful
@@ -85,6 +116,7 @@ impl FmModel {
         // Run id 0 by default; the fleet re-seats the clock per run via
         // `TraceRecorder::set_clock` before execution starts.
         trace.set_clock(VirtualClock::new(seed, 0));
+        let profile_fp = fnv_str(&format!("{profile:?}"));
         Self {
             profile,
             seed,
@@ -93,18 +125,41 @@ impl FmModel {
             sampling: Sampling::greedy(),
             trace,
             cache_enabled: !eclair_gui::no_cache_env(),
+            profile_fp,
             percept_memo: std::collections::HashMap::new(),
             percept_order: std::collections::VecDeque::new(),
+            shared: None,
         }
     }
 
     /// Turn perception memoization on or off for this model instance.
+    ///
+    /// Flipping drops only *this instance's* pins (its local memo); a
+    /// shared cache attached via [`Self::attach_shared`] is untouched —
+    /// other workers' entries, and even this model's own published
+    /// percepts, stay resident in the global shards.
     pub fn set_cache_enabled(&mut self, on: bool) {
         if self.cache_enabled != on {
             self.cache_enabled = on;
             self.percept_memo.clear();
             self.percept_order.clear();
         }
+    }
+
+    /// Attach a fleet-wide shared percept cache. Consulted after the
+    /// per-instance memo, before the full perception pass. Under the
+    /// `ECLAIR_NO_CACHE=1` kill switch this is a no-op: the shared layer
+    /// is bypassed entirely, not merely disabled.
+    pub fn attach_shared(&mut self, cache: Arc<SharedPerceptCache>) {
+        if eclair_gui::no_cache_env() {
+            return;
+        }
+        self.shared = Some(cache);
+    }
+
+    /// The attached shared percept cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedPerceptCache>> {
+        self.shared.as_ref()
     }
 
     /// The model's capability profile.
@@ -182,16 +237,19 @@ impl FmModel {
     /// `(model seed, profile, frame hash)` — never from the model's main
     /// RNG — so perceiving the same frame twice yields the same percept
     /// and perturbs nothing downstream. That purity is what licenses the
-    /// bounded memo: a hit returns the stored percept *and accounts the
-    /// exact tokens the recompute would have*, keeping the meter and the
-    /// trace byte-identical with the memo off. The tokens a provider-side
+    /// bounded memo *and* the fleet-wide shared cache behind it: a hit at
+    /// either layer returns the stored percept *and accounts the exact
+    /// tokens the recompute would have*, keeping the meter and the trace
+    /// byte-identical with both caches off. The tokens a provider-side
     /// cache would have saved are reported only through the quarantined
-    /// `eclair_trace::perf::cached_tokens` counter.
+    /// `eclair_trace::perf` counters (`cached_tokens` for the memo,
+    /// `shared_cached_tokens` for the shared layer).
     pub fn perceive(&mut self, shot: &Screenshot) -> ScenePercept {
         let frame = shot.frame_hash();
+        let key: PerceptKey = (self.seed, self.profile_fp, frame);
         let prompt_tokens = 85 + 4 * shot.items.len() as u64;
         if self.cache_enabled {
-            if let Some(percept) = self.percept_memo.get(&frame).cloned() {
+            if let Some(percept) = self.percept_memo.get(&key).cloned() {
                 let completion_tokens = 2 + 4 * percept.elements.len() as u64;
                 self.account("perceive", prompt_tokens, completion_tokens);
                 eclair_trace::perf::record(|c| {
@@ -202,9 +260,42 @@ impl FmModel {
             }
             eclair_trace::perf::record(|c| c.perceive_memo_misses += 1);
         }
-        let stream_seed = mix(mix(self.seed, fnv_str(&self.profile.name)), frame);
-        let mut stream = StdRng::seed_from_u64(stream_seed);
-        let percept = perceive(shot, &self.profile, &mut stream);
+        // L2: the fleet-wide shared cache. Because the key carries the
+        // full purity tuple, whatever any worker published under it is
+        // exactly what this model would compute — and single-flight means
+        // concurrent identical requests run the perception pass once.
+        let percept = match (self.cache_enabled, self.shared.clone()) {
+            (true, Some(shared)) => {
+                let (seed, profile) = (self.seed, &self.profile);
+                let (percept, outcome) = shared.get_or_compute(key, || {
+                    let stream_seed = mix(mix(seed, fnv_str(&profile.name)), frame);
+                    perceive(shot, profile, &mut StdRng::seed_from_u64(stream_seed))
+                });
+                let completion_tokens = 2 + 4 * percept.elements.len() as u64;
+                eclair_trace::perf::record(|c| match outcome {
+                    Outcome::Hit => {
+                        c.shared_hits += 1;
+                        c.shared_cached_tokens += prompt_tokens + completion_tokens;
+                    }
+                    Outcome::Coalesced => {
+                        c.single_flight_waits += 1;
+                        c.shared_cached_tokens += prompt_tokens + completion_tokens;
+                    }
+                    Outcome::Computed { evicted } => {
+                        c.shared_misses += 1;
+                        if evicted {
+                            c.shared_evictions += 1;
+                        }
+                    }
+                });
+                percept
+            }
+            _ => {
+                let stream_seed = mix(mix(self.seed, fnv_str(&self.profile.name)), frame);
+                let mut stream = StdRng::seed_from_u64(stream_seed);
+                perceive(shot, &self.profile, &mut stream)
+            }
+        };
         self.account(
             "perceive",
             prompt_tokens,
@@ -216,8 +307,8 @@ impl FmModel {
                     self.percept_memo.remove(&oldest);
                 }
             }
-            if self.percept_memo.insert(frame, percept.clone()).is_none() {
-                self.percept_order.push_back(frame);
+            if self.percept_memo.insert(key, percept.clone()).is_none() {
+                self.percept_order.push_back(key);
             }
         }
         percept
@@ -385,6 +476,84 @@ mod tests {
         assert!(
             c.cached_tokens > 0,
             "hit tokens land in the perf quarantine"
+        );
+    }
+
+    #[test]
+    fn shared_cache_never_cross_serves_between_seeds_or_profiles() {
+        // The headline bugfix: the percept key carries the full purity
+        // tuple, so models differing in seed or profile that share one
+        // cache can never serve each other's percepts.
+        let s = shot();
+        let cache = shared_percept_cache();
+        let baseline = |profile: ModelProfile, seed: u64| {
+            let mut m = FmModel::new(profile, seed);
+            m.set_cache_enabled(false);
+            m.perceive(&s)
+        };
+        let mut a = FmModel::new(ModelProfile::gpt4v(), 1);
+        let mut b = FmModel::new(ModelProfile::gpt4v(), 2); // same profile, new seed
+        let mut c = FmModel::new(ModelProfile::cogagent_18b(), 1); // same seed, new profile
+        for m in [&mut a, &mut b, &mut c] {
+            m.attach_shared(Arc::clone(&cache));
+        }
+        assert_eq!(a.perceive(&s), baseline(ModelProfile::gpt4v(), 1));
+        assert_eq!(b.perceive(&s), baseline(ModelProfile::gpt4v(), 2));
+        assert_eq!(c.perceive(&s), baseline(ModelProfile::cogagent_18b(), 1));
+        assert_eq!(cache.len(), 3, "three distinct keys for one frame");
+        assert_eq!(cache.stats().hits, 0, "no cross-serving between tuples");
+    }
+
+    #[test]
+    fn shared_cache_hit_is_transparent_to_meter_and_trace() {
+        eclair_trace::perf::reset();
+        let s = shot();
+        let cache = shared_percept_cache();
+        let run = |attach: bool| {
+            let mut m = FmModel::new(ModelProfile::gpt4v(), 31);
+            if attach {
+                m.attach_shared(Arc::clone(&cache));
+            }
+            let p = m.perceive(&s);
+            (p, *m.meter(), m.trace().to_jsonl())
+        };
+        let (miss_p, miss_meter, miss_trace) = run(true); // populates the shard
+        let (hit_p, hit_meter, hit_trace) = run(true); // fresh instance: memo cold, shared hot
+        let (off_p, off_meter, off_trace) = run(false); // no shared layer at all
+        assert_eq!(miss_p, hit_p);
+        assert_eq!(hit_p, off_p);
+        assert_eq!(
+            miss_meter, hit_meter,
+            "shared hits account identical tokens"
+        );
+        assert_eq!(hit_meter, off_meter);
+        assert_eq!(miss_trace, hit_trace, "trace bytes identical either way");
+        assert_eq!(hit_trace, off_trace);
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!(c.shared_misses, 1, "first instance computed");
+        assert_eq!(c.shared_hits, 1, "second instance served by the shard");
+        assert!(c.shared_cached_tokens > 0, "savings land in the quarantine");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_flip_drops_instance_pins_but_not_the_global_shard() {
+        eclair_trace::perf::reset();
+        let s = shot();
+        let cache = shared_percept_cache();
+        let mut m = FmModel::new(ModelProfile::gpt4v(), 47);
+        m.attach_shared(Arc::clone(&cache));
+        let first = m.perceive(&s); // computes, pins locally + publishes globally
+        m.set_cache_enabled(false);
+        m.set_cache_enabled(true);
+        assert_eq!(cache.len(), 1, "flip must not clear the global shard");
+        let second = m.perceive(&s);
+        assert_eq!(first, second);
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!(
+            (c.perceive_memo_hits, c.shared_hits),
+            (0, 1),
+            "after the flip the local pins are gone but the shard serves"
         );
     }
 

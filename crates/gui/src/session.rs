@@ -115,6 +115,10 @@ pub struct Session {
     /// Rendered frames for the current page epoch, keyed by what else
     /// feeds `Screenshot::render`: scroll offset and caret rect.
     frame_cache: std::collections::HashMap<(i32, Option<Rect>), Arc<Screenshot>>,
+    /// Insertion order of `frame_cache` keys: at capacity the oldest
+    /// single frame is evicted, never the whole map (a wholesale clear
+    /// turns the 33rd distinct frame into a hit-rate cliff).
+    frame_order: std::collections::VecDeque<(i32, Option<Rect>)>,
 }
 
 impl Session {
@@ -141,6 +145,7 @@ impl Session {
             page_epoch: 0,
             build_sig: Some(sig),
             frame_cache: std::collections::HashMap::new(),
+            frame_order: std::collections::VecDeque::new(),
         }
     }
 
@@ -213,6 +218,7 @@ impl Session {
         if !self.frame_cache.is_empty() {
             perf::record(|c| c.frame_cache_invalidations += 1);
             self.frame_cache.clear();
+            self.frame_order.clear();
         }
     }
 
@@ -577,9 +583,13 @@ impl Session {
         perf::record(|c| c.frame_cache_misses += 1);
         let shot = Arc::new(self.screenshot_at_phase(caret_on));
         if self.frame_cache.len() >= FRAME_CACHE_CAP {
-            self.frame_cache.clear();
+            if let Some(oldest) = self.frame_order.pop_front() {
+                self.frame_cache.remove(&oldest);
+            }
         }
-        self.frame_cache.insert(key, Arc::clone(&shot));
+        if self.frame_cache.insert(key, Arc::clone(&shot)).is_none() {
+            self.frame_order.push_back(key);
+        }
         shot
     }
 
@@ -1079,5 +1089,58 @@ mod tests {
         let mut s = Session::new(Box::new(TallApp));
         assert!(s.click_by_name("bottom"));
         assert!(s.scroll_y() > 0, "session scrolled to reach the button");
+    }
+
+    #[test]
+    fn frame_cache_eviction_has_no_cliff_at_capacity() {
+        // 33 distinct frames against a 32-entry cap: the 33rd insertion
+        // must evict exactly the oldest frame. The old wholesale `clear()`
+        // turned it into a cliff — every revisit after frame 33 missed.
+        struct TallSteady;
+        impl GuiApp for TallSteady {
+            fn name(&self) -> &str {
+                "tall-steady"
+            }
+            fn url(&self) -> String {
+                "/tall-steady".into()
+            }
+            fn build(&self) -> Page {
+                let mut b = PageBuilder::new("TallSteady", "/tall-steady");
+                for i in 0..80 {
+                    b.text(format!("filler {i}"));
+                }
+                b.finish()
+            }
+            fn on_event(&mut self, _: SemanticEvent) -> bool {
+                false
+            }
+        }
+        eclair_trace::perf::reset();
+        let mut s = Session::new(Box::new(TallSteady));
+        s.screenshot(); // offset 0
+        for _ in 0..32 {
+            s.dispatch(UserEvent::Scroll(1));
+            s.screenshot(); // offsets 1..=32 — one past the cap
+        }
+        assert_eq!(eclair_trace::perf::snapshot().frame_cache_misses, 33);
+        // Walk back down: every offset except the single evicted oldest
+        // (offset 0) is still resident.
+        for _ in 0..32 {
+            s.dispatch(UserEvent::Scroll(-1));
+            s.screenshot(); // offsets 31, 30, ..., 0
+        }
+        let c = eclair_trace::perf::snapshot();
+        assert_eq!(
+            c.frame_cache_hits, 31,
+            "offsets 31..=1 survive the 33rd insertion (no hit-rate cliff)"
+        );
+        assert_eq!(
+            c.frame_cache_misses, 34,
+            "only the evicted offset re-renders"
+        );
+        assert_eq!(
+            c.frame_cache_invalidations, 0,
+            "eviction is not invalidation"
+        );
     }
 }

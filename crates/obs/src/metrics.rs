@@ -202,6 +202,11 @@ impl MetricsRegistry {
         self.inc("cache.perceive_memo_hits", c.perceive_memo_hits);
         self.inc("cache.perceive_memo_misses", c.perceive_memo_misses);
         self.inc("cache.cached_tokens", c.cached_tokens);
+        self.inc("shared.hits", c.shared_hits);
+        self.inc("shared.misses", c.shared_misses);
+        self.inc("shared.evictions", c.shared_evictions);
+        self.inc("shared.single_flight_waits", c.single_flight_waits);
+        self.inc("shared.cached_tokens", c.shared_cached_tokens);
         self.inc("render.log_events", c.log_events_rendered);
         self.inc("render.log_allocations", c.log_allocations);
         self.inc("render.jsonl_events", c.jsonl_events_rendered);
@@ -470,6 +475,9 @@ mod tests {
         let c = eclair_trace::perf::PerfCounters {
             frame_cache_hits: 9,
             cached_tokens: 1234,
+            shared_hits: 4,
+            single_flight_waits: 2,
+            shared_cached_tokens: 77,
             ..Default::default()
         };
         let mut r = MetricsRegistry::new();
@@ -477,6 +485,10 @@ mod tests {
         assert_eq!(r.counters["cache.frame_hits"], 9);
         assert_eq!(r.counters["cache.cached_tokens"], 1234);
         assert_eq!(r.counters["cache.frame_misses"], 0);
+        assert_eq!(r.counters["shared.hits"], 4);
+        assert_eq!(r.counters["shared.single_flight_waits"], 2);
+        assert_eq!(r.counters["shared.cached_tokens"], 77);
+        assert_eq!(r.counters["shared.misses"], 0);
     }
 
     #[test]

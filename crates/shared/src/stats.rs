@@ -1,0 +1,88 @@
+//! Process-wide effectiveness counters for a [`crate::ShardedCache`].
+//!
+//! These are the cache's own books, kept in atomics so every worker
+//! thread can bump them without touching the shard locks. They follow
+//! the same quarantine rule as `eclair_fleet::FleetTiming`: read them
+//! for dashboards and benches, never serialize them into a determinism
+//! artifact — under concurrency the hit/coalesce split depends on
+//! scheduling (the *values* never do). A sequential driver sees fully
+//! deterministic numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters. All increments are `Relaxed`: the counts are advisory
+/// telemetry with no ordering relationship to the cached values.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+}
+
+impl CacheStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen view of [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Lookups served from the shared map.
+    pub hits: u64,
+    /// Lookups that computed the value (single-flight leaders included).
+    pub misses: u64,
+    /// Lookups that blocked on another thread's in-flight computation
+    /// and shared its value without recomputing.
+    pub coalesced: u64,
+    /// Entries evicted to make room (FIFO per shard).
+    pub evictions: u64,
+}
+
+impl StatsSnapshot {
+    /// Hit rate in `[0, 1]` counting coalesced waits as hits (they did
+    /// not recompute); 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.coalesced;
+        let total = served + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let s = CacheStats::default();
+        CacheStats::bump(&s.hits);
+        CacheStats::bump(&s.hits);
+        CacheStats::bump(&s.misses);
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.coalesced, 0);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_rate_is_zero() {
+        assert_eq!(StatsSnapshot::default().hit_rate(), 0.0);
+    }
+}

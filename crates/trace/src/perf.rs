@@ -45,6 +45,22 @@ pub struct PerfCounters {
     /// here — not in the meter — because the deterministic accounting
     /// must stay identical with the cache off.
     pub cached_tokens: u64,
+    /// `FmModel::perceive` calls answered by the fleet-wide shared cache
+    /// (the per-instance memo missed; the global shard had the percept).
+    pub shared_hits: u64,
+    /// Shared-cache lookups that computed the percept (this call was the
+    /// single-flight leader, or nothing was in flight for the key).
+    pub shared_misses: u64,
+    /// Shared-cache insertions that evicted another run's entry (FIFO
+    /// per shard at capacity).
+    pub shared_evictions: u64,
+    /// Lookups that blocked behind another worker's in-flight perception
+    /// of the same key and shared its value (single-flight coalesces).
+    pub single_flight_waits: u64,
+    /// Tokens the shared layer served without recomputation (accounted
+    /// tokens of every shared hit + coalesce). Quarantined here for the
+    /// same reason as `cached_tokens`.
+    pub shared_cached_tokens: u64,
     /// Log lines produced by `render_log` since the last reset.
     pub log_events_rendered: u64,
     /// Buffer allocations `render_log` performed for those lines.
@@ -66,6 +82,16 @@ impl PerfCounters {
         rate(self.perceive_memo_hits, self.perceive_memo_misses)
     }
 
+    /// Shared-cache hit rate in [0, 1], counting single-flight coalesces
+    /// as hits (they did not recompute); 0 when the shared layer saw no
+    /// lookups.
+    pub fn shared_rate(&self) -> f64 {
+        rate(
+            self.shared_hits + self.single_flight_waits,
+            self.shared_misses,
+        )
+    }
+
     /// Add another snapshot's counts into this one.
     pub fn merge(&mut self, other: &PerfCounters) {
         self.frame_cache_hits += other.frame_cache_hits;
@@ -76,6 +102,11 @@ impl PerfCounters {
         self.perceive_memo_hits += other.perceive_memo_hits;
         self.perceive_memo_misses += other.perceive_memo_misses;
         self.cached_tokens += other.cached_tokens;
+        self.shared_hits += other.shared_hits;
+        self.shared_misses += other.shared_misses;
+        self.shared_evictions += other.shared_evictions;
+        self.single_flight_waits += other.single_flight_waits;
+        self.shared_cached_tokens += other.shared_cached_tokens;
         self.log_events_rendered += other.log_events_rendered;
         self.log_allocations += other.log_allocations;
         self.jsonl_events_rendered += other.jsonl_events_rendered;
@@ -102,6 +133,11 @@ thread_local! {
         perceive_memo_hits: 0,
         perceive_memo_misses: 0,
         cached_tokens: 0,
+        shared_hits: 0,
+        shared_misses: 0,
+        shared_evictions: 0,
+        single_flight_waits: 0,
+        shared_cached_tokens: 0,
         log_events_rendered: 0,
         log_allocations: 0,
         jsonl_events_rendered: 0,
@@ -150,6 +186,18 @@ mod tests {
         let c = PerfCounters::default();
         assert_eq!(c.frame_cache_hit_rate(), 0.0);
         assert_eq!(c.perceive_memo_rate(), 0.0);
+        assert_eq!(c.shared_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_rate_counts_coalesces_as_hits() {
+        let c = PerfCounters {
+            shared_hits: 2,
+            single_flight_waits: 1,
+            shared_misses: 1,
+            ..Default::default()
+        };
+        assert!((c.shared_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

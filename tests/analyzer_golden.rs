@@ -34,6 +34,7 @@ fn canonical() -> Scenario {
         max_attempts: 2,
         workers: 1,
         use_cache: true,
+        use_shared: true,
     }
 }
 

@@ -41,6 +41,7 @@ fn corpus() -> Vec<(&'static str, Scenario)> {
         max_attempts: 1,
         workers: 1,
         use_cache: true,
+        use_shared: true,
     };
     vec![
         (
