@@ -1,0 +1,126 @@
+//! Chaos-compatibility sweep for the EHR site: all seven fault kinds
+//! inject cleanly on [`EhrApp`] pages, and after the standard recovery
+//! move (dismiss the dialog, re-login) the session is fully drivable —
+//! the census renders, probes answer, and a real workflow still lands.
+
+use eclair_chaos::{ChaosProfile, ChaosSchedule, ChaosSession, FaultKind};
+use eclair_gui::event::{Dispatch, EffectKind};
+use eclair_gui::{DriftOp, GuiSurface, Key, Theme, UserEvent};
+use eclair_sites::ehr::EhrApp;
+
+fn chaos(kind: FaultKind) -> ChaosSession {
+    let sched = ChaosSchedule::new(ChaosProfile::only(0xE4A, 1.0, kind), 0);
+    ChaosSession::new(Box::new(EhrApp::new()), sched)
+}
+
+fn click_by_label(s: &mut ChaosSession, label: &str) -> Dispatch {
+    let shot = s.screenshot();
+    let item = shot
+        .items
+        .iter()
+        .find(|i| i.text == label)
+        .unwrap_or_else(|| panic!("no item labelled {label:?}"))
+        .clone();
+    s.dispatch(UserEvent::Click(item.rect.center()))
+}
+
+/// Clear whatever the fault left behind so the page is drivable again.
+fn recover(s: &mut ChaosSession) {
+    if s.modal_open() {
+        let esc = s.dispatch(UserEvent::Press(Key::Escape));
+        if esc.effect != EffectKind::Dismissed {
+            click_by_label(s, "Stay signed in");
+        }
+    }
+    if s.expired() {
+        click_by_label(s, "Log in");
+    }
+}
+
+#[test]
+fn every_fault_kind_injects_on_ehr_pages() {
+    for kind in FaultKind::ALL {
+        let mut s = chaos(kind);
+        // Give the stale-frame fault a previous frame to serve.
+        let _ = s.screenshot();
+        s.begin_step(1);
+        let notes = s.drain_fault_notes();
+        assert!(
+            notes.iter().any(|n| n.fault == kind.name()),
+            "{}: fault did not arm on the EHR census (notes: {notes:?})",
+            kind.name()
+        );
+        // Clear blocking faults (modal, expiry) first, then let the
+        // one-shot channel faults consume the event they were armed for.
+        recover(&mut s);
+        let _ = click_by_label(&mut s, "Authorizations");
+        assert!(
+            s.faults_injected() >= 1,
+            "{}: nothing injected",
+            kind.name()
+        );
+        assert_eq!(
+            s.inner().app().probe("patient_count").as_deref(),
+            Some("8"),
+            "{}: probes stopped answering",
+            kind.name()
+        );
+        let back = click_by_label(&mut s, "Patients");
+        assert_eq!(back.effect, EffectKind::Activated, "{}", kind.name());
+        assert!(GuiSurface::url(&s).contains("/ehr/patients"));
+    }
+}
+
+#[test]
+fn session_expiry_on_ehr_redirects_and_relogin_restores_the_chart() {
+    let mut s = chaos(FaultKind::SessionExpiry);
+    // Navigate to a chart first, then expire on the next step.
+    let open = click_by_label(&mut s, "MRN-2001");
+    assert_eq!(open.effect, EffectKind::Activated);
+    assert_eq!(GuiSurface::url(&s), "/ehr/patients/MRN-2001");
+    s.begin_step(1);
+    assert!(s.expired());
+    assert_eq!(GuiSurface::url(&s), "/login");
+    click_by_label(&mut s, "Log in");
+    assert!(!s.expired());
+    assert_eq!(GuiSurface::url(&s), "/ehr/patients/MRN-2001");
+}
+
+#[test]
+fn modal_blocks_ehr_input_until_dismissed() {
+    let mut s = chaos(FaultKind::PromoModal);
+    s.begin_step(1);
+    assert!(s.modal_open());
+    // The dialog captures the click aimed at the census row underneath.
+    let blocked = click_by_label(&mut s, "MRN-2001");
+    assert_ne!(blocked.effect, EffectKind::Activated);
+    assert_eq!(GuiSurface::url(&s), "/ehr/patients");
+    let esc = s.dispatch(UserEvent::Press(Key::Escape));
+    assert_eq!(esc.effect, EffectKind::Dismissed);
+    let open = click_by_label(&mut s, "MRN-2001");
+    assert_eq!(open.effect, EffectKind::Activated);
+    assert_eq!(GuiSurface::url(&s), "/ehr/patients/MRN-2001");
+}
+
+#[test]
+fn chaos_composes_with_a_drifted_ehr_theme() {
+    // Chaos injection and visual drift are independent layers: a promo
+    // modal still arms and dismisses on a re-themed EHR census.
+    let theme = Theme::with_ops(vec![
+        DriftOp::InsertBanner {
+            text: "Scheduled maintenance tonight 22:00–23:00".into(),
+        },
+        DriftOp::ResizeInputs { width: 340 },
+    ]);
+    let sched = ChaosSchedule::new(ChaosProfile::only(9, 1.0, FaultKind::PromoModal), 3);
+    let mut s = ChaosSession::with_theme(Box::new(EhrApp::new()), sched, theme);
+    s.begin_step(1);
+    assert!(s.modal_open());
+    assert_eq!(
+        s.dispatch(UserEvent::Press(Key::Escape)).effect,
+        EffectKind::Dismissed
+    );
+    let open = click_by_label(&mut s, "MRN-2003");
+    assert_eq!(open.effect, EffectKind::Activated);
+    assert_eq!(GuiSurface::url(&s), "/ehr/patients/MRN-2003");
+}

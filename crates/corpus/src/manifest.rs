@@ -1,0 +1,136 @@
+//! The byte-reproducible corpus manifest.
+//!
+//! The manifest is the corpus's paper trail: which seed, which
+//! templates, which parameter points, and what every generated task
+//! looks like — without the action traces themselves (those live in the
+//! `TaskSpec`s). Two `generate(seed)` calls must produce byte-identical
+//! manifest JSON; CI diffs them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::fnv1a64;
+use crate::template::Params;
+
+/// One task's row in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Task id (`{template}-{serial:03}-{digest:012x}` for generated
+    /// tasks; the original id for handwritten ones).
+    pub id: String,
+    /// Template name, or `"handwritten"` for the seed suite.
+    pub template: String,
+    /// Site short name.
+    pub site: String,
+    /// The resolved parameter point (empty for handwritten tasks).
+    pub params: Params,
+    /// Natural-language intent.
+    pub intent: String,
+    /// Gold-trace length.
+    pub actions: usize,
+    /// Reference-SOP step count.
+    pub sop_steps: usize,
+    /// Number of probe assertions in the success predicate.
+    pub probes: usize,
+    /// URL fragment the predicate requires, when any.
+    pub url_contains: Option<String>,
+}
+
+/// Per-template accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateSummary {
+    /// Template name.
+    pub name: String,
+    /// Site short name.
+    pub site: String,
+    /// Instances requested.
+    pub family: usize,
+    /// Full parameter-space size.
+    pub space: usize,
+    /// Instances actually generated (`min(family, space)`).
+    pub generated: usize,
+}
+
+/// The full corpus manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusManifest {
+    /// Schema version — bump on shape changes; the legacy fixture test
+    /// pins v1.
+    pub version: u32,
+    /// The master seed the corpus was generated from.
+    pub master_seed: u64,
+    /// Total task count (handwritten + generated).
+    pub total_tasks: usize,
+    /// Handwritten task count.
+    pub handwritten: usize,
+    /// Generated task count.
+    pub generated: usize,
+    /// `(site, count)` pairs in stable site order.
+    pub per_site: Vec<(String, usize)>,
+    /// Template accounting in generation order.
+    pub templates: Vec<TemplateSummary>,
+    /// One row per task, handwritten first, then generation order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl CorpusManifest {
+    /// Canonical JSON encoding (stable field order via serde).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("manifest serializes")
+    }
+
+    /// FNV-1a digest of the canonical JSON — the corpus fingerprint
+    /// benches and CI compare.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CorpusManifest {
+        CorpusManifest {
+            version: 1,
+            master_seed: 99,
+            total_tasks: 1,
+            handwritten: 0,
+            generated: 1,
+            per_site: vec![("erp".into(), 1)],
+            templates: vec![TemplateSummary {
+                name: "t".into(),
+                site: "erp".into(),
+                family: 1,
+                space: 4,
+                generated: 1,
+            }],
+            entries: vec![ManifestEntry {
+                id: "t-000-abc".into(),
+                template: "t".into(),
+                site: "erp".into(),
+                params: Params(vec![("a".into(), "x".into())]),
+                intent: "do the thing".into(),
+                actions: 3,
+                sop_steps: 3,
+                probes: 1,
+                url_contains: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn manifest_json_round_trips() {
+        let m = sample();
+        let back: CorpusManifest = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let m = sample();
+        let mut m2 = m.clone();
+        assert_eq!(m.digest(), m2.digest());
+        m2.master_seed = 100;
+        assert_ne!(m.digest(), m2.digest());
+    }
+}

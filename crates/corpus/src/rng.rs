@@ -1,0 +1,116 @@
+//! Deterministic primitives for corpus generation.
+//!
+//! Everything the generator does with randomness and hashing lives here:
+//! a SplitMix64 stream (the same generator crucible's `Scenario` uses, so
+//! corpus sampling and scenario sampling share one notion of
+//! determinism), a 64-bit FNV-1a for deriving per-template streams and
+//! task-id digests, and a partial Fisher–Yates for sampling `k` distinct
+//! indices out of a parameter space.
+
+/// SplitMix64: tiny, fast, and fully determined by its seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Derive a child seed from a master seed and a label hash. Mixing through
+/// SplitMix64 keeps sibling streams statistically independent even when
+/// labels hash to nearby values.
+pub fn derive_seed(master: u64, label_hash: u64) -> u64 {
+    let mut rng = SplitMix64::new(master ^ label_hash.rotate_left(17));
+    rng.next_u64()
+}
+
+/// Sample `k` distinct indices from `0..n` (partial Fisher–Yates), returned
+/// **sorted ascending** so downstream iteration order is stable regardless
+/// of draw order. When `k >= n` every index is returned.
+pub fn sample_indices(rng: &mut SplitMix64, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.below((n - i) as u64) as usize;
+        pool.swap(i, j);
+    }
+    let mut picked = pool[..k].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_labels() {
+        assert_ne!(
+            fnv1a64(b"gitlab-create-issue"),
+            fnv1a64(b"gitlab-close-issue")
+        );
+        assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
+    }
+
+    #[test]
+    fn sample_is_sorted_distinct_and_sized() {
+        let mut rng = SplitMix64::new(7);
+        let s = sample_indices(&mut rng, 100, 12);
+        assert_eq!(s.len(), 12);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_takes_all_when_k_exceeds_n() {
+        let mut rng = SplitMix64::new(7);
+        assert_eq!(sample_indices(&mut rng, 5, 50), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_samples_usually() {
+        let a = sample_indices(&mut SplitMix64::new(1), 10_000, 20);
+        let b = sample_indices(&mut SplitMix64::new(2), 10_000, 20);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,266 @@
+//! EHR task families: the paper's hospital workflows at corpus scale —
+//! patient lookup, medication reconciliation, and prior-auth
+//! documentation, swept across the full census.
+
+use eclair_sites::fixtures;
+use eclair_sites::task::{Site, SuccessCheck};
+
+use super::{click, parts, type_into};
+use crate::template::{Blueprint, ParamAxis, TaskTemplate};
+
+/// `MRN|Name` composites for the census.
+fn patient_axis() -> ParamAxis {
+    ParamAxis::from_owned(
+        "patient",
+        fixtures::PATIENTS
+            .iter()
+            .map(|&(mrn, name, _, payer, _)| format!("{mrn}|{name}|{payer}"))
+            .collect(),
+    )
+}
+
+/// `MRN|Drug` composites for every medication row.
+fn med_axis() -> ParamAxis {
+    ParamAxis::from_owned(
+        "med",
+        fixtures::PATIENT_MEDS
+            .iter()
+            .map(|&(mrn, drug, _)| format!("{mrn}|{drug}"))
+            .collect(),
+    )
+}
+
+/// The ICD-10 code the documentation templates pair with each
+/// prior-auth procedure.
+fn dx_for(code: &str) -> &'static str {
+    match code {
+        "MRI-70551" => "G43.909",
+        "CT-74177" => "R10.9",
+        "PT-97110" => "M54.50",
+        "ECHO-93306" => "I50.9",
+        "SLP-92507" => "R47.02",
+        "DME-E0601" => "G47.33",
+        other => panic!("no dx mapping for procedure {other}"),
+    }
+}
+
+/// Build all EHR templates.
+pub fn templates() -> Vec<TaskTemplate> {
+    vec![
+        TaskTemplate {
+            name: "ehr-patient-lookup",
+            site: Site::Ehr,
+            family: 8,
+            axes: vec![patient_axis()],
+            build: |p| {
+                let pt = parts(p.get("patient"));
+                let (mrn, name) = (pt[0], pt[1]);
+                Blueprint {
+                    intent: format!("Look up the chart for patient {name} ({mrn})"),
+                    actions: vec![type_into("patient-search", mrn), click("open-chart")],
+                    sop: vec![
+                        format!("Type \"{mrn}\" into the Patient search field"),
+                        "Click the 'Open chart' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[("last_lookup", mrn)])
+                        .with_url(&format!("/ehr/patients/{mrn}")),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "ehr-review-medication",
+            site: Site::Ehr,
+            family: 18,
+            axes: vec![med_axis()],
+            build: |p| {
+                let m = parts(p.get("med"));
+                let (mrn, drug) = (m[0], m[1]);
+                let slug = drug.to_lowercase();
+                Blueprint {
+                    intent: format!(
+                        "Mark {drug} as reviewed on the medication list of patient {mrn}"
+                    ),
+                    actions: vec![
+                        click(&format!("open-patient-{mrn}")),
+                        click("tab-meds"),
+                        click(&format!("review-med-{slug}")),
+                    ],
+                    sop: vec![
+                        format!("Click the '{mrn}' link"),
+                        "Click the 'Medications' tab".into(),
+                        format!("Click the 'Review {drug}' button"),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("med_status:{mrn}:{drug}"),
+                        "reviewed",
+                    )]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "ehr-discontinue-medication",
+            site: Site::Ehr,
+            family: 12,
+            axes: vec![med_axis()],
+            build: |p| {
+                let m = parts(p.get("med"));
+                let (mrn, drug) = (m[0], m[1]);
+                let slug = drug.to_lowercase();
+                Blueprint {
+                    intent: format!("Discontinue {drug} on the medication list of patient {mrn}"),
+                    actions: vec![
+                        click(&format!("open-patient-{mrn}")),
+                        click("tab-meds"),
+                        click(&format!("stop-med-{slug}")),
+                    ],
+                    sop: vec![
+                        format!("Click the '{mrn}' link"),
+                        "Click the 'Medications' tab".into(),
+                        format!("Click the 'Stop {drug}' button"),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("med_status:{mrn}:{drug}"),
+                        "discontinued",
+                    )]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "ehr-reconcile-medications",
+            site: Site::Ehr,
+            family: 8,
+            axes: vec![patient_axis()],
+            build: |p| {
+                let pt = parts(p.get("patient"));
+                let (mrn, name) = (pt[0], pt[1]);
+                let mut actions = vec![click(&format!("open-patient-{mrn}")), click("tab-meds")];
+                let mut sop = vec![
+                    format!("Click the '{mrn}' link"),
+                    "Click the 'Medications' tab".into(),
+                ];
+                // Review every medication on this patient's list, then
+                // attest — the app refuses the attestation while any
+                // entry is still unreviewed.
+                for &(m_mrn, drug, _) in fixtures::PATIENT_MEDS {
+                    if m_mrn == mrn {
+                        actions.push(click(&format!("review-med-{}", drug.to_lowercase())));
+                        sop.push(format!("Click the 'Review {drug}' button"));
+                    }
+                }
+                actions.push(click("complete-recon"));
+                sop.push("Click the 'Attest reconciliation complete' button".into());
+                Blueprint {
+                    intent: format!(
+                        "Complete medication reconciliation for patient {name} ({mrn})"
+                    ),
+                    actions,
+                    sop,
+                    success: SuccessCheck::probes(&[(&format!("recon_complete:{mrn}"), "true")]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "ehr-prior-auth",
+            site: Site::Ehr,
+            family: 36,
+            axes: vec![
+                patient_axis(),
+                ParamAxis::from_owned(
+                    "procedure",
+                    fixtures::PROCEDURES
+                        .iter()
+                        .map(|&(code, desc)| format!("{code}|{desc}"))
+                        .collect(),
+                ),
+            ],
+            build: |p| {
+                let pt = parts(p.get("patient"));
+                let (mrn, name, payer) = (pt[0], pt[1], pt[2]);
+                let pr = parts(p.get("procedure"));
+                let (code, desc) = (pr[0], pr[1]);
+                let dx = dx_for(code);
+                let justification =
+                    format!("{desc} is medically necessary; conservative measures exhausted.");
+                Blueprint {
+                    intent: format!(
+                        "File a prior authorization for {desc} ({code}) for patient {name} ({mrn})"
+                    ),
+                    actions: vec![
+                        click(&format!("open-patient-{mrn}")),
+                        click("tab-prior-auth"),
+                        type_into("procedure", code),
+                        type_into("dx-code", dx),
+                        type_into("justification", &justification),
+                        click("submit-auth"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{mrn}' link"),
+                        "Click the 'Prior auth' tab".into(),
+                        format!("Select '{code}' from the Procedure dropdown"),
+                        format!("Type \"{dx}\" into the Diagnosis code field"),
+                        format!("Type \"{justification}\" into the Clinical justification field"),
+                        "Click the 'Submit authorization' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[
+                        (&format!("auth_exists:{mrn}:{code}"), "true"),
+                        (&format!("auth_payer:{mrn}:{code}"), payer),
+                        (&format!("auth_priority:{mrn}:{code}"), "routine"),
+                    ])
+                    .with_url("/ehr/authorizations"),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "ehr-prior-auth-urgent",
+            site: Site::Ehr,
+            family: 12,
+            axes: vec![
+                patient_axis(),
+                ParamAxis::new(
+                    "procedure",
+                    &[
+                        "MRI-70551|MRI brain without contrast",
+                        "CT-74177|CT abdomen/pelvis with contrast",
+                        "ECHO-93306|Transthoracic echocardiogram",
+                    ],
+                ),
+            ],
+            build: |p| {
+                let pt = parts(p.get("patient"));
+                let (mrn, name) = (pt[0], pt[1]);
+                let pr = parts(p.get("procedure"));
+                let (code, desc) = (pr[0], pr[1]);
+                let dx = dx_for(code);
+                let justification = format!("{desc} required urgently; symptoms are acute.");
+                Blueprint {
+                    intent: format!(
+                        "File an expedited prior authorization for {desc} ({code}) for patient {name} ({mrn})"
+                    ),
+                    actions: vec![
+                        click(&format!("open-patient-{mrn}")),
+                        click("tab-prior-auth"),
+                        type_into("procedure", code),
+                        type_into("dx-code", dx),
+                        type_into("justification", &justification),
+                        click("urgent"),
+                        click("submit-auth"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{mrn}' link"),
+                        "Click the 'Prior auth' tab".into(),
+                        format!("Select '{code}' from the Procedure dropdown"),
+                        format!("Type \"{dx}\" into the Diagnosis code field"),
+                        format!("Type \"{justification}\" into the Clinical justification field"),
+                        "Check the 'Expedite (clinically urgent)' checkbox".into(),
+                        "Click the 'Submit authorization' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[
+                        (&format!("auth_exists:{mrn}:{code}"), "true"),
+                        (&format!("auth_priority:{mrn}:{code}"), "urgent"),
+                    ])
+                    .with_url("/ehr/authorizations"),
+                }
+            },
+        },
+    ]
+}

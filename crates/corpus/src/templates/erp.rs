@@ -1,0 +1,145 @@
+//! ERP task families: the §3.2 B2B invoice-processing case study at
+//! corpus scale — contract ingestion, inbox triage, and manual entry.
+
+use eclair_sites::task::{Site, SuccessCheck};
+
+use super::{click, parts, type_into};
+use crate::rng::fnv1a64;
+use crate::template::{Blueprint, ParamAxis, TaskTemplate};
+
+/// Fixture contracts as `doc id|customer|amount|date|po` composites.
+const CONTRACTS: &[&str] = &[
+    "DOC-301|Acme Corp|48000|2024-02-01|PO-7741",
+    "DOC-302|Globex LLC|12500|2024-02-03|PO-7742",
+    "DOC-303|Initech|6250|2024-02-07|PO-7743",
+    "DOC-304|Umbrella Health|18900|2024-02-11|PO-7744",
+    "DOC-305|Stark Industries|96000|2024-02-12|PO-7745",
+    "DOC-306|Wayne Enterprises|22400|2024-02-15|PO-7746",
+];
+
+/// Customers on the ERP invoice form's dropdown.
+const CUSTOMERS: &[&str] = &[
+    "Acme Corp",
+    "Globex LLC",
+    "Initech",
+    "Umbrella Health",
+    "Stark Industries",
+    "Wayne Enterprises",
+];
+
+/// Build all ERP templates.
+pub fn templates() -> Vec<TaskTemplate> {
+    vec![
+        TaskTemplate {
+            name: "erp-contract-invoice",
+            site: Site::Erp,
+            family: 6,
+            axes: vec![ParamAxis::new("contract", CONTRACTS)],
+            build: |p| {
+                let c = parts(p.get("contract"));
+                let (id, customer, amount, date, po) = (c[0], c[1], c[2], c[3], c[4]);
+                let expected_amount =
+                    format!("{:.2}", amount.parse::<f64>().expect("fixture amount"));
+                Blueprint {
+                    intent: format!("Ingest contract {id} into the invoice system of record"),
+                    actions: vec![
+                        click(&format!("open-doc-{id}")),
+                        click("enter-invoice"),
+                        type_into("customer", customer),
+                        type_into("amount", amount),
+                        type_into("date", date),
+                        type_into("po", po),
+                        click("save-invoice"),
+                    ],
+                    sop: vec![
+                        format!("Open document '{id}' from the contract inbox"),
+                        "Click the 'Enter invoice' button".into(),
+                        format!("Select '{customer}' from the Customer dropdown"),
+                        format!("Type \"{amount}\" into the Amount field"),
+                        format!("Type \"{date}\" into the Invoice date field"),
+                        format!("Type \"{po}\" into the PO number field"),
+                        "Click the 'Save invoice' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[
+                        (&format!("invoice_customer:{po}"), customer),
+                        (&format!("invoice_amount:{po}"), &expected_amount),
+                    ])
+                    .with_url("/erp/invoices"),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "erp-mark-processed",
+            site: Site::Erp,
+            family: 6,
+            axes: vec![ParamAxis::new(
+                "doc",
+                &[
+                    "DOC-301", "DOC-302", "DOC-303", "DOC-304", "DOC-305", "DOC-306",
+                ],
+            )],
+            build: |p| {
+                let doc = p.get("doc");
+                Blueprint {
+                    intent: format!(
+                        "Mark the contract document {doc} as processed in the ERP inbox"
+                    ),
+                    actions: vec![click(&format!("open-doc-{doc}")), click("mark-processed")],
+                    sop: vec![
+                        format!("Open document '{doc}' from the contract inbox"),
+                        "Click the 'Mark processed' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("doc_processed:{doc}"), "true")]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "erp-manual-invoice",
+            site: Site::Erp,
+            family: 10,
+            axes: vec![
+                ParamAxis::new("customer", CUSTOMERS),
+                ParamAxis::new("amount", &["3750", "15250"]),
+            ],
+            build: |p| {
+                let customer = p.get("customer");
+                let amount = p.get("amount");
+                // A deterministic PO outside the fixture range (PO-77xx),
+                // derived from the parameter point so the same point
+                // always books against the same PO.
+                let po = format!(
+                    "PO-9{:03}",
+                    fnv1a64(format!("{customer}|{amount}").as_bytes()) % 1000
+                );
+                let expected_amount =
+                    format!("{:.2}", amount.parse::<f64>().expect("fixture amount"));
+                Blueprint {
+                    intent: format!(
+                        "Enter a manual invoice for {customer} of ${amount} against {po}"
+                    ),
+                    actions: vec![
+                        click("nav-new-invoice"),
+                        type_into("customer", customer),
+                        type_into("amount", amount),
+                        type_into("date", "2024-03-15"),
+                        type_into("po", &po),
+                        click("save-invoice"),
+                    ],
+                    sop: vec![
+                        "Click the 'Enter invoice' navigation link".into(),
+                        format!("Select '{customer}' from the Customer dropdown"),
+                        format!("Type \"{amount}\" into the Amount field"),
+                        "Type \"2024-03-15\" into the Invoice date field".into(),
+                        format!("Type \"{po}\" into the PO number field"),
+                        "Click the 'Save invoice' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[
+                        (&format!("invoice_customer:{po}"), customer),
+                        (&format!("invoice_amount:{po}"), &expected_amount),
+                    ])
+                    .with_url("/erp/invoices"),
+                }
+            },
+        },
+    ]
+}

@@ -1,0 +1,363 @@
+//! GitLab task families: issue lifecycle, membership, project settings.
+//!
+//! Composite axis values pack the fixture facts a builder needs
+//! (`"slug|Display name"`, `"slug|id|title|labels"`) so every template
+//! stays a pure function of its parameter point.
+
+use eclair_sites::task::{Site, SuccessCheck};
+
+use super::{click, parts, type_into};
+use crate::template::{Blueprint, ParamAxis, TaskTemplate};
+
+/// The three fixture projects as `slug|Display` composites.
+const PROJECTS: &[&str] = &["webapp|WebApp", "docs|Docs", "data-pipeline|Data Pipeline"];
+
+/// Open fixture issues as `slug|Display|issue id|title|labels` composites
+/// (labels comma-joined, matching the `issue_labels` probe).
+const ISSUES: &[&str] = &[
+    "webapp|WebApp|1|Checkout page times out|bug",
+    "webapp|WebApp|2|Add dark mode|feature",
+    "docs|Docs|1|Broken link on install page|docs",
+];
+
+/// Users who are members of *no* fixture project (safe to invite anywhere).
+const INVITEES: &[&str] = &[
+    "abishek",
+    "dferrante",
+    "grace.hall",
+    "hazy.r",
+    "ivan.petrov",
+    "jill.woo",
+];
+
+/// Build all GitLab templates.
+pub fn templates() -> Vec<TaskTemplate> {
+    vec![
+        TaskTemplate {
+            name: "gitlab-create-issue",
+            site: Site::Gitlab,
+            family: 48,
+            axes: vec![
+                ParamAxis::new("project", PROJECTS),
+                ParamAxis::new(
+                    "title",
+                    &[
+                        "Search results ignore date filter",
+                        "Export to CSV drops header row",
+                        "Session cookie not renewed on SSO",
+                        "Pagination breaks past page 40",
+                        "Add keyboard shortcuts reference",
+                        "Upgrade CI runners to v3",
+                        "Document the webhook retry policy",
+                        "Audit stale feature flags",
+                    ],
+                ),
+                ParamAxis::new("label", &["bug", "feature"]),
+            ],
+            build: |p| {
+                let pr = parts(p.get("project"));
+                let (slug, display) = (pr[0], pr[1]);
+                let title = p.get("title");
+                let label = p.get("label");
+                let description = format!("Filed during the {label} triage sweep.");
+                Blueprint {
+                    intent: format!(
+                        "Create an issue titled '{title}' with label {label} in the {display} project"
+                    ),
+                    actions: vec![
+                        click(&format!("open-project-{slug}")),
+                        click("tab-issues"),
+                        click("new-issue"),
+                        type_into("title", title),
+                        type_into("description", &description),
+                        type_into("label", label),
+                        click("create-issue"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{display}' project link"),
+                        "Click the 'Issues' tab".into(),
+                        "Click the 'New issue' button".into(),
+                        format!("Type \"{title}\" into the Title field"),
+                        format!("Type \"{description}\" into the Description field"),
+                        format!("Select '{label}' from the Label dropdown"),
+                        "Click the 'Create issue' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[
+                        (&format!("issue_exists:{slug}:{title}"), "true"),
+                        (&format!("issue_labels:{slug}:{title}"), label),
+                    ]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "gitlab-close-issue",
+            site: Site::Gitlab,
+            family: 3,
+            axes: vec![ParamAxis::new("issue", ISSUES)],
+            build: |p| {
+                let i = parts(p.get("issue"));
+                let (slug, display, id, title) = (i[0], i[1], i[2], i[3]);
+                Blueprint {
+                    intent: format!("Close the issue '{title}' in the {display} project"),
+                    actions: vec![
+                        click(&format!("open-project-{slug}")),
+                        click("tab-issues"),
+                        click(&format!("open-issue-{id}")),
+                        click("close-issue"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{display}' project link"),
+                        "Click the 'Issues' tab".into(),
+                        format!("Click the '{title}' issue link"),
+                        "Click the 'Close issue' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("issue_state:{slug}:{title}"),
+                        "closed",
+                    )]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "gitlab-comment-issue",
+            site: Site::Gitlab,
+            family: 15,
+            axes: vec![
+                ParamAxis::new("issue", ISSUES),
+                ParamAxis::new(
+                    "comment",
+                    &[
+                        "Reproduced on the staging cluster",
+                        "Escalating to the on-call rotation",
+                        "Waiting on the vendor's fix",
+                        "Linked the incident postmortem",
+                        "Scheduled for the next sprint",
+                    ],
+                ),
+            ],
+            build: |p| {
+                let i = parts(p.get("issue"));
+                let (slug, display, id, title) = (i[0], i[1], i[2], i[3]);
+                let comment = p.get("comment");
+                Blueprint {
+                    intent: format!(
+                        "Comment '{comment}' on the issue '{title}' in the {display} project"
+                    ),
+                    actions: vec![
+                        click(&format!("open-project-{slug}")),
+                        click("tab-issues"),
+                        click(&format!("open-issue-{id}")),
+                        type_into("comment", comment),
+                        click("add-comment"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{display}' project link"),
+                        "Click the 'Issues' tab".into(),
+                        format!("Click the '{title}' issue link"),
+                        format!("Type \"{comment}\" into the Comment field"),
+                        "Click the 'Comment' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("issue_comments:{slug}:{title}"),
+                        comment,
+                    )]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "gitlab-add-label",
+            site: Site::Gitlab,
+            family: 18,
+            axes: vec![
+                ParamAxis::new("issue", ISSUES),
+                ParamAxis::new(
+                    "label",
+                    &["bug", "feature", "docs", "help wanted", "urgent", "backend"],
+                ),
+            ],
+            build: |p| {
+                let i = parts(p.get("issue"));
+                let (slug, display, id, title, existing) = (i[0], i[1], i[2], i[3], i[4]);
+                let label = p.get("label");
+                // The app appends only if absent, so the expected join is
+                // the existing labels plus the new one (or unchanged).
+                let expected = if existing.split(',').any(|l| l == label) {
+                    existing.to_string()
+                } else {
+                    format!("{existing},{label}")
+                };
+                Blueprint {
+                    intent: format!(
+                        "Add the label '{label}' to the issue '{title}' in the {display} project"
+                    ),
+                    actions: vec![
+                        click(&format!("open-project-{slug}")),
+                        click("tab-issues"),
+                        click(&format!("open-issue-{id}")),
+                        type_into("add-label-select", label),
+                        click("add-label"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{display}' project link"),
+                        "Click the 'Issues' tab".into(),
+                        format!("Click the '{title}' issue link"),
+                        format!("Select '{label}' from the label dropdown"),
+                        "Click the 'Add label' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("issue_labels:{slug}:{title}"),
+                        &expected,
+                    )]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "gitlab-invite-member",
+            site: Site::Gitlab,
+            family: 24,
+            axes: vec![
+                ParamAxis::new("project", PROJECTS),
+                ParamAxis::new("user", INVITEES),
+                ParamAxis::new("role", &["Guest", "Reporter", "Developer", "Maintainer"]),
+            ],
+            build: |p| {
+                let pr = parts(p.get("project"));
+                let (slug, display) = (pr[0], pr[1]);
+                let user = p.get("user");
+                let role = p.get("role");
+                Blueprint {
+                    intent: format!("Invite {user} to the {display} project as a {role}"),
+                    actions: vec![
+                        click(&format!("open-project-{slug}")),
+                        click("tab-members"),
+                        type_into("invite-username", user),
+                        type_into("invite-role", role),
+                        click("invite-member"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{display}' project link"),
+                        "Click the 'Members' tab".into(),
+                        format!("Type \"{user}\" into the Username field"),
+                        format!("Select '{role}' from the role dropdown"),
+                        "Click the 'Invite member' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("member_role:{slug}:{user}"), role)]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "gitlab-set-visibility",
+            site: Site::Gitlab,
+            family: 9,
+            axes: vec![
+                ParamAxis::new("project", PROJECTS),
+                ParamAxis::new("visibility", &["private", "internal", "public"]),
+            ],
+            build: |p| {
+                let pr = parts(p.get("project"));
+                let (slug, display) = (pr[0], pr[1]);
+                let visibility = p.get("visibility");
+                Blueprint {
+                    intent: format!(
+                        "Change the visibility of the {display} project to {visibility}"
+                    ),
+                    actions: vec![
+                        click(&format!("open-project-{slug}")),
+                        click("tab-settings"),
+                        type_into("visibility", visibility),
+                        click("save-settings"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{display}' project link"),
+                        "Click the 'Settings' tab".into(),
+                        format!("Select '{visibility}' from the Visibility dropdown"),
+                        "Click the 'Save changes' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("project_visibility:{slug}"),
+                        visibility,
+                    )]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "gitlab-rename-issue",
+            site: Site::Gitlab,
+            family: 9,
+            axes: vec![
+                ParamAxis::new("issue", ISSUES),
+                ParamAxis::new(
+                    "new_title",
+                    &[
+                        "Triage follow-up after release 2.4",
+                        "Regression confirmed in production",
+                        "Needs design review before fix",
+                    ],
+                ),
+            ],
+            build: |p| {
+                let i = parts(p.get("issue"));
+                let (slug, display, id, title) = (i[0], i[1], i[2], i[3]);
+                let new_title = p.get("new_title");
+                Blueprint {
+                    intent: format!(
+                        "Rename the issue '{title}' in the {display} project to '{new_title}'"
+                    ),
+                    actions: vec![
+                        click(&format!("open-project-{slug}")),
+                        click("tab-issues"),
+                        click(&format!("open-issue-{id}")),
+                        type_into("new-title", new_title),
+                        click("save-title"),
+                    ],
+                    sop: vec![
+                        format!("Click the '{display}' project link"),
+                        "Click the 'Issues' tab".into(),
+                        format!("Click the '{title}' issue link"),
+                        format!("Type \"{new_title}\" into the New title field"),
+                        "Click the 'Save title' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[
+                        (&format!("issue_exists:{slug}:{new_title}"), "true"),
+                        (&format!("issue_exists:{slug}:{title}"), "false"),
+                    ]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "gitlab-profile-status",
+            site: Site::Gitlab,
+            family: 8,
+            axes: vec![ParamAxis::new(
+                "status",
+                &[
+                    "Working remotely",
+                    "On call this week",
+                    "In sprint planning",
+                    "Out until Thursday",
+                    "Reviewing merge requests",
+                    "Pairing all afternoon",
+                    "At the offsite",
+                    "Focus time — async only",
+                ],
+            )],
+            build: |p| {
+                let status = p.get("status");
+                Blueprint {
+                    intent: format!("Set your profile status message to '{status}'"),
+                    actions: vec![
+                        click("nav-profile"),
+                        type_into("status-message", status),
+                        click("update-profile"),
+                    ],
+                    sop: vec![
+                        "Click the 'Profile' navigation link".into(),
+                        format!("Type \"{status}\" into the Status message field"),
+                        "Click the 'Update profile' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[("profile_status", status)]),
+                }
+            },
+        },
+    ]
+}

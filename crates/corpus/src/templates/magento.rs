@@ -1,0 +1,293 @@
+//! Magento-admin task families: catalog management and order fulfilment.
+
+use eclair_sites::task::{Site, SuccessCheck};
+
+use super::{click, parts, replace, type_into};
+use crate::template::{Blueprint, ParamAxis, TaskTemplate};
+
+/// The eight fixture products as `sku|Display name` composites.
+const PRODUCTS: &[&str] = &[
+    "24-WG082-blue|Sprite Stasis Ball 65 cm",
+    "PG004|Quest Lumaflex Band",
+    "PG005|Harmony Lumaflex Strength Kit",
+    "24-UG06|Affirm Water Bottle",
+    "24-UG07|Dual Handle Cardio Ball",
+    "24-UG04|Zing Jump Rope",
+    "24-WG088|Gauge Yoga Mat",
+    "24-MB01|Pursuit Backpack",
+];
+
+/// Fixture orders that are still open (`id` composites; #1005 is
+/// Complete and only gets comments).
+const OPEN_ORDERS: &[&str] = &["1001", "1002", "1003", "1004"];
+
+/// Build all Magento templates.
+pub fn templates() -> Vec<TaskTemplate> {
+    vec![
+        TaskTemplate {
+            name: "magento-add-product",
+            site: Site::Magento,
+            family: 24,
+            axes: vec![
+                ParamAxis::new(
+                    "product",
+                    &[
+                        "Summit Trail Poles|24-TP01",
+                        "Cascade Rain Shell|24-RS02",
+                        "Meridian Running Cap|24-RC03",
+                        "Atlas Climbing Chalk|24-CC04",
+                        "Voyager Duffel 40L|24-DF05",
+                        "Ember Insulated Mug|24-IM06",
+                    ],
+                ),
+                ParamAxis::new("price", &["14.50", "32.00"]),
+                ParamAxis::new("quantity", &["25", "120"]),
+            ],
+            build: |p| {
+                let pr = parts(p.get("product"));
+                let (name, sku) = (pr[0], pr[1]);
+                let price = p.get("price");
+                let quantity = p.get("quantity");
+                Blueprint {
+                    intent: format!(
+                        "Add a product named '{name}' with SKU {sku} priced at ${price} with quantity {quantity}"
+                    ),
+                    actions: vec![
+                        click("nav-products"),
+                        click("add-product"),
+                        type_into("name", name),
+                        type_into("sku", sku),
+                        type_into("price", price),
+                        type_into("quantity", quantity),
+                        click("save-product"),
+                    ],
+                    sop: vec![
+                        "Click the 'Catalog' navigation link".into(),
+                        "Click the 'Add product' button".into(),
+                        format!("Type \"{name}\" into the Product name field"),
+                        format!("Type \"{sku}\" into the SKU field"),
+                        format!("Type \"{price}\" into the Price field"),
+                        format!("Type \"{quantity}\" into the Quantity field"),
+                        "Click the 'Save' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[
+                        (&format!("product_exists:{sku}"), "true"),
+                        (&format!("product_price:{sku}"), price),
+                        (&format!("product_qty:{sku}"), quantity),
+                    ]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "magento-update-price",
+            site: Site::Magento,
+            family: 16,
+            axes: vec![
+                ParamAxis::new("product", PRODUCTS),
+                ParamAxis::new("price", &["18.75", "41.20"]),
+            ],
+            build: |p| {
+                let pr = parts(p.get("product"));
+                let (sku, name) = (pr[0], pr[1]);
+                let price = p.get("price");
+                Blueprint {
+                    intent: format!("Update the price of the {name} (SKU {sku}) to ${price}"),
+                    actions: vec![
+                        click("nav-products"),
+                        click(&format!("edit-product-{sku}")),
+                        replace("price", price),
+                        click("update-product"),
+                    ],
+                    sop: vec![
+                        "Click the 'Catalog' navigation link".into(),
+                        format!("Click the '{name}' product link"),
+                        format!("Set the Price field to \"{price}\""),
+                        "Click the 'Save' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("product_price:{sku}"), price)]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "magento-update-quantity",
+            site: Site::Magento,
+            family: 12,
+            axes: vec![
+                ParamAxis::new("product", PRODUCTS),
+                ParamAxis::new("quantity", &["0", "8", "250"]),
+            ],
+            build: |p| {
+                let pr = parts(p.get("product"));
+                let (sku, name) = (pr[0], pr[1]);
+                let quantity = p.get("quantity");
+                Blueprint {
+                    intent: format!(
+                        "Update the stock quantity of the {name} (SKU {sku}) to {quantity}"
+                    ),
+                    actions: vec![
+                        click("nav-products"),
+                        click(&format!("edit-product-{sku}")),
+                        replace("quantity", quantity),
+                        click("update-product"),
+                    ],
+                    sop: vec![
+                        "Click the 'Catalog' navigation link".into(),
+                        format!("Click the '{name}' product link"),
+                        format!("Set the Quantity field to \"{quantity}\""),
+                        "Click the 'Save' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("product_qty:{sku}"), quantity)]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "magento-set-status",
+            site: Site::Magento,
+            family: 8,
+            axes: vec![
+                ParamAxis::new("product", PRODUCTS),
+                ParamAxis::new("status", &["Disabled", "Enabled"]),
+            ],
+            build: |p| {
+                let pr = parts(p.get("product"));
+                let (sku, name) = (pr[0], pr[1]);
+                let status = p.get("status");
+                let verb = if status == "Disabled" {
+                    "Disable"
+                } else {
+                    "Enable"
+                };
+                Blueprint {
+                    intent: format!("{verb} the {name} product (SKU {sku})"),
+                    actions: vec![
+                        click("nav-products"),
+                        click(&format!("edit-product-{sku}")),
+                        type_into("status", status),
+                        click("update-product"),
+                    ],
+                    sop: vec![
+                        "Click the 'Catalog' navigation link".into(),
+                        format!("Click the '{name}' product link"),
+                        format!("Select '{status}' from the Enable product dropdown"),
+                        "Click the 'Save' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("product_status:{sku}"), status)]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "magento-ship-order",
+            site: Site::Magento,
+            family: 4,
+            axes: vec![ParamAxis::new("order", OPEN_ORDERS)],
+            build: |p| {
+                let order = p.get("order");
+                Blueprint {
+                    intent: format!("Create a shipment for order #{order}"),
+                    actions: vec![
+                        click("nav-orders"),
+                        click(&format!("open-order-{order}")),
+                        click("ship-order"),
+                    ],
+                    sop: vec![
+                        "Click the 'Orders' navigation link".into(),
+                        format!("Click the '#{order}' order link"),
+                        "Click the 'Ship' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("order_status:{order}"), "Shipped")]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "magento-cancel-order",
+            site: Site::Magento,
+            family: 4,
+            axes: vec![ParamAxis::new("order", OPEN_ORDERS)],
+            build: |p| {
+                let order = p.get("order");
+                Blueprint {
+                    intent: format!("Cancel the open order number {order}"),
+                    actions: vec![
+                        click("nav-orders"),
+                        click(&format!("open-order-{order}")),
+                        click("cancel-order"),
+                        click("confirm-cancel"),
+                    ],
+                    sop: vec![
+                        "Click the 'Orders' navigation link".into(),
+                        format!("Click the '#{order}' order link"),
+                        "Click the 'Cancel order' button".into(),
+                        "Click 'OK' to confirm".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("order_status:{order}"),
+                        "Canceled",
+                    )]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "magento-comment-order",
+            site: Site::Magento,
+            family: 12,
+            axes: vec![
+                ParamAxis::new("order", &["1001", "1002", "1003", "1004", "1005"]),
+                ParamAxis::new(
+                    "comment",
+                    &[
+                        "Customer requested a delivery window",
+                        "Address verified with the carrier",
+                        "Flagged for fraud review and cleared",
+                    ],
+                ),
+            ],
+            build: |p| {
+                let order = p.get("order");
+                let comment = p.get("comment");
+                Blueprint {
+                    intent: format!("Add the comment '{comment}' to order #{order}"),
+                    actions: vec![
+                        click("nav-orders"),
+                        click(&format!("open-order-{order}")),
+                        type_into("order-comment", comment),
+                        click("submit-comment"),
+                    ],
+                    sop: vec![
+                        "Click the 'Orders' navigation link".into(),
+                        format!("Click the '#{order}' order link"),
+                        format!("Type \"{comment}\" into the Comment field"),
+                        "Click the 'Submit comment' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("order_comments:{order}"), comment)]),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "magento-rename-product",
+            site: Site::Magento,
+            family: 8,
+            axes: vec![ParamAxis::new("product", PRODUCTS)],
+            build: |p| {
+                let pr = parts(p.get("product"));
+                let (sku, name) = (pr[0], pr[1]);
+                let new_name = format!("{name} (2025 Edition)");
+                Blueprint {
+                    intent: format!("Rename the product '{name}' (SKU {sku}) to '{new_name}'"),
+                    actions: vec![
+                        click("nav-products"),
+                        click(&format!("edit-product-{sku}")),
+                        replace("name", &new_name),
+                        click("update-product"),
+                    ],
+                    sop: vec![
+                        "Click the 'Catalog' navigation link".into(),
+                        format!("Click the '{name}' product link"),
+                        format!("Set the Product name field to \"{new_name}\""),
+                        "Click the 'Save' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("product_name:{sku}"), &new_name)]),
+                }
+            },
+        },
+    ]
+}

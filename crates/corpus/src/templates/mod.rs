@@ -1,0 +1,88 @@
+//! The template registry: every site's task families.
+//!
+//! Each site module exports `templates()`; [`all_templates`] concatenates
+//! them in stable site order. The expander walks this list, so adding a
+//! template here is all it takes to grow the corpus.
+
+pub mod ehr;
+pub mod erp;
+pub mod gitlab;
+pub mod magento;
+pub mod payer;
+
+use eclair_workflow::{Action, TargetRef};
+
+use crate::template::TaskTemplate;
+
+/// Shorthand: click the widget with programmatic name `n`.
+pub(crate) fn click(n: &str) -> Action {
+    Action::Click(TargetRef::Name(n.into()))
+}
+
+/// Shorthand: focus the named widget and type.
+pub(crate) fn type_into(n: &str, text: &str) -> Action {
+    Action::Type {
+        target: Some(TargetRef::Name(n.into())),
+        text: text.into(),
+    }
+}
+
+/// Shorthand: clear the named widget and type a fresh value.
+pub(crate) fn replace(n: &str, text: &str) -> Action {
+    Action::Replace {
+        target: TargetRef::Name(n.into()),
+        text: text.into(),
+    }
+}
+
+/// Split a composite axis value on `|` into its parts.
+pub(crate) fn parts(value: &str) -> Vec<&str> {
+    value.split('|').collect()
+}
+
+/// Every registered template, in stable order (gitlab, magento, erp,
+/// payer, ehr — matching `Site::ALL`).
+pub fn all_templates() -> Vec<TaskTemplate> {
+    let mut t = gitlab::templates();
+    t.extend(magento::templates());
+    t.extend(erp::templates());
+    t.extend(payer::templates());
+    t.extend(ehr::templates());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_names_are_unique_and_prefixed_by_site() {
+        let templates = all_templates();
+        let mut names: Vec<&str> = templates.iter().map(|t| t.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), templates.len());
+        for t in &templates {
+            assert!(
+                t.name.starts_with(t.site.name()),
+                "{} should be prefixed with {}",
+                t.name,
+                t.site.name()
+            );
+            assert!(t.family > 0, "{} has an empty family", t.name);
+            assert!(t.space() > 0, "{} has an empty space", t.name);
+        }
+    }
+
+    #[test]
+    fn families_sum_past_three_hundred_with_handwritten() {
+        let generated: usize = all_templates()
+            .iter()
+            .map(|t| t.family.min(t.space()))
+            .sum();
+        assert!(
+            generated + 30 >= 300,
+            "corpus too small: {generated} generated + 30 handwritten"
+        );
+    }
+}

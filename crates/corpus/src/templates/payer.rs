@@ -1,0 +1,107 @@
+//! Payer-portal task families: the §3.1 eligibility-verification
+//! workflow swept across the member roster, plus its two failure-path
+//! variants (no date of birth, unknown member) — exactly the edge cases
+//! hospital staff hit when "constant changes to payers' websites" break
+//! scripted bots.
+
+use eclair_sites::task::{Site, SuccessCheck};
+
+use super::{click, parts, type_into};
+use crate::template::{Blueprint, ParamAxis, TaskTemplate};
+
+/// Fixture members as `member id|dob|payer|expected outcome` composites.
+const MEMBERS: &[&str] = &[
+    "M10001|1984-03-12|BlueCross|eligible",
+    "M10002|1951-11-02|BlueCross|eligible",
+    "M10003|1990-07-23|Aetna|ineligible",
+    "M10004|1978-01-30|Cigna|eligible",
+    "M10005|2001-05-17|Aetna|eligible",
+    "M10006|1969-09-09|Cigna|ineligible",
+];
+
+/// Build all payer templates.
+pub fn templates() -> Vec<TaskTemplate> {
+    vec![
+        TaskTemplate {
+            name: "payer-verify-eligibility",
+            site: Site::Payer,
+            family: 6,
+            axes: vec![ParamAxis::new("member", MEMBERS)],
+            build: |p| {
+                let m = parts(p.get("member"));
+                let (member, dob, payer, outcome) = (m[0], m[1], m[2], m[3]);
+                Blueprint {
+                    intent: format!("Verify insurance eligibility for member {member}"),
+                    actions: vec![
+                        type_into("member-id", member),
+                        type_into("dob", dob),
+                        type_into("payer", payer),
+                        click("check-eligibility"),
+                    ],
+                    sop: vec![
+                        format!("Type \"{member}\" into the Member ID field"),
+                        format!("Type \"{dob}\" into the Date of birth field"),
+                        format!("Select '{payer}' from the Payer dropdown"),
+                        "Click the 'Check eligibility' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("last_check:{member}"), outcome)])
+                        .with_url("/payer/eligibility/result"),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "payer-quick-check",
+            site: Site::Payer,
+            family: 6,
+            axes: vec![ParamAxis::new("member", MEMBERS)],
+            build: |p| {
+                let m = parts(p.get("member"));
+                let (member, outcome) = (m[0], m[3]);
+                Blueprint {
+                    intent: format!(
+                        "Run a quick eligibility check for member {member} by ID alone"
+                    ),
+                    actions: vec![type_into("member-id", member), click("check-eligibility")],
+                    sop: vec![
+                        format!("Type \"{member}\" into the Member ID field"),
+                        "Click the 'Check eligibility' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(&format!("last_check:{member}"), outcome)])
+                        .with_url("/payer/eligibility/result"),
+                }
+            },
+        },
+        TaskTemplate {
+            name: "payer-unknown-member",
+            site: Site::Payer,
+            family: 4,
+            axes: vec![ParamAxis::new(
+                "member",
+                &["M99901", "M99902", "M99903", "M99904"],
+            )],
+            build: |p| {
+                let member = p.get("member");
+                Blueprint {
+                    intent: format!(
+                        "Check eligibility for unknown member {member} and record the no-match"
+                    ),
+                    actions: vec![
+                        type_into("member-id", member),
+                        type_into("dob", "1970-01-01"),
+                        click("check-eligibility"),
+                    ],
+                    sop: vec![
+                        format!("Type \"{member}\" into the Member ID field"),
+                        "Type \"1970-01-01\" into the Date of birth field".into(),
+                        "Click the 'Check eligibility' button".into(),
+                    ],
+                    success: SuccessCheck::probes(&[(
+                        &format!("last_check:{member}"),
+                        "not_found",
+                    )])
+                    .with_url("/payer/eligibility/result"),
+                }
+            },
+        },
+    ]
+}

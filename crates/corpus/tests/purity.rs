@@ -1,0 +1,53 @@
+//! Satellite: corpus generation is a pure function of the master seed.
+//!
+//! Two `generate(seed)` calls must yield byte-identical manifests, and
+//! distinct seeds must never collide on *generated* task ids (the
+//! handwritten prefix is seed-independent by design, so it is excluded
+//! from the disjointness check).
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+thread_local! {
+    /// `(seed, generated ids)` pairs seen by earlier cases of this test,
+    /// so every case's ids are checked against every other seed's.
+    static SEEN: RefCell<Vec<(u64, HashSet<String>)>> = const { RefCell::new(Vec::new()) };
+}
+
+proptest! {
+    #[test]
+    fn generation_is_pure_and_seeds_never_collide(seed in 0u64..u64::MAX) {
+        let first = eclair_corpus::generate(seed).expect("generate");
+        let second = eclair_corpus::generate(seed).expect("generate again");
+        // Purity: byte-identical manifests and identical task ids.
+        prop_assert_eq!(first.manifest.to_json(), second.manifest.to_json());
+        prop_assert_eq!(first.manifest.digest(), second.manifest.digest());
+        let first_ids: Vec<&str> = first.tasks.iter().map(|t| t.id.as_str()).collect();
+        let second_ids: Vec<&str> = second.tasks.iter().map(|t| t.id.as_str()).collect();
+        prop_assert_eq!(first_ids, second_ids);
+
+        // Cross-seed disjointness of generated ids.
+        let generated: HashSet<String> = first
+            .generated_tasks()
+            .iter()
+            .map(|t| t.id.clone())
+            .collect();
+        prop_assert_eq!(generated.len(), first.generated_tasks().len(), "ids unique within corpus");
+        SEEN.with(|seen| {
+            let mut seen = seen.borrow_mut();
+            for (other_seed, other_ids) in seen.iter() {
+                if *other_seed == seed {
+                    continue;
+                }
+                let overlap: Vec<&String> = generated.intersection(other_ids).collect();
+                assert!(
+                    overlap.is_empty(),
+                    "seeds {seed} and {other_seed} collide on {overlap:?}"
+                );
+            }
+            seen.push((seed, generated));
+        });
+    }
+}

@@ -1,0 +1,77 @@
+//! Satellite: the gold-trace self-validation sweep.
+//!
+//! Generation already refuses to emit a task whose gold trace misses
+//! its own predicate; this tier-1 sweep re-proves the property on the
+//! shipped default corpus from the outside — replay every task's gold
+//! trace on a pristine session, assert the success predicate holds, and
+//! assert the reference SOP has exactly one step per action. This is
+//! the corpus-level analogue of what crucible's oracles do for the
+//! executor: it catches template/predicate drift the moment a site's
+//! behavior changes.
+
+use eclair_corpus::corpus;
+
+#[test]
+fn every_task_gold_trace_satisfies_its_own_predicate() {
+    let mut failures = Vec::new();
+    for task in eclair_corpus::corpus_tasks() {
+        if let Err(e) = task.verify_gold() {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} tasks failed self-validation:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_generated_sop_has_one_step_per_action() {
+    for task in corpus().generated_tasks() {
+        assert_eq!(
+            task.gold_sop.len(),
+            task.gold_trace.len(),
+            "{}: SOP steps != trace actions",
+            task.id
+        );
+    }
+}
+
+#[test]
+fn generated_intents_are_descriptive() {
+    for task in corpus().generated_tasks() {
+        assert!(
+            task.intent.split_whitespace().count() >= 4,
+            "{}: intent too terse: {}",
+            task.id,
+            task.intent
+        );
+        assert!(task.gold_trace.len() >= 2, "{}: trivial trace", task.id);
+        assert!(
+            !task.success.probes.is_empty() || task.success.url_contains.is_some(),
+            "{}: vacuous predicate",
+            task.id
+        );
+    }
+}
+
+#[test]
+fn predicate_diversity_spans_probe_families() {
+    // The corpus should exercise many distinct probe *kinds* (the part
+    // before the first ':'), not hammer one assertion shape 350 times.
+    let mut kinds: Vec<String> = corpus()
+        .tasks
+        .iter()
+        .flat_map(|t| t.success.probes.iter())
+        .map(|(k, _)| k.split(':').next().unwrap_or(k).to_string())
+        .collect();
+    kinds.sort();
+    kinds.dedup();
+    assert!(
+        kinds.len() >= 15,
+        "only {} probe kinds: {kinds:?}",
+        kinds.len()
+    );
+}

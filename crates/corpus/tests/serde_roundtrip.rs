@@ -1,0 +1,114 @@
+//! Satellite: serde round-trips for `TaskSpec` and the corpus DSL /
+//! manifest types, plus a legacy-manifest fixture pinning the v1 JSON
+//! schema so future field renames fail loudly instead of silently
+//! breaking stored manifests.
+
+use eclair_corpus::{corpus, CorpusManifest, ManifestEntry, ParamAxis, Params, TemplateSummary};
+use eclair_sites::TaskSpec;
+
+#[test]
+fn every_corpus_task_spec_round_trips_through_json() {
+    // Round-trip the full TaskSpec — trace, SOP, and predicate included —
+    // for a representative slice: every handwritten task plus one
+    // generated task per template.
+    let c = corpus();
+    let mut sampled: Vec<&TaskSpec> = c.tasks[..c.manifest.handwritten].iter().collect();
+    let mut seen_templates = std::collections::HashSet::new();
+    for (entry, task) in c.manifest.entries.iter().zip(&c.tasks) {
+        if entry.template != "handwritten" && seen_templates.insert(entry.template.clone()) {
+            sampled.push(task);
+        }
+    }
+    assert!(sampled.len() > 45, "sample covers all templates");
+    for task in sampled {
+        let json = serde_json::to_string(task).expect("serialize");
+        let back: TaskSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(*task, back, "{} drifted through JSON", task.id);
+    }
+}
+
+#[test]
+fn dsl_types_round_trip() {
+    let axis = ParamAxis::new("label", &["bug", "feature"]);
+    let json = serde_json::to_string(&axis).unwrap();
+    assert_eq!(axis, serde_json::from_str::<ParamAxis>(&json).unwrap());
+
+    let params = Params(vec![
+        ("project".into(), "webapp|WebApp".into()),
+        ("label".into(), "bug".into()),
+    ]);
+    let json = serde_json::to_string(&params).unwrap();
+    assert_eq!(params, serde_json::from_str::<Params>(&json).unwrap());
+}
+
+#[test]
+fn full_manifest_round_trips() {
+    let m = &corpus().manifest;
+    let back: CorpusManifest = serde_json::from_str(&m.to_json()).expect("deserialize");
+    assert_eq!(*m, back);
+    assert_eq!(m.digest(), back.digest());
+}
+
+#[test]
+fn legacy_manifest_fixture_still_deserializes() {
+    // v1 schema pin: this fixture was written by hand against the v1
+    // shape. If a field is renamed, removed, or retyped, this fails —
+    // bump `version` and migrate instead of silently changing the shape.
+    let raw = include_str!("fixtures/legacy_manifest.json");
+    let m: CorpusManifest = serde_json::from_str(raw).expect("legacy manifest deserializes");
+    assert_eq!(m.version, 1);
+    assert_eq!(m.master_seed, 424242);
+    assert_eq!(m.total_tasks, 2);
+    assert_eq!(m.entries.len(), 2);
+
+    let hand = &m.entries[0];
+    assert_eq!(hand.template, "handwritten");
+    assert_eq!(hand.params, Params(Vec::new()));
+    assert_eq!(hand.url_contains, None);
+
+    let generated = &m.entries[1];
+    assert_eq!(generated.template, "ehr-patient-lookup");
+    assert_eq!(
+        generated.params.get("patient"),
+        "MRN-2001|Harold Voss|Medicare"
+    );
+    assert_eq!(
+        generated.url_contains.as_deref(),
+        Some("/ehr/patients/MRN-2001")
+    );
+    assert_eq!(m.templates[0].family, 8);
+
+    // And the legacy document survives a re-encode cycle.
+    let re: CorpusManifest = serde_json::from_str(&m.to_json()).unwrap();
+    assert_eq!(m, re);
+}
+
+#[test]
+fn manifest_entry_and_summary_round_trip() {
+    let entry = ManifestEntry {
+        id: "t-000-abc".into(),
+        template: "t".into(),
+        site: "erp".into(),
+        params: Params(vec![("a".into(), "x".into())]),
+        intent: "do the thing properly".into(),
+        actions: 3,
+        sop_steps: 3,
+        probes: 1,
+        url_contains: Some("/erp".into()),
+    };
+    let json = serde_json::to_string(&entry).unwrap();
+    assert_eq!(entry, serde_json::from_str::<ManifestEntry>(&json).unwrap());
+
+    let summary = TemplateSummary {
+        name: "t".into(),
+        site: "erp".into(),
+        family: 4,
+        space: 9,
+        generated: 4,
+    };
+    let json = serde_json::to_string(&summary).unwrap();
+    assert_eq!(
+        summary,
+        serde_json::from_str::<TemplateSummary>(&json).unwrap()
+    );
+}

@@ -9,9 +9,9 @@
 //! outcomes, so a one-line seed is a complete bug report.
 
 use eclair_chaos::ChaosProfile;
+use eclair_corpus::corpus_tasks;
 use eclair_fleet::{derive_seed, RetryPolicy, RunSpec};
 use eclair_fm::FmProfile;
-use eclair_sites::all_tasks;
 use serde::{Deserialize, Serialize};
 
 use crate::rng::SplitMix64;
@@ -37,7 +37,11 @@ pub struct Scenario {
     /// Fleet seed for this trial; generated scenarios use
     /// `derive_seed(master_seed, id)`.
     pub seed: u64,
-    /// Indices into [`eclair_sites::all_tasks`], distinct, in draw order.
+    /// Indices into the full generated corpus
+    /// ([`eclair_corpus::corpus_tasks`]), distinct, in draw order. The
+    /// corpus keeps the 30 handwritten tasks as a stable prefix, so
+    /// literal scenarios written against the old `all_tasks` pool still
+    /// name the same tasks.
     pub task_indices: Vec<usize>,
     /// Model preset every run uses.
     pub profile: FmProfile,
@@ -75,7 +79,7 @@ impl Scenario {
     pub fn generate(master_seed: u64, id: u64) -> Self {
         let seed = derive_seed(master_seed, id);
         let mut rng = SplitMix64::new(seed);
-        let pool = all_tasks().len();
+        let pool = corpus_tasks().len();
         let count = 1 + rng.next_below(6) as usize;
         let mut task_indices = Vec::with_capacity(count);
         while task_indices.len() < count {
@@ -139,7 +143,7 @@ impl Scenario {
 
     /// Expand into run specs, one per task index, run ids in draw order.
     pub fn specs(&self) -> Vec<RunSpec> {
-        let pool = all_tasks();
+        let pool = corpus_tasks();
         self.task_indices
             .iter()
             .enumerate()
@@ -234,7 +238,7 @@ mod tests {
 
     #[test]
     fn generated_scenarios_stay_in_the_grammar() {
-        let pool = all_tasks().len();
+        let pool = corpus_tasks().len();
         for id in 0..200 {
             let s = Scenario::generate(7, id);
             assert!((1..=6).contains(&s.task_indices.len()), "id {id}");
@@ -273,6 +277,14 @@ mod tests {
         assert!(sweep.iter().any(|s| !s.use_cache));
         assert!(sweep.iter().any(|s| s.use_shared));
         assert!(sweep.iter().any(|s| !s.use_shared));
+        // The sweep draws from the full generated corpus, not just the
+        // 30-task handwritten prefix.
+        assert!(
+            sweep
+                .iter()
+                .any(|s| s.task_indices.iter().any(|&i| i >= 30)),
+            "sweep never left the handwritten prefix — corpus not wired in"
+        );
     }
 
     #[test]
@@ -302,8 +314,8 @@ mod tests {
             assert!(!spec.config.use_cache, "the cache knob reaches the spec");
             assert!(!spec.use_shared, "the shared knob reaches the spec");
         }
-        assert_eq!(specs[0].task.id, all_tasks()[2].id);
-        assert_eq!(specs[1].task.id, all_tasks()[5].id);
+        assert_eq!(specs[0].task.id, corpus_tasks()[2].id);
+        assert_eq!(specs[1].task.id, corpus_tasks()[5].id);
         assert_eq!(s.retry_policy().max_attempts, 2);
     }
 

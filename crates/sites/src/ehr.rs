@@ -1,0 +1,823 @@
+//! EHR-sim: an electronic-health-record workstation for the paper's
+//! hospital deployment (§3.1): the clinical workflows the revenue-cycle
+//! pilot sat next to — patient lookup, medication reconciliation, and
+//! prior-authorization documentation.
+//!
+//! Three workflow families, matching what hospital staff actually click
+//! through:
+//!
+//! * **Patient lookup** — find a chart by MRN or name from the census;
+//! * **Medication reconciliation** — walk the active med list, marking
+//!   each entry reviewed (or discontinuing it), then attest the
+//!   reconciliation complete — a gated attestation the app refuses while
+//!   unreviewed entries remain;
+//! * **Prior-auth documentation** — file an authorization request
+//!   (procedure, payer, diagnosis code, justification, priority) with a
+//!   payer, with duplicate submissions rejected.
+
+use eclair_gui::{GuiApp, Page, PageBuilder, SemanticEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::fixtures;
+
+/// Lifecycle of one entry on the active medication list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MedStatus {
+    Active,
+    Reviewed,
+    Discontinued,
+}
+
+impl MedStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            MedStatus::Active => "active",
+            MedStatus::Reviewed => "reviewed",
+            MedStatus::Discontinued => "discontinued",
+        }
+    }
+}
+
+/// One medication on a patient's list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Medication {
+    pub drug: String,
+    pub dose: String,
+    pub status: MedStatus,
+}
+
+/// A patient chart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Patient {
+    pub mrn: String,
+    pub name: String,
+    pub dob: String,
+    pub payer: String,
+    pub allergy: String,
+    pub meds: Vec<Medication>,
+    pub recon_complete: bool,
+}
+
+/// A filed prior-authorization request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuthRequest {
+    pub mrn: String,
+    pub procedure: String,
+    pub payer: String,
+    pub dx_code: String,
+    pub justification: String,
+    pub urgent: bool,
+}
+
+/// Current screen.
+#[derive(Debug, Clone, PartialEq)]
+enum Route {
+    Census,
+    Chart(usize),
+    Meds(usize),
+    PriorAuth(usize),
+    Authorizations,
+}
+
+/// The running EHR workstation.
+pub struct EhrApp {
+    patients: Vec<Patient>,
+    auths: Vec<AuthRequest>,
+    route: Route,
+    /// MRNs of successfully opened charts, in order (audit trail).
+    lookups: Vec<String>,
+    toast: Option<String>,
+}
+
+impl EhrApp {
+    /// Fresh instance on the standard census.
+    pub fn new() -> Self {
+        Self {
+            patients: fixtures::PATIENTS
+                .iter()
+                .map(|&(mrn, name, dob, payer, allergy)| Patient {
+                    mrn: mrn.into(),
+                    name: name.into(),
+                    dob: dob.into(),
+                    payer: payer.into(),
+                    allergy: allergy.into(),
+                    meds: fixtures::PATIENT_MEDS
+                        .iter()
+                        .filter(|m| m.0 == mrn)
+                        .map(|&(_, drug, dose)| Medication {
+                            drug: drug.into(),
+                            dose: dose.into(),
+                            status: MedStatus::Active,
+                        })
+                        .collect(),
+                    recon_complete: false,
+                })
+                .collect(),
+            auths: Vec::new(),
+            route: Route::Census,
+            lookups: Vec::new(),
+            toast: None,
+        }
+    }
+
+    /// The census (oracle access).
+    pub fn patients(&self) -> &[Patient] {
+        &self.patients
+    }
+
+    /// Authorizations filed so far (oracle access).
+    pub fn auths(&self) -> &[AuthRequest] {
+        &self.auths
+    }
+
+    fn field<'a>(fields: &'a [(String, String)], name: &str) -> &'a str {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    }
+
+    fn patient_by_mrn(&self, mrn: &str) -> Option<usize> {
+        self.patients.iter().position(|p| p.mrn == mrn)
+    }
+
+    fn current_patient(&self) -> Option<usize> {
+        match self.route {
+            Route::Chart(i) | Route::Meds(i) | Route::PriorAuth(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn med_slug(drug: &str) -> String {
+        drug.to_lowercase()
+    }
+
+    fn procedures() -> Vec<&'static str> {
+        let mut v = vec![""];
+        v.extend(fixtures::PROCEDURES.iter().map(|p| p.0));
+        v
+    }
+
+    fn handle_activation(&mut self, name: &str, fields: &[(String, String)]) -> bool {
+        self.toast = None;
+        match name {
+            "nav-census" => {
+                self.route = Route::Census;
+                return true;
+            }
+            "nav-authorizations" => {
+                self.route = Route::Authorizations;
+                return true;
+            }
+            "open-chart" => {
+                let query = Self::field(fields, "patient-search").trim().to_string();
+                if query.is_empty() {
+                    self.toast = Some("Enter an MRN or patient name".into());
+                    return true;
+                }
+                let found = self.patients.iter().position(|p| {
+                    p.mrn == query || p.name.to_lowercase().contains(&query.to_lowercase())
+                });
+                match found {
+                    Some(i) => {
+                        self.lookups.push(self.patients[i].mrn.clone());
+                        self.route = Route::Chart(i);
+                    }
+                    None => self.toast = Some(format!("No patient matches '{query}'")),
+                }
+                return true;
+            }
+            _ => {}
+        }
+        if let Some(mrn) = name.strip_prefix("open-patient-") {
+            if let Some(i) = self.patient_by_mrn(mrn) {
+                self.lookups.push(mrn.to_string());
+                self.route = Route::Chart(i);
+                return true;
+            }
+        }
+        let Some(i) = self.current_patient() else {
+            return false;
+        };
+        match name {
+            "tab-chart" => {
+                self.route = Route::Chart(i);
+                true
+            }
+            "tab-meds" => {
+                self.route = Route::Meds(i);
+                true
+            }
+            "tab-prior-auth" => {
+                self.route = Route::PriorAuth(i);
+                true
+            }
+            "complete-recon" => {
+                let unreviewed = self.patients[i]
+                    .meds
+                    .iter()
+                    .filter(|m| m.status == MedStatus::Active)
+                    .count();
+                if unreviewed > 0 {
+                    self.toast = Some(format!(
+                        "{unreviewed} unreviewed medication(s) remain — review each entry first"
+                    ));
+                } else {
+                    self.patients[i].recon_complete = true;
+                    self.toast = Some("Medication reconciliation attested".into());
+                }
+                true
+            }
+            "submit-auth" => self.submit_auth(i, fields),
+            _ => {
+                if let Some(slug) = name.strip_prefix("review-med-") {
+                    return self.set_med_status(i, slug, MedStatus::Reviewed);
+                }
+                if let Some(slug) = name.strip_prefix("stop-med-") {
+                    return self.set_med_status(i, slug, MedStatus::Discontinued);
+                }
+                false
+            }
+        }
+    }
+
+    fn set_med_status(&mut self, i: usize, slug: &str, status: MedStatus) -> bool {
+        let patient = &mut self.patients[i];
+        if let Some(m) = patient
+            .meds
+            .iter_mut()
+            .find(|m| Self::med_slug(&m.drug) == slug)
+        {
+            m.status = status;
+            // Any change after attestation re-opens the reconciliation.
+            patient.recon_complete = false;
+            self.toast = Some(match status {
+                MedStatus::Reviewed => format!("{} marked reviewed", m.drug),
+                MedStatus::Discontinued => format!("{} discontinued", m.drug),
+                MedStatus::Active => unreachable!("buttons never re-activate"),
+            });
+            return true;
+        }
+        false
+    }
+
+    fn submit_auth(&mut self, i: usize, fields: &[(String, String)]) -> bool {
+        let procedure = Self::field(fields, "procedure").trim().to_string();
+        let dx = Self::field(fields, "dx-code").trim().to_string();
+        if procedure.is_empty() || dx.is_empty() {
+            self.toast = Some("Procedure and diagnosis code are required".into());
+            return true;
+        }
+        let mrn = self.patients[i].mrn.clone();
+        if self
+            .auths
+            .iter()
+            .any(|a| a.mrn == mrn && a.procedure == procedure)
+        {
+            self.toast = Some(format!(
+                "An authorization for {procedure} is already on file"
+            ));
+            return true;
+        }
+        let payer = match Self::field(fields, "auth-payer") {
+            "" => self.patients[i].payer.clone(),
+            p => p.to_string(),
+        };
+        self.auths.push(AuthRequest {
+            mrn,
+            procedure,
+            payer,
+            dx_code: dx,
+            justification: Self::field(fields, "justification").trim().to_string(),
+            urgent: Self::field(fields, "urgent") == "true",
+        });
+        self.toast = Some("Authorization submitted".into());
+        self.route = Route::Authorizations;
+        true
+    }
+}
+
+impl Default for EhrApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuiApp for EhrApp {
+    fn name(&self) -> &str {
+        "ehr"
+    }
+
+    fn url(&self) -> String {
+        match &self.route {
+            Route::Census => "/ehr/patients".into(),
+            Route::Chart(i) => format!("/ehr/patients/{}", self.patients[*i].mrn),
+            Route::Meds(i) => format!("/ehr/patients/{}/meds", self.patients[*i].mrn),
+            Route::PriorAuth(i) => format!("/ehr/patients/{}/prior-auth", self.patients[*i].mrn),
+            Route::Authorizations => "/ehr/authorizations".into(),
+        }
+    }
+
+    fn build(&self) -> Page {
+        let nav = |b: &mut PageBuilder| {
+            b.row(|b| {
+                b.link("nav-census", "Patients");
+                b.link("nav-authorizations", "Authorizations");
+            });
+            b.divider();
+        };
+        let tabs = |b: &mut PageBuilder| {
+            b.row(|b| {
+                b.tab("tab-chart", "Chart");
+                b.tab("tab-meds", "Medications");
+                b.tab("tab-prior-auth", "Prior auth");
+            });
+        };
+        match &self.route {
+            Route::Census => {
+                let mut b = PageBuilder::new("Patients · EHR", "/ehr/patients");
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                nav(&mut b);
+                b.heading(1, "Patient census");
+                b.form("lookup-form", |b| {
+                    b.row(|b| {
+                        b.text_input("patient-search", "Patient search", "MRN or name");
+                        b.button("open-chart", "Open chart");
+                    });
+                });
+                let rows: Vec<Vec<(String, Option<String>)>> = self
+                    .patients
+                    .iter()
+                    .map(|p| {
+                        vec![
+                            (p.mrn.clone(), Some(format!("open-patient-{}", p.mrn))),
+                            (p.name.clone(), None),
+                            (p.dob.clone(), None),
+                            (p.payer.clone(), None),
+                        ]
+                    })
+                    .collect();
+                b.table(&["MRN", "Name", "DOB", "Payer"], &rows);
+                b.finish()
+            }
+            Route::Chart(i) => {
+                let p = &self.patients[*i];
+                let mut b = PageBuilder::new(
+                    format!("{} · EHR", p.name),
+                    format!("/ehr/patients/{}", p.mrn),
+                );
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                nav(&mut b);
+                b.heading(1, format!("{} ({})", p.name, p.mrn));
+                tabs(&mut b);
+                b.text(format!("Date of birth: {}", p.dob));
+                b.text(format!("Payer: {}", p.payer));
+                b.text(format!("Allergies: {}", p.allergy));
+                if p.allergy != "none" {
+                    b.badge("ALLERGY ALERT");
+                }
+                b.text(format!(
+                    "Active medications: {}",
+                    p.meds
+                        .iter()
+                        .filter(|m| m.status != MedStatus::Discontinued)
+                        .count()
+                ));
+                b.finish()
+            }
+            Route::Meds(i) => {
+                let p = &self.patients[*i];
+                let mut b = PageBuilder::new(
+                    format!("Medications · {} · EHR", p.name),
+                    format!("/ehr/patients/{}/meds", p.mrn),
+                );
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                nav(&mut b);
+                b.heading(1, format!("Medication reconciliation — {}", p.name));
+                tabs(&mut b);
+                for m in &p.meds {
+                    let slug = Self::med_slug(&m.drug);
+                    b.row(|b| {
+                        b.text(format!("{} — {} [{}]", m.drug, m.dose, m.status.as_str()));
+                        if m.status != MedStatus::Discontinued {
+                            b.button(format!("review-med-{slug}"), format!("Review {}", m.drug));
+                            b.button(format!("stop-med-{slug}"), format!("Stop {}", m.drug));
+                        }
+                    });
+                }
+                b.divider();
+                if p.recon_complete {
+                    b.badge("RECONCILIATION COMPLETE");
+                }
+                b.button("complete-recon", "Attest reconciliation complete");
+                b.finish()
+            }
+            Route::PriorAuth(i) => {
+                let p = &self.patients[*i];
+                let mut b = PageBuilder::new(
+                    format!("Prior auth · {} · EHR", p.name),
+                    format!("/ehr/patients/{}/prior-auth", p.mrn),
+                );
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                nav(&mut b);
+                b.heading(1, format!("Prior authorization — {}", p.name));
+                tabs(&mut b);
+                b.form("auth-form", |b| {
+                    b.select("procedure", "Procedure", &Self::procedures(), None);
+                    b.select(
+                        "auth-payer",
+                        "Payer",
+                        fixtures::EHR_PAYERS,
+                        Some(p.payer.as_str()),
+                    );
+                    b.text_input("dx-code", "Diagnosis code", "ICD-10");
+                    b.textarea(
+                        "justification",
+                        "Clinical justification",
+                        "Why is this needed?",
+                    );
+                    b.checkbox("urgent", "Expedite (clinically urgent)", false);
+                    b.button("submit-auth", "Submit authorization");
+                });
+                b.finish()
+            }
+            Route::Authorizations => {
+                let mut b = PageBuilder::new("Authorizations · EHR", "/ehr/authorizations");
+                if let Some(t) = &self.toast {
+                    b.toast(t.clone());
+                }
+                nav(&mut b);
+                b.heading(1, "Authorization queue");
+                let rows: Vec<Vec<(String, Option<String>)>> = self
+                    .auths
+                    .iter()
+                    .map(|a| {
+                        vec![
+                            (a.mrn.clone(), None),
+                            (a.procedure.clone(), None),
+                            (a.payer.clone(), None),
+                            (a.dx_code.clone(), None),
+                            (
+                                if a.urgent { "urgent" } else { "routine" }.to_string(),
+                                None,
+                            ),
+                        ]
+                    })
+                    .collect();
+                b.table(&["MRN", "Procedure", "Payer", "Dx", "Priority"], &rows);
+                b.finish()
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: SemanticEvent) -> bool {
+        match ev {
+            SemanticEvent::Activated { name, fields, .. } => self.handle_activation(&name, &fields),
+            SemanticEvent::Dismissed { .. } => {
+                if self.toast.take().is_some() {
+                    return true;
+                }
+                false
+            }
+            SemanticEvent::Toggled { .. } => false,
+        }
+    }
+
+    fn probe(&self, key: &str) -> Option<String> {
+        let mut parts = key.splitn(3, ':');
+        let kind = parts.next()?;
+        match kind {
+            "patient_count" => Some(self.patients.len().to_string()),
+            "lookup_count" => Some(self.lookups.len().to_string()),
+            "last_lookup" => Some(self.lookups.last().cloned().unwrap_or_default()),
+            "patient_payer" | "patient_allergy" | "recon_complete" => {
+                let mrn = parts.next()?;
+                let p = &self.patients[self.patient_by_mrn(mrn)?];
+                Some(match kind {
+                    "patient_payer" => p.payer.clone(),
+                    "patient_allergy" => p.allergy.clone(),
+                    "recon_complete" => p.recon_complete.to_string(),
+                    _ => unreachable!(),
+                })
+            }
+            "med_status" => {
+                let mrn = parts.next()?;
+                let drug = parts.next()?;
+                let p = &self.patients[self.patient_by_mrn(mrn)?];
+                p.meds
+                    .iter()
+                    .find(|m| m.drug == drug)
+                    .map(|m| m.status.as_str().to_string())
+            }
+            "auth_count" => Some(self.auths.len().to_string()),
+            "auth_exists" | "auth_payer" | "auth_dx" | "auth_priority" => {
+                let mrn = parts.next()?;
+                let code = parts.next()?;
+                let auth = self
+                    .auths
+                    .iter()
+                    .find(|a| a.mrn == mrn && a.procedure == code);
+                Some(match kind {
+                    "auth_exists" => auth.is_some().to_string(),
+                    _ => {
+                        let a = auth?;
+                        match kind {
+                            "auth_payer" => a.payer.clone(),
+                            "auth_dx" => a.dx_code.clone(),
+                            "auth_priority" => {
+                                if a.urgent { "urgent" } else { "routine" }.to_string()
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclair_gui::Session;
+    use eclair_workflow::replay::execute_trace;
+    use eclair_workflow::{Action, TargetRef};
+
+    fn session() -> Session {
+        Session::new(Box::new(EhrApp::new()))
+    }
+
+    fn name(n: &str) -> TargetRef {
+        TargetRef::Name(n.into())
+    }
+
+    #[test]
+    fn lookup_by_mrn_opens_chart() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Type {
+                    target: Some(name("patient-search")),
+                    text: "MRN-2003".into(),
+                },
+                Action::Click(name("open-chart")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.url(), "/ehr/patients/MRN-2003");
+        assert_eq!(s.app().probe("last_lookup"), Some("MRN-2003".into()));
+        let shot = s.screenshot();
+        assert!(shot.contains_text("Selma Ruiz"));
+        assert!(shot.contains_text("ALLERGY ALERT"));
+    }
+
+    #[test]
+    fn lookup_by_name_fragment_matches() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Type {
+                    target: Some(name("patient-search")),
+                    text: "okafor".into(),
+                },
+                Action::Click(name("open-chart")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.app().probe("last_lookup"), Some("MRN-2002".into()));
+    }
+
+    #[test]
+    fn unknown_patient_reports_no_match() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Type {
+                    target: Some(name("patient-search")),
+                    text: "MRN-9999".into(),
+                },
+                Action::Click(name("open-chart")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.url(), "/ehr/patients");
+        assert!(s.screenshot().contains_text("No patient matches"));
+        assert_eq!(s.app().probe("lookup_count"), Some("0".into()));
+    }
+
+    #[test]
+    fn census_row_link_opens_chart() {
+        let mut s = session();
+        execute_trace(&mut s, &[Action::Click(name("open-patient-MRN-2008"))]).unwrap();
+        assert_eq!(s.url(), "/ehr/patients/MRN-2008");
+    }
+
+    #[test]
+    fn med_review_and_discontinue() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-patient-MRN-2001")),
+                Action::Click(name("tab-meds")),
+                Action::Click(name("review-med-lisinopril")),
+                Action::Click(name("stop-med-metformin")),
+            ],
+        )
+        .unwrap();
+        let app = s.app();
+        assert_eq!(
+            app.probe("med_status:MRN-2001:Lisinopril"),
+            Some("reviewed".into())
+        );
+        assert_eq!(
+            app.probe("med_status:MRN-2001:Metformin"),
+            Some("discontinued".into())
+        );
+        assert_eq!(
+            app.probe("med_status:MRN-2001:Atorvastatin"),
+            Some("active".into())
+        );
+    }
+
+    #[test]
+    fn attestation_gated_on_full_review() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-patient-MRN-2002")),
+                Action::Click(name("tab-meds")),
+                Action::Click(name("complete-recon")),
+            ],
+        )
+        .unwrap();
+        assert!(s.screenshot().contains_text("unreviewed medication"));
+        assert_eq!(
+            s.app().probe("recon_complete:MRN-2002"),
+            Some("false".into())
+        );
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("review-med-levothyroxine")),
+                Action::Click(name("review-med-sertraline")),
+                Action::Click(name("complete-recon")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            s.app().probe("recon_complete:MRN-2002"),
+            Some("true".into())
+        );
+        assert!(s.screenshot().contains_text("RECONCILIATION COMPLETE"));
+    }
+
+    #[test]
+    fn prior_auth_end_to_end() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-patient-MRN-2004")),
+                Action::Click(name("tab-prior-auth")),
+                Action::Type {
+                    target: Some(name("procedure")),
+                    text: "MRI-70551".into(),
+                },
+                Action::Type {
+                    target: Some(name("dx-code")),
+                    text: "G43.909".into(),
+                },
+                Action::Type {
+                    target: Some(name("justification")),
+                    text: "Chronic migraine unresponsive to therapy".into(),
+                },
+                Action::Click(name("submit-auth")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.url(), "/ehr/authorizations");
+        let app = s.app();
+        assert_eq!(
+            app.probe("auth_exists:MRN-2004:MRI-70551"),
+            Some("true".into())
+        );
+        // Payer defaulted from the patient's plan.
+        assert_eq!(
+            app.probe("auth_payer:MRN-2004:MRI-70551"),
+            Some("Cigna".into())
+        );
+        assert_eq!(
+            app.probe("auth_priority:MRN-2004:MRI-70551"),
+            Some("routine".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_auth_rejected() {
+        let mut s = session();
+        let file_auth = |s: &mut Session| {
+            execute_trace(
+                s,
+                &[
+                    Action::Click(name("nav-census")),
+                    Action::Click(name("open-patient-MRN-2005")),
+                    Action::Click(name("tab-prior-auth")),
+                    Action::Type {
+                        target: Some(name("procedure")),
+                        text: "PT-97110".into(),
+                    },
+                    Action::Type {
+                        target: Some(name("dx-code")),
+                        text: "M54.50".into(),
+                    },
+                    Action::Click(name("submit-auth")),
+                ],
+            )
+            .unwrap();
+        };
+        file_auth(&mut s);
+        file_auth(&mut s);
+        assert_eq!(s.app().probe("auth_count"), Some("1".into()));
+        assert!(s.screenshot().contains_text("already on file"));
+    }
+
+    #[test]
+    fn missing_dx_rejected() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-patient-MRN-2006")),
+                Action::Click(name("tab-prior-auth")),
+                Action::Type {
+                    target: Some(name("procedure")),
+                    text: "ECHO-93306".into(),
+                },
+                Action::Click(name("submit-auth")),
+            ],
+        )
+        .unwrap();
+        assert!(s.screenshot().contains_text("required"));
+        assert_eq!(s.app().probe("auth_count"), Some("0".into()));
+    }
+
+    #[test]
+    fn urgent_flag_reaches_the_queue() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-patient-MRN-2007")),
+                Action::Click(name("tab-prior-auth")),
+                Action::Type {
+                    target: Some(name("procedure")),
+                    text: "CT-74177".into(),
+                },
+                Action::Type {
+                    target: Some(name("dx-code")),
+                    text: "R10.9".into(),
+                },
+                Action::Click(name("urgent")),
+                Action::Click(name("submit-auth")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            s.app().probe("auth_priority:MRN-2007:CT-74177"),
+            Some("urgent".into())
+        );
+        assert!(s.screenshot().contains_text("urgent"));
+    }
+
+    #[test]
+    fn discontinued_meds_lose_their_buttons() {
+        let mut s = session();
+        execute_trace(
+            &mut s,
+            &[
+                Action::Click(name("open-patient-MRN-2003")),
+                Action::Click(name("tab-meds")),
+                Action::Click(name("stop-med-gabapentin")),
+            ],
+        )
+        .unwrap();
+        assert!(s.page().find_by_name("review-med-gabapentin").is_none());
+        assert!(s.page().find_by_name("stop-med-gabapentin").is_none());
+        assert!(s.page().find_by_name("review-med-albuterol").is_some());
+    }
+}

@@ -111,6 +111,79 @@ pub const MEMBERS: &[(&str, &str, &str, &str, bool)] = &[
     ("M10006", "Peter Fox", "1969-09-09", "Cigna", false),
 ];
 
+/// Patients on the EHR census: (MRN, name, dob, payer, allergy).
+///
+/// Payers match the payer-portal vocabulary plus Medicare, so the §3.1
+/// prior-auth workflows route to plans the rest of the simulation knows.
+pub const PATIENTS: &[(&str, &str, &str, &str, &str)] = &[
+    (
+        "MRN-2001",
+        "Harold Voss",
+        "1957-02-08",
+        "Medicare",
+        "penicillin",
+    ),
+    (
+        "MRN-2002",
+        "Grace Okafor",
+        "1979-06-14",
+        "BlueCross",
+        "none",
+    ),
+    ("MRN-2003", "Selma Ruiz", "1986-11-29", "Aetna", "sulfa"),
+    ("MRN-2004", "Jonah Pryce", "1971-09-03", "Cigna", "none"),
+    (
+        "MRN-2005",
+        "Imani Carter",
+        "1976-04-21",
+        "BlueCross",
+        "latex",
+    ),
+    ("MRN-2006", "Leo Fuscaldo", "1968-12-30", "Aetna", "none"),
+    ("MRN-2007", "Zita Morgan", "1981-03-17", "Cigna", "aspirin"),
+    ("MRN-2008", "Tobias Lindh", "1984-07-05", "Medicare", "none"),
+];
+
+/// Active medication list: (patient MRN, drug, dose). Drug names are
+/// single lowercase-safe words so widget names can embed them directly
+/// (`review-med-lisinopril`).
+pub const PATIENT_MEDS: &[(&str, &str, &str)] = &[
+    ("MRN-2001", "Lisinopril", "10 mg daily"),
+    ("MRN-2001", "Metformin", "500 mg twice daily"),
+    ("MRN-2001", "Atorvastatin", "20 mg nightly"),
+    ("MRN-2002", "Levothyroxine", "75 mcg daily"),
+    ("MRN-2002", "Sertraline", "50 mg daily"),
+    ("MRN-2003", "Albuterol", "2 puffs as needed"),
+    ("MRN-2003", "Omeprazole", "20 mg daily"),
+    ("MRN-2003", "Gabapentin", "300 mg three times daily"),
+    ("MRN-2004", "Warfarin", "5 mg daily"),
+    ("MRN-2004", "Amlodipine", "5 mg daily"),
+    ("MRN-2005", "Ibuprofen", "400 mg as needed"),
+    ("MRN-2005", "Prednisone", "10 mg daily taper"),
+    ("MRN-2005", "Montelukast", "10 mg nightly"),
+    ("MRN-2006", "Losartan", "50 mg daily"),
+    ("MRN-2006", "Glipizide", "5 mg daily"),
+    ("MRN-2007", "Clopidogrel", "75 mg daily"),
+    ("MRN-2007", "Metoprolol", "25 mg twice daily"),
+    ("MRN-2007", "Rosuvastatin", "10 mg nightly"),
+    ("MRN-2008", "Tamsulosin", "0.4 mg nightly"),
+    ("MRN-2008", "Finasteride", "5 mg daily"),
+    ("MRN-2008", "Citalopram", "20 mg daily"),
+];
+
+/// Procedures requiring prior authorization: (code, description).
+pub const PROCEDURES: &[(&str, &str)] = &[
+    ("MRI-70551", "MRI brain without contrast"),
+    ("CT-74177", "CT abdomen/pelvis with contrast"),
+    ("PT-97110", "Physical therapy, therapeutic exercise"),
+    ("ECHO-93306", "Transthoracic echocardiogram"),
+    ("SLP-92507", "Speech-language treatment"),
+    ("DME-E0601", "CPAP device"),
+];
+
+/// Payers accepted on the EHR prior-auth form.
+pub const EHR_PAYERS: &[&str] = &["BlueCross", "Aetna", "Cigna", "Medicare"];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +206,35 @@ mod tests {
         pos.sort();
         pos.dedup();
         assert_eq!(pos.len(), CONTRACTS.len());
+    }
+
+    #[test]
+    fn ehr_fixture_invariants() {
+        // MRNs unique; every med row references a real patient; every
+        // patient carries at least one medication (the reconciliation
+        // templates sweep per-patient med lists).
+        let mut mrns: Vec<&str> = PATIENTS.iter().map(|p| p.0).collect();
+        mrns.sort();
+        mrns.dedup();
+        assert_eq!(mrns.len(), PATIENTS.len());
+        for &(mrn, drug, _) in PATIENT_MEDS {
+            assert!(PATIENTS.iter().any(|p| p.0 == mrn), "{drug} orphaned");
+        }
+        for &(mrn, ..) in PATIENTS {
+            assert!(PATIENT_MEDS.iter().any(|m| m.0 == mrn), "{mrn} has no meds");
+        }
+        // (mrn, drug) pairs unique — widget names embed the drug.
+        let mut pairs: Vec<(&str, &str)> = PATIENT_MEDS.iter().map(|m| (m.0, m.1)).collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), PATIENT_MEDS.len());
+        // Procedure codes unique; payers cover every patient's plan.
+        let mut codes: Vec<&str> = PROCEDURES.iter().map(|p| p.0).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), PROCEDURES.len());
+        for &(_, _, _, payer, _) in PATIENTS {
+            assert!(EHR_PAYERS.contains(&payer), "{payer} not on auth form");
+        }
     }
 }

@@ -12,6 +12,9 @@
 //!   invoice-processing case study);
 //! * [`payer`] — an insurance payer portal (the §3.1 hospital
 //!   revenue-cycle-management case study);
+//! * [`ehr`] — an EHR workstation (patient lookup, medication
+//!   reconciliation, prior-auth documentation — the §3.1 clinical
+//!   workflows the revenue-cycle pilot sat next to);
 //! * [`task`] / [`tasks`] — WebArena-style task specs: natural-language
 //!   intent, gold semantic action trace, human-written reference SOP, and a
 //!   programmatic success predicate over app state.
@@ -20,6 +23,7 @@
 //! semantic-event state transitions, and `probe()` keys for auditing. All
 //! fixture data is deterministic.
 
+pub mod ehr;
 pub mod erp;
 pub mod fixtures;
 pub mod gitlab;

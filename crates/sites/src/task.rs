@@ -10,7 +10,7 @@ use eclair_gui::Session;
 use eclair_workflow::{Action, ActionTrace, Sop};
 use serde::{Deserialize, Serialize};
 
-use crate::{erp::ErpApp, gitlab::GitlabApp, magento::MagentoApp, payer::PayerApp};
+use crate::{ehr::EhrApp, erp::ErpApp, gitlab::GitlabApp, magento::MagentoApp, payer::PayerApp};
 
 /// Which simulated application a task runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -19,6 +19,7 @@ pub enum Site {
     Magento,
     Erp,
     Payer,
+    Ehr,
 }
 
 impl Site {
@@ -31,6 +32,7 @@ impl Site {
             Site::Magento => Box::new(MagentoApp::new()),
             Site::Erp => Box::new(ErpApp::new()),
             Site::Payer => Box::new(PayerApp::new()),
+            Site::Ehr => Box::new(EhrApp::new()),
         }
     }
 
@@ -51,8 +53,18 @@ impl Site {
             Site::Magento => "magento",
             Site::Erp => "erp",
             Site::Payer => "payer",
+            Site::Ehr => "ehr",
         }
     }
+
+    /// Every site, in stable order.
+    pub const ALL: &'static [Site] = &[
+        Site::Gitlab,
+        Site::Magento,
+        Site::Erp,
+        Site::Payer,
+        Site::Ehr,
+    ];
 }
 
 /// The functional success predicate for a task.
@@ -96,7 +108,7 @@ impl SuccessCheck {
 }
 
 /// One evaluation workflow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskSpec {
     /// Stable identifier, e.g. `"gitlab-03"`.
     pub id: String,
@@ -203,9 +215,52 @@ mod tests {
 
     #[test]
     fn sites_launch() {
-        for site in [Site::Gitlab, Site::Magento, Site::Erp, Site::Payer] {
+        for site in Site::ALL {
             let s = site.launch();
             assert!(!s.page().is_empty(), "{} renders", site.name());
         }
+    }
+
+    #[test]
+    fn sites_launch_with_theme() {
+        // Themed launch must render every site and keep the same
+        // *interactive* widget census as the pristine theme — banners and
+        // input resizes restyle the page without restructuring it.
+        use eclair_gui::{DriftOp, Theme};
+        let drifted = Theme::with_ops(vec![
+            DriftOp::InsertBanner {
+                text: "Scheduled maintenance tonight".into(),
+            },
+            DriftOp::ResizeInputs { width: 340 },
+        ]);
+        for site in Site::ALL {
+            for theme in [Theme::pristine(), drifted.clone()] {
+                let s = site.launch_with_theme(theme);
+                assert!(!s.page().is_empty(), "{} renders themed", site.name());
+                assert_eq!(
+                    s.page().interactive_widgets().len(),
+                    site.launch().page().interactive_widgets().len(),
+                    "{} theme changes widget census",
+                    site.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn task_spec_json_round_trips() {
+        let task = TaskSpec::new(
+            "ehr-smoke",
+            Site::Ehr,
+            "Open Harold Voss's chart",
+            vec![Action::Click(TargetRef::Name(
+                "open-patient-MRN-2001".into(),
+            ))],
+            &["Click the 'MRN-2001' link"],
+            SuccessCheck::probes(&[("last_lookup", "MRN-2001")]).with_url("/ehr/patients/MRN-2001"),
+        );
+        let json = serde_json::to_string(&task).expect("serialize");
+        let back: TaskSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(task, back);
     }
 }

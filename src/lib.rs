@@ -33,6 +33,7 @@
 
 pub use eclair_chaos as chaos;
 pub use eclair_core as core;
+pub use eclair_corpus as corpus;
 pub use eclair_fleet as fleet;
 pub use eclair_fm as fm;
 pub use eclair_gui as gui;
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use eclair_core::agent::{Eclair, EclairConfig, WorkflowReport};
     pub use eclair_core::demonstrate::EvidenceLevel;
     pub use eclair_core::execute::{ExecConfig, GroundingStrategy};
+    pub use eclair_corpus::corpus_tasks;
     pub use eclair_fleet::{Fleet, FleetConfig, RetryPolicy, RunSpec};
     pub use eclair_fm::{FmModel, FmProfile, ModelProfile};
     pub use eclair_hybrid::{HybridPolicy, HybridScript};
