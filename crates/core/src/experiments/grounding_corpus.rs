@@ -128,7 +128,7 @@ fn mind2web_page(rng: &mut StdRng, idx: usize) -> Page {
         // Hero banner call-to-action (the corpus' large-element band).
         let mut hero = eclair_gui::Widget::new(eclair_gui::WidgetKind::Button);
         hero.name = "hero-cta".into();
-        hero.label = format!("Explore all {}s today", NOUNS[(idx * 11) % NOUNS.len()]);
+        hero.label = format!("Explore all {}s today", NOUNS[(idx * 11) % NOUNS.len()]).into();
         hero.fixed_w = Some(460);
         hero.fixed_h = Some(60);
         b.push(hero);
@@ -184,7 +184,7 @@ fn webui_page(rng: &mut StdRng, idx: usize) -> Page {
     if rng.gen_bool(0.6) {
         let mut big = eclair_gui::Widget::new(eclair_gui::WidgetKind::Button);
         big.name = "hero".into();
-        big.label = format!("Get started with {}", NOUNS[(idx * 5) % NOUNS.len()]);
+        big.label = format!("Get started with {}", NOUNS[(idx * 5) % NOUNS.len()]).into();
         big.fixed_w = Some(420);
         big.fixed_h = Some(64);
         b.push(big);

@@ -134,7 +134,7 @@ mod tests {
         after.items.push(eclair_gui::PaintItem {
             rect: eclair_gui::Rect::new(300, 120, 2, 20),
             visual: eclair_gui::VisualClass::CaretBar,
-            text: String::new(),
+            text: eclair_gui::Sym::EMPTY,
             emphasis: false,
             grayed: false,
         });

@@ -142,7 +142,7 @@ pub fn perceive<R: Rng>(shot: &Screenshot, profile: &ModelProfile, rng: &mut R) 
             // models (CogAgent reads a gear as "settings"; GPT-4 usually
             // sees an unlabeled pictograph).
             if rng.gen_bool(profile.icon_literacy) {
-                item.text.clone()
+                item.text.to_string()
             } else {
                 String::new()
             }
@@ -238,7 +238,7 @@ mod tests {
         s.items.push(PaintItem {
             rect: Rect::new(100, 100, 2, 20),
             visual: VisualClass::CaretBar,
-            text: String::new(),
+            text: eclair_gui::Sym::EMPTY,
             emphasis: false,
             grayed: false,
         });

@@ -114,15 +114,15 @@ pub fn element_boxes(page: &Page, scroll_y: i32, interactive_only: bool) -> Vec<
             }
             Some(HtmlElement {
                 id,
-                tag: w.tag.clone(),
+                tag: w.tag.to_string(),
                 text: match w.kind {
                     // Icons and images have no *visible* text for a mark
                     // caption, whatever their markup attributes say.
                     WidgetKind::Icon | WidgetKind::Image => String::new(),
                     k if k.is_editable() => w.display_text().to_string(),
-                    _ => w.label.clone(),
+                    _ => w.label.to_string(),
                 },
-                name: w.name.clone(),
+                name: w.name.to_string(),
                 rect: w.bounds.offset(0, -scroll_y),
                 interactive: w.kind.is_interactive(),
             })

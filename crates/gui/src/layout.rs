@@ -1,4 +1,4 @@
-//! A single-pass flow layout engine.
+//! A single-pass flow layout engine with an incremental core.
 //!
 //! Deliberately simple — vertical stacks, horizontal rows, intrinsic leaf
 //! sizes, fixed-width table cells, centered modal overlays — but it computes
@@ -7,9 +7,39 @@
 //! by theme drift (padding changes, injected banners) fall out naturally:
 //! they move every subsequent widget, which is what breaks position-based
 //! RPA selectors.
+//!
+//! Three perf layers sit on top of the walk, none of which may change a
+//! single computed pixel:
+//!
+//! 1. **Scratch pooling** — per-walk allocations (child id stacks, the
+//!    write log) come from a thread-local scratch reused across walks and
+//!    truncated wholesale at the end, the scoped-arena discipline.
+//! 2. **A global layout cache** — a full walk reads only a small slice of
+//!    each widget (kind / visibility / level / fixed size / label /
+//!    children), so its output is a pure function of a cheap signature
+//!    over interned ids. The cache replays the exact bounds writes of an
+//!    earlier identical walk (the write log, not a bounds-per-slot dump,
+//!    so widgets the walk never touched keep their stale bounds exactly
+//!    as a real walk would leave them). Lookups compute inside the lock,
+//!    so each unique signature misses exactly once even under a
+//!    multi-worker fleet and the aggregate counters stay deterministic.
+//! 3. **Dirty-subtree relayout** — pages re-place only mutated nodes at
+//!    their recorded flow inputs, escalating to the parent only when a
+//!    node's measured box actually changed, and falling back to a full
+//!    (cached) walk when escalation reaches the root.
+//!
+//! `ECLAIR_NO_CACHE=1` bypasses the cache (checked per walk, so a harness
+//! can flip it between legs), and [`scoped_cache_off`] bypasses it for one
+//! session on one thread, mirroring `Session::set_cache_enabled`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use eclair_trace::perf;
 
 use crate::geometry::{Rect, Size};
-use crate::widget::{Widget, WidgetId, WidgetKind};
+use crate::widget::{LayIn, Widget, WidgetId, WidgetKind};
 
 /// Approximate glyph advance width in pixels for body text.
 pub const CHAR_W: u32 = 8;
@@ -26,50 +56,379 @@ pub const PAGE_W: u32 = 1280;
 /// Modal dialog width.
 pub const MODAL_W: u32 = 520;
 
+/// Entries the layout cache refuses to grow past. No eviction: page
+/// signatures repeat heavily (that is the whole point), so a cap merely
+/// bounds a pathological workload without perturbing steady-state counts.
+const LAYOUT_CACHE_CAP: usize = 8192;
+
 fn text_width(s: &str, char_w: u32) -> u32 {
     s.chars().count() as u32 * char_w
 }
 
+/// Per-thread scratch reused across layout walks: the child-id stack the
+/// container pass iterates (replacing a per-container `Vec` clone) and the
+/// bounds write log. Freed wholesale (truncated) when a walk finishes;
+/// capacity persists.
+#[derive(Default)]
+struct Scratch {
+    kids: Vec<WidgetId>,
+    log: Vec<WriteEntry>,
+}
+
+#[derive(Clone, Copy)]
+struct WriteEntry {
+    slot: u32,
+    bounds: Rect,
+    layin: LayIn,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    static CACHE_OFF_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard disabling the layout cache on this thread while held.
+/// Mirrors `Session::set_cache_enabled(false)`: the session's layouts run
+/// for real without poking the process-wide cache.
+pub struct LayoutCacheOff(());
+
+/// Disable the layout cache on this thread until the guard drops.
+pub fn scoped_cache_off() -> LayoutCacheOff {
+    CACHE_OFF_DEPTH.with(|d| d.set(d.get() + 1));
+    LayoutCacheOff(())
+}
+
+impl Drop for LayoutCacheOff {
+    fn drop(&mut self) {
+        CACHE_OFF_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+pub(crate) fn cache_bypassed() -> bool {
+    // Re-read the env every walk: perf_bench flips ECLAIR_NO_CACHE between
+    // legs of one process.
+    std::env::var_os("ECLAIR_NO_CACHE").is_some() || CACHE_OFF_DEPTH.with(|d| d.get() > 0)
+}
+
+struct CacheEntry {
+    writes: Vec<WriteEntry>,
+    content_height: u32,
+}
+
+fn layout_cache() -> &'static Mutex<HashMap<u64, Arc<CacheEntry>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<CacheEntry>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Signature over exactly the widget fields a layout walk reads: kind,
+/// visibility, heading level, pinned sizes, label (as its interned id —
+/// equal ids iff equal strings, so this is collision-free by construction
+/// for the label part), and child topology. Values, names, placeholders,
+/// options, and enabled flags are invisible to layout and deliberately
+/// excluded — editing a field must not change the page's layout identity.
+fn layout_sig(widgets: &[Widget], root: WidgetId) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv(h, root.0 as u64);
+    h = fnv(h, widgets.len() as u64);
+    for w in widgets {
+        h = fnv(
+            h,
+            (w.kind as u64)
+                | ((w.visible as u64) << 8)
+                | ((w.level as u64) << 16)
+                | ((w.label.id() as u64) << 32),
+        );
+        h = fnv(
+            h,
+            (w.fixed_w.map_or(0, |v| v as u64 + 1)) | (w.fixed_h.map_or(0, |v| v as u64 + 1) << 32),
+        );
+        h = fnv(h, w.children.len() as u64);
+        for c in &w.children {
+            h = fnv(h, c.0 as u64);
+        }
+    }
+    h
+}
+
 /// Lay out the arena starting at `root`; fills every widget's `bounds` in
 /// page coordinates and returns the total content height.
+///
+/// Served from the global layout cache when an identical walk already ran
+/// (`layout_cache_hits`); otherwise the full walk runs (`relayouts_full`)
+/// and its write log is cached for replay.
 pub fn layout_page(widgets: &mut [Widget], root: WidgetId) -> u32 {
-    let avail = PAGE_W - 2 * PAGE_PAD;
-    let used = place(widgets, root, PAGE_PAD as i32, PAGE_PAD as i32, avail);
-    // Overlay pass: modals are centered over the content, not in flow.
-    let modal_ids: Vec<WidgetId> = widgets
-        .iter()
-        .filter(|w| w.kind == WidgetKind::Modal && w.visible)
-        .map(|w| w.id)
-        .collect();
-    for m in modal_ids {
-        let x = ((PAGE_W - MODAL_W) / 2) as i32;
-        place(widgets, m, x, 140, MODAL_W);
+    if cache_bypassed() {
+        perf::record(|c| c.relayouts_full += 1);
+        return SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            scratch.log.clear();
+            let h = walk_page(widgets, root, scratch);
+            scratch.kids.clear();
+            scratch.log.clear();
+            h
+        });
     }
-    // Toasts float at the top-right, stacked, without reflowing content.
-    let toast_ids: Vec<WidgetId> = widgets
-        .iter()
-        .filter(|w| w.kind == WidgetKind::Toast && w.visible)
-        .map(|w| w.id)
-        .collect();
+    let sig = layout_sig(widgets, root);
+    let mut cache = layout_cache().lock().expect("layout cache poisoned");
+    if let Some(entry) = cache.get(&sig).cloned() {
+        drop(cache);
+        for e in &entry.writes {
+            let w = &mut widgets[e.slot as usize];
+            w.bounds = e.bounds;
+            w.layin = e.layin;
+        }
+        perf::record(|c| c.layout_cache_hits += 1);
+        return entry.content_height;
+    }
+    // Compute inside the lock: concurrent walks of the same signature
+    // coalesce into one miss, keeping fleet-merged counts deterministic.
+    let h = SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        scratch.log.clear();
+        let h = walk_page(widgets, root, scratch);
+        if cache.len() < LAYOUT_CACHE_CAP {
+            cache.insert(
+                sig,
+                Arc::new(CacheEntry {
+                    writes: scratch.log.clone(),
+                    content_height: h,
+                }),
+            );
+        }
+        scratch.kids.clear();
+        scratch.log.clear();
+        h
+    });
+    perf::record(|c| c.relayouts_full += 1);
+    h
+}
+
+/// The outcome of a dirty-subtree pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PartialOutcome {
+    /// All dirty nodes re-placed in place; no ancestor box changed, so the
+    /// rest of the page (and the content height) is untouched.
+    Done,
+    /// Escalation reached the root: the caller must run a full
+    /// [`layout_page`] walk.
+    NeedsFull,
+}
+
+/// Re-place only the dirty slots (and any ancestors whose measured box
+/// changed), leaving every other widget's bounds byte-identical to what a
+/// full walk would produce. `toasts_dirty` forces the floating toast stack
+/// to be restacked (set when a toast was removed from the tree).
+pub(crate) fn relayout_dirty(
+    widgets: &mut [Widget],
+    dirty: &[u32],
+    toasts_dirty: bool,
+) -> PartialOutcome {
+    let mut visited = 0u64;
+    let mut did_work = false;
+    let mut restack_toasts = toasts_dirty;
+    let mut outcome = PartialOutcome::Done;
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        'next: for &slot in dirty {
+            // An enclosing dirty node will re-place this subtree anyway.
+            let mut p = widgets[slot as usize].parent;
+            while let Some(pid) = p {
+                if dirty.contains(&pid.0) {
+                    continue 'next;
+                }
+                p = widgets[pid.index()].parent;
+            }
+            // Nodes inside an invisible subtree are unreachable by a full
+            // walk; it would leave their bounds untouched, so we must too.
+            let mut p = widgets[slot as usize].parent;
+            while let Some(pid) = p {
+                let pw = &widgets[pid.index()];
+                if !pw.visible {
+                    continue 'next;
+                }
+                p = pw.parent;
+            }
+            let mut cur = slot;
+            loop {
+                let w = &widgets[cur as usize];
+                if w.parent.is_none() {
+                    // Re-placing the root is a full walk; route it through
+                    // the cached path instead.
+                    outcome = PartialOutcome::NeedsFull;
+                    return;
+                }
+                match w.kind {
+                    WidgetKind::Toast => {
+                        // Toast geometry depends on the whole stack.
+                        restack_toasts = true;
+                        continue 'next;
+                    }
+                    // A hidden modal is skipped by both the flow and the
+                    // overlay pass; a full walk leaves its bounds stale.
+                    WidgetKind::Modal if !w.visible => continue 'next,
+                    _ => {}
+                }
+                let layin = w.layin;
+                let parent = w.parent;
+                if !layin.valid {
+                    // Never placed (fresh insert): the parent's flow must
+                    // position it.
+                    cur = parent.expect("checked above").0;
+                    continue;
+                }
+                let old = w.bounds;
+                let overlay = w.kind == WidgetKind::Modal;
+                let size = place(
+                    widgets,
+                    scratch,
+                    WidgetId(cur),
+                    layin.x,
+                    layin.y,
+                    layin.avail_w,
+                );
+                visited += 1;
+                did_work = true;
+                // Modals are out of flow: their box never displaces
+                // siblings, so a size change stops here.
+                if overlay || (size.w == old.w && size.h == old.h) {
+                    break;
+                }
+                cur = parent.expect("checked above").0;
+            }
+        }
+        if restack_toasts {
+            place_toasts(widgets, scratch);
+            did_work = true;
+        }
+        scratch.kids.clear();
+        scratch.log.clear();
+    });
+    if outcome == PartialOutcome::Done {
+        perf::record(|c| {
+            if did_work {
+                c.relayouts_partial += 1;
+            }
+            c.dirty_nodes_visited += visited;
+        });
+    }
+    outcome
+}
+
+/// The uncached full walk: flow pass from the root, then the modal and
+/// toast overlay passes. Every bounds write goes through the scratch log
+/// so a cache entry can replay it exactly.
+fn walk_page(widgets: &mut [Widget], root: WidgetId, scratch: &mut Scratch) -> u32 {
+    let avail = PAGE_W - 2 * PAGE_PAD;
+    let used = place(
+        widgets,
+        scratch,
+        root,
+        PAGE_PAD as i32,
+        PAGE_PAD as i32,
+        avail,
+    );
+    // Overlay pass: modals are centered over the content, not in flow.
+    let modal_start = scratch.kids.len();
+    scratch.kids.extend(
+        widgets
+            .iter()
+            .filter(|w| w.kind == WidgetKind::Modal && w.visible)
+            .map(|w| w.id),
+    );
+    for i in modal_start..scratch.kids.len() {
+        let m = scratch.kids[i];
+        let x = ((PAGE_W - MODAL_W) / 2) as i32;
+        place(widgets, scratch, m, x, 140, MODAL_W);
+    }
+    scratch.kids.truncate(modal_start);
+    place_toasts(widgets, scratch);
+    used.h + 2 * PAGE_PAD
+}
+
+/// Toasts float at the top-right, stacked, without reflowing content.
+fn place_toasts(widgets: &mut [Widget], scratch: &mut Scratch) {
+    let start = scratch.kids.len();
+    scratch.kids.extend(
+        widgets
+            .iter()
+            .filter(|w| w.kind == WidgetKind::Toast && w.visible)
+            .map(|w| w.id),
+    );
     let mut toast_y = 16i32;
-    for t in toast_ids {
+    for i in start..scratch.kids.len() {
+        let t = scratch.kids[i];
         let size = leaf_size(&widgets[t.index()], 480);
         let x = PAGE_W as i32 - size.w as i32 - 24;
-        widgets[t.index()].bounds = Rect::new(x, toast_y, size.w, size.h);
+        set_bounds(
+            widgets,
+            scratch,
+            t.0,
+            Rect::new(x, toast_y, size.w, size.h),
+            LayIn {
+                x,
+                y: toast_y,
+                avail_w: 480,
+                valid: true,
+            },
+        );
         toast_y += size.h as i32 + 8;
     }
-    used.h + 2 * PAGE_PAD
+    scratch.kids.truncate(start);
+}
+
+#[inline]
+fn set_bounds(
+    widgets: &mut [Widget],
+    scratch: &mut Scratch,
+    slot: u32,
+    bounds: Rect,
+    layin: LayIn,
+) {
+    let w = &mut widgets[slot as usize];
+    w.bounds = bounds;
+    w.layin = layin;
+    scratch.log.push(WriteEntry {
+        slot,
+        bounds,
+        layin,
+    });
 }
 
 /// Recursively place `id` at (x, y) with `avail_w` of horizontal room.
 /// Returns the size consumed.
-fn place(widgets: &mut [Widget], id: WidgetId, x: i32, y: i32, avail_w: u32) -> Size {
+fn place(
+    widgets: &mut [Widget],
+    scratch: &mut Scratch,
+    id: WidgetId,
+    x: i32,
+    y: i32,
+    avail_w: u32,
+) -> Size {
     let (kind, visible, fixed_w, has_children) = {
         let w = &widgets[id.index()];
         (w.kind, w.visible, w.fixed_w, !w.children.is_empty())
     };
+    let layin = LayIn {
+        x,
+        y,
+        avail_w,
+        valid: true,
+    };
     if !visible {
-        widgets[id.index()].bounds = Rect::new(x, y, 0, 0);
+        set_bounds(widgets, scratch, id.0, Rect::new(x, y, 0, 0), layin);
         return Size::new(0, 0);
     }
     // A pinned width constrains the widget and everything inside it.
@@ -77,16 +436,24 @@ fn place(widgets: &mut [Widget], id: WidgetId, x: i32, y: i32, avail_w: u32) -> 
     // Table cells holding widgets (e.g. a link) lay out as containers.
     let as_container = kind.is_container() || (kind == WidgetKind::TableCell && has_children);
     let size = if as_container {
-        place_container(widgets, id, x, y, avail_w, kind)
+        place_container(widgets, scratch, id, x, y, avail_w, kind)
     } else {
         leaf_size(&widgets[id.index()], avail_w)
     };
-    widgets[id.index()].bounds = Rect::new(x, y, size.w, size.h);
+    set_bounds(
+        widgets,
+        scratch,
+        id.0,
+        Rect::new(x, y, size.w, size.h),
+        layin,
+    );
     size
 }
 
+#[allow(clippy::too_many_arguments)]
 fn place_container(
     widgets: &mut [Widget],
+    scratch: &mut Scratch,
     id: WidgetId,
     x: i32,
     y: i32,
@@ -100,20 +467,40 @@ fn place_container(
         WidgetKind::Root => (0, V_GAP, H_GAP, false),
         _ => (0, V_GAP, H_GAP, false),
     };
-    let children: Vec<WidgetId> = widgets[id.index()].children.clone();
+    // Children go onto the shared scratch stack (a range per recursion
+    // level) instead of a cloned Vec per container.
+    let start = scratch.kids.len();
+    scratch
+        .kids
+        .extend_from_slice(widgets[id.index()].children.as_slice());
+    let end = scratch.kids.len();
     let inner_w = avail_w.saturating_sub(2 * pad).max(CHAR_W);
     let mut cx = x + pad as i32;
     let mut cy = y + pad as i32;
     let mut max_w = 0u32;
     let mut max_h = 0u32;
     let mut first = true;
-    for child in children {
+    for i in start..end {
+        let child = scratch.kids[i];
         let ck = widgets[child.index()].kind;
         if ck == WidgetKind::Modal || ck == WidgetKind::Toast {
             continue; // the overlay pass places modals and toasts
         }
         if !widgets[child.index()].visible {
-            widgets[child.index()].bounds = Rect::new(cx, cy, 0, 0);
+            set_bounds(
+                widgets,
+                scratch,
+                child.0,
+                Rect::new(cx, cy, 0, 0),
+                // Not a real placement: un-hiding must escalate to this
+                // container, which knows the true flow position.
+                LayIn {
+                    x: cx,
+                    y: cy,
+                    avail_w: 0,
+                    valid: false,
+                },
+            );
             continue;
         }
         if horizontal {
@@ -121,7 +508,7 @@ fn place_container(
                 cx += gap_h as i32;
             }
             let remaining = (x + pad as i32 + inner_w as i32 - cx).max(CHAR_W as i32) as u32;
-            let s = place(widgets, child, cx, cy, remaining);
+            let s = place(widgets, scratch, child, cx, cy, remaining);
             cx += s.w as i32;
             max_h = max_h.max(s.h);
             max_w = ((cx - x) as u32).saturating_sub(pad);
@@ -129,13 +516,14 @@ fn place_container(
             if !first {
                 cy += gap_v as i32;
             }
-            let s = place(widgets, child, cx, cy, inner_w);
+            let s = place(widgets, scratch, child, cx, cy, inner_w);
             cy += s.h as i32;
             max_w = max_w.max(s.w);
             max_h = ((cy - y) as u32).saturating_sub(pad);
         }
         first = false;
     }
+    scratch.kids.truncate(start);
     let w = match kind {
         WidgetKind::Row | WidgetKind::TableRow => max_w + 2 * pad,
         // Sections and forms shrink-wrap their content so that, inside a
@@ -356,5 +744,45 @@ mod tests {
         let btn = p.get(p.find_by_name("save").unwrap()).bounds;
         assert_eq!(icon.size_bucket(), SizeBucket::Small);
         assert_eq!(btn.size_bucket(), SizeBucket::Medium);
+    }
+
+    #[test]
+    fn cached_walk_replays_identical_bounds() {
+        // Two separately built copies of an identical page must come out
+        // of `finish()` with identical geometry whether the second build
+        // was served from the layout cache or not.
+        let build = || {
+            let mut b = PageBuilder::new("cache-replay", "/cache-replay");
+            b.heading(1, "Cache replay");
+            b.form("f", |b| {
+                b.text_input("x", "Field", "hint");
+                b.button("go", "Go");
+            });
+            b.finish()
+        };
+        let a = build();
+        let b = build();
+        for (wa, wb) in a.iter().zip(b.iter()) {
+            assert_eq!(wa.bounds, wb.bounds, "{:?} '{}'", wa.kind, wa.label);
+        }
+        assert_eq!(a.content_height, b.content_height);
+    }
+
+    #[test]
+    fn layout_sig_ignores_values_but_not_labels() {
+        let build = |label: &str, value: &str| {
+            let mut b = PageBuilder::new("sig", "/sig");
+            let id = b.text_input("f", label, "hint");
+            let mut p = b.finish();
+            p.get_mut(id).value = value.into();
+            p
+        };
+        let base = build("Name", "");
+        let edited = build("Name", "Ada");
+        let relabeled = build("Full name", "");
+        use crate::tree::Page;
+        let sig = |p: &Page| layout_sig(p.widgets(), p.root());
+        assert_eq!(sig(&base), sig(&edited), "values are layout-invisible");
+        assert_ne!(sig(&base), sig(&relabeled), "labels size widgets");
     }
 }

@@ -27,9 +27,11 @@
 //! RNGs; "animation" (the blinking caret) is a pure function of an explicit
 //! frame counter.
 
+pub mod arena;
 pub mod event;
 pub mod geometry;
 pub mod html;
+pub mod intern;
 pub mod layout;
 pub mod screenshot;
 pub mod session;
@@ -38,8 +40,10 @@ pub mod theme;
 pub mod tree;
 pub mod widget;
 
+pub use arena::{ChildVec, NodeId, SlotArena};
 pub use event::{Key, SemanticEvent, UserEvent};
 pub use geometry::{Point, Rect, Size, SizeBucket};
+pub use intern::{intern, Sym};
 pub use screenshot::{PaintItem, Screenshot, VisualClass};
 pub use session::{no_cache_env, GuiApp, Session};
 pub use surface::{FaultNote, GuiSurface};

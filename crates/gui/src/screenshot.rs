@@ -8,9 +8,12 @@
 //! *focus state*, which is only observable as a caret bar in frames where
 //! the blink phase happens to be on.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::geometry::{Point, Rect, Size};
+use crate::intern::Sym;
 use crate::widget::{Widget, WidgetKind};
 use crate::VIEWPORT;
 
@@ -47,9 +50,10 @@ pub struct PaintItem {
     pub rect: Rect,
     /// Coarse visual classification.
     pub visual: VisualClass,
-    /// The text pixels show. Empty for icons, images, carets, edges —
-    /// and masked (`•`) for password boxes.
-    pub text: String,
+    /// The text pixels show (interned — rendering a frame allocates no
+    /// per-item strings). Empty for icons, images, carets, edges — and
+    /// masked (`•`) for password boxes.
+    pub text: Sym,
     /// Bold / primary-color styling (headings, primary buttons, checked
     /// glyphs).
     pub emphasis: bool,
@@ -58,7 +62,13 @@ pub struct PaintItem {
 }
 
 /// A captured frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Frames are content-addressed by [`Screenshot::frame_hash`], which is
+/// memoized after the first call. Frames are immutable once rendered in
+/// every production path; code that *does* mutate one (tests, mostly)
+/// must mutate a fresh [`Clone`] — cloning resets the memo, so a mutated
+/// clone can never carry its parent's stale hash.
+#[derive(Debug)]
 pub struct Screenshot {
     /// Viewport size (always [`crate::VIEWPORT`] in the experiments).
     pub viewport: Size,
@@ -70,6 +80,66 @@ pub struct Screenshot {
     pub scroll_y: i32,
     /// Painted regions in paint order (later items overlay earlier ones).
     pub items: Vec<PaintItem>,
+    /// Lazily computed frame hash. Never serialized or compared; reset on
+    /// clone.
+    hash_memo: OnceLock<u64>,
+}
+
+// Manual serde impls (the vendored derive has no `skip`): identical to the
+// derive's field-order map, minus the hash memo — a deserialized frame
+// re-earns its hash on first use.
+impl Serialize for Screenshot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (String::from("viewport"), self.viewport.to_value()),
+            (String::from("url"), self.url.to_value()),
+            (String::from("title"), self.title.to_value()),
+            (String::from("scroll_y"), self.scroll_y.to_value()),
+            (String::from("items"), self.items.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Screenshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(v.field(name))
+                .map_err(|e| serde::Error::custom(format!("Screenshot.{name}: {e}")))
+        }
+        Ok(Screenshot {
+            viewport: field(v, "viewport")?,
+            url: field(v, "url")?,
+            title: field(v, "title")?,
+            scroll_y: field(v, "scroll_y")?,
+            items: field(v, "items")?,
+            hash_memo: OnceLock::new(),
+        })
+    }
+}
+
+impl Clone for Screenshot {
+    fn clone(&self) -> Self {
+        Self {
+            viewport: self.viewport,
+            url: self.url.clone(),
+            title: self.title.clone(),
+            scroll_y: self.scroll_y,
+            items: self.items.clone(),
+            // A clone is the mutation escape hatch: it must re-earn its
+            // hash.
+            hash_memo: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Screenshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.viewport == other.viewport
+            && self.url == other.url
+            && self.title == other.title
+            && self.scroll_y == other.scroll_y
+            && self.items == other.items
+    }
 }
 
 /// Number of signature-grid columns (1280 / 20px cells).
@@ -111,18 +181,30 @@ impl Screenshot {
                 items.push(PaintItem {
                     rect: c.offset(0, -scroll_y),
                     visual: VisualClass::CaretBar,
-                    text: String::new(),
+                    text: Sym::EMPTY,
                     emphasis: false,
                     grayed: false,
                 });
             }
         }
+        Self::new(VIEWPORT, url, title, scroll_y, items)
+    }
+
+    /// Assemble a frame from parts (the hash memo starts unset).
+    pub fn new(
+        viewport: Size,
+        url: impl Into<String>,
+        title: impl Into<String>,
+        scroll_y: i32,
+        items: Vec<PaintItem>,
+    ) -> Self {
         Self {
-            viewport: VIEWPORT,
-            url: url.to_string(),
-            title: title.to_string(),
+            viewport,
+            url: url.into(),
+            title: title.into(),
             scroll_y,
             items,
+            hash_memo: OnceLock::new(),
         }
     }
 
@@ -130,36 +212,36 @@ impl Screenshot {
         let rect = w.bounds.offset(0, -scroll_y);
         let grayed = !w.enabled;
         let (visual, text, emphasis) = match w.kind {
-            WidgetKind::Heading => (VisualClass::Text, w.label.clone(), true),
+            WidgetKind::Heading => (VisualClass::Text, w.label, true),
             WidgetKind::Text | WidgetKind::Badge | WidgetKind::TableCell => {
                 if w.label.is_empty() {
                     return None;
                 }
-                (VisualClass::Text, w.label.clone(), false)
+                (VisualClass::Text, w.label, false)
             }
             WidgetKind::Link | WidgetKind::MenuItem | WidgetKind::Tab => {
-                (VisualClass::TextLink, w.label.clone(), false)
+                (VisualClass::TextLink, w.label, false)
             }
-            WidgetKind::Button => (VisualClass::BoxButton, w.label.clone(), true),
+            WidgetKind::Button => (VisualClass::BoxButton, w.label, true),
             WidgetKind::TextInput | WidgetKind::TextArea | WidgetKind::Select => {
-                (VisualClass::InputBox, w.display_text().to_string(), false)
+                (VisualClass::InputBox, w.display_sym(), false)
             }
             WidgetKind::PasswordInput => (
                 VisualClass::InputBox,
-                "•".repeat(w.value.chars().count()),
+                Sym::from("•".repeat(w.value.chars().count())),
                 false,
             ),
-            WidgetKind::Checkbox => (VisualClass::CheckGlyph, w.label.clone(), w.is_checked()),
-            WidgetKind::Radio => (VisualClass::RadioGlyph, w.label.clone(), w.is_checked()),
+            WidgetKind::Checkbox => (VisualClass::CheckGlyph, w.label, w.is_checked()),
+            WidgetKind::Radio => (VisualClass::RadioGlyph, w.label, w.is_checked()),
             // Icons paint a glyph. The `text` carries the glyph's *identity*
             // (a gear, a bell) — pixels do convey that — but it is not
             // rendered text: `visible_text` excludes it and only GUI-literate
             // models recover it during perception.
-            WidgetKind::Icon => (VisualClass::IconGlyph, w.label.clone(), false),
-            WidgetKind::Image => (VisualClass::ImageBlob, String::new(), false),
-            WidgetKind::Modal => (VisualClass::PanelEdge, String::new(), false),
-            WidgetKind::Toast => (VisualClass::PanelEdge, w.label.clone(), true),
-            WidgetKind::Divider => (VisualClass::PanelEdge, String::new(), false),
+            WidgetKind::Icon => (VisualClass::IconGlyph, w.label, false),
+            WidgetKind::Image => (VisualClass::ImageBlob, Sym::EMPTY, false),
+            WidgetKind::Modal => (VisualClass::PanelEdge, Sym::EMPTY, false),
+            WidgetKind::Toast => (VisualClass::PanelEdge, w.label, true),
+            WidgetKind::Divider => (VisualClass::PanelEdge, Sym::EMPTY, false),
             // Pure layout containers have no pixels of their own.
             WidgetKind::Root
             | WidgetKind::Section
@@ -180,9 +262,21 @@ impl Screenshot {
     /// state (chrome, geometry, visual class, text, styling) feeds the
     /// digest, so two frames hash equal iff they would rasterize to the
     /// same pixels. This is the content-address the session frame cache and
-    /// the perception memo key on; it is computed on demand (not stored) so
-    /// a mutated clone can never carry a stale hash.
+    /// the perception memo key on.
+    ///
+    /// Deliberately hashes item text *bytes*, never interned `Sym` ids:
+    /// the hash seeds simulated FM perception, so it must be identical
+    /// across processes and across fleet/sequential runs, while intern ids
+    /// depend on first-intern order (thread scheduling). Folding ids is
+    /// reserved for in-process signatures (build sig, layout sig).
+    ///
+    /// Memoized: frames are immutable once rendered (mutate a clone — the
+    /// memo resets on clone — never a frame that has already been hashed).
     pub fn frame_hash(&self) -> u64 {
+        *self.hash_memo.get_or_init(|| self.compute_hash())
+    }
+
+    fn compute_hash(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut mix = |b: u64| {
             h ^= b;
@@ -440,7 +534,7 @@ mod tests {
         relabeled.url = "/elsewhere".into();
         assert_ne!(base.frame_hash(), relabeled.frame_hash());
         let mut edited = base.clone();
-        edited.items[0].text.push('!');
+        edited.items[0].text = Sym::from(format!("{}!", edited.items[0].text));
         assert_ne!(base.frame_hash(), edited.frame_hash());
         let mut styled = base.clone();
         styled.items[0].grayed = !styled.items[0].grayed;
@@ -494,7 +588,7 @@ mod tests {
                 .prop_map(|((x, y, w, h), v, text, style)| PaintItem {
                     rect: Rect { x, y, w, h },
                     visual: VISUALS[v],
-                    text,
+                    text: Sym::from(text),
                     emphasis: style & 1 != 0,
                     grayed: style & 2 != 0,
                 })
@@ -507,12 +601,8 @@ mod tests {
                 "/[a-z/]{0,10}",
                 "[A-Za-z ]{0,10}",
             )
-                .prop_map(|(items, scroll_y, url, title)| Screenshot {
-                    viewport: VIEWPORT,
-                    url,
-                    title,
-                    scroll_y,
-                    items,
+                .prop_map(|(items, scroll_y, url, title)| {
+                    Screenshot::new(VIEWPORT, url, title, scroll_y, items)
                 })
         }
 
@@ -543,7 +633,7 @@ mod tests {
                     3 => m.items.push(PaintItem {
                         rect: Rect { x: 5, y: 5, w: 9, h: 9 },
                         visual: VisualClass::Text,
-                        text: "q".into(),
+                        text: Sym::from("q"),
                         emphasis: false,
                         grayed: false,
                     }),
@@ -560,12 +650,8 @@ mod tests {
             #[test]
             fn adjacent_text_fields_do_not_alias(a in "[a-z]{0,6}", b in "[a-z]{0,6}") {
                 prop_assume!(a != b);
-                let mk = |url: &str, title: &str| Screenshot {
-                    viewport: VIEWPORT,
-                    url: url.to_string(),
-                    title: title.to_string(),
-                    scroll_y: 0,
-                    items: vec![],
+                let mk = |url: &str, title: &str| {
+                    Screenshot::new(VIEWPORT, url, title, 0, vec![])
                 };
                 prop_assert_ne!(mk(&a, &b).frame_hash(), mk(&b, &a).frame_hash());
             }

@@ -70,7 +70,10 @@ impl Theme {
         for op in &self.ops {
             apply_op(page, op);
         }
-        page.relayout();
+        // Drift touches a handful of nodes on an already-laid-out page:
+        // let the dirty-subtree pass re-place just those (falling back to a
+        // full walk when a structural op like InsertBanner dirties the root).
+        page.relayout_incremental();
     }
 }
 
@@ -83,7 +86,7 @@ fn apply_op(page: &mut Page, op: &DriftOp) {
                 .map(|w| w.id)
                 .collect();
             for id in targets {
-                page.get_mut(id).label = to.clone();
+                page.get_mut(id).label = to.into();
             }
         }
         DriftOp::RenameField { from, to } => {
@@ -93,12 +96,12 @@ fn apply_op(page: &mut Page, op: &DriftOp) {
                 .map(|w| w.id)
                 .collect();
             for id in targets {
-                page.get_mut(id).name = to.clone();
+                page.get_mut(id).name = to.into();
             }
         }
         DriftOp::Retag { name, tag } => {
             if let Some(id) = page.find_by_name(name) {
-                page.get_mut(id).tag = tag.clone();
+                page.get_mut(id).tag = tag.into();
             }
         }
         DriftOp::InsertBanner { text } => {
@@ -149,12 +152,10 @@ impl Page {
     pub fn inject_banner(&mut self, text: &str) {
         let root = self.root();
         let mut w = Widget::new(WidgetKind::Text);
-        w.label = text.to_string();
+        w.label = text.into();
         w.name = "drift-banner".into();
         w.parent = Some(root);
-        let id = WidgetId(self.len() as u32);
-        w.id = id;
-        self.push_widget(w);
+        let id = self.push_widget(w);
         self.get_mut(root).children.insert(0, id);
     }
 }
@@ -200,7 +201,7 @@ pub fn generate_drift<R: Rng>(page: &Page, rng: &mut R, n: usize) -> Vec<DriftOp
                         .map(|(_, to)| to.to_string())
                         .unwrap_or_else(|| format!("{} »", b.label));
                     ops.push(DriftOp::Relabel {
-                        from: b.label.clone(),
+                        from: b.label.to_string(),
                         to,
                     });
                 }
@@ -208,7 +209,7 @@ pub fn generate_drift<R: Rng>(page: &Page, rng: &mut R, n: usize) -> Vec<DriftOp
             35..=54 => {
                 if let Some(f) = fields.choose(rng) {
                     ops.push(DriftOp::RenameField {
-                        from: f.name.clone(),
+                        from: f.name.to_string(),
                         to: format!("{}_v2", f.name),
                     });
                 }
@@ -217,7 +218,7 @@ pub fn generate_drift<R: Rng>(page: &Page, rng: &mut R, n: usize) -> Vec<DriftOp
                 if let Some(b) = buttons.choose(rng) {
                     if !b.name.is_empty() {
                         ops.push(DriftOp::Retag {
-                            name: b.name.clone(),
+                            name: b.name.to_string(),
                             tag: "div".into(),
                         });
                     }

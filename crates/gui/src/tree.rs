@@ -1,38 +1,92 @@
 //! The page arena and its builder DSL.
 //!
-//! A [`Page`] stores widgets in a flat `Vec` (arena) with index ids — cheap
-//! to clone for screenshot snapshots and friendly to the borrow checker.
+//! A [`Page`] stores widgets in a generational [`SlotArena`]: a dense slot
+//! vector (cheap to clone for screenshot snapshots, friendly to the borrow
+//! checker, and directly sliceable for the layout engine) whose vacated
+//! slots are reused under a bumped generation, so a stale [`NodeId`] can
+//! never resolve against a widget that replaced the one it named. Plain
+//! [`WidgetId`]s remain the positional address (slot index) used across
+//! the codebase; `NodeId` adds the generation check for holders that can
+//! outlive a removal.
+//!
 //! [`PageBuilder`] is the DSL the simulated sites use to describe screens;
 //! `finish()` runs the layout engine so every widget has pixel bounds.
+//! Mutations route through [`Page::get_mut`], which marks the widget's
+//! slot dirty; [`Page::relayout_incremental`] then re-places only the
+//! dirty subtree (falling back to a full — usually cache-served — walk
+//! when a box change escalates to the root).
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::{NodeId, SlotArena};
 use crate::geometry::Point;
-use crate::layout;
+use crate::intern::Sym;
+use crate::layout::{self, PartialOutcome};
 use crate::widget::{Widget, WidgetId, WidgetKind};
 
 /// A fully built screen: widget arena + metadata + computed layout.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Page {
     /// Window / document title.
     pub title: String,
     /// The route this page renders (e.g. `/gitlab/project/3/issues/new`).
     pub url: String,
-    widgets: Vec<Widget>,
+    widgets: SlotArena<Widget>,
     root: WidgetId,
     /// Total laid-out content height in pixels (may exceed the viewport).
     pub content_height: u32,
+    /// Slots mutated since the last relayout (deduplicated, tiny).
+    dirty: Vec<u32>,
+    /// Set when a toast left the tree: the floating stack must restack
+    /// even though no surviving widget is dirty.
+    toasts_dirty: bool,
+}
+
+// Manual serde impls (the vendored derive has no `skip`): identical to the
+// derive's field-order map, minus the transient dirty-tracking state. A
+// deserialized page starts clean — its bounds were serialized post-layout.
+impl Serialize for Page {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (String::from("title"), self.title.to_value()),
+            (String::from("url"), self.url.to_value()),
+            (String::from("widgets"), self.widgets.to_value()),
+            (String::from("root"), self.root.to_value()),
+            (
+                String::from("content_height"),
+                self.content_height.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Page {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(v.field(name))
+                .map_err(|e| serde::Error::custom(format!("Page.{name}: {e}")))
+        }
+        Ok(Page {
+            title: field(v, "title")?,
+            url: field(v, "url")?,
+            widgets: field(v, "widgets")?,
+            root: field(v, "root")?,
+            content_height: field(v, "content_height")?,
+            dirty: Vec::new(),
+            toasts_dirty: false,
+        })
+    }
 }
 
 impl Page {
-    /// Number of widgets (including containers).
+    /// Number of slots (including containers and any tombstoned slots).
     pub fn len(&self) -> usize {
-        self.widgets.len()
+        self.widgets.slot_count()
     }
 
     /// True when the page holds only its root.
     pub fn is_empty(&self) -> bool {
-        self.widgets.len() <= 1
+        self.widgets.slot_count() <= 1
     }
 
     /// The root widget id.
@@ -46,23 +100,48 @@ impl Page {
     /// Panics on a stale/foreign id — ids are only valid for the page that
     /// created them.
     pub fn get(&self, id: WidgetId) -> &Widget {
-        &self.widgets[id.index()]
+        &self.widgets.data()[id.index()]
     }
 
-    /// Mutably borrow a widget.
+    /// Mutably borrow a widget, marking its slot dirty for the next
+    /// incremental relayout. (Conservative: value-only writes dirty the
+    /// slot too; re-placing a node whose size did not change is cheap and
+    /// pixel-neutral.)
     pub fn get_mut(&mut self, id: WidgetId) -> &mut Widget {
-        &mut self.widgets[id.index()]
+        self.mark_dirty(id);
+        &mut self.widgets.data_mut()[id.index()]
+    }
+
+    /// The generational key currently naming `id`'s slot, if occupied.
+    pub fn node_id(&self, id: WidgetId) -> Option<NodeId> {
+        self.widgets.id_at_slot(id.0)
+    }
+
+    /// Resolve a generational key; `None` once the node was removed (even
+    /// if its slot has been reused by a newer widget).
+    pub fn resolve(&self, id: NodeId) -> Option<&Widget> {
+        self.widgets.get(id)
+    }
+
+    /// Mark a slot dirty without borrowing the widget.
+    pub fn mark_dirty(&mut self, id: WidgetId) {
+        if !self.dirty.contains(&id.0) {
+            self.dirty.push(id.0);
+        }
     }
 
     /// Iterate over all widgets in arena (pre-)order.
     pub fn iter(&self) -> impl Iterator<Item = &Widget> {
-        self.widgets.iter()
+        self.widgets.data().iter()
     }
 
     /// Iterate over widgets that are visible *and* all of whose ancestors
     /// are visible.
     pub fn visible_iter(&self) -> impl Iterator<Item = &Widget> + '_ {
-        self.widgets.iter().filter(move |w| self.is_shown(w.id))
+        self.widgets
+            .data()
+            .iter()
+            .filter(move |w| self.is_shown(w.id))
     }
 
     /// Whether `id` and all its ancestors are visible.
@@ -81,7 +160,7 @@ impl Page {
     /// Depth-first paint order starting at the root: parents before
     /// children, siblings in child order, modals last (they overlay).
     pub fn paint_order(&self) -> Vec<WidgetId> {
-        let mut order = Vec::with_capacity(self.widgets.len());
+        let mut order = Vec::with_capacity(self.widgets.slot_count());
         let mut overlays = Vec::new();
         self.walk(self.root, &mut |w| {
             if w.kind == WidgetKind::Modal || w.kind == WidgetKind::Toast {
@@ -117,6 +196,7 @@ impl Page {
     /// The topmost open modal, if any.
     pub fn active_modal(&self) -> Option<WidgetId> {
         self.widgets
+            .data()
             .iter()
             .rev()
             .find(|w| w.kind == WidgetKind::Modal && self.is_shown(w.id))
@@ -179,7 +259,11 @@ impl Page {
 
     /// First widget with the given programmatic `name`.
     pub fn find_by_name(&self, name: &str) -> Option<WidgetId> {
-        self.widgets.iter().find(|w| w.name == name).map(|w| w.id)
+        self.widgets
+            .data()
+            .iter()
+            .find(|w| w.name == name)
+            .map(|w| w.id)
     }
 
     /// The nearest enclosing [`WidgetKind::Form`] of `id`, if any.
@@ -200,7 +284,7 @@ impl Page {
         let mut fields = Vec::new();
         self.walk(root_id, &mut |w| {
             if !w.name.is_empty() && (w.kind.is_editable() || w.kind.is_toggleable()) {
-                fields.push((w.name.clone(), w.value.clone()));
+                fields.push((w.name.to_string(), w.value.to_string()));
             }
             true
         });
@@ -223,28 +307,93 @@ impl Page {
         crate::screenshot::Screenshot::render(
             &self.url,
             &self.title,
-            &self.widgets,
+            self.widgets.data(),
             &self.paint_order(),
             scroll_y,
             None,
         )
     }
 
-    /// Recompute layout (after mutating widgets or theme application).
+    /// Recompute the full layout (after structural mutation or theme
+    /// application). Usually served from the global layout cache; clears
+    /// all dirty marks.
     pub fn relayout(&mut self) {
         let root = self.root;
-        self.content_height = layout::layout_page(&mut self.widgets, root);
+        self.dirty.clear();
+        self.toasts_dirty = false;
+        self.content_height = layout::layout_page(self.widgets.data_mut(), root);
+    }
+
+    /// Re-place only the widgets dirtied since the last relayout,
+    /// escalating to enclosing containers only when a measured box
+    /// changed, and falling back to [`Page::relayout`] when the change
+    /// reaches the root. Pixel-for-pixel equivalent to a full walk.
+    pub fn relayout_incremental(&mut self) {
+        if self.dirty.is_empty() && !self.toasts_dirty {
+            return;
+        }
+        if layout::cache_bypassed() {
+            // `ECLAIR_NO_CACHE` (and the per-session guard) turns off
+            // incremental relayout along with every other cache layer.
+            self.relayout();
+            return;
+        }
+        let mut dirty = std::mem::take(&mut self.dirty);
+        let toasts = std::mem::take(&mut self.toasts_dirty);
+        dirty.retain(|&slot| self.widgets.slot_occupied(slot));
+        match layout::relayout_dirty(self.widgets.data_mut(), &dirty, toasts) {
+            PartialOutcome::Done => {}
+            PartialOutcome::NeedsFull => self.relayout(),
+        }
+    }
+
+    /// Remove `id` and its whole subtree from the page: detaches it from
+    /// its parent's child list and vacates every slot (stale [`NodeId`]s
+    /// stop resolving; the slots are reused by later insertions). The
+    /// root cannot be removed. Returns whether anything was removed.
+    pub fn remove_subtree(&mut self, id: WidgetId) -> bool {
+        if id == self.root || !self.widgets.slot_occupied(id.0) {
+            return false;
+        }
+        let mut stack = vec![id];
+        let mut doomed = Vec::new();
+        while let Some(s) = stack.pop() {
+            doomed.push(s);
+            stack.extend(self.get(s).children.iter().copied());
+        }
+        if let Some(pid) = self.get(id).parent {
+            self.mark_dirty(pid);
+            self.widgets.data_mut()[pid.index()]
+                .children
+                .remove_item(id);
+        }
+        for s in doomed {
+            if self.get(s).kind == WidgetKind::Toast {
+                self.toasts_dirty = true;
+            }
+            let nid = self.widgets.id_at_slot(s.0).expect("collected live");
+            self.widgets.remove(nid, Widget::tombstone(s));
+            self.dirty.retain(|&d| d != s.0);
+        }
+        true
     }
 
     /// Internal: raw widget slice (used by layout and html modules).
+    /// Includes tombstoned slots; they are invisible, unnamed, and
+    /// unreachable from the root.
     pub(crate) fn widgets(&self) -> &[Widget] {
-        &self.widgets
+        self.widgets.data()
     }
 
-    /// Internal: append a fully-initialized widget to the arena (caller is
-    /// responsible for wiring `parent`/`children`). Used by drift ops.
-    pub(crate) fn push_widget(&mut self, w: Widget) {
-        self.widgets.push(w);
+    /// Internal: insert a fully-initialized widget into the arena (caller
+    /// is responsible for wiring `parent`/`children`). Reuses a vacated
+    /// slot when one exists; returns the assigned id. Used by drift ops
+    /// and fault injectors.
+    pub(crate) fn push_widget(&mut self, w: Widget) -> WidgetId {
+        let nid = self.widgets.insert(w);
+        let id = nid.widget_id();
+        self.widgets.data_mut()[id.index()].id = id;
+        id
     }
 
     /// Overlay a modal dialog (one text line plus a dismiss button) onto
@@ -260,24 +409,20 @@ impl Page {
         button_label: &str,
     ) -> WidgetId {
         let root = self.root();
-        let mut attach = |mut w: Widget, parent: WidgetId| {
-            let id = WidgetId(self.len() as u32);
-            w.id = id;
-            w.parent = Some(parent);
-            self.push_widget(w);
-            id
-        };
         let mut modal = Widget::new(WidgetKind::Modal);
         modal.name = name.into();
-        let modal_id = attach(modal, root);
+        modal.parent = Some(root);
+        let modal_id = self.push_widget(modal);
         let mut body = Widget::new(WidgetKind::Text);
         body.label = text.into();
-        let body_id = attach(body, modal_id);
+        body.parent = Some(modal_id);
+        let body_id = self.push_widget(body);
         let mut btn = Widget::new(WidgetKind::Button);
         btn.name = button_name.into();
         btn.label = button_label.into();
-        let btn_id = attach(btn, modal_id);
-        self.get_mut(modal_id).children = vec![body_id, btn_id];
+        btn.parent = Some(modal_id);
+        let btn_id = self.push_widget(btn);
+        self.get_mut(modal_id).children = vec![body_id, btn_id].into();
         self.get_mut(root).children.push(modal_id);
         self.relayout();
         modal_id
@@ -355,7 +500,7 @@ impl PageBuilder {
     }
 
     /// A named form; submit gathers its descendants' values.
-    pub fn form(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Self)) -> WidgetId {
+    pub fn form(&mut self, name: impl Into<Sym>, f: impl FnOnce(&mut Self)) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Form);
         w.name = name.into();
         let id = self.attach(w);
@@ -366,7 +511,7 @@ impl PageBuilder {
     }
 
     /// A modal dialog overlaying the page.
-    pub fn modal(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Self)) -> WidgetId {
+    pub fn modal(&mut self, name: impl Into<Sym>, f: impl FnOnce(&mut Self)) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Modal);
         w.name = name.into();
         let id = self.attach(w);
@@ -377,7 +522,7 @@ impl PageBuilder {
     }
 
     /// Heading text at `level` 1–3.
-    pub fn heading(&mut self, level: u8, text: impl Into<String>) -> WidgetId {
+    pub fn heading(&mut self, level: u8, text: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Heading);
         w.level = level.clamp(1, 3);
         w.label = text.into();
@@ -385,14 +530,14 @@ impl PageBuilder {
     }
 
     /// Static body text.
-    pub fn text(&mut self, text: impl Into<String>) -> WidgetId {
+    pub fn text(&mut self, text: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Text);
         w.label = text.into();
         self.attach(w)
     }
 
     /// A push button.
-    pub fn button(&mut self, name: impl Into<String>, label: impl Into<String>) -> WidgetId {
+    pub fn button(&mut self, name: impl Into<Sym>, label: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Button);
         w.name = name.into();
         w.label = label.into();
@@ -401,7 +546,7 @@ impl PageBuilder {
 
     /// An icon-only activatable control (renders as a glyph; HTML tag `svg`).
     /// `label` is its accessible name, never painted.
-    pub fn icon_button(&mut self, name: impl Into<String>, label: impl Into<String>) -> WidgetId {
+    pub fn icon_button(&mut self, name: impl Into<Sym>, label: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Icon);
         w.name = name.into();
         w.label = label.into();
@@ -409,7 +554,7 @@ impl PageBuilder {
     }
 
     /// A hyperlink.
-    pub fn link(&mut self, name: impl Into<String>, label: impl Into<String>) -> WidgetId {
+    pub fn link(&mut self, name: impl Into<Sym>, label: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Link);
         w.name = name.into();
         w.label = label.into();
@@ -420,9 +565,9 @@ impl PageBuilder {
     /// input box; the returned id is the *input's*.
     pub fn text_input(
         &mut self,
-        name: impl Into<String>,
-        label: impl Into<String>,
-        placeholder: impl Into<String>,
+        name: impl Into<Sym>,
+        label: impl Into<Sym>,
+        placeholder: impl Into<Sym>,
     ) -> WidgetId {
         self.labelled_input(WidgetKind::TextInput, name, label, placeholder)
     }
@@ -430,34 +575,34 @@ impl PageBuilder {
     /// A labelled multi-line text area.
     pub fn textarea(
         &mut self,
-        name: impl Into<String>,
-        label: impl Into<String>,
-        placeholder: impl Into<String>,
+        name: impl Into<Sym>,
+        label: impl Into<Sym>,
+        placeholder: impl Into<Sym>,
     ) -> WidgetId {
         self.labelled_input(WidgetKind::TextArea, name, label, placeholder)
     }
 
     /// A labelled masked input.
-    pub fn password(&mut self, name: impl Into<String>, label: impl Into<String>) -> WidgetId {
+    pub fn password(&mut self, name: impl Into<Sym>, label: impl Into<Sym>) -> WidgetId {
         self.labelled_input(WidgetKind::PasswordInput, name, label, "")
     }
 
     fn labelled_input(
         &mut self,
         kind: WidgetKind,
-        name: impl Into<String>,
-        label: impl Into<String>,
-        placeholder: impl Into<String>,
+        name: impl Into<Sym>,
+        label: impl Into<Sym>,
+        placeholder: impl Into<Sym>,
     ) -> WidgetId {
         let label = label.into();
         let mut input = Widget::new(kind);
         input.name = name.into();
-        input.label = label.clone();
+        input.label = label;
         input.placeholder = placeholder.into();
         let mut out = WidgetId(u32::MAX);
         self.container(WidgetKind::Section, |b| {
             if !label.is_empty() {
-                b.text(label.clone());
+                b.text(label);
             }
             out = b.attach(input);
         });
@@ -467,8 +612,8 @@ impl PageBuilder {
     /// A labelled checkbox; `checked` sets the initial state.
     pub fn checkbox(
         &mut self,
-        name: impl Into<String>,
-        label: impl Into<String>,
+        name: impl Into<Sym>,
+        label: impl Into<Sym>,
         checked: bool,
     ) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Checkbox);
@@ -481,8 +626,8 @@ impl PageBuilder {
     /// A radio chip sharing `name` with its alternatives.
     pub fn radio(
         &mut self,
-        name: impl Into<String>,
-        label: impl Into<String>,
+        name: impl Into<Sym>,
+        label: impl Into<Sym>,
         checked: bool,
     ) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Radio);
@@ -496,22 +641,22 @@ impl PageBuilder {
     /// the best-matching option.
     pub fn select(
         &mut self,
-        name: impl Into<String>,
-        label: impl Into<String>,
+        name: impl Into<Sym>,
+        label: impl Into<Sym>,
         options: &[&str],
         selected: Option<&str>,
     ) -> WidgetId {
         let label = label.into();
         let mut sel = Widget::new(WidgetKind::Select);
         sel.name = name.into();
-        sel.label = label.clone();
+        sel.label = label;
         sel.placeholder = "Select...".into();
-        sel.options = options.iter().map(|s| s.to_string()).collect();
-        sel.value = selected.unwrap_or("").to_string();
+        sel.options = options.iter().map(|&s| Sym::from(s)).collect();
+        sel.value = selected.unwrap_or("").into();
         let mut out = WidgetId(u32::MAX);
         self.container(WidgetKind::Section, |b| {
             if !label.is_empty() {
-                b.text(label.clone());
+                b.text(label);
             }
             out = b.attach(sel);
         });
@@ -519,7 +664,7 @@ impl PageBuilder {
     }
 
     /// An entry of a menu / dropdown.
-    pub fn menu_item(&mut self, name: impl Into<String>, label: impl Into<String>) -> WidgetId {
+    pub fn menu_item(&mut self, name: impl Into<Sym>, label: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::MenuItem);
         w.name = name.into();
         w.label = label.into();
@@ -527,7 +672,7 @@ impl PageBuilder {
     }
 
     /// A tab header.
-    pub fn tab(&mut self, name: impl Into<String>, label: impl Into<String>) -> WidgetId {
+    pub fn tab(&mut self, name: impl Into<Sym>, label: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Tab);
         w.name = name.into();
         w.label = label.into();
@@ -535,21 +680,21 @@ impl PageBuilder {
     }
 
     /// A status pill.
-    pub fn badge(&mut self, label: impl Into<String>) -> WidgetId {
+    pub fn badge(&mut self, label: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Badge);
         w.label = label.into();
         self.attach(w)
     }
 
     /// A transient notification bar.
-    pub fn toast(&mut self, text: impl Into<String>) -> WidgetId {
+    pub fn toast(&mut self, text: impl Into<Sym>) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Toast);
         w.label = text.into();
         self.attach(w)
     }
 
     /// An image placeholder with alt text.
-    pub fn image(&mut self, alt: impl Into<String>, w_px: u32, h_px: u32) -> WidgetId {
+    pub fn image(&mut self, alt: impl Into<Sym>, w_px: u32, h_px: u32) -> WidgetId {
         let mut w = Widget::new(WidgetKind::Image);
         w.label = alt.into();
         w.fixed_w = Some(w_px);
@@ -572,7 +717,7 @@ impl PageBuilder {
             b.container(WidgetKind::TableRow, |b| {
                 for h in headers {
                     let mut c = Widget::new(WidgetKind::TableCell);
-                    c.label = h.to_string();
+                    c.label = (*h).into();
                     c.fixed_w = Some(cell_w);
                     b.attach(c);
                 }
@@ -590,7 +735,7 @@ impl PageBuilder {
                                 b.stack.pop();
                             }
                             None => {
-                                c.label = text.clone();
+                                c.label = text.as_str().into();
                                 b.attach(c);
                             }
                         }
@@ -602,12 +747,18 @@ impl PageBuilder {
 
     /// Finish the page: runs layout and returns the immutable result.
     pub fn finish(self) -> Page {
+        let mut arena = SlotArena::new();
+        for w in self.widgets {
+            arena.insert(w);
+        }
         let mut page = Page {
             title: self.title,
             url: self.url,
-            widgets: self.widgets,
+            widgets: arena,
             root: WidgetId(0),
             content_height: 0,
+            dirty: Vec::new(),
+            toasts_dirty: false,
         };
         page.relayout();
         page
@@ -724,6 +875,26 @@ mod tests {
         assert!(p.find_by_name("open-alpha").is_some());
         let link = p.find_by_label("proj-beta", true).unwrap();
         assert_eq!(p.get(link).kind, WidgetKind::Link);
+    }
+
+    #[test]
+    fn remove_subtree_vacates_and_reuses_slots() {
+        let mut p = sample_page();
+        let len_before = p.len();
+        let form = p.find_by_name("issue-form").unwrap();
+        let nid = p.node_id(form).unwrap();
+        assert!(p.remove_subtree(form));
+        assert!(p.resolve(nid).is_none(), "stale NodeId no longer resolves");
+        assert!(p.find_by_name("title").is_none(), "descendants removed too");
+        assert_eq!(p.len(), len_before, "slots tombstoned, not compacted");
+        // A later injection reuses vacated slots instead of growing.
+        let modal = p.inject_modal("late", "hello", "ok", "OK");
+        assert!(modal.index() < len_before, "vacated slot reused");
+        assert_eq!(p.len(), len_before, "arena did not grow");
+        assert!(p.resolve(nid).is_none(), "old key stays dead after reuse");
+        assert!(p
+            .hit_test(p.get(p.find_by_name("ok").unwrap()).bounds.center())
+            .is_some());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::ChildVec;
 use crate::geometry::Rect;
+use crate::intern::Sym;
 
 /// Index of a widget in its [`crate::tree::Page`] arena. Ids are stable only
 /// within one build of a page; navigation or rebuild invalidates them, which
@@ -154,7 +156,7 @@ impl WidgetKind {
 }
 
 /// One node of a page.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Widget {
     /// Arena index (assigned by the page builder).
     pub id: WidgetId,
@@ -162,18 +164,18 @@ pub struct Widget {
     pub kind: WidgetKind,
     /// HTML tag rendered in the serialization. Usually
     /// `kind.default_tag()`, but icon buttons etc. may override it.
-    pub tag: String,
+    pub tag: Sym,
     /// Visible caption (button text, link text, field label, heading text).
-    pub label: String,
+    pub label: Sym,
     /// Programmatic name (form field name / automation id). *Not* visible in
     /// screenshots.
-    pub name: String,
+    pub name: Sym,
     /// Current value (input contents, checkbox state, select choice).
-    pub value: String,
+    pub value: Sym,
     /// Ghost text shown in an empty input.
-    pub placeholder: String,
+    pub placeholder: Sym,
     /// Permitted options for a [`WidgetKind::Select`].
-    pub options: Vec<String>,
+    pub options: Vec<Sym>,
     /// Heading level (1–3) for [`WidgetKind::Heading`].
     pub level: u8,
     /// Whether the widget accepts interaction; disabled widgets render
@@ -181,8 +183,8 @@ pub struct Widget {
     pub enabled: bool,
     /// Whether the widget is rendered at all.
     pub visible: bool,
-    /// Child widget ids, in layout order.
-    pub children: Vec<WidgetId>,
+    /// Child widget ids, in layout order. Inline up to 8, heap beyond.
+    pub children: ChildVec,
     /// Parent widget id; `None` only for the root.
     pub parent: Option<WidgetId>,
     /// Fixed width in pixels, if the builder pinned one.
@@ -191,6 +193,73 @@ pub struct Widget {
     pub fixed_h: Option<u32>,
     /// Computed bounds in page coordinates (filled by layout).
     pub bounds: Rect,
+    /// The flow inputs this widget was last placed with, captured by the
+    /// layout engine so a dirty-subtree relayout can re-place it without
+    /// walking from the root. Not serialized; invalid until first layout.
+    pub(crate) layin: LayIn,
+}
+
+// Manual serde impls (the vendored derive has no `skip`): identical to the
+// derive's field-order map, minus the layout-internal `layin` cache.
+impl Serialize for Widget {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (String::from("id"), self.id.to_value()),
+            (String::from("kind"), self.kind.to_value()),
+            (String::from("tag"), self.tag.to_value()),
+            (String::from("label"), self.label.to_value()),
+            (String::from("name"), self.name.to_value()),
+            (String::from("value"), self.value.to_value()),
+            (String::from("placeholder"), self.placeholder.to_value()),
+            (String::from("options"), self.options.to_value()),
+            (String::from("level"), self.level.to_value()),
+            (String::from("enabled"), self.enabled.to_value()),
+            (String::from("visible"), self.visible.to_value()),
+            (String::from("children"), self.children.to_value()),
+            (String::from("parent"), self.parent.to_value()),
+            (String::from("fixed_w"), self.fixed_w.to_value()),
+            (String::from("fixed_h"), self.fixed_h.to_value()),
+            (String::from("bounds"), self.bounds.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Widget {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(v.field(name))
+                .map_err(|e| serde::Error::custom(format!("Widget.{name}: {e}")))
+        }
+        Ok(Widget {
+            id: field(v, "id")?,
+            kind: field(v, "kind")?,
+            tag: field(v, "tag")?,
+            label: field(v, "label")?,
+            name: field(v, "name")?,
+            value: field(v, "value")?,
+            placeholder: field(v, "placeholder")?,
+            options: field(v, "options")?,
+            level: field(v, "level")?,
+            enabled: field(v, "enabled")?,
+            visible: field(v, "visible")?,
+            children: field(v, "children")?,
+            parent: field(v, "parent")?,
+            fixed_w: field(v, "fixed_w")?,
+            fixed_h: field(v, "fixed_h")?,
+            bounds: field(v, "bounds")?,
+            layin: LayIn::default(),
+        })
+    }
+}
+
+/// Layout inputs recorded per placed widget: position and available width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct LayIn {
+    pub x: i32,
+    pub y: i32,
+    pub avail_w: u32,
+    /// False until the widget has been placed at least once.
+    pub valid: bool,
 }
 
 impl Widget {
@@ -200,21 +269,32 @@ impl Widget {
         Self {
             id: WidgetId(u32::MAX),
             kind,
-            tag: kind.default_tag().to_string(),
-            label: String::new(),
-            name: String::new(),
-            value: String::new(),
-            placeholder: String::new(),
+            tag: Sym::from(kind.default_tag()),
+            label: Sym::EMPTY,
+            name: Sym::EMPTY,
+            value: Sym::EMPTY,
+            placeholder: Sym::EMPTY,
             options: Vec::new(),
             level: 2,
             enabled: true,
             visible: true,
-            children: Vec::new(),
+            children: ChildVec::new(),
             parent: None,
             fixed_w: None,
             fixed_h: None,
             bounds: Rect::default(),
+            layin: LayIn::default(),
         }
+    }
+
+    /// The inert value left in a vacated arena slot: invisible, unnamed,
+    /// childless, and unreachable from the root (no parent link points at
+    /// it), so no walk, search, or render can observe it.
+    pub(crate) fn tombstone(slot: WidgetId) -> Self {
+        let mut w = Widget::new(WidgetKind::Root);
+        w.id = slot;
+        w.visible = false;
+        w
     }
 
     /// Whether this widget is a checked checkbox/radio.
@@ -224,15 +304,20 @@ impl Widget {
 
     /// The text pixels would show for this widget: the value if it has one,
     /// else the placeholder, else the label.
-    pub fn display_text(&self) -> &str {
+    pub fn display_text(&self) -> &'static str {
+        self.display_sym().as_str()
+    }
+
+    /// [`Widget::display_text`] as an interned handle (no resolve needed).
+    pub fn display_sym(&self) -> Sym {
         if self.kind.is_editable() {
             if !self.value.is_empty() {
-                &self.value
+                self.value
             } else {
-                &self.placeholder
+                self.placeholder
             }
         } else {
-            &self.label
+            self.label
         }
     }
 }

@@ -115,9 +115,9 @@ pub fn compile_task(task: &TaskSpec, recorder: &mut TraceRecorder) -> Result<Hyb
                 let page = session.page();
                 let w = page.get(id);
                 let label_or_name = if w.label.trim().is_empty() {
-                    w.name.clone()
+                    w.name.to_string()
                 } else {
-                    w.label.clone()
+                    w.label.to_string()
                 };
                 let query = match op {
                     RpaOp::Click => label_or_name,

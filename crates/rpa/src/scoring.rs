@@ -38,10 +38,10 @@ pub fn drift_resistance(s: &Selector) -> u8 {
 pub fn best_selector(page: &Page, scroll_y: i32, id: WidgetId) -> Selector {
     let w = page.get(id);
     if !w.name.is_empty() && page.find_by_name(&w.name) == Some(id) {
-        return Selector::ByName(w.name.clone());
+        return Selector::ByName(w.name.to_string());
     }
     if !w.label.is_empty() && page.find_by_label(&w.label, true) == Some(id) {
-        return Selector::ByLabel(w.label.clone());
+        return Selector::ByLabel(w.label.to_string());
     }
     Selector::ByPoint(w.bounds.center().offset(0, -scroll_y))
 }

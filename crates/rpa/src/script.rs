@@ -172,9 +172,9 @@ fn anchor_for<R: Rng>(
     if roll < cfg.point_anchor_fraction {
         Selector::ByPoint(w.bounds.center().offset(0, -session.scroll_y()))
     } else if roll < cfg.point_anchor_fraction + cfg.label_anchor_fraction && !w.label.is_empty() {
-        Selector::ByLabel(w.label.clone())
+        Selector::ByLabel(w.label.to_string())
     } else if !w.name.is_empty() {
-        Selector::ByName(w.name.clone())
+        Selector::ByName(w.name.to_string())
     } else {
         Selector::ByPoint(w.bounds.center().offset(0, -session.scroll_y()))
     }

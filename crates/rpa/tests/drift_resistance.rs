@@ -59,7 +59,7 @@ proptest! {
                 })
                 .map(|id| {
                     let w = page.get(id);
-                    (w.name.clone(), w.label.clone())
+                    (w.name.to_string(), w.label.to_string())
                 })
                 .collect()
         };
@@ -100,7 +100,7 @@ proptest! {
                 .map(|id| {
                     let w = page.get(id);
                     // scroll_y is 0 at launch, so viewport == page space.
-                    (w.name.clone(), w.bounds.center())
+                    (w.name.to_string(), w.bounds.center())
                 })
                 .collect()
         };
@@ -149,7 +149,7 @@ proptest! {
                 (!w.name.is_empty()
                     && page.find_by_name(&w.name) == Some(id)
                     && (w.bounds.h as i32) < shift)
-                    .then(|| (w.name.clone(), w.bounds.center()))
+                    .then(|| (w.name.to_string(), w.bounds.center()))
             })
         };
         prop_assume!(target.is_some());
@@ -179,8 +179,8 @@ proptest! {
             let chosen = best_selector(page, s.scroll_y(), id);
             prop_assert_eq!(chosen.resolve(&s), Some(id));
             for cand in [
-                (!w.name.is_empty()).then(|| Selector::ByName(w.name.clone())),
-                (!w.label.is_empty()).then(|| Selector::ByLabel(w.label.clone())),
+                (!w.name.is_empty()).then(|| Selector::ByName(w.name.to_string())),
+                (!w.label.is_empty()).then(|| Selector::ByLabel(w.label.to_string())),
             ]
             .into_iter()
             .flatten()

@@ -357,7 +357,7 @@ fn settings(state: &GitlabState, p: usize, toast: &Option<String>, modal: &Optio
     };
     // Pre-fill the project name into the settings field.
     if let Some(id) = page.find_by_name("project-name") {
-        page.get_mut(id).value = proj.name.clone();
+        page.get_mut(id).value = proj.name.as_str().into();
     }
     page
 }
@@ -374,10 +374,10 @@ fn profile(state: &GitlabState, toast: &Option<String>) -> Page {
     });
     let mut page = b.finish();
     if let Some(id) = page.find_by_name("display-name") {
-        page.get_mut(id).value = state.profile_name.clone();
+        page.get_mut(id).value = state.profile_name.as_str().into();
     }
     if let Some(id) = page.find_by_name("status-message") {
-        page.get_mut(id).value = state.profile_status.clone();
+        page.get_mut(id).value = state.profile_status.as_str().into();
     }
     page
 }

@@ -148,7 +148,7 @@ fn edit_product(state: &MagentoState, sku: &str, toast: &Option<String>) -> Page
         ("status", p.status.clone()),
     ] {
         if let Some(id) = page.find_by_name(field) {
-            page.get_mut(id).value = value;
+            page.get_mut(id).value = value.into();
         }
     }
     page

@@ -62,7 +62,7 @@ const CONFUSIONS: &[(char, char)] = &[
 pub fn read_item<R: Rng>(item: &PaintItem, acuity: Acuity, rng: &mut R) -> String {
     let rate = acuity.char_error_rate(glyph_height(item));
     if rate <= 0.0 {
-        return item.text.clone();
+        return item.text.to_string();
     }
     item.text
         .chars()
